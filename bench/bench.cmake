@@ -1,0 +1,22 @@
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# build/bench/ holds only the benchmark binaries: `for b in build/bench/*`
+# then runs every experiment with no CMake metadata in the way.
+function(coyote_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE ${ARGN})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+coyote_bench(bench_table2_reconfig_throughput coyote_fabric)
+coyote_bench(bench_fig7a_hbm_scaling coyote_runtime coyote_services)
+coyote_bench(bench_fig7b_synthesis_time coyote_synth)
+coyote_bench(bench_table3_shell_reconfig coyote_runtime coyote_services coyote_synth)
+coyote_bench(bench_fig8_aes_ecb_sharing coyote_runtime coyote_services)
+coyote_bench(bench_fig10_aes_cbc coyote_runtime coyote_services)
+coyote_bench(bench_fig11_hll coyote_runtime coyote_services coyote_synth)
+coyote_bench(bench_fig12_nn_inference coyote_hlscompat)
+coyote_bench(bench_ablations coyote_runtime coyote_services)
+coyote_bench(bench_extensions coyote_runtime coyote_services coyote_net coyote_synth)
+coyote_bench(bench_micro_cores coyote_services coyote_net coyote_mmu benchmark::benchmark)
+coyote_bench(bench_table1_features coyote_runtime coyote_services coyote_synth)

@@ -1,0 +1,104 @@
+// Figure 12: neural network inference — hls4ml CoyoteAccelerator backend vs
+// the PYNQ/Vitis baseline.
+//
+// The same quantized intrusion-detection MLP is compiled once and deployed
+// through both integration paths. The Coyote path streams input batches
+// directly from host memory through the vFPGA; the PYNQ path stages every
+// batch through card memory and pays the Python runtime overhead. The paper
+// measures an order-of-magnitude throughput advantage at comparable
+// resource utilization.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/hlscompat/hls_model.h"
+#include "src/hlscompat/overlay.h"
+#include "src/runtime/device.h"
+#include "src/services/nn.h"
+#include "src/sim/rng.h"
+
+namespace coyote {
+namespace {
+
+runtime::SimDevice::Config DeviceConfig() {
+  runtime::SimDevice::Config cfg;
+  cfg.shell.name = "nn";
+  cfg.shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory};
+  cfg.shell.num_vfpgas = 1;
+  return cfg;
+}
+
+void Run() {
+  bench::PrintHeader("Neural network inference: CoyoteAccelerator vs PYNQ/Vitis",
+                     "Coyote v2 paper, Figure 12");
+
+  const services::MlpSpec spec = services::MakeIntrusionDetectionMlp();
+  constexpr size_t kSamples = 16384;
+  std::vector<int8_t> inputs(kSamples * spec.input_dim());
+  sim::Rng rng(3);
+  for (auto& x : inputs) {
+    x = static_cast<int8_t>(static_cast<int64_t>(rng.NextBounded(255)) - 127);
+  }
+
+  // Build both backends (synthesis-time + resource report).
+  const fabric::Floorplan floorplan = fabric::Floorplan::ForPart(fabric::kAlveoU55C, 1);
+  hlscompat::HlsModel coyote_model(spec, hlscompat::Backend::kCoyoteAccelerator);
+  hlscompat::HlsModel pynq_model(spec, hlscompat::Backend::kPynqVitis);
+  const hlscompat::CompiledModel coyote_built = coyote_model.Build(floorplan);
+  const hlscompat::CompiledModel pynq_built = pynq_model.Build(floorplan);
+
+  // Bit-accurate software emulation is the reference output.
+  const std::vector<int8_t> reference = coyote_model.PredictEmulated(inputs, kSamples);
+
+  bench::Row("Throughput (samples/s), batch-size sweep, %zu samples", kSamples);
+  bench::Row("%-12s %20s %20s %10s", "Batch", "Coyote v2 [smp/s]", "PYNQ/Vitis [smp/s]",
+             "Speedup");
+  bench::PrintRule();
+  for (size_t batch : {64ull, 256ull, 1024ull, 4096ull}) {
+    runtime::SimDevice dev_c(DeviceConfig());
+    hlscompat::CoyoteOverlay overlay(&dev_c, coyote_built);
+    overlay.ProgramFpga();
+    const auto rc = overlay.Predict(inputs, kSamples, batch);
+
+    runtime::SimDevice dev_p(DeviceConfig());
+    hlscompat::PynqBaseline baseline(&dev_p, pynq_built);
+    baseline.ProgramFpga();
+    const auto rp = baseline.Predict(inputs, kSamples, batch);
+
+    const bool c_ok = rc.outputs == reference;
+    const bool p_ok = rp.outputs == reference;
+    bench::Row("%-12zu %20.0f %20.0f %9.1fx%s", batch, rc.samples_per_second,
+               rp.samples_per_second, rc.samples_per_second / rp.samples_per_second,
+               (c_ok && p_ok) ? "" : "  [OUTPUT MISMATCH]");
+  }
+  bench::PrintRule();
+  bench::Note("Shape check: order-of-magnitude speedup for the Coyote backend (paper: ~10x),");
+  bench::Note("shrinking as batches grow and Python overhead amortizes. Outputs verified");
+  bench::Note("bit-exact against hls4ml software emulation on both paths.");
+
+  bench::Row("");
+  bench::Row("Resource utilization (%% of U55C LUTs / DSPs) and build time");
+  bench::Row("%-18s %12s %12s %16s", "Backend", "LUT util", "DSP util", "build [min]");
+  bench::PrintRule();
+  const fabric::ResourceVector total = fabric::kAlveoU55C.total;
+  for (const auto* m : {&coyote_built, &pynq_built}) {
+    const fabric::ResourceVector r = m->total_resources();
+    bench::Row("%-18s %11.1f%% %11.1f%% %16.1f",
+               std::string(hlscompat::BackendName(m->backend)).c_str(),
+               100.0 * r.LutUtilization(total),
+               100.0 * (total.dsp ? static_cast<double>(r.dsp) / total.dsp : 0.0),
+               m->build_seconds / 60.0);
+  }
+  bench::PrintRule();
+  bench::Note("Shape check: comparable utilization across backends (paper: approximately");
+  bench::Note("equal), Coyote build faster via the linked app flow.");
+}
+
+}  // namespace
+}  // namespace coyote
+
+int main() {
+  coyote::Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the benchmark harness.
+//
+// Each bench binary regenerates one table or figure of the paper: it builds
+// the workload, sweeps the paper's parameters on the simulated substrate and
+// prints the same rows/series the paper reports, alongside the paper's
+// values where the paper states them. Absolute numbers come from calibrated
+// models (see DESIGN.md); the claims under test are the *shapes*: orderings,
+// scaling trends, crossovers and factors.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace coyote {
+namespace bench {
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("------------------------------------------------------------------------------\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void Note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+}  // namespace bench
+}  // namespace coyote
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+// Hardware multi-threading (paper §7.3, §9.5).
+//
+// AES CBC is sequential per client: each 128-bit block XORs with the
+// previous ciphertext, so one cThread keeps only 1 of the 10 pipeline
+// stages busy. This example runs 1..8 cThreads on the SAME vFPGA — each on
+// its own host stream with its own TID — and shows throughput scaling
+// linearly while every client's ciphertext stays correct and isolated.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/services/aes.h"
+#include "src/services/aes_kernels.h"
+#include "src/sim/rng.h"
+
+using namespace coyote;
+
+int main() {
+  constexpr uint64_t kMessageBytes = 32 << 10;
+  constexpr uint64_t kKeyLo = 0x6167717a7a767668ull;
+
+  std::printf("AES CBC multi-threading on one vFPGA (32 KB messages)\n");
+  std::printf("%-10s %18s %16s\n", "cThreads", "throughput MB/s", "all verified");
+
+  for (uint32_t n : {1u, 2u, 4u, 8u}) {
+    runtime::SimDevice::Config cfg;
+    cfg.shell.services = {fabric::Service::kHostStream};
+    cfg.shell.num_vfpgas = 1;
+    cfg.vfpga.num_host_streams = 8;
+    runtime::SimDevice device(cfg);
+    device.vfpga(0).LoadKernel(std::make_unique<services::AesCbcKernel>());
+
+    std::vector<std::unique_ptr<runtime::cThread>> threads;
+    for (uint32_t i = 0; i < n; ++i) {
+      threads.push_back(std::make_unique<runtime::cThread>(&device, 0));
+    }
+    threads[0]->SetCsr(kKeyLo, services::kAesCsrKeyLo);
+
+    std::vector<uint64_t> srcs(n), dsts(n);
+    std::vector<std::vector<uint8_t>> plains(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      srcs[i] = threads[i]->GetMem({runtime::Alloc::kHpf, kMessageBytes});
+      dsts[i] = threads[i]->GetMem({runtime::Alloc::kHpf, kMessageBytes});
+      plains[i].resize(kMessageBytes);
+      sim::Rng rng(1000 + i);
+      rng.FillBytes(plains[i].data(), kMessageBytes);
+      threads[i]->WriteBuffer(srcs[i], plains[i].data(), kMessageBytes);
+    }
+
+    const sim::TimePs start = device.engine().Now();
+    std::vector<runtime::cThread::Task> tasks;
+    for (uint32_t i = 0; i < n; ++i) {
+      runtime::SgEntry sg;
+      sg.local = {.src_addr = srcs[i], .src_len = kMessageBytes, .dst_addr = dsts[i],
+                  .dst_len = kMessageBytes};
+      tasks.push_back(threads[i]->Invoke(runtime::Oper::kLocalTransfer, sg));
+    }
+    bool ok = true;
+    for (uint32_t i = 0; i < n; ++i) {
+      ok &= threads[i]->Wait(tasks[i]);
+    }
+    const double mbps =
+        sim::BandwidthMBps(kMessageBytes * n, device.engine().Now() - start);
+
+    // Verify every lane independently against software CBC (zero IV).
+    const services::Aes128 reference(kKeyLo, 0);
+    const std::array<uint8_t, 16> iv{};
+    for (uint32_t i = 0; i < n; ++i) {
+      std::vector<uint8_t> cipher(kMessageBytes);
+      threads[i]->ReadBuffer(dsts[i], cipher.data(), kMessageBytes);
+      ok &= cipher == reference.EncryptCbc(plains[i], iv);
+    }
+    std::printf("%-10u %18.1f %16s\n", n, mbps, ok ? "yes" : "NO");
+  }
+  return 0;
+}

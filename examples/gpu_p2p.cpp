@@ -1,0 +1,73 @@
+// FPGA <-> GPU peer DMA through the shared virtual memory model.
+//
+// The paper highlights an external contribution that extended Coyote v2's
+// MMU to GPU memory, enabling direct FPGA-GPU data movement (§2.2, refs
+// [8]/[58]). This example registers a GPU buffer into a cThread's address
+// space, has the FPGA AES kernel consume it directly over the peer-to-peer
+// path (no host bounce), and writes ciphertext back into GPU memory.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/services/aes.h"
+#include "src/services/aes_kernels.h"
+#include "src/sim/rng.h"
+
+using namespace coyote;
+
+int main() {
+  runtime::SimDevice::Config cfg;
+  cfg.shell.services = {fabric::Service::kHostStream, fabric::Service::kGpuDma};
+  cfg.shell.num_vfpgas = 1;
+  runtime::SimDevice dev(cfg);
+  dev.vfpga(0).LoadKernel(std::make_unique<services::AesEcbKernel>());
+  runtime::cThread t(&dev, 0);
+
+  constexpr uint64_t kBytes = 4 << 20;
+  // "cudaMalloc" the tensors and register them into the unified space.
+  const uint64_t gpu_src = dev.svm().RegisterGpuBuffer(kBytes);
+  const uint64_t gpu_dst = dev.svm().RegisterGpuBuffer(kBytes);
+
+  // The GPU produced data (simulated by writing into GPU memory directly).
+  std::vector<uint8_t> plain(kBytes);
+  sim::Rng rng(11);
+  rng.FillBytes(plain.data(), kBytes);
+  dev.svm().WriteVirtual(gpu_src, plain.data(), kBytes);
+
+  const uint64_t kKey = 0x6167717a7a767668ull;
+  t.SetCsr(kKey, services::kAesCsrKeyLo);
+
+  // FPGA reads straight from GPU memory and writes ciphertext back — the
+  // pages stay GPU-resident; the transfer rides the P2P PCIe path.
+  const sim::TimePs start = dev.engine().Now();
+  runtime::SgEntry sg;
+  sg.local = {.src_addr = gpu_src,
+              .src_len = kBytes,
+              .dst_addr = gpu_dst,
+              .dst_len = kBytes,
+              .src_stream = 0,
+              .dst_stream = 0,
+              .src_target = mmu::MemKind::kGpu,
+              .dst_target = mmu::MemKind::kGpu};
+  const bool ok = t.InvokeSync(runtime::Oper::kLocalTransfer, sg);
+  const sim::TimePs elapsed = dev.engine().Now() - start;
+
+  std::vector<uint8_t> cipher(kBytes);
+  dev.svm().ReadVirtual(gpu_dst, cipher.data(), kBytes);
+  const services::Aes128 reference(kKey, 0);
+  const bool correct = cipher == reference.EncryptEcb(plain);
+
+  std::printf("gpu_p2p: transfer %s, ciphertext %s\n", ok ? "completed" : "FAILED",
+              correct ? "verified" : "MISMATCH");
+  std::printf("4 MiB GPU->FPGA->GPU at %.2f GB/s over the P2P path "
+              "(host link untouched: %llu host-bound bytes)\n",
+              sim::BandwidthGBps(2 * kBytes, elapsed),
+              static_cast<unsigned long long>(dev.xdma().h2c().total_bytes()));
+  std::printf("pages GPU-resident before and after: %s\n",
+              dev.svm().page_table().Find(gpu_src)->kind == mmu::MemKind::kGpu ? "yes"
+                                                                               : "no");
+  return ok && correct ? 0 : 1;
+}

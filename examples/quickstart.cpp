@@ -1,0 +1,64 @@
+// Quickstart: the paper's Code 1, end to end.
+//
+// Creates a cThread bound to vFPGA 0, allocates hugepage buffers (added to
+// the TLB by GetMem), writes the encryption key to a control register,
+// builds a scatter-gather entry and launches the kernel with LOCAL_TRANSFER.
+// The destination buffer then holds AES-ECB ciphertext, verified against a
+// software AES.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/services/aes.h"
+#include "src/services/aes_kernels.h"
+#include "src/sim/rng.h"
+
+using namespace coyote;
+
+int main() {
+  // A Coyote v2 device with the host-streaming shell and one vFPGA hosting
+  // the AES ECB kernel.
+  runtime::SimDevice::Config cfg;
+  cfg.shell.name = "quickstart";
+  cfg.shell.services = {fabric::Service::kHostStream};
+  cfg.shell.num_vfpgas = 1;
+  runtime::SimDevice device(cfg);
+  device.vfpga(0).LoadKernel(std::make_unique<services::AesEcbKernel>());
+
+  // Create a cThread and assign it to vFPGA 0.
+  runtime::cThread cthread(&device, /*vfpga_id=*/0);
+
+  // Allocate 4 KB source & destination memory using huge pages (HPF).
+  // GetMem also adds src and dst to the TLB.
+  const uint64_t src = cthread.GetMem({runtime::Alloc::kHpf, 4096});
+  const uint64_t dst = cthread.GetMem({runtime::Alloc::kHpf, 4096});
+
+  // Some host-side processing on src.
+  std::vector<uint8_t> plaintext(4096);
+  sim::Rng rng(2024);
+  rng.FillBytes(plaintext.data(), plaintext.size());
+  cthread.WriteBuffer(src, plaintext.data(), plaintext.size());
+
+  // Set hardware register for the encryption key.
+  const uint64_t kKey = 0x6167717a7a767668ull;
+  cthread.SetCsr(kKey, services::kAesCsrKeyLo);
+
+  // Create an SG entry for the DMA transaction and launch the kernel.
+  runtime::SgEntry sg;
+  sg.local = {.src_addr = src, .src_len = 4096, .dst_addr = dst, .dst_len = 4096};
+  const bool ok = cthread.InvokeSync(runtime::Oper::kLocalTransfer, sg);
+
+  std::vector<uint8_t> ciphertext(4096);
+  cthread.ReadBuffer(dst, ciphertext.data(), ciphertext.size());
+  const services::Aes128 reference(kKey, 0);
+  const bool correct = ciphertext == reference.EncryptEcb(plaintext);
+
+  std::printf("quickstart: transfer %s, ciphertext %s\n", ok ? "completed" : "FAILED",
+              correct ? "verified against software AES" : "MISMATCH");
+  std::printf("simulated time: %.2f us (invoke + 2x 4 KB DMA + 10-stage AES pipeline)\n",
+              sim::ToMicroseconds(device.engine().Now()));
+  return ok && correct ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+// RDMA between two Coyote v2 FPGAs over a switched 100G network (paper §6.2).
+//
+// Two devices share an event engine and a network; each runs the RoCE v2
+// service (BALBOA). The example connects a queue pair, then:
+//   1. measures write latency with a ping-pong (A writes to B, B writes back),
+//   2. measures one-sided RDMA WRITE throughput for growing message sizes,
+//   3. demonstrates RDMA READ fetching remote data.
+// All payloads are real bytes, verified at each step.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/sim/rng.h"
+
+using namespace coyote;
+
+namespace {
+
+runtime::SimDevice::Config NodeConfig(const char* name, uint32_t ip) {
+  runtime::SimDevice::Config cfg;
+  cfg.shell.name = name;
+  cfg.shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory,
+                        fabric::Service::kRdma};
+  cfg.shell.num_vfpgas = 1;
+  cfg.ip = ip;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine;
+  net::Network network(&engine, {});
+
+  constexpr uint32_t kIpA = 0x0A000001, kIpB = 0x0A000002;
+  runtime::SimDevice node_a(NodeConfig("node-a", kIpA), &network, &engine);
+  runtime::SimDevice node_b(NodeConfig("node-b", kIpB), &network, &engine);
+
+  runtime::cThread ta(&node_a, 0);
+  runtime::cThread tb(&node_b, 0);
+
+  // Exchange QP numbers (out of band, as with RDMA CM).
+  const uint32_t qp_a = ta.CreateQp();
+  const uint32_t qp_b = tb.CreateQp();
+  ta.ConnectQp(qp_a, kIpB, qp_b);
+  tb.ConnectQp(qp_b, kIpA, qp_a);
+
+  constexpr uint64_t kBufBytes = 8 << 20;
+  const uint64_t a_buf = ta.GetMem({runtime::Alloc::kHpf, kBufBytes});
+  const uint64_t b_buf = tb.GetMem({runtime::Alloc::kHpf, kBufBytes});
+
+  // --- 1. Ping-pong latency (64 B messages) --------------------------------
+  {
+    std::vector<uint8_t> ping(64, 0x11);
+    ta.WriteBuffer(a_buf, ping.data(), 64);
+    constexpr int kIters = 50;
+    const sim::TimePs start = engine.Now();
+    for (int i = 0; i < kIters; ++i) {
+      bool pong_done = false;
+      // B echoes when the write lands.
+      node_b.roce()->SetWriteArrivalHandler(qp_b, [&](uint64_t, uint64_t bytes) {
+        node_b.roce()->PostWrite(qp_b, b_buf, a_buf, bytes, nullptr);
+      });
+      node_a.roce()->SetWriteArrivalHandler(qp_a, [&](uint64_t, uint64_t) {
+        pong_done = true;
+      });
+      node_a.roce()->PostWrite(qp_a, a_buf, b_buf, 64, nullptr);
+      engine.RunUntilCondition([&]() { return pong_done; });
+    }
+    const double rtt_us = sim::ToMicroseconds(engine.Now() - start) / kIters;
+    std::printf("ping-pong: 64 B RDMA WRITE round trip = %.2f us (half RTT %.2f us)\n",
+                rtt_us, rtt_us / 2);
+    node_a.roce()->SetWriteArrivalHandler(qp_a, nullptr);
+    node_b.roce()->SetWriteArrivalHandler(qp_b, nullptr);
+  }
+
+  // --- 2. One-sided WRITE throughput ----------------------------------------
+  std::printf("\n%-14s %20s\n", "Message [KB]", "WRITE tput [GB/s]");
+  for (uint64_t kb : {4ull, 64ull, 1024ull, 8192ull}) {
+    const uint64_t bytes = kb << 10;
+    std::vector<uint8_t> payload(bytes);
+    sim::Rng rng(kb);
+    rng.FillBytes(payload.data(), bytes);
+    ta.WriteBuffer(a_buf, payload.data(), bytes);
+
+    const sim::TimePs start = engine.Now();
+    runtime::SgEntry sg;
+    sg.rdma = {.qpn = qp_a, .local_addr = a_buf, .remote_addr = b_buf, .len = bytes};
+    ta.InvokeSync(runtime::Oper::kRemoteWrite, sg);
+    const double gbps = sim::BandwidthGBps(bytes, engine.Now() - start);
+
+    std::vector<uint8_t> received(bytes);
+    tb.ReadBuffer(b_buf, received.data(), bytes);
+    std::printf("%-14llu %20.2f %s\n", static_cast<unsigned long long>(kb), gbps,
+                received == payload ? "" : "[DATA MISMATCH]");
+  }
+
+  // --- 3. RDMA READ -----------------------------------------------------------
+  {
+    std::vector<uint8_t> remote_data(1 << 20);
+    sim::Rng rng(99);
+    rng.FillBytes(remote_data.data(), remote_data.size());
+    tb.WriteBuffer(b_buf, remote_data.data(), remote_data.size());
+
+    runtime::SgEntry sg;
+    sg.rdma = {.qpn = qp_a, .local_addr = a_buf, .remote_addr = b_buf,
+               .len = remote_data.size()};
+    const sim::TimePs start = engine.Now();
+    ta.InvokeSync(runtime::Oper::kRemoteRead, sg);
+    std::vector<uint8_t> fetched(remote_data.size());
+    ta.ReadBuffer(a_buf, fetched.data(), fetched.size());
+    std::printf("\nRDMA READ: fetched 1 MB in %.1f us, data %s\n",
+                sim::ToMicroseconds(engine.Now() - start),
+                fetched == remote_data ? "verified" : "MISMATCH");
+  }
+
+  std::printf("\nstack stats: node A sent %llu frames (%llu retransmitted), "
+              "network delivered %llu frames\n",
+              static_cast<unsigned long long>(node_a.roce()->tx_frames()),
+              static_cast<unsigned long long>(node_a.roce()->retransmitted_frames()),
+              static_cast<unsigned long long>(network.frames_delivered()));
+  return 0;
+}

@@ -1,0 +1,93 @@
+// On-path network offload: the FPGA as a SmartNIC/DPU (paper §6.2).
+//
+// BALBOA routes data- and control-flow through the vFPGAs, so user logic can
+// process network traffic on the data path. This example runs encrypted
+// RDMA: node A encrypts with AES-128 ECB before posting the write; node B's
+// shell routes the inbound payload through an AES *decryption* kernel sitting
+// on the network streams — plaintext lands in B's memory with zero host
+// involvement, like inline IPsec offload on a DPU.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/services/aes.h"
+#include "src/services/aes_kernels.h"
+#include "src/sim/rng.h"
+
+using namespace coyote;
+
+namespace {
+
+runtime::SimDevice::Config NodeConfig(const char* name, uint32_t ip) {
+  runtime::SimDevice::Config cfg;
+  cfg.shell.name = name;
+  cfg.shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory,
+                        fabric::Service::kRdma};
+  cfg.shell.num_vfpgas = 1;
+  cfg.ip = ip;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine;
+  net::Network network(&engine, {});
+  runtime::SimDevice sender(NodeConfig("sender", 0x0A000001), &network, &engine);
+  runtime::SimDevice receiver(NodeConfig("receiver", 0x0A000002), &network, &engine);
+
+  const uint64_t kKey = 0x6167717a7a767668ull;
+
+  // Receiver: AES decryption kernel on the NETWORK data path.
+  receiver.vfpga(0).LoadKernel(std::make_unique<services::AesEcbKernel>(
+      services::AesEcbKernel::Direction::kDecrypt, services::StreamKernel::Port::kNet));
+  runtime::cThread rx(&receiver, 0);
+  rx.SetCsr(kKey, services::kAesCsrKeyLo);
+  receiver.roce()->SetInboundOffload(&receiver.vfpga(0).net_in(0),
+                                     &receiver.vfpga(0).net_out(0));
+
+  runtime::cThread tx(&sender, 0);
+  const uint32_t qp_tx = tx.CreateQp();
+  const uint32_t qp_rx = rx.CreateQp();
+  tx.ConnectQp(qp_tx, 0x0A000002, qp_rx);
+  rx.ConnectQp(qp_rx, 0x0A000001, qp_tx);
+
+  constexpr uint64_t kBytes = 1 << 20;
+  const uint64_t src = tx.GetMem({runtime::Alloc::kHpf, kBytes});
+  const uint64_t dst = rx.GetMem({runtime::Alloc::kHpf, kBytes});
+
+  // The secret payload, encrypted host-side before transmission (in a full
+  // deployment the sender's vFPGA would encrypt on the TX path too).
+  std::vector<uint8_t> plaintext(kBytes);
+  sim::Rng rng(2025);
+  rng.FillBytes(plaintext.data(), kBytes);
+  const services::Aes128 cipher(kKey, 0);
+  const std::vector<uint8_t> ciphertext = cipher.EncryptEcb(plaintext);
+  tx.WriteBuffer(src, ciphertext.data(), kBytes);
+
+  bool arrived = false;
+  receiver.roce()->SetWriteArrivalHandler(qp_rx, [&](uint64_t, uint64_t) { arrived = true; });
+
+  const sim::TimePs start = engine.Now();
+  runtime::SgEntry sg;
+  sg.rdma = {.qpn = qp_tx, .local_addr = src, .remote_addr = dst, .len = kBytes};
+  tx.InvokeSync(runtime::Oper::kRemoteWrite, sg);
+  engine.RunUntilCondition([&] { return arrived; });
+  const sim::TimePs elapsed = engine.Now() - start;
+
+  std::vector<uint8_t> received(kBytes);
+  rx.ReadBuffer(dst, received.data(), kBytes);
+
+  std::printf("smartnic_offload: 1 MiB encrypted RDMA write at %.2f GB/s\n",
+              sim::BandwidthGBps(kBytes, elapsed));
+  std::printf("wire carried ciphertext; memory holds %s\n",
+              received == plaintext ? "PLAINTEXT (decrypted on the data path)"
+                                    : "GARBAGE - offload failed");
+  std::printf("receiver host CPU involvement: zero (no invoke, no copy, no interrupt "
+              "until arrival)\n");
+  return received == plaintext ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Traffic sniffer case study (paper §8, Fig. 6).
+//
+// A shell with RDMA + the sniffer service enabled. The sniffer sits between
+// the network stack and the CMAC; it is configured from the host (filter,
+// headers-only mode), records timestamped frames while RDMA traffic flows,
+// and the host-side parser converts the capture into a standard PCAP file
+// that Wireshark/tcpdump can open.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/net/packets.h"
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/sim/rng.h"
+
+using namespace coyote;
+
+namespace {
+
+runtime::SimDevice::Config NodeConfig(const char* name, uint32_t ip, bool with_sniffer) {
+  runtime::SimDevice::Config cfg;
+  cfg.shell.name = name;
+  cfg.shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory,
+                        fabric::Service::kRdma};
+  if (with_sniffer) {
+    cfg.shell.services.push_back(fabric::Service::kSniffer);
+  }
+  cfg.shell.num_vfpgas = 1;
+  cfg.ip = ip;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine;
+  net::Network network(&engine, {});
+  constexpr uint32_t kIpA = 0x0A000001, kIpB = 0x0A000002;
+  runtime::SimDevice node_a(NodeConfig("sniffer-node", kIpA, true), &network, &engine);
+  runtime::SimDevice node_b(NodeConfig("peer", kIpB, false), &network, &engine);
+
+  runtime::cThread ta(&node_a, 0);
+  runtime::cThread tb(&node_b, 0);
+  const uint32_t qp_a = ta.CreateQp();
+  const uint32_t qp_b = tb.CreateQp();
+  ta.ConnectQp(qp_a, kIpB, qp_b);
+  tb.ConnectQp(qp_b, kIpA, qp_a);
+
+  const uint64_t a_buf = ta.GetMem({runtime::Alloc::kHpf, 1 << 20});
+  const uint64_t b_buf = tb.GetMem({runtime::Alloc::kHpf, 1 << 20});
+  std::vector<uint8_t> payload(256 << 10);
+  sim::Rng rng(5);
+  rng.FillBytes(payload.data(), payload.size());
+  ta.WriteBuffer(a_buf, payload.data(), payload.size());
+
+  net::TrafficSniffer* sniffer = node_a.sniffer();
+
+  // Configure from the host: capture everything first.
+  sniffer->SetFilter({});
+  sniffer->Start();
+  runtime::SgEntry sg;
+  sg.rdma = {.qpn = qp_a, .local_addr = a_buf, .remote_addr = b_buf,
+             .len = payload.size()};
+  ta.InvokeSync(runtime::Oper::kRemoteWrite, sg);
+  sniffer->Stop();
+  std::printf("capture 1 (unfiltered): %zu frames, %llu bytes staged in HBM\n",
+              sniffer->frames().size(),
+              static_cast<unsigned long long>(sniffer->capture_bytes()));
+  sniffer->WritePcapFile("capture_full.pcap");
+
+  // Second capture: TX only, headers only (partial sniffing via the same
+  // control interface).
+  sniffer->Clear();
+  net::TrafficSniffer::Filter filter;
+  filter.capture_rx = false;
+  filter.headers_only = true;
+  sniffer->SetFilter(filter);
+  sniffer->Start();
+  ta.InvokeSync(runtime::Oper::kRemoteWrite, sg);
+  sniffer->Stop();
+  std::printf("capture 2 (TX, headers only): %zu frames, %llu bytes\n",
+              sniffer->frames().size(),
+              static_cast<unsigned long long>(sniffer->capture_bytes()));
+  sniffer->WritePcapFile("capture_headers.pcap");
+
+  // Host-side analysis of the capture (what Wireshark would show).
+  size_t writes = 0, acks = 0;
+  for (const auto& f : sniffer->frames()) {
+    auto parsed = net::ParseFrame(f.bytes);
+    if (!parsed) {
+      // Headers-only frames truncate the payload/ICRC; re-parse is partial.
+      continue;
+    }
+    if (parsed->meta.opcode == net::Opcode::kAck) {
+      ++acks;
+    } else {
+      ++writes;
+    }
+  }
+  std::printf("analysis: %zu RDMA data frames, %zu ACKs in the TX capture\n", writes, acks);
+  std::printf("wrote capture_full.pcap and capture_headers.pcap (LINKTYPE_ETHERNET)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Round-robin arbiter.
+//
+// The pre-provided arbiter Coyote v2 ships for multiplexing parallel streams
+// into a shared pipeline (paper §9.5) and for interleaving vFPGA traffic on
+// bandwidth-constrained links (§6.3). Work-conserving: a grant skips inputs
+// that are not ready, and the pointer advances past the granted input so each
+// ready input is served once per round.
+
+#ifndef SRC_AXI_ARBITER_H_
+#define SRC_AXI_ARBITER_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+namespace coyote {
+namespace axi {
+
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(size_t num_inputs) : num_inputs_(num_inputs) {}
+
+  size_t num_inputs() const { return num_inputs_; }
+
+  // Grants the next ready input after the last grant, wrapping around.
+  // Returns nullopt when no input is ready.
+  std::optional<size_t> Grant(const std::function<bool(size_t)>& ready) {
+    for (size_t i = 0; i < num_inputs_; ++i) {
+      const size_t idx = (next_ + i) % num_inputs_;
+      if (ready(idx)) {
+        next_ = (idx + 1) % num_inputs_;
+        ++grants_;
+        return idx;
+      }
+    }
+    return std::nullopt;
+  }
+
+  uint64_t grants() const { return grants_; }
+
+ private:
+  size_t num_inputs_;
+  size_t next_ = 0;
+  uint64_t grants_ = 0;
+};
+
+}  // namespace axi
+}  // namespace coyote
+
+#endif  // SRC_AXI_ARBITER_H_

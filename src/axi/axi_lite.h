@@ -1,0 +1,68 @@
+// AXI4-Lite register file.
+//
+// The control bus of every vFPGA (paper §7.1) is an AXI4-Lite interface
+// memory-mapped into user space. Hardware kernels expose control/status
+// registers through this file; the host writes them via cThread::SetCsr and
+// reads them via cThread::GetCsr. Registers are 64-bit, addressed by index
+// (the paper's setCSR(value, index) convention).
+
+#ifndef SRC_AXI_AXI_LITE_H_
+#define SRC_AXI_AXI_LITE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+namespace coyote {
+namespace axi {
+
+class AxiLiteRegisterFile {
+ public:
+  using WriteHook = std::function<void(uint32_t index, uint64_t value)>;
+  using ReadHook = std::function<uint64_t(uint32_t index)>;
+
+  // Plain storage semantics unless a hook overrides the register.
+  void Write(uint32_t index, uint64_t value) {
+    auto hook = write_hooks_.find(index);
+    if (hook != write_hooks_.end()) {
+      hook->second(index, value);
+      return;
+    }
+    regs_[index] = value;
+    ++writes_;
+  }
+
+  uint64_t Read(uint32_t index) const {
+    auto hook = read_hooks_.find(index);
+    if (hook != read_hooks_.end()) {
+      return hook->second(index);
+    }
+    auto it = regs_.find(index);
+    return it == regs_.end() ? 0 : it->second;
+  }
+
+  // Backdoor used by kernels to publish status without going through hooks.
+  void Poke(uint32_t index, uint64_t value) { regs_[index] = value; }
+  uint64_t Peek(uint32_t index) const {
+    auto it = regs_.find(index);
+    return it == regs_.end() ? 0 : it->second;
+  }
+
+  // A write hook claims the register: writes invoke the hook instead of
+  // storing (the hook may Poke to store). Used for doorbells/start bits.
+  void SetWriteHook(uint32_t index, WriteHook hook) { write_hooks_[index] = std::move(hook); }
+  void SetReadHook(uint32_t index, ReadHook hook) { read_hooks_[index] = std::move(hook); }
+
+  uint64_t writes() const { return writes_; }
+
+ private:
+  std::unordered_map<uint32_t, uint64_t> regs_;
+  std::unordered_map<uint32_t, WriteHook> write_hooks_;
+  std::unordered_map<uint32_t, ReadHook> read_hooks_;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace axi
+}  // namespace coyote
+
+#endif  // SRC_AXI_AXI_LITE_H_

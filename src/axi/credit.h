@@ -1,0 +1,67 @@
+// Credit counters for destination-queue flow control.
+//
+// Coyote v2 guards every vFPGA data path with per-stream credits built on top
+// of destination queues (paper §7.2): a request only propagates into the
+// dynamic layer when the destination queue has space, otherwise backpressure
+// is exerted onto the requesting vFPGA instead of the shared shell. Credits
+// are replenished when the corresponding transfer completes.
+
+#ifndef SRC_AXI_CREDIT_H_
+#define SRC_AXI_CREDIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+namespace coyote {
+namespace axi {
+
+class CreditCounter {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit CreditCounter(uint32_t initial_credits) : available_(initial_credits) {}
+
+  uint32_t available() const { return available_; }
+
+  // Consumes `n` credits if available. Returns false (no partial acquisition)
+  // otherwise.
+  bool TryAcquire(uint32_t n = 1) {
+    if (available_ < n) {
+      ++stalls_;
+      return false;
+    }
+    available_ -= n;
+    return true;
+  }
+
+  // Returns `n` credits and wakes waiters registered via WaitForCredit, in
+  // FIFO order, as long as credits remain.
+  void Release(uint32_t n = 1) {
+    available_ += n;
+    while (available_ > 0 && !waiters_.empty()) {
+      Callback cb = std::move(waiters_.front());
+      waiters_.pop_front();
+      // The waiter re-attempts its acquisition; it may consume credits.
+      cb();
+    }
+  }
+
+  // Registers a callback to run when credits are released. Used by stalled
+  // requesters to retry; models the request sitting in the vFPGA-side queue.
+  void WaitForCredit(Callback cb) { waiters_.push_back(std::move(cb)); }
+
+  uint64_t stalls() const { return stalls_; }
+  size_t waiters() const { return waiters_.size(); }
+
+ private:
+  uint32_t available_;
+  uint64_t stalls_ = 0;
+  std::deque<Callback> waiters_;
+};
+
+}  // namespace axi
+}  // namespace coyote
+
+#endif  // SRC_AXI_CREDIT_H_

@@ -1,0 +1,106 @@
+// AXI4-Stream channel model.
+//
+// Coyote v2's unified application interface is built from AXI4 streams
+// (paper §7.1): parallel host/card/network streams into and out of each
+// vFPGA, each 512 bits wide with TID tagging for cThread multiplexing.
+//
+// The substrate models streams at *transfer* granularity: a StreamPacket is a
+// contiguous run of beats carrying real payload bytes plus the sideband
+// fields (TID = issuing cThread, TDEST = target stream, TLAST on the final
+// packet of a transfer). A Stream is a bounded FIFO with ready/valid
+// semantics — Push fails when full, which is how backpressure propagates,
+// and registered callbacks model the valid/ready edges.
+
+#ifndef SRC_AXI_STREAM_H_
+#define SRC_AXI_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace coyote {
+namespace axi {
+
+// Width of the shell data path: 512-bit AXI4 streams (64 bytes/beat).
+inline constexpr uint32_t kDataBusBytes = 64;
+
+struct StreamPacket {
+  std::vector<uint8_t> data;
+  uint32_t tid = 0;    // issuing cThread / client id (AXI TID)
+  uint32_t tdest = 0;  // destination stream index (AXI TDEST)
+  bool last = true;    // TLAST on the final beat of this transfer
+
+  uint64_t size_bytes() const { return data.size(); }
+  // Number of 512-bit beats this packet occupies on the wire.
+  uint64_t beats() const { return (data.size() + kDataBusBytes - 1) / kDataBusBytes; }
+};
+
+class Stream {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Stream(size_t capacity_packets = std::numeric_limits<size_t>::max(),
+                  std::string name = "stream")
+      : capacity_(capacity_packets), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  bool CanPush() const { return fifo_.size() < capacity_; }
+  bool Empty() const { return fifo_.empty(); }
+  size_t size() const { return fifo_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // Pushes one packet; returns false (and drops nothing) if the FIFO is full.
+  // On success fires the on-data callback (the "valid" edge).
+  bool Push(StreamPacket packet) {
+    if (!CanPush()) {
+      return false;
+    }
+    total_bytes_ += packet.size_bytes();
+    ++total_packets_;
+    fifo_.push_back(std::move(packet));
+    if (on_data_) {
+      on_data_();
+    }
+    return true;
+  }
+
+  // Pops the head packet, if any. Fires the on-space callback (the "ready"
+  // edge) so stalled producers can resume.
+  std::optional<StreamPacket> Pop() {
+    if (fifo_.empty()) {
+      return std::nullopt;
+    }
+    StreamPacket p = std::move(fifo_.front());
+    fifo_.pop_front();
+    if (on_space_) {
+      on_space_();
+    }
+    return p;
+  }
+
+  const StreamPacket* Peek() const { return fifo_.empty() ? nullptr : &fifo_.front(); }
+
+  void set_on_data(Callback cb) { on_data_ = std::move(cb); }
+  void set_on_space(Callback cb) { on_space_ = std::move(cb); }
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_packets() const { return total_packets_; }
+
+ private:
+  size_t capacity_;
+  std::string name_;
+  std::deque<StreamPacket> fifo_;
+  Callback on_data_;
+  Callback on_space_;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_packets_ = 0;
+};
+
+}  // namespace axi
+}  // namespace coyote
+
+#endif  // SRC_AXI_STREAM_H_

@@ -1,0 +1,41 @@
+// Partial bitstream artifacts.
+//
+// The synthesis flows in src/synth emit these; the runtime's cRcnfg loads
+// them. A shell bitstream reprograms the dynamic + application layers; an app
+// bitstream reprograms a single vFPGA region and is only loadable on a shell
+// whose ConfigId matches the one it was linked against (paper §4).
+
+#ifndef SRC_FABRIC_BITSTREAM_H_
+#define SRC_FABRIC_BITSTREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/fabric/floorplan.h"
+#include "src/fabric/resources.h"
+#include "src/fabric/shell_config.h"
+
+namespace coyote {
+namespace fabric {
+
+struct PartialBitstream {
+  std::string name;
+  Layer target_layer = Layer::kApp;
+  uint32_t region_index = 0;  // valid for app bitstreams
+  uint64_t size_bytes = 0;
+
+  // For a shell bitstream: the configuration it instantiates.
+  // For an app bitstream: the configuration it was linked against.
+  uint64_t shell_config_id = 0;
+  ShellConfigDesc shell_config;  // populated for shell bitstreams
+
+  // Resources the contained design occupies (reported utilization).
+  ResourceVector occupied;
+
+  bool IsShell() const { return target_layer == Layer::kDynamic; }
+};
+
+}  // namespace fabric
+}  // namespace coyote
+
+#endif  // SRC_FABRIC_BITSTREAM_H_

@@ -1,0 +1,62 @@
+#include "src/fabric/floorplan.h"
+
+#include <algorithm>
+
+namespace coyote {
+namespace fabric {
+namespace {
+
+// Layer area fractions of the default floorplan. The static layer is thin by
+// design (paper §3: "the primary purpose of the static layer is now only to
+// provide a link between the host CPU and the FPGA"); the service region must
+// fit the heaviest supported shell (RDMA + memory controllers + MMU); the
+// remainder is split evenly across vFPGA slots.
+constexpr double kStaticFraction = 0.07;
+constexpr double kServiceFraction = 0.44;
+constexpr double kAppFraction = 0.49;
+
+uint64_t FramesBytes(const ResourceVector& budget) {
+  return static_cast<uint64_t>(static_cast<double>(budget.luts) * kBitstreamBytesPerLut);
+}
+
+uint64_t CompressedBytes(uint64_t frame_bytes, double occupancy) {
+  const double fill =
+      std::min(1.0, kBitstreamBaseFill + kBitstreamFillPerUtil * std::clamp(occupancy, 0.0, 1.0));
+  return static_cast<uint64_t>(static_cast<double>(frame_bytes) * fill);
+}
+
+}  // namespace
+
+Floorplan Floorplan::ForPart(const FpgaPart& part, uint32_t num_app_regions) {
+  Floorplan fp(part);
+  fp.static_region_ = Region{Layer::kStatic, 0, "static", part.total.Scaled(kStaticFraction)};
+  fp.service_region_ = Region{Layer::kDynamic, 0, "dynamic", part.total.Scaled(kServiceFraction)};
+  const uint32_t n = std::max(1u, num_app_regions);
+  const ResourceVector per_app = part.total.Scaled(kAppFraction / static_cast<double>(n));
+  fp.app_regions_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    fp.app_regions_.push_back(Region{Layer::kApp, i, "vfpga" + std::to_string(i), per_app});
+  }
+  return fp;
+}
+
+uint64_t Floorplan::RegionBitstreamBytes(const Region& region,
+                                         const ResourceVector& occupied) const {
+  return CompressedBytes(FramesBytes(region.budget), occupied.LutUtilization(region.budget));
+}
+
+uint64_t Floorplan::ShellBitstreamBytes(const ResourceVector& occupied) const {
+  const ResourceVector budget = ShellBudget();
+  return CompressedBytes(FramesBytes(budget), occupied.LutUtilization(budget));
+}
+
+ResourceVector Floorplan::ShellBudget() const {
+  ResourceVector budget = service_region_.budget;
+  for (const Region& r : app_regions_) {
+    budget += r.budget;
+  }
+  return budget;
+}
+
+}  // namespace fabric
+}  // namespace coyote

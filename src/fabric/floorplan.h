@@ -1,0 +1,89 @@
+// Three-layer floorplan (paper §3, §4).
+//
+// Coyote v2 partitions the device into:
+//   * the STATIC layer — the card-specific XDMA/PCIe link, reconfiguration
+//     controller and request routing. Deliberately small: services moved out
+//     of it, which is the core architectural change over Coyote v1.
+//   * the DYNAMIC (services) layer — networking stacks, memory controllers,
+//     MMU/TLBs. Reconfigurable at run time together with the app layer.
+//   * the APPLICATION layer — N parallel vFPGA regions hosting user logic,
+//     each independently reconfigurable.
+//
+// The shell := dynamic + application layers; a "shell reconfiguration" swaps
+// both, an "app reconfiguration" swaps a single vFPGA region. The floorplan
+// fixes region budgets at build time and derives partial-bitstream sizes from
+// the configuration frames a region spans.
+
+#ifndef SRC_FABRIC_FLOORPLAN_H_
+#define SRC_FABRIC_FLOORPLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fabric/part.h"
+#include "src/fabric/resources.h"
+
+namespace coyote {
+namespace fabric {
+
+enum class Layer : uint8_t {
+  kStatic,
+  kDynamic,
+  kApp,
+};
+
+struct Region {
+  Layer layer = Layer::kApp;
+  uint32_t index = 0;  // vFPGA index for app regions, 0 otherwise
+  std::string name;
+  ResourceVector budget;
+};
+
+// Configuration-frame model: an UltraScale+ partial bitstream spans every
+// frame of its region, so the raw size scales with the region *budget*
+// (U55C: ~91 MB full device / 1.30 M LUTs ~= 73 B per LUT-equivalent of
+// area). Vivado then compresses runs of empty frames, so the written size
+// also depends on occupancy; the affine fill model below is calibrated
+// against the three shell configurations of paper Table 3.
+inline constexpr double kBitstreamBytesPerLut = 73.0;
+inline constexpr double kBitstreamBaseFill = 0.42;    // empty-region floor
+inline constexpr double kBitstreamFillPerUtil = 1.6;  // growth with occupancy
+
+class Floorplan {
+ public:
+  // Default Coyote v2 floorplan: a thin static layer (the paper's key
+  // simplification), a service region sized for the heaviest shells (RDMA +
+  // memory controllers), and `num_app_regions` equal vFPGA slots in the rest.
+  static Floorplan ForPart(const FpgaPart& part, uint32_t num_app_regions);
+
+  const FpgaPart& part() const { return part_; }
+  const Region& static_region() const { return static_region_; }
+  const Region& service_region() const { return service_region_; }
+  const std::vector<Region>& app_regions() const { return app_regions_; }
+  uint32_t num_app_regions() const { return static_cast<uint32_t>(app_regions_.size()); }
+
+  // Partial bitstream covering one region (app reconfiguration), given the
+  // resources the design actually occupies inside it.
+  uint64_t RegionBitstreamBytes(const Region& region, const ResourceVector& occupied) const;
+
+  // Partial bitstream covering the whole shell = dynamic + all app regions
+  // (shell reconfiguration, Table 3). `occupied` is the full shell contents.
+  uint64_t ShellBitstreamBytes(const ResourceVector& occupied) const;
+
+  // Resource budget of the shell (for utilization reporting).
+  ResourceVector ShellBudget() const;
+
+ private:
+  Floorplan(const FpgaPart& part) : part_(part) {}
+
+  FpgaPart part_;
+  Region static_region_;
+  Region service_region_;
+  std::vector<Region> app_regions_;
+};
+
+}  // namespace fabric
+}  // namespace coyote
+
+#endif  // SRC_FABRIC_FLOORPLAN_H_

@@ -1,0 +1,83 @@
+// Device descriptions for the AMD Alveo cards Coyote v2 supports.
+//
+// Numbers are taken from the public AMD data sheets for the parts the paper
+// deploys on (U55C, U250, U280). Only quantities that feed the models matter:
+// resource totals (utilization, bitstream sizes), HBM/DDR geometry (Fig. 7a)
+// and host-link bandwidth (Figs. 8, 10, 12).
+
+#ifndef SRC_FABRIC_PART_H_
+#define SRC_FABRIC_PART_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/fabric/resources.h"
+
+namespace coyote {
+namespace fabric {
+
+enum class CardMemoryKind : uint8_t {
+  kHbm,
+  kDdr,
+};
+
+struct FpgaPart {
+  std::string_view name;
+  ResourceVector total;
+
+  CardMemoryKind card_memory = CardMemoryKind::kHbm;
+  uint32_t memory_channels = 0;          // HBM pseudo-channels or DDR channels
+  uint64_t memory_bytes = 0;             // total card memory
+  uint64_t channel_bandwidth_bps = 0;    // raw per-channel bandwidth
+  uint64_t host_link_bandwidth_bps = 0;  // effective XDMA bandwidth per direction
+  uint64_t network_bandwidth_bps = 0;    // CMAC line rate
+
+  // Total device configuration bitstream size (full programming, used by the
+  // Vivado-flow baseline in Table 3).
+  uint64_t full_bitstream_bytes = 0;
+};
+
+// Alveo U55C: xcu55c (VU47P-class die), 32 GB HBM2 in 32 pseudo-channels.
+// 12 GB/s effective host bandwidth via XDMA (paper §9.4); 100G CMAC.
+inline constexpr FpgaPart kAlveoU55C{
+    .name = "Alveo U55C",
+    .total = {1'303'680, 2'607'360, 2'016, 960, 9'024},
+    .card_memory = CardMemoryKind::kHbm,
+    .memory_channels = 32,
+    .memory_bytes = 32ull << 30,
+    .channel_bandwidth_bps = 14'400'000'000ull,  // 256-bit @ 450 MHz
+    .host_link_bandwidth_bps = 12'000'000'000ull,
+    .network_bandwidth_bps = 12'500'000'000ull,  // 100 Gbit/s
+    .full_bitstream_bytes = 91ull << 20,
+};
+
+// Alveo U250: xcu250, 64 GB DDR4 in 4 channels.
+inline constexpr FpgaPart kAlveoU250{
+    .name = "Alveo U250",
+    .total = {1'728'000, 3'456'000, 2'688, 1'280, 12'288},
+    .card_memory = CardMemoryKind::kDdr,
+    .memory_channels = 4,
+    .memory_bytes = 64ull << 30,
+    .channel_bandwidth_bps = 19'200'000'000ull,  // DDR4-2400 x72
+    .host_link_bandwidth_bps = 12'000'000'000ull,
+    .network_bandwidth_bps = 12'500'000'000ull,
+    .full_bitstream_bytes = 108ull << 20,
+};
+
+// Alveo U280: xcu280, 8 GB HBM2 + 32 GB DDR4 (we model the HBM side).
+inline constexpr FpgaPart kAlveoU280{
+    .name = "Alveo U280",
+    .total = {1'303'680, 2'607'360, 2'016, 960, 9'024},
+    .card_memory = CardMemoryKind::kHbm,
+    .memory_channels = 32,
+    .memory_bytes = 8ull << 30,
+    .channel_bandwidth_bps = 14'400'000'000ull,
+    .host_link_bandwidth_bps = 12'000'000'000ull,
+    .network_bandwidth_bps = 12'500'000'000ull,
+    .full_bitstream_bytes = 91ull << 20,
+};
+
+}  // namespace fabric
+}  // namespace coyote
+
+#endif  // SRC_FABRIC_PART_H_

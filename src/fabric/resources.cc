@@ -1,0 +1,18 @@
+#include "src/fabric/resources.h"
+
+#include <cstdio>
+
+namespace coyote {
+namespace fabric {
+
+std::string ToString(const ResourceVector& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "{LUT: %llu, FF: %llu, BRAM: %llu, URAM: %llu, DSP: %llu}",
+                static_cast<unsigned long long>(r.luts), static_cast<unsigned long long>(r.ffs),
+                static_cast<unsigned long long>(r.bram36),
+                static_cast<unsigned long long>(r.uram), static_cast<unsigned long long>(r.dsp));
+  return buf;
+}
+
+}  // namespace fabric
+}  // namespace coyote

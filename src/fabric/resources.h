@@ -1,0 +1,74 @@
+// FPGA resource accounting.
+//
+// Every hardware module in the substrate (services, kernels, shell
+// infrastructure) carries a ResourceVector describing its footprint in the
+// five primitive types of an UltraScale+ device. Resource vectors drive the
+// utilization results (Figs. 11, 12), the bitstream size model (Table 3) and
+// the synthesis time model (Fig. 7(b)).
+
+#ifndef SRC_FABRIC_RESOURCES_H_
+#define SRC_FABRIC_RESOURCES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace coyote {
+namespace fabric {
+
+struct ResourceVector {
+  uint64_t luts = 0;
+  uint64_t ffs = 0;
+  uint64_t bram36 = 0;  // 36 Kb block RAM tiles
+  uint64_t uram = 0;    // 288 Kb UltraRAM tiles
+  uint64_t dsp = 0;
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    luts += o.luts;
+    ffs += o.ffs;
+    bram36 += o.bram36;
+    uram += o.uram;
+    dsp += o.dsp;
+    return *this;
+  }
+
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) { return a += b; }
+
+  ResourceVector Scaled(double f) const {
+    auto s = [f](uint64_t v) { return static_cast<uint64_t>(static_cast<double>(v) * f); };
+    return ResourceVector{s(luts), s(ffs), s(bram36), s(uram), s(dsp)};
+  }
+
+  // True if this footprint fits within `budget` in every dimension.
+  bool FitsIn(const ResourceVector& budget) const {
+    return luts <= budget.luts && ffs <= budget.ffs && bram36 <= budget.bram36 &&
+           uram <= budget.uram && dsp <= budget.dsp;
+  }
+
+  bool IsZero() const { return luts == 0 && ffs == 0 && bram36 == 0 && uram == 0 && dsp == 0; }
+
+  // Highest per-dimension utilization fraction against `budget` (the number
+  // Vivado reports as the binding constraint).
+  double MaxUtilization(const ResourceVector& budget) const {
+    auto frac = [](uint64_t used, uint64_t total) {
+      return total == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(total);
+    };
+    return std::max({frac(luts, budget.luts), frac(ffs, budget.ffs),
+                     frac(bram36, budget.bram36), frac(uram, budget.uram),
+                     frac(dsp, budget.dsp)});
+  }
+
+  double LutUtilization(const ResourceVector& budget) const {
+    return budget.luts == 0 ? 0.0
+                            : static_cast<double>(luts) / static_cast<double>(budget.luts);
+  }
+
+  bool operator==(const ResourceVector&) const = default;
+};
+
+std::string ToString(const ResourceVector& r);
+
+}  // namespace fabric
+}  // namespace coyote
+
+#endif  // SRC_FABRIC_RESOURCES_H_

@@ -1,0 +1,27 @@
+#include "src/fabric/shell_config.h"
+
+namespace coyote {
+namespace fabric {
+
+std::string_view ServiceName(Service s) {
+  switch (s) {
+    case Service::kHostStream:
+      return "host-stream";
+    case Service::kCardMemory:
+      return "card-memory";
+    case Service::kRdma:
+      return "rdma";
+    case Service::kTcp:
+      return "tcp";
+    case Service::kSniffer:
+      return "sniffer";
+    case Service::kGpuDma:
+      return "gpu-dma";
+    case Service::kStorage:
+      return "storage";
+  }
+  return "unknown";
+}
+
+}  // namespace fabric
+}  // namespace coyote

@@ -1,0 +1,78 @@
+#include "src/hlscompat/hls_model.h"
+
+#include "src/synth/flow.h"
+#include "src/synth/module_library.h"
+#include "src/synth/netlist.h"
+
+namespace coyote {
+namespace hlscompat {
+
+std::string_view BackendName(Backend b) {
+  switch (b) {
+    case Backend::kCoyoteAccelerator:
+      return "CoyoteAccelerator";
+    case Backend::kPynqVitis:
+      return "PYNQ/Vitis";
+  }
+  return "unknown";
+}
+
+std::vector<int8_t> HlsModel::PredictEmulated(const std::vector<int8_t>& inputs,
+                                              size_t num_samples) const {
+  const uint32_t in_dim = spec_.input_dim();
+  const uint32_t out_dim = spec_.output_dim();
+  std::vector<int8_t> out;
+  out.reserve(num_samples * out_dim);
+  for (size_t s = 0; s < num_samples; ++s) {
+    std::vector<int8_t> y = services::MlpForward(spec_, &inputs[s * in_dim]);
+    out.insert(out.end(), y.begin(), y.end());
+  }
+  return out;
+}
+
+CompiledModel HlsModel::Build(const fabric::Floorplan& floorplan) const {
+  CompiledModel model;
+  model.spec = spec_;
+  model.backend = backend_;
+  model.kernel_resources = spec_.EstimateResources();
+
+  synth::BuildFlow flow(floorplan);
+  const synth::HwModule nn_module{"nn:" + spec_.name, model.kernel_resources, 1.0};
+  synth::Netlist app{"nn:" + spec_.name, {nn_module}};
+
+  if (backend_ == Backend::kCoyoteAccelerator) {
+    // Coyote: link against the pre-routed streaming shell (app flow). The
+    // infrastructure charged against the design is the dynamic layer's
+    // streaming plumbing plus one MMU.
+    fabric::ShellConfigDesc shell;
+    shell.name = "nn-shell";
+    shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory};
+    shell.num_vfpgas = floorplan.num_app_regions();
+    const synth::BuildOutput locked = flow.RunShellFlow(shell, {});
+    const synth::BuildOutput out = flow.RunAppFlow(app, 0, locked);
+    model.build_seconds = out.total_seconds;
+    fabric::ResourceVector infra;
+    infra += synth::LibraryModule("dyn_crossbar").res;
+    infra += synth::LibraryModule("host_stream").res;
+    infra += synth::LibraryModule("mmu_2m").res;
+    model.infra_resources = infra;
+  } else {
+    // Vitis/PYNQ: full platform build each time; the XRT shell plus the
+    // Vitis memory subsystem ride along with the kernel.
+    fabric::ShellConfigDesc shell;
+    shell.name = "vitis-platform";
+    shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory};
+    shell.num_vfpgas = floorplan.num_app_regions();
+    const synth::BuildOutput out = flow.RunShellFlow(shell, {app});
+    model.build_seconds = out.total_seconds;
+    fabric::ResourceVector infra;
+    infra += synth::LibraryModule("static_layer").res.Scaled(0.6);  // XRT shell
+    infra += synth::LibraryModule("hbm_controller").res;
+    infra += synth::LibraryModule("dyn_crossbar").res;
+    model.infra_resources = infra;
+  }
+  return model;
+}
+
+}  // namespace hlscompat
+}  // namespace coyote

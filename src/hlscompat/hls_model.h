@@ -1,0 +1,69 @@
+// Mini hls4ml front end (paper §9.7).
+//
+// hls4ml compiles high-level neural networks into quantized FPGA IP and
+// pairs them with an accelerator backend that supplies the deployment
+// infrastructure. This module reproduces the integration surface the paper
+// adds: a `CoyoteAccelerator` backend that drops the generated IP into a
+// vFPGA, plus the `PynqVitis` baseline backend the paper compares against
+// (Vitis flow + PYNQ Python runtime, data staged through card memory).
+
+#ifndef SRC_HLSCOMPAT_HLS_MODEL_H_
+#define SRC_HLSCOMPAT_HLS_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fabric/floorplan.h"
+#include "src/fabric/resources.h"
+#include "src/services/nn.h"
+
+namespace coyote {
+namespace hlscompat {
+
+enum class Backend : uint8_t {
+  kCoyoteAccelerator,  // vFPGA integration, direct host streaming
+  kPynqVitis,          // Vitis kernel + PYNQ runtime, staged through HBM
+};
+
+std::string_view BackendName(Backend b);
+
+struct CompiledModel {
+  services::MlpSpec spec;
+  Backend backend = Backend::kCoyoteAccelerator;
+  fabric::ResourceVector kernel_resources;
+  fabric::ResourceVector infra_resources;  // shell / Vitis platform overhead
+  double build_seconds = 0;                // reported synthesis time
+
+  fabric::ResourceVector total_resources() const {
+    return kernel_resources + infra_resources;
+  }
+};
+
+// The hls4ml model object: convert -> compile (software emulation) ->
+// build (synthesis) mirroring the Python flow in the paper's Code 3.
+class HlsModel {
+ public:
+  HlsModel(services::MlpSpec spec, Backend backend)
+      : spec_(std::move(spec)), backend_(backend) {}
+
+  const services::MlpSpec& spec() const { return spec_; }
+  Backend backend() const { return backend_; }
+
+  // `hls_model.predict(X)` before building: bit-accurate software emulation.
+  std::vector<int8_t> PredictEmulated(const std::vector<int8_t>& inputs,
+                                      size_t num_samples) const;
+
+  // `hls_model.build()`: synthesis. Resource/time estimates come from the
+  // same models the rest of the substrate uses.
+  CompiledModel Build(const fabric::Floorplan& floorplan) const;
+
+ private:
+  services::MlpSpec spec_;
+  Backend backend_;
+};
+
+}  // namespace hlscompat
+}  // namespace coyote
+
+#endif  // SRC_HLSCOMPAT_HLS_MODEL_H_

@@ -1,0 +1,78 @@
+// Card memory (HBM/DDR) with striping and a shared virtualization crossbar.
+//
+// Coyote v2 abstracts memory-controller creation and stripes buffers across
+// HBM pseudo-channels to maximize throughput (paper §6.1). Application
+// requests use virtual addresses; the translation + striping crossbar is a
+// shared resource, which is what makes Fig. 7(a) taper: per-burst translation
+// work serializes in the crossbar, capping aggregate bandwidth below the sum
+// of channel bandwidths. Shells that need the full raw bandwidth can bypass
+// the MMU and bind channels directly (mmu_bypass), trading away the shared
+// virtual memory model.
+
+#ifndef SRC_MEMSYS_CARD_MEMORY_H_
+#define SRC_MEMSYS_CARD_MEMORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/memsys/sparse_memory.h"
+#include "src/sim/engine.h"
+#include "src/sim/link.h"
+#include "src/sim/time.h"
+
+namespace coyote {
+namespace memsys {
+
+class CardMemory {
+ public:
+  struct Config {
+    uint32_t num_channels = 32;
+    uint64_t channel_raw_bps = 14'400'000'000ull;  // 256-bit @ 450 MHz
+    double controller_efficiency = 0.60;           // achievable share of raw
+    uint64_t stripe_bytes = 4096;                  // striping granularity
+    sim::TimePs translation_overhead = sim::Nanoseconds(50);  // per burst
+    bool mmu_bypass = false;
+    uint64_t capacity_bytes = 32ull << 30;
+  };
+
+  CardMemory(sim::Engine* engine, const Config& config);
+
+  // Bump-allocates card memory. Returns the card-physical base address.
+  uint64_t Allocate(uint64_t bytes);
+
+  // Timing model: moves `len` bytes at `addr` for `source_id`, invoking
+  // `on_done` when the last stripe completes. Reads and writes share channel
+  // bandwidth symmetrically in this model, so one entry point serves both.
+  void Access(uint64_t addr, uint64_t len, uint32_t source_id, std::function<void()> on_done);
+
+  // Functional storage (real bytes).
+  SparseMemory& store() { return store_; }
+  const SparseMemory& store() const { return store_; }
+
+  const Config& config() const { return config_; }
+  uint64_t allocated_bytes() const { return next_; }
+  uint64_t total_bytes_accessed() const { return total_bytes_; }
+
+  // Channel a card-physical address stripes to.
+  uint32_t ChannelFor(uint64_t addr) const {
+    return static_cast<uint32_t>((addr / config_.stripe_bytes) % config_.num_channels);
+  }
+
+ private:
+  sim::Engine* engine_;
+  Config config_;
+  SparseMemory store_;
+  uint64_t next_ = 0;
+  uint64_t total_bytes_ = 0;
+
+  // One bandwidth server per channel + the shared translation crossbar.
+  std::vector<std::unique_ptr<sim::Link>> channels_;
+  std::unique_ptr<sim::Link> crossbar_;
+};
+
+}  // namespace memsys
+}  // namespace coyote
+
+#endif  // SRC_MEMSYS_CARD_MEMORY_H_

@@ -1,0 +1,89 @@
+// Host DRAM with a page-aware allocator.
+//
+// Models the allocation side of Coyote v2's driver: regular 4 KB pages, 2 MB
+// transparent hugepages and 1 GB hugepages (paper §6.1 emphasizes very large
+// pages to minimize page faults). cThread::GetMem() allocates here and
+// registers the buffer with the MMU.
+
+#ifndef SRC_MEMSYS_HOST_MEMORY_H_
+#define SRC_MEMSYS_HOST_MEMORY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/memsys/sparse_memory.h"
+
+namespace coyote {
+namespace memsys {
+
+enum class AllocKind : uint8_t {
+  kRegular,   // 4 KB pages (the paper's Alloc::REG)
+  kHuge2M,    // 2 MB hugepages (Alloc::THP/HPF)
+  kHuge1G,    // 1 GB hugepages
+};
+
+constexpr uint64_t PageBytes(AllocKind kind) {
+  switch (kind) {
+    case AllocKind::kRegular:
+      return 4ull << 10;
+    case AllocKind::kHuge2M:
+      return 2ull << 20;
+    case AllocKind::kHuge1G:
+      return 1ull << 30;
+  }
+  return 4ull << 10;
+}
+
+struct Allocation {
+  uint64_t addr = 0;
+  uint64_t bytes = 0;  // rounded up to the page size
+  AllocKind kind = AllocKind::kRegular;
+};
+
+class HostMemory {
+ public:
+  // Allocates `bytes` rounded up to the page size of `kind`, aligned to it.
+  // Returns the base address.
+  uint64_t Allocate(uint64_t bytes, AllocKind kind) {
+    const uint64_t page = PageBytes(kind);
+    const uint64_t size = ((bytes + page - 1) / page) * page;
+    const uint64_t addr = ((next_ + page - 1) / page) * page;
+    next_ = addr + size;
+    allocations_[addr] = Allocation{addr, size, kind};
+    return addr;
+  }
+
+  // Frees the allocation starting at `addr`. Returns false if unknown.
+  bool Free(uint64_t addr) { return allocations_.erase(addr) > 0; }
+
+  // The allocation containing `addr`, if any.
+  std::optional<Allocation> FindAllocation(uint64_t addr) const {
+    auto it = allocations_.upper_bound(addr);
+    if (it == allocations_.begin()) {
+      return std::nullopt;
+    }
+    --it;
+    const Allocation& a = it->second;
+    if (addr >= a.addr && addr < a.addr + a.bytes) {
+      return a;
+    }
+    return std::nullopt;
+  }
+
+  size_t num_allocations() const { return allocations_.size(); }
+
+  SparseMemory& store() { return store_; }
+  const SparseMemory& store() const { return store_; }
+
+ private:
+  // Base kept well away from zero so a null address is never valid.
+  uint64_t next_ = 1ull << 30;
+  std::map<uint64_t, Allocation> allocations_;
+  SparseMemory store_;
+};
+
+}  // namespace memsys
+}  // namespace coyote
+
+#endif  // SRC_MEMSYS_HOST_MEMORY_H_

@@ -1,0 +1,83 @@
+// NVMe SSD model.
+//
+// "Interaction with storage systems" is the remaining service on the
+// paper's future-work list (§10); systems like Farview [33] and FSRF [36]
+// show the pattern: the FPGA moves data directly between storage and
+// memory without bouncing through host software. This drive model provides
+// the storage substrate: block-addressed functional storage plus a
+// queue-served timing model (per-command latency + sustained bandwidth,
+// separate read/write characteristics, as in datacenter NVMe).
+
+#ifndef SRC_MEMSYS_NVME_H_
+#define SRC_MEMSYS_NVME_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/memsys/sparse_memory.h"
+#include "src/sim/engine.h"
+#include "src/sim/link.h"
+
+namespace coyote {
+namespace memsys {
+
+class NvmeDrive {
+ public:
+  struct Config {
+    uint64_t capacity_bytes = 1ull << 40;  // 1 TB
+    uint32_t block_bytes = 4096;
+    // Gen4 x4 datacenter SSD class.
+    uint64_t read_bps = 7'000'000'000ull;
+    uint64_t write_bps = 5'200'000'000ull;
+    sim::TimePs read_latency = sim::Microseconds(75);
+    sim::TimePs write_latency = sim::Microseconds(15);  // write-back cache ack
+  };
+
+  NvmeDrive(sim::Engine* engine, const Config& config)
+      : engine_(engine),
+        config_(config),
+        read_queue_(engine, {config.read_bps, 0, config.read_latency, "nvme_rd"}),
+        write_queue_(engine, {config.write_bps, 0, config.write_latency, "nvme_wr"}) {}
+
+  const Config& config() const { return config_; }
+  uint64_t num_blocks() const { return config_.capacity_bytes / config_.block_bytes; }
+
+  // Timing: a read/write command of `blocks` blocks; `done` fires at command
+  // completion. Commands from different sources share the drive's bandwidth.
+  void ReadCommand(uint64_t lba, uint32_t blocks, uint32_t source,
+                   std::function<void()> done) {
+    (void)lba;
+    ++reads_;
+    read_queue_.Submit(source, static_cast<uint64_t>(blocks) * config_.block_bytes,
+                       std::move(done));
+  }
+  void WriteCommand(uint64_t lba, uint32_t blocks, uint32_t source,
+                    std::function<void()> done) {
+    (void)lba;
+    ++writes_;
+    write_queue_.Submit(source, static_cast<uint64_t>(blocks) * config_.block_bytes,
+                        std::move(done));
+  }
+
+  // Functional storage, addressed in bytes (lba * block_bytes).
+  SparseMemory& store() { return store_; }
+  const SparseMemory& store() const { return store_; }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  sim::Engine* engine_;
+  Config config_;
+  SparseMemory store_;
+  sim::Link read_queue_;
+  sim::Link write_queue_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace memsys
+}  // namespace coyote
+
+#endif  // SRC_MEMSYS_NVME_H_

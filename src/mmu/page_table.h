@@ -1,0 +1,61 @@
+// Driver-side page table.
+//
+// The full virtual-to-physical map lives in the host driver; the hardware
+// only caches translations in its TLBs (paper §6.1's hybrid MMU). One page
+// table exists per cThread address space; all vFPGA MMUs that serve that
+// thread fall back here on TLB misses.
+
+#ifndef SRC_MMU_PAGE_TABLE_H_
+#define SRC_MMU_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/mmu/types.h"
+
+namespace coyote {
+namespace mmu {
+
+class PageTable {
+ public:
+  explicit PageTable(uint64_t page_bytes = 2ull << 20) : page_bytes_(page_bytes) {}
+
+  uint64_t page_bytes() const { return page_bytes_; }
+  uint64_t VPage(uint64_t vaddr) const { return vaddr / page_bytes_; }
+  uint64_t PageBase(uint64_t vaddr) const { return VPage(vaddr) * page_bytes_; }
+
+  // Maps the page containing `vaddr`.
+  void Map(uint64_t vaddr, PhysPage phys) { table_[VPage(vaddr)] = phys; }
+
+  // Maps a contiguous virtual range backed by contiguous physical pages
+  // starting at `phys_base` in `kind`.
+  void MapRange(uint64_t vaddr, uint64_t bytes, MemKind kind, uint64_t phys_base) {
+    const uint64_t first = VPage(vaddr);
+    const uint64_t last = VPage(vaddr + bytes - 1);
+    for (uint64_t vp = first; vp <= last; ++vp) {
+      table_[vp] = PhysPage{kind, phys_base + (vp - first) * page_bytes_};
+    }
+  }
+
+  std::optional<PhysPage> Find(uint64_t vaddr) const {
+    auto it = table_.find(VPage(vaddr));
+    if (it == table_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  bool Unmap(uint64_t vaddr) { return table_.erase(VPage(vaddr)) > 0; }
+
+  size_t size() const { return table_.size(); }
+
+ private:
+  uint64_t page_bytes_;
+  std::unordered_map<uint64_t, PhysPage> table_;
+};
+
+}  // namespace mmu
+}  // namespace coyote
+
+#endif  // SRC_MMU_PAGE_TABLE_H_

@@ -1,0 +1,135 @@
+#include "src/mmu/svm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coyote {
+namespace mmu {
+
+memsys::SparseMemory& Svm::StoreFor(MemKind kind) const {
+  switch (kind) {
+    case MemKind::kHost:
+      return host_->store();
+    case MemKind::kCard:
+      return card_->store();
+    case MemKind::kGpu:
+      return gpu_->store();
+  }
+  return host_->store();
+}
+
+uint64_t Svm::RegisterGpuBuffer(uint64_t bytes) {
+  const uint64_t page = page_table_.page_bytes();
+  const uint64_t size = ((bytes + page - 1) / page) * page;
+  const uint64_t vaddr = next_gpu_vaddr_;
+  next_gpu_vaddr_ += size;
+  const uint64_t gaddr = gpu_->Allocate(size);
+  page_table_.MapRange(vaddr, size, MemKind::kGpu, gaddr);
+  return vaddr;
+}
+
+void Svm::MigratePage(uint64_t vpage, MemKind target, std::function<void()> done) {
+  const uint64_t page = page_table_.page_bytes();
+  const uint64_t vaddr = vpage * page;
+  auto entry = page_table_.Find(vaddr);
+  assert(entry.has_value() && "migrating an unmapped page");
+  const MemKind from = entry->kind;
+
+  // Destination physical page. Host pages keep their identity mapping so a
+  // page migrated back lands where the buffer was allocated; card/GPU pages
+  // are allocated on demand.
+  uint64_t dst_addr = 0;
+  switch (target) {
+    case MemKind::kHost:
+      dst_addr = vaddr;
+      break;
+    case MemKind::kCard:
+      dst_addr = card_->Allocate(page);
+      break;
+    case MemKind::kGpu:
+      dst_addr = gpu_->Allocate(page);
+      break;
+  }
+
+  // Functional copy now; timing charged through the hook.
+  std::vector<uint8_t> bytes = StoreFor(from).ReadVector(entry->addr, page);
+  StoreFor(target).Write(dst_addr, bytes.data(), page);
+  page_table_.Map(vaddr, PhysPage{target, dst_addr});
+  if (hooks_.invalidate) {
+    hooks_.invalidate(vaddr);
+  }
+  ++migrations_;
+  migrated_bytes_ += page;
+
+  if (hooks_.transfer) {
+    hooks_.transfer(from, target, page, std::move(done));
+  } else {
+    engine_->ScheduleAfter(0, std::move(done));
+  }
+}
+
+void Svm::EnsureResident(uint64_t vaddr, uint64_t bytes, MemKind target,
+                         std::function<void()> done) {
+  if (bytes == 0) {
+    engine_->ScheduleAfter(0, std::move(done));
+    return;
+  }
+  const uint64_t first = page_table_.VPage(vaddr);
+  const uint64_t last = page_table_.VPage(vaddr + bytes - 1);
+
+  std::vector<uint64_t> to_move;
+  for (uint64_t vp = first; vp <= last; ++vp) {
+    auto entry = page_table_.Find(vp * page_table_.page_bytes());
+    assert(entry.has_value() && "EnsureResident over an unmapped range");
+    if (entry->kind != target) {
+      to_move.push_back(vp);
+    }
+  }
+  if (to_move.empty()) {
+    engine_->ScheduleAfter(0, std::move(done));
+    return;
+  }
+
+  auto remaining = std::make_shared<size_t>(to_move.size());
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (uint64_t vp : to_move) {
+    MigratePage(vp, target, [remaining, shared_done]() {
+      if (--*remaining == 0 && *shared_done) {
+        (*shared_done)();
+      }
+    });
+  }
+}
+
+void Svm::ReadVirtual(uint64_t vaddr, void* dst, uint64_t len) const {
+  auto* p = static_cast<uint8_t*>(dst);
+  const uint64_t page = page_table_.page_bytes();
+  while (len > 0) {
+    auto entry = page_table_.Find(vaddr);
+    assert(entry.has_value() && "virtual read of unmapped address");
+    const uint64_t off = vaddr % page;
+    const uint64_t n = std::min(len, page - off);
+    StoreFor(entry->kind).Read(entry->addr + off, p, n);
+    vaddr += n;
+    p += n;
+    len -= n;
+  }
+}
+
+void Svm::WriteVirtual(uint64_t vaddr, const void* src, uint64_t len) {
+  const auto* p = static_cast<const uint8_t*>(src);
+  const uint64_t page = page_table_.page_bytes();
+  while (len > 0) {
+    auto entry = page_table_.Find(vaddr);
+    assert(entry.has_value() && "virtual write of unmapped address");
+    const uint64_t off = vaddr % page;
+    const uint64_t n = std::min(len, page - off);
+    StoreFor(entry->kind).Write(entry->addr + off, p, n);
+    vaddr += n;
+    p += n;
+    len -= n;
+  }
+}
+
+}  // namespace mmu
+}  // namespace coyote

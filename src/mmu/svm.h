@@ -1,0 +1,94 @@
+// Shared virtual memory manager (paper §6.1).
+//
+// Implements the GPU-style unified memory model: a single virtual address
+// space per cThread spanning host DRAM, card HBM/DDR and (with the external
+// extension) GPU memory. Accessing data that is not resident in the memory a
+// transfer requires raises a page fault and triggers a page migration; the
+// driver updates the page table and invalidates the hardware TLBs.
+//
+// The Svm holds functional state (where each page's bytes live) and performs
+// real byte copies between the backing stores. Migration *timing* is
+// injected via MigrationHooks so this module stays independent of the
+// dynamic-layer DMA models that provide the bandwidth numbers.
+
+#ifndef SRC_MMU_SVM_H_
+#define SRC_MMU_SVM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/memsys/card_memory.h"
+#include "src/memsys/gpu_memory.h"
+#include "src/memsys/host_memory.h"
+#include "src/mmu/page_table.h"
+#include "src/mmu/types.h"
+#include "src/sim/engine.h"
+
+namespace coyote {
+namespace mmu {
+
+class Svm {
+ public:
+  struct MigrationHooks {
+    // Charges the time to move `bytes` from `from` to `to`; must invoke the
+    // callback when the transfer completes. Defaults to instantaneous.
+    std::function<void(MemKind from, MemKind to, uint64_t bytes, std::function<void()> done)>
+        transfer;
+    // Broadcast TLB shootdown for a virtual address (all vFPGA MMUs).
+    std::function<void(uint64_t vaddr)> invalidate;
+  };
+
+  Svm(sim::Engine* engine, memsys::HostMemory* host, memsys::CardMemory* card,
+      memsys::GpuMemory* gpu, uint64_t page_bytes)
+      : engine_(engine), host_(host), card_(card), gpu_(gpu), page_table_(page_bytes) {}
+
+  void set_hooks(MigrationHooks hooks) { hooks_ = std::move(hooks); }
+
+  PageTable& page_table() { return page_table_; }
+  const PageTable& page_table() const { return page_table_; }
+
+  // Registers a host buffer returned by HostMemory::Allocate: identity-maps
+  // its pages as host-resident (the driver side of cThread::GetMem()).
+  void RegisterHostBuffer(uint64_t vaddr, uint64_t bytes) {
+    page_table_.MapRange(vaddr, bytes, MemKind::kHost, vaddr);
+  }
+
+  // Registers a GPU buffer into the same address space (peer-DMA extension).
+  // Returns the virtual base address chosen for it.
+  uint64_t RegisterGpuBuffer(uint64_t bytes);
+
+  // Ensures every page of [vaddr, vaddr+bytes) is resident in `target`,
+  // migrating page contents as needed. `done` fires when the last migration
+  // completes (immediately if everything is already resident).
+  void EnsureResident(uint64_t vaddr, uint64_t bytes, MemKind target, std::function<void()> done);
+
+  // Functional access through the virtual address space: reads/writes land
+  // in whichever store currently holds each page.
+  void ReadVirtual(uint64_t vaddr, void* dst, uint64_t len) const;
+  void WriteVirtual(uint64_t vaddr, const void* src, uint64_t len);
+
+  uint64_t migrations() const { return migrations_; }
+  uint64_t migrated_bytes() const { return migrated_bytes_; }
+
+ private:
+  memsys::SparseMemory& StoreFor(MemKind kind) const;
+  void MigratePage(uint64_t vpage, MemKind target, std::function<void()> done);
+
+  sim::Engine* engine_;
+  memsys::HostMemory* host_;
+  memsys::CardMemory* card_;
+  memsys::GpuMemory* gpu_;
+  PageTable page_table_;
+  MigrationHooks hooks_;
+
+  uint64_t next_gpu_vaddr_ = 1ull << 44;  // distinct VA window for GPU buffers
+  uint64_t migrations_ = 0;
+  uint64_t migrated_bytes_ = 0;
+};
+
+}  // namespace mmu
+}  // namespace coyote
+
+#endif  // SRC_MMU_SVM_H_

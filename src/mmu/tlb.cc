@@ -1,0 +1,74 @@
+#include "src/mmu/tlb.h"
+
+#include <algorithm>
+
+namespace coyote {
+namespace mmu {
+
+Tlb::Tlb(const Config& config) : config_(config) {
+  const uint32_t assoc = std::max(1u, config_.associativity);
+  config_.associativity = assoc;
+  num_sets_ = std::max(1u, config_.entries / assoc);
+  sets_.assign(num_sets_, std::vector<Way>(assoc));
+}
+
+std::optional<PhysPage> Tlb::Lookup(uint64_t vaddr) {
+  const uint64_t vpage = VPage(vaddr);
+  auto& set = sets_[SetIndex(vpage)];
+  for (Way& w : set) {
+    if (w.valid && w.vpage == vpage) {
+      w.lru = ++tick_;
+      ++hits_;
+      return w.phys;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void Tlb::Insert(uint64_t vaddr, PhysPage page) {
+  const uint64_t vpage = VPage(vaddr);
+  auto& set = sets_[SetIndex(vpage)];
+  Way* victim = nullptr;
+  for (Way& w : set) {
+    if (w.valid && w.vpage == vpage) {
+      victim = &w;  // update in place
+      break;
+    }
+    if (!w.valid && victim == nullptr) {
+      victim = &w;
+    }
+  }
+  if (victim == nullptr) {
+    victim = &*std::min_element(set.begin(), set.end(), [](const Way& a, const Way& b) {
+      return a.lru < b.lru;
+    });
+    ++evictions_;
+  }
+  victim->vpage = vpage;
+  victim->phys = page;
+  victim->lru = ++tick_;
+  victim->valid = true;
+}
+
+void Tlb::Invalidate(uint64_t vaddr) {
+  const uint64_t vpage = VPage(vaddr);
+  auto& set = sets_[SetIndex(vpage)];
+  for (Way& w : set) {
+    if (w.valid && w.vpage == vpage) {
+      w.valid = false;
+      return;
+    }
+  }
+}
+
+void Tlb::InvalidateAll() {
+  for (auto& set : sets_) {
+    for (Way& w : set) {
+      w.valid = false;
+    }
+  }
+}
+
+}  // namespace mmu
+}  // namespace coyote

@@ -1,0 +1,78 @@
+// Set-associative TLB with LRU replacement.
+//
+// Coyote v2 implements TLBs in on-chip SRAM for fast lookups, with the rest
+// of the MMU in the host-side driver (paper §6.1). The geometry — entry
+// count, associativity and page size, up to 1 GB hugepages — is a shell
+// compile-time parameter, which is exactly what this class parametrizes.
+
+#ifndef SRC_MMU_TLB_H_
+#define SRC_MMU_TLB_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mmu/types.h"
+
+namespace coyote {
+namespace mmu {
+
+class Tlb {
+ public:
+  struct Config {
+    uint32_t entries = 1024;
+    uint32_t associativity = 4;
+    uint64_t page_bytes = 2ull << 20;
+  };
+
+  explicit Tlb(const Config& config);
+
+  const Config& config() const { return config_; }
+  uint32_t num_sets() const { return num_sets_; }
+
+  // Looks up the page containing `vaddr`. Hit updates LRU order.
+  std::optional<PhysPage> Lookup(uint64_t vaddr);
+
+  // Inserts (or updates) the translation for the page containing `vaddr`,
+  // evicting the set's LRU entry if full.
+  void Insert(uint64_t vaddr, PhysPage page);
+
+  // Removes the entry for the page containing `vaddr` if cached.
+  void Invalidate(uint64_t vaddr);
+  void InvalidateAll();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  struct Way {
+    uint64_t vpage = 0;
+    PhysPage phys;
+    uint64_t lru = 0;  // larger == more recently used
+    bool valid = false;
+  };
+
+  uint64_t VPage(uint64_t vaddr) const { return vaddr / config_.page_bytes; }
+  uint32_t SetIndex(uint64_t vpage) const { return static_cast<uint32_t>(vpage % num_sets_); }
+
+  Config config_;
+  uint32_t num_sets_;
+  uint64_t tick_ = 0;
+  std::vector<std::vector<Way>> sets_;
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace mmu
+}  // namespace coyote
+
+#endif  // SRC_MMU_TLB_H_

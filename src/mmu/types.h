@@ -1,0 +1,40 @@
+// Shared-virtual-memory types.
+
+#ifndef SRC_MMU_TYPES_H_
+#define SRC_MMU_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace coyote {
+namespace mmu {
+
+// Physical memory a page can be resident in. The GPU kind models the
+// externally contributed MMU extension for FPGA<->GPU peer DMA (paper §2.2).
+enum class MemKind : uint8_t {
+  kHost,
+  kCard,
+  kGpu,
+};
+
+inline std::string_view MemKindName(MemKind k) {
+  switch (k) {
+    case MemKind::kHost:
+      return "host";
+    case MemKind::kCard:
+      return "card";
+    case MemKind::kGpu:
+      return "gpu";
+  }
+  return "unknown";
+}
+
+struct PhysPage {
+  MemKind kind = MemKind::kHost;
+  uint64_t addr = 0;  // physical address within that memory
+};
+
+}  // namespace mmu
+}  // namespace coyote
+
+#endif  // SRC_MMU_TYPES_H_

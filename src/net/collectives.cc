@@ -1,0 +1,209 @@
+#include "src/net/collectives.h"
+
+#include <cstring>
+#include <memory>
+
+namespace coyote {
+namespace net {
+namespace {
+
+// Chunk [begin, end) in elements for rank `c` of `n` ranks over `count`.
+struct ChunkRange {
+  uint64_t begin_elems = 0;
+  uint64_t end_elems = 0;
+  uint64_t bytes() const { return (end_elems - begin_elems) * 4; }
+  uint64_t offset_bytes() const { return begin_elems * 4; }
+};
+
+ChunkRange ChunkFor(uint64_t c, uint64_t n, uint64_t count) {
+  const uint64_t per = (count + n - 1) / n;
+  ChunkRange r;
+  r.begin_elems = std::min(c * per, count);
+  r.end_elems = std::min((c + 1) * per, count);
+  return r;
+}
+
+}  // namespace
+
+CollectiveGroup::CollectiveGroup(sim::Engine* engine, std::vector<Member> members)
+    : engine_(engine), members_(std::move(members)) {
+  const size_t n = members_.size();
+  qp_.assign(n, std::vector<uint32_t>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const uint32_t qi = members_[i].stack->CreateQp();
+      const uint32_t qj = members_[j].stack->CreateQp();
+      members_[i].stack->Connect(qi, members_[j].stack->ip(), qj);
+      members_[j].stack->Connect(qj, members_[i].stack->ip(), qi);
+      qp_[i][j] = qi;
+      qp_[j][i] = qj;
+    }
+  }
+}
+
+void CollectiveGroup::Broadcast(uint32_t root, uint64_t vaddr, uint64_t bytes,
+                                Completion done) {
+  ++broadcasts_;
+  const uint32_t n = static_cast<uint32_t>(members_.size());
+  if (n <= 1 || bytes == 0) {
+    engine_->ScheduleAfter(0, std::move(done));
+    return;
+  }
+  // Binomial tree over ranks relative to the root.
+  auto shared_done = std::make_shared<Completion>(std::move(done));
+  auto round = std::make_shared<std::function<void(uint32_t)>>();
+  *round = [this, root, vaddr, bytes, n, shared_done, round](uint32_t k) {
+    // Senders this round: relative ranks v < 2^k sending to v + 2^k.
+    std::vector<std::pair<uint32_t, uint32_t>> transfers;  // (from, to) absolute
+    for (uint32_t v = 0; v < (1u << k); ++v) {
+      const uint32_t dst_rel = v + (1u << k);
+      if (dst_rel >= n) {
+        continue;
+      }
+      transfers.emplace_back((root + v) % n, (root + dst_rel) % n);
+    }
+    if (transfers.empty()) {
+      (*shared_done)();
+      return;
+    }
+    auto remaining = std::make_shared<size_t>(transfers.size());
+    for (auto [from, to] : transfers) {
+      members_[from].stack->PostWrite(QpFor(from, to), vaddr, vaddr, bytes,
+                                      [remaining, round, k](bool) {
+                                        if (--*remaining == 0) {
+                                          (*round)(k + 1);
+                                        }
+                                      });
+    }
+  };
+  (*round)(0);
+}
+
+void CollectiveGroup::AllGather(uint64_t vaddr, uint64_t chunk_bytes, Completion done) {
+  const uint32_t n = static_cast<uint32_t>(members_.size());
+  if (n <= 1 || chunk_bytes == 0) {
+    engine_->ScheduleAfter(0, std::move(done));
+    return;
+  }
+  // Ring: in step s, member i forwards chunk (i - s + n) % n to (i + 1) % n.
+  auto shared_done = std::make_shared<Completion>(std::move(done));
+  auto step = std::make_shared<std::function<void(uint32_t)>>();
+  *step = [this, vaddr, chunk_bytes, n, shared_done, step](uint32_t s) {
+    if (s == n - 1) {
+      (*shared_done)();
+      return;
+    }
+    auto remaining = std::make_shared<size_t>(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t chunk = (i + n - s) % n;
+      const uint32_t to = (i + 1) % n;
+      const uint64_t addr = vaddr + static_cast<uint64_t>(chunk) * chunk_bytes;
+      members_[i].stack->PostWrite(QpFor(i, to), addr, addr, chunk_bytes,
+                                   [remaining, step, s](bool) {
+                                     if (--*remaining == 0) {
+                                       (*step)(s + 1);
+                                     }
+                                   });
+    }
+  };
+  (*step)(0);
+}
+
+void CollectiveGroup::AllReduceInt32(uint64_t vaddr, uint64_t count, Completion done) {
+  ++allreduces_;
+  const uint32_t n = static_cast<uint32_t>(members_.size());
+  if (n <= 1 || count == 0) {
+    engine_->ScheduleAfter(0, std::move(done));
+    return;
+  }
+
+  // Phase 1 — ring reduce-scatter: after step s, member (c + s + 1) % n holds
+  // the partial sum of chunk c over s + 2 contributors. Incoming fragments
+  // land in the member's scratch buffer, then fold into the local chunk.
+  auto shared_done = std::make_shared<Completion>(std::move(done));
+  auto reduce_step = std::make_shared<std::function<void(uint32_t)>>();
+  auto gather = [this, vaddr, count, n, shared_done]() {
+    // Phase 2 — ring all-gather of the reduced chunks. Member i now owns the
+    // fully reduced chunk (i + 1) % n; rotate N-1 times.
+    auto step = std::make_shared<std::function<void(uint32_t)>>();
+    *step = [this, vaddr, count, n, shared_done, step](uint32_t s) {
+      if (s == n - 1) {
+        (*shared_done)();
+        return;
+      }
+      auto remaining = std::make_shared<size_t>(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t chunk = (i + 1 + n - s) % n;
+        const ChunkRange r = ChunkFor(chunk, n, count);
+        const uint32_t to = (i + 1) % n;
+        if (r.bytes() == 0) {
+          if (--*remaining == 0) {
+            (*step)(s + 1);
+          }
+          continue;
+        }
+        const uint64_t addr = vaddr + r.offset_bytes();
+        members_[i].stack->PostWrite(QpFor(i, to), addr, addr, r.bytes(),
+                                     [remaining, step, s](bool) {
+                                       if (--*remaining == 0) {
+                                         (*step)(s + 1);
+                                       }
+                                     });
+      }
+    };
+    (*step)(0);
+  };
+
+  *reduce_step = [this, vaddr, count, n, reduce_step, gather](uint32_t s) {
+    if (s == n - 1) {
+      gather();
+      return;
+    }
+    auto remaining = std::make_shared<size_t>(n);
+    auto after_transfers = [this, vaddr, count, n, remaining, reduce_step, s, gather]() {
+      // Fold each member's scratch fragment into its local chunk.
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t chunk = (i + n - s - 1) % n;  // chunk received this step
+        const ChunkRange r = ChunkFor(chunk, n, count);
+        if (r.bytes() == 0) {
+          continue;
+        }
+        Member& m = members_[i];
+        std::vector<int32_t> local(r.end_elems - r.begin_elems);
+        std::vector<int32_t> incoming(local.size());
+        m.svm->ReadVirtual(vaddr + r.offset_bytes(), local.data(), r.bytes());
+        m.svm->ReadVirtual(m.scratch_vaddr + r.offset_bytes(), incoming.data(), r.bytes());
+        for (size_t e = 0; e < local.size(); ++e) {
+          local[e] += incoming[e];
+        }
+        m.svm->WriteVirtual(vaddr + r.offset_bytes(), local.data(), r.bytes());
+      }
+      (*reduce_step)(s + 1);
+    };
+    auto barrier = std::make_shared<std::function<void()>>(std::move(after_transfers));
+    for (uint32_t i = 0; i < n; ++i) {
+      // Member i sends its current partial of chunk (i - s) % n to i+1's
+      // scratch.
+      const uint32_t chunk = (i + n - s) % n;
+      const ChunkRange r = ChunkFor(chunk, n, count);
+      const uint32_t to = (i + 1) % n;
+      if (r.bytes() == 0) {
+        if (--*remaining == 0) {
+          (*barrier)();
+        }
+        continue;
+      }
+      members_[i].stack->PostWrite(QpFor(i, to), vaddr + r.offset_bytes(),
+                                   members_[to].scratch_vaddr + r.offset_bytes(), r.bytes(),
+                                   [remaining, barrier](bool) {
+                                     if (--*remaining == 0) {
+                                       (*barrier)();
+                                     }
+                                   });
+    }
+  };
+  (*reduce_step)(0);
+}
+
+}  // namespace net
+}  // namespace coyote

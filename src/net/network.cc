@@ -1,0 +1,57 @@
+#include "src/net/network.h"
+
+#include <string>
+#include <utility>
+
+namespace coyote {
+namespace net {
+
+uint32_t Network::AttachPort(uint32_t ip, RxHandler rx) {
+  const uint32_t id = static_cast<uint32_t>(ports_.size());
+  Port port;
+  port.ip = ip;
+  port.rx = std::move(rx);
+  port.tx_link = std::make_unique<sim::Link>(
+      engine_, sim::Link::Config{config_.link_bps, 0, 0, "net_tx" + std::to_string(id)});
+  port.rx_link = std::make_unique<sim::Link>(
+      engine_, sim::Link::Config{config_.link_bps, 0, 0, "net_rx" + std::to_string(id)});
+  ports_.push_back(std::move(port));
+  ip_to_port_.emplace(ip, id);
+  return id;
+}
+
+void Network::Transmit(uint32_t src_port, uint32_t dst_ip, std::vector<uint8_t> frame) {
+  const uint64_t index = frame_counter_++;
+  auto [first, last] = ip_to_port_.equal_range(dst_ip);
+  if (first == last || src_port >= ports_.size()) {
+    ++frames_dropped_;
+    return;
+  }
+  if (drop_filter_ && drop_filter_(index)) {
+    ++frames_dropped_;
+    return;
+  }
+  const uint64_t bytes = frame.size();
+  auto shared = std::make_shared<std::vector<uint8_t>>(std::move(frame));
+
+  // Serialize on the sender's TX link, cross the switch, then serialize on
+  // each destination port's RX link before the handler sees the frame (a
+  // device binding multiple stacks to one IP gets a copy per stack).
+  for (auto it = first; it != last; ++it) {
+    const uint32_t dst_port = it->second;
+    ports_[src_port].tx_link->Submit(dst_port, bytes, [this, dst_port, bytes, shared]() {
+      engine_->ScheduleAfter(config_.switch_latency, [this, dst_port, bytes, shared]() {
+        ports_[dst_port].rx_link->Submit(0, bytes, [this, dst_port, bytes, shared]() {
+          ++frames_delivered_;
+          bytes_delivered_ += bytes;
+          if (ports_[dst_port].rx) {
+            ports_[dst_port].rx(*shared);
+          }
+        });
+      });
+    });
+  }
+}
+
+}  // namespace net
+}  // namespace coyote

@@ -1,0 +1,77 @@
+// Switched 100G network fabric.
+//
+// Connects simulated endpoints (Coyote FPGAs, commodity RDMA NICs) through a
+// single switch: per-port TX and RX links at line rate plus a fixed
+// store-and-forward/propagation latency. A drop filter supports fault
+// injection for retransmission tests.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/link.h"
+
+namespace coyote {
+namespace net {
+
+class Network {
+ public:
+  struct Config {
+    uint64_t link_bps = 12'500'000'000ull;  // 100 Gbit/s
+    sim::TimePs switch_latency = sim::Nanoseconds(600);
+  };
+
+  using RxHandler = std::function<void(std::vector<uint8_t> frame)>;
+
+  Network(sim::Engine* engine, const Config& config) : engine_(engine), config_(config) {}
+
+  // Attaches an endpoint with address `ip`; frames destined to `ip` are
+  // handed to `rx`. Returns the port id. Multiple ports may bind the same
+  // IP (e.g., a device running both the RoCE and TCP stacks); each receives
+  // a copy and filters by protocol.
+  uint32_t AttachPort(uint32_t ip, RxHandler rx);
+
+  // Transmits a frame from `src_port` to the port bound to `dst_ip`.
+  // Unroutable frames are counted and dropped (like a real switch).
+  void Transmit(uint32_t src_port, uint32_t dst_ip, std::vector<uint8_t> frame);
+
+  // Fault injection: return true to drop this frame (called per frame with a
+  // running index). Cleared by passing nullptr.
+  void SetDropFilter(std::function<bool(uint64_t frame_index)> filter) {
+    drop_filter_ = std::move(filter);
+  }
+
+  uint64_t frames_delivered() const { return frames_delivered_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t bytes_delivered() const { return bytes_delivered_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Port {
+    uint32_t ip = 0;
+    RxHandler rx;
+    std::unique_ptr<sim::Link> tx_link;
+    std::unique_ptr<sim::Link> rx_link;
+  };
+
+  sim::Engine* engine_;
+  Config config_;
+  std::vector<Port> ports_;
+  std::unordered_multimap<uint32_t, uint32_t> ip_to_port_;
+  std::function<bool(uint64_t)> drop_filter_;
+  uint64_t frame_counter_ = 0;
+  uint64_t frames_delivered_ = 0;
+  uint64_t frames_dropped_ = 0;
+  uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace net
+}  // namespace coyote
+
+#endif  // SRC_NET_NETWORK_H_

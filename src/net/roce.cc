@@ -1,0 +1,409 @@
+#include "src/net/roce.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coyote {
+namespace net {
+namespace {
+
+MacAddr MacForIp(uint32_t ip) {
+  // Deterministic locally-administered MAC derived from the IP.
+  return MacAddr{{0x02, 0x00, static_cast<uint8_t>(ip >> 24), static_cast<uint8_t>(ip >> 16),
+                  static_cast<uint8_t>(ip >> 8), static_cast<uint8_t>(ip)}};
+}
+
+}  // namespace
+
+RoceStack::RoceStack(sim::Engine* engine, Network* network, uint32_t ip, mmu::Svm* svm,
+                     Config config)
+    : engine_(engine), network_(network), ip_(ip), svm_(svm), config_(config) {
+  port_id_ = network_->AttachPort(ip, [this](std::vector<uint8_t> frame) {
+    OnRxFrame(std::move(frame));
+  });
+}
+
+uint32_t RoceStack::CreateQp() {
+  const uint32_t qpn = next_qpn_++;
+  Qp qp;
+  qp.local_qpn = qpn;
+  qps_[qpn] = std::move(qp);
+  return qpn;
+}
+
+void RoceStack::Connect(uint32_t local_qpn, uint32_t remote_ip, uint32_t remote_qpn) {
+  Qp& qp = qps_.at(local_qpn);
+  qp.remote_ip = remote_ip;
+  qp.remote_qpn = remote_qpn;
+  qp.connected = true;
+}
+
+FrameMeta RoceStack::BaseMeta(const Qp& qp) const {
+  FrameMeta m;
+  m.src_mac = MacForIp(ip_);
+  m.dst_mac = MacForIp(qp.remote_ip);
+  m.src_ip = ip_;
+  m.dst_ip = qp.remote_ip;
+  m.dest_qpn = qp.remote_qpn;
+  return m;
+}
+
+void RoceStack::TransmitFrame(Qp& qp, const FrameMeta& meta,
+                              const std::vector<uint8_t>& payload, bool track_for_retransmit) {
+  if (track_for_retransmit) {
+    qp.unacked[meta.psn] = PendingFrame{meta, payload};
+    ArmRetransmitTimer(qp.local_qpn);
+  }
+  std::vector<uint8_t> frame = BuildFrame(meta, payload);
+  if (tap_) {
+    tap_(frame, /*is_tx=*/true);
+  }
+  ++tx_frames_;
+  payload_bytes_sent_ += payload.size();
+  // Per-frame stack processing latency before the frame hits the CMAC.
+  auto shared = std::make_shared<std::vector<uint8_t>>(std::move(frame));
+  const uint32_t dst_ip = meta.dst_ip;
+  engine_->ScheduleAfter(config_.stack_latency, [this, dst_ip, shared]() {
+    network_->Transmit(port_id_, dst_ip, std::move(*shared));
+  });
+}
+
+void RoceStack::PostWrite(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vaddr,
+                          uint64_t bytes, Completion done) {
+  Qp& qp = qps_.at(qpn);
+  assert(qp.connected);
+  const uint64_t n_frames = std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu);
+  uint64_t off = 0;
+  for (uint64_t i = 0; i < n_frames; ++i) {
+    const uint64_t n = std::min<uint64_t>(config_.mtu, bytes - off);
+    FrameMeta m = BaseMeta(qp);
+    m.psn = qp.send_psn++;
+    if (n_frames == 1) {
+      m.opcode = Opcode::kWriteOnly;
+    } else if (i == 0) {
+      m.opcode = Opcode::kWriteFirst;
+    } else if (i + 1 == n_frames) {
+      m.opcode = Opcode::kWriteLast;
+    } else {
+      m.opcode = Opcode::kWriteMiddle;
+    }
+    if (OpcodeHasReth(m.opcode)) {
+      m.reth_vaddr = remote_vaddr;
+      m.reth_len = static_cast<uint32_t>(bytes);
+    }
+    m.ack_req = OpcodeIsLastOrOnly(m.opcode);
+
+    std::vector<uint8_t> payload(n);
+    svm_->ReadVirtual(local_vaddr + off, payload.data(), n);
+    if (OpcodeIsLastOrOnly(m.opcode) && done) {
+      qp.completions[m.psn] = std::move(done);
+      done = nullptr;
+    }
+    TransmitFrame(qp, m, payload, /*track_for_retransmit=*/true);
+    off += n;
+  }
+}
+
+void RoceStack::PostSend(uint32_t qpn, uint64_t local_vaddr, uint64_t bytes, Completion done) {
+  Qp& qp = qps_.at(qpn);
+  assert(qp.connected);
+  const uint64_t n_frames = std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu);
+  uint64_t off = 0;
+  for (uint64_t i = 0; i < n_frames; ++i) {
+    const uint64_t n = std::min<uint64_t>(config_.mtu, bytes - off);
+    FrameMeta m = BaseMeta(qp);
+    m.psn = qp.send_psn++;
+    if (n_frames == 1) {
+      m.opcode = Opcode::kSendOnly;
+    } else if (i == 0) {
+      m.opcode = Opcode::kSendFirst;
+    } else if (i + 1 == n_frames) {
+      m.opcode = Opcode::kSendLast;
+    } else {
+      m.opcode = Opcode::kSendMiddle;
+    }
+    m.ack_req = OpcodeIsLastOrOnly(m.opcode);
+
+    std::vector<uint8_t> payload(n);
+    svm_->ReadVirtual(local_vaddr + off, payload.data(), n);
+    if (OpcodeIsLastOrOnly(m.opcode) && done) {
+      qp.completions[m.psn] = std::move(done);
+      done = nullptr;
+    }
+    TransmitFrame(qp, m, payload, /*track_for_retransmit=*/true);
+    off += n;
+  }
+}
+
+void RoceStack::PostRead(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vaddr,
+                         uint64_t bytes, Completion done) {
+  Qp& qp = qps_.at(qpn);
+  assert(qp.connected);
+  const uint32_t n_resp =
+      static_cast<uint32_t>(std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu));
+
+  ReadCtx ctx;
+  ctx.local_vaddr = local_vaddr;
+  ctx.bytes = bytes;
+  ctx.first_psn = qp.send_psn;
+  ctx.last_psn = qp.send_psn + n_resp - 1;
+  ctx.got.assign(n_resp, false);
+  ctx.done = std::move(done);
+  qp.reads.push_back(std::move(ctx));
+
+  FrameMeta m = BaseMeta(qp);
+  m.opcode = Opcode::kReadRequest;
+  m.psn = qp.send_psn;
+  m.reth_vaddr = remote_vaddr;
+  m.reth_len = static_cast<uint32_t>(bytes);
+  qp.send_psn += n_resp;  // responses consume PSN space (IB RC semantics)
+  TransmitFrame(qp, m, {}, /*track_for_retransmit=*/true);
+}
+
+void RoceStack::OnRxFrame(std::vector<uint8_t> frame) {
+  if (tap_) {
+    tap_(frame, /*is_tx=*/false);
+  }
+  ++rx_frames_;
+  auto parsed = ParseFrame(frame);
+  if (!parsed) {
+    return;
+  }
+  const uint32_t qpn = parsed->meta.dest_qpn;
+  if (qps_.find(qpn) == qps_.end()) {
+    return;
+  }
+  // Per-frame RX processing latency. Re-resolve the QP at fire time: it may
+  // have been destroyed (e.g., the shell reconfigured) while the frame was
+  // in the pipeline.
+  auto shared = std::make_shared<ParsedFrame>(std::move(*parsed));
+  engine_->ScheduleAfter(config_.stack_latency, [this, qpn, shared]() {
+    auto it = qps_.find(qpn);
+    if (it == qps_.end()) {
+      return;
+    }
+    Qp& qp = it->second;
+    const Opcode op = shared->meta.opcode;
+    if (op == Opcode::kAck) {
+      HandleAck(qp, *shared);
+    } else if (op == Opcode::kReadRequest) {
+      HandleReadRequest(qp, *shared);
+    } else if (OpcodeIsReadResponse(op)) {
+      // Middle responses carry no AETH, so route by opcode, not by header.
+      HandleReadResponse(qp, *shared);
+    } else {
+      HandleDataFrame(qp, *shared);
+    }
+  });
+}
+
+void RoceStack::HandleDataFrame(Qp& qp, const ParsedFrame& f) {
+  if (f.meta.psn != qp.expected_psn) {
+    // Out-of-order or duplicate under go-back-N: discard, re-ack last good.
+    if (f.meta.psn < qp.expected_psn) {
+      SendAck(qp, qp.expected_psn - 1);
+    }
+    return;
+  }
+  qp.expected_psn = f.meta.psn + 1;
+  ++qp.frames_since_ack;
+
+  const Opcode op = f.meta.opcode;
+  const bool is_write = op == Opcode::kWriteFirst || op == Opcode::kWriteMiddle ||
+                        op == Opcode::kWriteLast || op == Opcode::kWriteOnly;
+  if (is_write) {
+    if (OpcodeHasReth(op)) {
+      qp.write_cursor_vaddr = f.meta.reth_vaddr;
+      qp.write_msg_start = f.meta.reth_vaddr;
+      qp.write_msg_bytes = 0;
+    }
+    const uint64_t commit_vaddr = qp.write_cursor_vaddr;
+    qp.write_cursor_vaddr += f.payload.size();
+    qp.write_msg_bytes += f.payload.size();
+    if (offload_to_kernel_ != nullptr) {
+      // On-path processing: the payload detours through the vFPGA; the
+      // transformed packet commits when it emerges (PumpOffloadCommits).
+      offload_commits_.push_back(OffloadCommit{qp.local_qpn, commit_vaddr,
+                                               OpcodeIsLastOrOnly(op), qp.write_msg_start,
+                                               qp.write_msg_bytes});
+      axi::StreamPacket pkt;
+      pkt.data = f.payload;
+      pkt.last = OpcodeIsLastOrOnly(op);
+      offload_to_kernel_->Push(std::move(pkt));
+    } else {
+      if (!f.payload.empty()) {
+        svm_->WriteVirtual(commit_vaddr, f.payload.data(), f.payload.size());
+      }
+      if (OpcodeIsLastOrOnly(op)) {
+        if (qp.write_arrival_handler) {
+          qp.write_arrival_handler(qp.write_msg_start, qp.write_msg_bytes);
+        }
+      }
+    }
+  } else {
+    // SEND path.
+    qp.recv_accum.insert(qp.recv_accum.end(), f.payload.begin(), f.payload.end());
+    if (OpcodeIsLastOrOnly(op)) {
+      if (qp.recv_handler) {
+        qp.recv_handler(std::move(qp.recv_accum));
+      }
+      qp.recv_accum.clear();
+    }
+  }
+
+  if (OpcodeIsLastOrOnly(op) || f.meta.ack_req ||
+      qp.frames_since_ack >= config_.ack_interval) {
+    SendAck(qp, f.meta.psn);
+  }
+}
+
+void RoceStack::SendAck(Qp& qp, uint32_t psn) {
+  qp.frames_since_ack = 0;
+  FrameMeta m = BaseMeta(qp);
+  m.opcode = Opcode::kAck;
+  m.psn = psn;
+  m.aeth_syndrome = 0;  // ACK
+  m.aeth_msn = psn & 0x00FFFFFF;
+  TransmitFrame(qp, m, {}, /*track_for_retransmit=*/false);
+}
+
+void RoceStack::HandleAck(Qp& qp, const ParsedFrame& f) {
+  const uint32_t acked = f.meta.psn;
+  // Cumulative: drop every tracked frame with psn <= acked.
+  qp.unacked.erase(qp.unacked.begin(), qp.unacked.upper_bound(acked));
+  // Fire message completions.
+  auto end = qp.completions.upper_bound(acked);
+  for (auto it = qp.completions.begin(); it != end; ++it) {
+    if (it->second) {
+      it->second(true);
+    }
+  }
+  qp.completions.erase(qp.completions.begin(), end);
+  ++qp.timer_generation;  // cancel pending timer
+  if (!qp.unacked.empty()) {
+    ArmRetransmitTimer(qp.local_qpn);
+  }
+}
+
+void RoceStack::HandleReadRequest(Qp& qp, const ParsedFrame& f) {
+  // Idempotent: duplicates re-serve the same data at the same PSNs.
+  const uint64_t bytes = f.meta.reth_len;
+  const uint64_t n_frames = std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu);
+  uint64_t off = 0;
+  for (uint64_t i = 0; i < n_frames; ++i) {
+    const uint64_t n = std::min<uint64_t>(config_.mtu, bytes - off);
+    FrameMeta m = BaseMeta(qp);
+    m.psn = f.meta.psn + static_cast<uint32_t>(i);
+    if (n_frames == 1) {
+      m.opcode = Opcode::kReadResponseOnly;
+    } else if (i == 0) {
+      m.opcode = Opcode::kReadResponseFirst;
+    } else if (i + 1 == n_frames) {
+      m.opcode = Opcode::kReadResponseLast;
+    } else {
+      m.opcode = Opcode::kReadResponseMiddle;
+    }
+    m.aeth_msn = m.psn & 0x00FFFFFF;
+    std::vector<uint8_t> payload(n);
+    svm_->ReadVirtual(f.meta.reth_vaddr + off, payload.data(), n);
+    TransmitFrame(qp, m, payload, /*track_for_retransmit=*/false);
+    off += n;
+  }
+}
+
+void RoceStack::HandleReadResponse(Qp& qp, const ParsedFrame& f) {
+  for (auto it = qp.reads.begin(); it != qp.reads.end(); ++it) {
+    ReadCtx& ctx = *it;
+    if (f.meta.psn < ctx.first_psn || f.meta.psn > ctx.last_psn) {
+      continue;
+    }
+    const uint64_t index = f.meta.psn - ctx.first_psn;
+    const uint64_t off = index * config_.mtu;
+    if (!f.payload.empty() && !ctx.got[index]) {
+      ctx.got[index] = true;
+      svm_->WriteVirtual(ctx.local_vaddr + off, f.payload.data(), f.payload.size());
+      ctx.received += f.payload.size();
+    }
+    if (ctx.received >= ctx.bytes) {
+      // Read satisfied: retire the request frame and complete.
+      qp.unacked.erase(ctx.first_psn);
+      Completion done = std::move(ctx.done);
+      qp.reads.erase(it);
+      ++qp.timer_generation;
+      if (!qp.unacked.empty()) {
+        ArmRetransmitTimer(qp.local_qpn);
+      }
+      if (done) {
+        done(true);
+      }
+    }
+    return;
+  }
+}
+
+void RoceStack::ArmRetransmitTimer(uint32_t qpn) {
+  Qp& qp = qps_.at(qpn);
+  const uint64_t generation = ++qp.timer_generation;
+  engine_->ScheduleAfter(config_.ack_timeout, [this, qpn, generation]() {
+    auto it = qps_.find(qpn);
+    if (it == qps_.end()) {
+      return;
+    }
+    Qp& q = it->second;
+    if (q.timer_generation != generation || q.unacked.empty()) {
+      return;
+    }
+    RetransmitUnacked(q);
+    ArmRetransmitTimer(qpn);
+  });
+}
+
+void RoceStack::RetransmitUnacked(Qp& qp) {
+  // Go-back-N: resend every unacked frame in PSN order.
+  std::vector<PendingFrame> frames;
+  frames.reserve(qp.unacked.size());
+  for (auto& [psn, f] : qp.unacked) {
+    frames.push_back(f);
+  }
+  for (auto& f : frames) {
+    ++retransmitted_frames_;
+    TransmitFrame(qp, f.meta, f.payload, /*track_for_retransmit=*/false);
+  }
+}
+
+void RoceStack::SetInboundOffload(axi::Stream* to_kernel, axi::Stream* from_kernel) {
+  offload_to_kernel_ = to_kernel;
+  offload_from_kernel_ = from_kernel;
+  if (from_kernel != nullptr) {
+    from_kernel->set_on_data([this]() { PumpOffloadCommits(); });
+  }
+}
+
+void RoceStack::PumpOffloadCommits() {
+  while (offload_from_kernel_ != nullptr && !offload_from_kernel_->Empty() &&
+         !offload_commits_.empty()) {
+    auto pkt = offload_from_kernel_->Pop();
+    OffloadCommit commit = offload_commits_.front();
+    offload_commits_.pop_front();
+    if (!pkt->data.empty()) {
+      svm_->WriteVirtual(commit.vaddr, pkt->data.data(), pkt->data.size());
+    }
+    if (commit.msg_last) {
+      auto it = qps_.find(commit.qpn);
+      if (it != qps_.end() && it->second.write_arrival_handler) {
+        it->second.write_arrival_handler(commit.msg_start, commit.msg_bytes);
+      }
+    }
+  }
+}
+
+void RoceStack::SetRecvHandler(uint32_t qpn, RecvHandler handler) {
+  qps_.at(qpn).recv_handler = std::move(handler);
+}
+
+void RoceStack::SetWriteArrivalHandler(uint32_t qpn, WriteArrivalHandler handler) {
+  qps_.at(qpn).write_arrival_handler = std::move(handler);
+}
+
+}  // namespace net
+}  // namespace coyote

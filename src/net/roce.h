@@ -1,0 +1,171 @@
+// BALBOA: RoCE v2 RDMA stack (paper §6.2).
+//
+// Reliable-connection RDMA over the switched network: WRITE / READ / SEND
+// verbs, MTU segmentation, PSN sequencing, cumulative ACKs and go-back-N
+// retransmission. The data plane is integrated with Coyote v2's shared
+// virtual memory: payloads are read from and written to Svm virtual
+// addresses, translated by the same machinery the vFPGAs use, so RDMA
+// operates on virtual addresses end to end — exactly the property the paper
+// highlights.
+
+#ifndef SRC_NET_ROCE_H_
+#define SRC_NET_ROCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/axi/stream.h"
+#include "src/mmu/svm.h"
+#include "src/net/network.h"
+#include "src/net/packets.h"
+#include "src/sim/engine.h"
+
+namespace coyote {
+namespace net {
+
+class RoceStack {
+ public:
+  struct Config {
+    uint32_t mtu = 4096;
+    sim::TimePs stack_latency = sim::Nanoseconds(350);  // per-frame processing
+    sim::TimePs ack_timeout = sim::Microseconds(100);
+    uint32_t ack_interval = 16;  // receiver acks at least every N data frames
+  };
+
+  using Completion = std::function<void(bool ok)>;
+  // Called when an inbound SEND message completes, with its payload.
+  using RecvHandler = std::function<void(std::vector<uint8_t> data)>;
+  // Called when an inbound RDMA WRITE message completes (vaddr, bytes).
+  using WriteArrivalHandler = std::function<void(uint64_t vaddr, uint64_t bytes)>;
+  // Sniffer tap: every frame entering (is_tx=false) or leaving (true) the
+  // stack at the CMAC boundary.
+  using Tap = std::function<void(const std::vector<uint8_t>& frame, bool is_tx)>;
+
+  RoceStack(sim::Engine* engine, Network* network, uint32_t ip, mmu::Svm* svm)
+      : RoceStack(engine, network, ip, svm, Config{}) {}
+  RoceStack(sim::Engine* engine, Network* network, uint32_t ip, mmu::Svm* svm, Config config);
+
+  uint32_t ip() const { return ip_; }
+
+  // --- Queue pair management -------------------------------------------------
+  uint32_t CreateQp();
+  void Connect(uint32_t local_qpn, uint32_t remote_ip, uint32_t remote_qpn);
+
+  // --- Verbs -------------------------------------------------------------------
+  void PostWrite(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vaddr, uint64_t bytes,
+                 Completion done);
+  void PostRead(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vaddr, uint64_t bytes,
+                Completion done);
+  void PostSend(uint32_t qpn, uint64_t local_vaddr, uint64_t bytes, Completion done);
+
+  void SetRecvHandler(uint32_t qpn, RecvHandler handler);
+  void SetWriteArrivalHandler(uint32_t qpn, WriteArrivalHandler handler);
+  void SetTap(Tap tap) { tap_ = std::move(tap); }
+
+  // On-path offload (paper §6.2): the network data flow is routed through
+  // the vFPGAs, enabling custom processing like a SmartNIC/DPU. When set,
+  // inbound RDMA WRITE payloads are pushed into `to_kernel` (a vFPGA net_in
+  // stream) and the transformed packets popped from `from_kernel` (net_out)
+  // are what actually commits to memory. The transform must preserve packet
+  // count and order (sizes may match 1:1, as with decryption).
+  void SetInboundOffload(axi::Stream* to_kernel, axi::Stream* from_kernel);
+
+  // --- Statistics ---------------------------------------------------------------
+  uint64_t tx_frames() const { return tx_frames_; }
+  uint64_t rx_frames() const { return rx_frames_; }
+  uint64_t retransmitted_frames() const { return retransmitted_frames_; }
+  uint64_t payload_bytes_sent() const { return payload_bytes_sent_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct ReadCtx {
+    uint64_t local_vaddr = 0;
+    uint64_t bytes = 0;
+    uint32_t first_psn = 0;
+    uint32_t last_psn = 0;
+    uint64_t received = 0;
+    std::vector<bool> got;  // per-response dedup (duplicates after timeout)
+    Completion done;
+  };
+
+  struct PendingFrame {
+    FrameMeta meta;
+    std::vector<uint8_t> payload;
+  };
+
+  struct Qp {
+    uint32_t local_qpn = 0;
+    uint32_t remote_qpn = 0;
+    uint32_t remote_ip = 0;
+    bool connected = false;
+
+    // Requester state.
+    uint32_t send_psn = 0;
+    std::map<uint32_t, PendingFrame> unacked;        // psn -> frame (go-back-N)
+    std::map<uint32_t, Completion> completions;      // last psn of msg -> cb
+    std::vector<ReadCtx> reads;                      // outstanding reads
+    uint64_t timer_generation = 0;
+
+    // Responder state.
+    uint32_t expected_psn = 0;
+    uint64_t write_cursor_vaddr = 0;   // in-progress inbound WRITE
+    uint64_t write_msg_start = 0;
+    uint64_t write_msg_bytes = 0;
+    std::vector<uint8_t> recv_accum;   // in-progress inbound SEND
+    uint32_t frames_since_ack = 0;
+
+    RecvHandler recv_handler;
+    WriteArrivalHandler write_arrival_handler;
+  };
+
+  void TransmitFrame(Qp& qp, const FrameMeta& meta, const std::vector<uint8_t>& payload,
+                     bool track_for_retransmit);
+  void OnRxFrame(std::vector<uint8_t> frame);
+  void HandleDataFrame(Qp& qp, const ParsedFrame& f);
+  void HandleAck(Qp& qp, const ParsedFrame& f);
+  void HandleReadResponse(Qp& qp, const ParsedFrame& f);
+  void HandleReadRequest(Qp& qp, const ParsedFrame& f);
+  void SendAck(Qp& qp, uint32_t psn);
+  void ArmRetransmitTimer(uint32_t qpn);
+  void RetransmitUnacked(Qp& qp);
+  FrameMeta BaseMeta(const Qp& qp) const;
+  void PumpOffloadCommits();
+
+  sim::Engine* engine_;
+  Network* network_;
+  uint32_t ip_;
+  uint32_t port_id_;
+  mmu::Svm* svm_;
+  Config config_;
+
+  std::map<uint32_t, Qp> qps_;
+  uint32_t next_qpn_ = 0x11;
+  Tap tap_;
+
+  // On-path offload state: FIFO of pending commits matching the packets fed
+  // into the offload kernel.
+  struct OffloadCommit {
+    uint32_t qpn = 0;
+    uint64_t vaddr = 0;
+    bool msg_last = false;
+    uint64_t msg_start = 0;
+    uint64_t msg_bytes = 0;
+  };
+  axi::Stream* offload_to_kernel_ = nullptr;
+  axi::Stream* offload_from_kernel_ = nullptr;
+  std::deque<OffloadCommit> offload_commits_;
+
+  uint64_t tx_frames_ = 0;
+  uint64_t rx_frames_ = 0;
+  uint64_t retransmitted_frames_ = 0;
+  uint64_t payload_bytes_sent_ = 0;
+};
+
+}  // namespace net
+}  // namespace coyote
+
+#endif  // SRC_NET_ROCE_H_

@@ -1,0 +1,80 @@
+// Traffic sniffer service + PCAP writer (paper §8, Fig. 6).
+//
+// A reconfigurable service inserted between the network stacks and the 100G
+// CMAC. Controlled through CSR-style accessors: a user-configured filter
+// selects which RX/TX traffic is captured, optionally headers-only, and
+// recording can be started/stopped at run time. Captured frames are
+// timestamped in hardware and staged in a card-memory buffer; a host-side
+// parser converts them to a standard little-endian PCAP file that Wireshark
+// and tcpdump can open.
+
+#ifndef SRC_NET_SNIFFER_H_
+#define SRC_NET_SNIFFER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/net/packets.h"
+#include "src/sim/engine.h"
+
+namespace coyote {
+namespace net {
+
+class TrafficSniffer {
+ public:
+  struct Filter {
+    bool capture_tx = true;
+    bool capture_rx = true;
+    bool headers_only = false;          // truncate to header bytes
+    uint32_t src_ip = 0;                // 0 = wildcard
+    uint32_t dst_ip = 0;                // 0 = wildcard
+    std::optional<Opcode> opcode;       // capture only this opcode
+  };
+
+  struct CapturedFrame {
+    sim::TimePs timestamp = 0;
+    bool is_tx = false;
+    uint32_t original_len = 0;
+    std::vector<uint8_t> bytes;  // possibly truncated to headers
+  };
+
+  explicit TrafficSniffer(sim::Engine* engine) : engine_(engine) {}
+
+  // CSR-equivalent control plane.
+  void SetFilter(const Filter& filter) { filter_ = filter; }
+  void Start() { recording_ = true; }
+  void Stop() { recording_ = false; }
+  bool recording() const { return recording_; }
+  void Clear() { frames_.clear(); }
+
+  // Data plane: called for every frame at the CMAC boundary. This is the
+  // function to install as a RoceStack tap.
+  void OnFrame(const std::vector<uint8_t>& frame, bool is_tx);
+
+  const std::vector<CapturedFrame>& frames() const { return frames_; }
+  uint64_t dropped_by_filter() const { return dropped_by_filter_; }
+
+  // Total bytes the capture buffer occupies (the HBM staging footprint).
+  uint64_t capture_bytes() const;
+
+  // Host-side parser: renders the capture as a PCAP byte stream
+  // (little-endian magic 0xa1b2c3d4, LINKTYPE_ETHERNET).
+  std::vector<uint8_t> ToPcap() const;
+  bool WritePcapFile(const std::string& path) const;
+
+ private:
+  bool Matches(const std::vector<uint8_t>& frame, bool is_tx) const;
+
+  sim::Engine* engine_;
+  Filter filter_;
+  bool recording_ = false;
+  std::vector<CapturedFrame> frames_;
+  uint64_t dropped_by_filter_ = 0;
+};
+
+}  // namespace net
+}  // namespace coyote
+
+#endif  // SRC_NET_SNIFFER_H_

@@ -1,0 +1,43 @@
+// cRcnfg: the reconfiguration handle (paper §7.3, Code 2).
+//
+//   cRcnfg rcnfg(device);
+//   rcnfg.ReconfigureShell("/path/to/shell.bin");   // dynamic + app layers
+//   rcnfg.ReconfigureApp("/path/to/app.bin", 2);    // vFPGA #2 only
+//
+// Paths resolve through the device's bitstream store (the simulated
+// filesystem the build flows emit into).
+
+#ifndef SRC_RUNTIME_CRCNFG_H_
+#define SRC_RUNTIME_CRCNFG_H_
+
+#include <string>
+
+#include "src/runtime/device.h"
+
+namespace coyote {
+namespace runtime {
+
+class CRcnfg {
+ public:
+  explicit CRcnfg(SimDevice* dev) : dev_(dev) {}
+
+  SimDevice::ReconfigResult ReconfigureShell(const std::string& bitstream_path) {
+    return dev_->ReconfigureShell(bitstream_path);
+  }
+
+  SimDevice::ReconfigResult ReconfigureApp(const std::string& bitstream_path,
+                                           uint32_t vfpga_id) {
+    return dev_->ReconfigureApp(bitstream_path, vfpga_id);
+  }
+
+ private:
+  SimDevice* dev_;
+};
+
+// Paper-style spelling.
+using cRcnfg = CRcnfg;
+
+}  // namespace runtime
+}  // namespace coyote
+
+#endif  // SRC_RUNTIME_CRCNFG_H_

@@ -1,0 +1,257 @@
+#include "src/runtime/cthread.h"
+
+#include <cassert>
+
+namespace coyote {
+namespace runtime {
+namespace {
+
+memsys::AllocKind ToAllocKind(Alloc a) {
+  switch (a) {
+    case Alloc::kReg:
+      return memsys::AllocKind::kRegular;
+    case Alloc::kHpf:
+      return memsys::AllocKind::kHuge2M;
+    case Alloc::kHuge1G:
+      return memsys::AllocKind::kHuge1G;
+  }
+  return memsys::AllocKind::kRegular;
+}
+
+}  // namespace
+
+CThread::CThread(SimDevice* dev, uint32_t vfpga_id, int64_t ctid)
+    : dev_(dev), vfpga_id_(vfpga_id) {
+  ctid_ = ctid < 0 ? dev_->AllocateCtid(vfpga_id)
+                   : static_cast<uint32_t>(ctid) % 4096;
+
+  // Writeback slots: the shell updates these host-memory counters when
+  // transfers complete, so completion checks never cross PCIe (§5.1).
+  rd_writeback_addr_ = dev_->host_memory().Allocate(64, memsys::AllocKind::kRegular);
+  wr_writeback_addr_ = dev_->host_memory().Allocate(64, memsys::AllocKind::kRegular);
+  dev_->writeback().RegisterSlot({vfpga_id_, ctid_, false}, rd_writeback_addr_);
+  dev_->writeback().RegisterSlot({vfpga_id_, ctid_, true}, wr_writeback_addr_);
+}
+
+uint64_t CThread::GetMem(const AllocSpec& spec) {
+  const uint64_t vaddr = dev_->host_memory().Allocate(spec.bytes, ToAllocKind(spec.kind));
+  auto alloc = dev_->host_memory().FindAllocation(vaddr);
+  dev_->svm().RegisterHostBuffer(vaddr, alloc->bytes);
+  // Pre-warm this vFPGA's TLB for the buffer's pages.
+  mmu::Mmu& mmu = dev_->vfpga_mmu(vfpga_id_);
+  const uint64_t page = dev_->svm().page_table().page_bytes();
+  for (uint64_t a = vaddr; a < vaddr + alloc->bytes; a += page) {
+    if (auto entry = dev_->svm().page_table().Find(a)) {
+      mmu.tlb().Insert(a, *entry);
+    }
+  }
+  return vaddr;
+}
+
+bool CThread::FreeMem(uint64_t vaddr) {
+  auto alloc = dev_->host_memory().FindAllocation(vaddr);
+  if (!alloc) {
+    return false;
+  }
+  const uint64_t page = dev_->svm().page_table().page_bytes();
+  for (uint64_t a = vaddr; a < vaddr + alloc->bytes; a += page) {
+    dev_->svm().page_table().Unmap(a);
+    dev_->vfpga_mmu(vfpga_id_).InvalidateTlb(a);
+  }
+  return dev_->host_memory().Free(vaddr);
+}
+
+void CThread::WriteBuffer(uint64_t vaddr, const void* src, uint64_t len) {
+  dev_->svm().WriteVirtual(vaddr, src, len);
+}
+
+void CThread::ReadBuffer(uint64_t vaddr, void* dst, uint64_t len) {
+  dev_->svm().ReadVirtual(vaddr, dst, len);
+}
+
+void CThread::SetCsr(uint64_t value, uint32_t index) {
+  // Posted BAR write: charge the PCIe latency, then the register updates.
+  auto& region = dev_->vfpga(vfpga_id_);
+  dev_->engine().ScheduleAfter(dev_->xdma().config().bar_write_latency,
+                               [&region, value, index]() { region.csr().Write(index, value); });
+  // The host program "blocks" for the posted write to drain so that
+  // subsequent invokes observe the register (simplest coherent model).
+  dev_->engine().RunUntil(dev_->engine().Now() + dev_->xdma().config().bar_write_latency);
+}
+
+uint64_t CThread::GetCsr(uint32_t index) {
+  // Non-posted read: full round trip before the value is available.
+  dev_->engine().RunUntil(dev_->engine().Now() + dev_->xdma().config().bar_read_latency);
+  return dev_->vfpga(vfpga_id_).csr().Read(index);
+}
+
+uint32_t CThread::StreamFor(uint32_t requested) const {
+  if (requested != SgEntry::kAutoStream) {
+    return requested;
+  }
+  return ctid_ % dev_->vfpga(vfpga_id_).config().num_host_streams;
+}
+
+void CThread::FinishTask(uint64_t task_id, bool ok, bool write_direction) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return;
+  }
+  it->second.ok = it->second.ok && ok;
+  if (--it->second.remaining == 0) {
+    dev_->writeback().Complete({vfpga_id_, ctid_, write_direction});
+  }
+}
+
+CThread::Task CThread::Invoke(Oper oper, const SgEntry& sg) {
+  const uint64_t task_id = next_task_id_++;
+  TaskState& state = tasks_[task_id];
+  state.remaining = 0;
+
+  auto& region = dev_->vfpga(vfpga_id_);
+  auto& mover = dev_->data_mover();
+  const sim::TimePs start = dev_->engine().Now() + dev_->config().invoke_latency;
+
+  const uint32_t src_stream = StreamFor(sg.local.src_stream);
+  const uint32_t dst_stream = StreamFor(sg.local.dst_stream);
+
+  switch (oper) {
+    case Oper::kNoop:
+      break;
+    case Oper::kLocalTransfer:
+    case Oper::kLocalRead:
+    case Oper::kLocalWrite: {
+      if (oper != Oper::kLocalWrite && sg.local.src_len > 0) {
+        ++state.remaining;
+        dyn::TransferRequest req{vfpga_id_, ctid_, src_stream, sg.local.src_addr,
+                                 sg.local.src_len, sg.local.src_target};
+        axi::Stream* dst = sg.local.src_target == mmu::MemKind::kCard
+                               ? &region.card_in(src_stream)
+                               : &region.host_in(src_stream);
+        dev_->engine().ScheduleAt(start, [this, task_id, req, dst, &mover]() {
+          mover.Read(req, dst, [this, task_id](bool ok) { FinishTask(task_id, ok, false); });
+        });
+      }
+      if (oper != Oper::kLocalRead && sg.local.dst_len > 0) {
+        ++state.remaining;
+        dyn::TransferRequest req{vfpga_id_, ctid_, dst_stream, sg.local.dst_addr,
+                                 sg.local.dst_len, sg.local.dst_target};
+        axi::Stream* src = sg.local.dst_target == mmu::MemKind::kCard
+                               ? &region.card_out(dst_stream)
+                               : &region.host_out(dst_stream);
+        dev_->engine().ScheduleAt(start, [this, task_id, req, src, &mover]() {
+          mover.Write(req, src, [this, task_id](bool ok) { FinishTask(task_id, ok, true); });
+        });
+      }
+      break;
+    }
+    case Oper::kMigrateToCard:
+    case Oper::kMigrateToHost: {
+      ++state.remaining;
+      const mmu::MemKind target =
+          oper == Oper::kMigrateToCard ? mmu::MemKind::kCard : mmu::MemKind::kHost;
+      dev_->engine().ScheduleAt(start, [this, task_id, sg, target, &mover]() {
+        mover.Migrate(vfpga_id_, sg.local.src_addr, sg.local.src_len, target,
+                      [this, task_id](bool ok) { FinishTask(task_id, ok, true); });
+      });
+      break;
+    }
+    case Oper::kStorageRead:
+    case Oper::kStorageWrite: {
+      memsys::NvmeDrive* drive = dev_->nvme();
+      ++state.remaining;
+      if (drive == nullptr) {
+        // Shell built without the storage service: the request faults.
+        dev_->engine().ScheduleAt(start, [this, task_id]() {
+          FinishTask(task_id, false, true);
+        });
+        break;
+      }
+      const uint32_t block = drive->config().block_bytes;
+      const uint32_t blocks =
+          static_cast<uint32_t>((sg.storage.len + block - 1) / block);
+      const bool is_read = oper == Oper::kStorageRead;
+      dev_->engine().ScheduleAt(start, [this, task_id, sg, drive, blocks, is_read]() {
+        const uint64_t byte_addr = sg.storage.lba * drive->config().block_bytes;
+        if (is_read) {
+          drive->ReadCommand(sg.storage.lba, blocks, vfpga_id_,
+                             [this, task_id, sg, drive, byte_addr]() {
+                               std::vector<uint8_t> buf(sg.storage.len);
+                               drive->store().Read(byte_addr, buf.data(), buf.size());
+                               dev_->svm().WriteVirtual(sg.storage.vaddr, buf.data(),
+                                                        buf.size());
+                               FinishTask(task_id, true, false);
+                             });
+        } else {
+          std::vector<uint8_t> buf(sg.storage.len);
+          dev_->svm().ReadVirtual(sg.storage.vaddr, buf.data(), buf.size());
+          drive->store().Write(byte_addr, buf.data(), buf.size());
+          drive->WriteCommand(sg.storage.lba, blocks, vfpga_id_,
+                              [this, task_id]() { FinishTask(task_id, true, true); });
+        }
+      });
+      break;
+    }
+    case Oper::kRemoteWrite:
+    case Oper::kRemoteRead: {
+      net::RoceStack* roce = dev_->roce();
+      assert(roce != nullptr && "shell was built without the RDMA service");
+      ++state.remaining;
+      const bool is_write = oper == Oper::kRemoteWrite;
+      dev_->engine().ScheduleAt(start, [this, task_id, sg, roce, is_write]() {
+        auto done = [this, task_id](bool ok) { FinishTask(task_id, ok, true); };
+        if (is_write) {
+          roce->PostWrite(sg.rdma.qpn, sg.rdma.local_addr, sg.rdma.remote_addr, sg.rdma.len,
+                          done);
+        } else {
+          roce->PostRead(sg.rdma.qpn, sg.rdma.local_addr, sg.rdma.remote_addr, sg.rdma.len,
+                         done);
+        }
+      });
+      break;
+    }
+  }
+
+  if (state.remaining == 0) {
+    state.remaining = 1;
+    dev_->engine().ScheduleAt(start, [this, task_id]() { FinishTask(task_id, true, false); });
+  }
+  return Task{task_id};
+}
+
+bool CThread::CheckCompleted(Task task) const {
+  auto it = tasks_.find(task.id);
+  return it != tasks_.end() && it->second.remaining == 0;
+}
+
+bool CThread::Wait(Task task) {
+  dev_->WaitFor([this, task]() { return CheckCompleted(task); });
+  auto it = tasks_.find(task.id);
+  return it != tasks_.end() && it->second.ok;
+}
+
+void CThread::SetInterruptCallback(std::function<void(uint64_t value)> cb) {
+  // eventfd-style: the driver routes this vFPGA's user vector to the
+  // callback. One callback per vFPGA in this model; last writer wins, as
+  // with re-registering an eventfd.
+  const uint32_t id = vfpga_id_;
+  dev_->SetUserInterruptCallback(
+      [id, cb = std::move(cb)](uint32_t vfpga_id, uint64_t value) {
+        if (vfpga_id == id && cb) {
+          cb(value);
+        }
+      });
+}
+
+uint32_t CThread::CreateQp() {
+  assert(dev_->roce() != nullptr);
+  return dev_->roce()->CreateQp();
+}
+
+void CThread::ConnectQp(uint32_t local_qpn, uint32_t remote_ip, uint32_t remote_qpn) {
+  assert(dev_->roce() != nullptr);
+  dev_->roce()->Connect(local_qpn, remote_ip, remote_qpn);
+}
+
+}  // namespace runtime
+}  // namespace coyote

@@ -1,0 +1,158 @@
+// cThread: the Coyote v2 user-facing execution abstraction (paper §7.3).
+//
+// A cThread is a software thread bound to one vFPGA pipeline. Multiple
+// cThreads share the same vFPGA (hardware multi-threading): each carries a
+// distinct thread id that rides the AXI TID field and, by default, a
+// distinct subset of the parallel data streams, giving data isolation
+// without software interleaving (§9.5).
+//
+// API surface follows the paper's Code 1: GetMem/SetCsr/Invoke plus
+// completion checking and user-interrupt callbacks (eventfd-style).
+//
+// Naming note: the class is CThread per style; `cThread` is provided as an
+// alias so examples read like the paper.
+
+#ifndef SRC_RUNTIME_CTHREAD_H_
+#define SRC_RUNTIME_CTHREAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/mmu/types.h"
+#include "src/runtime/device.h"
+
+namespace coyote {
+namespace runtime {
+
+// Allocation kinds, after the paper's Alloc::{REG, THP, HPF} spellings.
+enum class Alloc : uint8_t {
+  kReg,     // regular 4 KB pages
+  kHpf,     // 2 MB hugepages
+  kHuge1G,  // 1 GB hugepages
+};
+
+struct AllocSpec {
+  Alloc kind = Alloc::kHpf;
+  uint64_t bytes = 0;
+};
+
+// Scatter-gather entry (the paper's sgEntry). `local` drives LOCAL_*
+// operations, `rdma` the REMOTE_* ones.
+struct SgEntry {
+  struct Local {
+    uint64_t src_addr = 0;
+    uint64_t src_len = 0;
+    uint64_t dst_addr = 0;
+    uint64_t dst_len = 0;
+    // Stream selection; kAutoStream picks the cThread's default lane.
+    uint32_t src_stream = kAutoStream;
+    uint32_t dst_stream = kAutoStream;
+    mmu::MemKind src_target = mmu::MemKind::kHost;
+    mmu::MemKind dst_target = mmu::MemKind::kHost;
+  } local;
+
+  struct Rdma {
+    uint32_t qpn = 0;
+    uint64_t local_addr = 0;
+    uint64_t remote_addr = 0;
+    uint64_t len = 0;
+  } rdma;
+
+  struct Storage {
+    uint64_t lba = 0;    // logical block address on the NVMe drive
+    uint64_t vaddr = 0;  // memory side (shared virtual address)
+    uint64_t len = 0;    // bytes; rounded up to whole blocks on the drive
+  } storage;
+
+  static constexpr uint32_t kAutoStream = 0xFFFF'FFFF;
+};
+
+enum class Oper : uint8_t {
+  kNoop,
+  kLocalTransfer,  // src -> kernel -> dst (the paper's LOCAL_TRANSFER)
+  kLocalRead,      // src -> kernel only
+  kLocalWrite,     // kernel -> dst only
+  kMigrateToCard,  // move buffer pages to HBM/DDR (migration channel)
+  kMigrateToHost,
+  kRemoteWrite,    // RDMA write through the network service
+  kRemoteRead,
+  kStorageRead,    // NVMe -> memory through the storage service (§10)
+  kStorageWrite,   // memory -> NVMe
+};
+
+class CThread {
+ public:
+  // `ctid` < 0 allocates the next id for this vFPGA (the paper passes
+  // getpid(); any stable integer works).
+  CThread(SimDevice* dev, uint32_t vfpga_id, int64_t ctid = -1);
+
+  uint32_t vfpga_id() const { return vfpga_id_; }
+  uint32_t ctid() const { return ctid_; }
+  SimDevice& device() { return *dev_; }
+
+  // --- Memory ------------------------------------------------------------------
+  // Allocates host memory, maps it into the shared virtual address space and
+  // pre-warms this vFPGA's TLB (paper: "getMem adds src and dst to the TLB").
+  uint64_t GetMem(const AllocSpec& spec);
+  bool FreeMem(uint64_t vaddr);
+
+  // Host-side access to allocated buffers (the simulated equivalent of
+  // dereferencing the returned pointer).
+  void WriteBuffer(uint64_t vaddr, const void* src, uint64_t len);
+  void ReadBuffer(uint64_t vaddr, void* dst, uint64_t len);
+
+  // --- Control registers (BAR-mapped AXI4-Lite, §7.1) ----------------------------
+  void SetCsr(uint64_t value, uint32_t index);
+  uint64_t GetCsr(uint32_t index);
+
+  // --- Kernel invocation -----------------------------------------------------------
+  struct Task {
+    uint64_t id = 0;
+  };
+  Task Invoke(Oper oper, const SgEntry& sg);
+  bool CheckCompleted(Task task) const;
+  // Blocks (advances simulated time) until the task completes. Returns
+  // whether the task succeeded.
+  bool Wait(Task task);
+  bool InvokeSync(Oper oper, const SgEntry& sg) { return Wait(Invoke(oper, sg)); }
+
+  // --- Interrupts -----------------------------------------------------------------
+  // Registers the eventfd-style callback for user interrupts raised by this
+  // vFPGA's kernel.
+  void SetInterruptCallback(std::function<void(uint64_t value)> cb);
+
+  // --- RDMA ------------------------------------------------------------------------
+  // Creates and connects a QP through the shell's network service.
+  uint32_t CreateQp();
+  void ConnectQp(uint32_t local_qpn, uint32_t remote_ip, uint32_t remote_qpn);
+
+  uint64_t tasks_issued() const { return next_task_id_; }
+
+ private:
+  uint32_t StreamFor(uint32_t requested) const;
+  void FinishTask(uint64_t task_id, bool ok, bool write_direction);
+
+  SimDevice* dev_;
+  uint32_t vfpga_id_;
+  uint32_t ctid_;
+
+  struct TaskState {
+    int remaining = 0;
+    bool ok = true;
+  };
+  std::map<uint64_t, TaskState> tasks_;
+  uint64_t next_task_id_ = 0;
+
+  uint64_t rd_writeback_addr_ = 0;
+  uint64_t wr_writeback_addr_ = 0;
+};
+
+// Paper-style spelling.
+using cThread = CThread;
+
+}  // namespace runtime
+}  // namespace coyote
+
+#endif  // SRC_RUNTIME_CTHREAD_H_

@@ -1,0 +1,274 @@
+#include "src/runtime/device.h"
+
+#include <utility>
+
+namespace coyote {
+namespace runtime {
+
+namespace {
+
+// Card memory geometry follows the part unless the caller overrode it.
+memsys::CardMemory::Config CardConfigFor(const SimDevice::Config& config) {
+  memsys::CardMemory::Config cfg = config.card;
+  if (cfg.num_channels == 0) {
+    cfg.num_channels = config.part.memory_channels;
+  }
+  cfg.capacity_bytes = config.part.memory_bytes;
+  return cfg;
+}
+
+}  // namespace
+
+SimDevice::SimDevice(const Config& config, net::Network* network, sim::Engine* shared_engine)
+    : config_(config),
+      owned_engine_(shared_engine == nullptr ? std::make_unique<sim::Engine>() : nullptr),
+      engine_(shared_engine == nullptr ? owned_engine_.get() : shared_engine),
+      floorplan_(fabric::Floorplan::ForPart(config.part, config.shell.num_vfpgas)),
+      card_(std::make_unique<memsys::CardMemory>(engine_, CardConfigFor(config))),
+      svm_(engine_, &host_, card_.get(), &gpu_, config.shell.page_bytes),
+      nvme_drive_(engine_, memsys::NvmeDrive::Config{}),
+      network_(network) {
+  active_shell_ = config_.shell;
+
+  xdma_ = std::make_unique<dyn::XdmaCore>(engine_, config_.xdma);
+  mover_ = std::make_unique<dyn::DataMover>(engine_, &svm_, card_.get(), &gpu_, xdma_.get(),
+                                            config_.data_mover);
+  writeback_ = std::make_unique<dyn::WritebackEngine>(engine_, &host_, &xdma_->c2h());
+  reconfig_ = std::make_unique<fabric::ReconfigController>(engine_,
+                                                           config_.xdma.h2c_bps);
+  svm_.set_hooks(mover_->MakeMigrationHooks());
+
+  // MSI-X dispatch: the driver demultiplexes interrupt sources (§5.1).
+  xdma_->SetMsixHandler([this](uint32_t vector, uint64_t value) {
+    if (vector == dyn::kMsixPageFault) {
+      ++page_faults_seen_;
+    } else if (vector == dyn::kMsixReconfigDone) {
+      ++reconfigs_seen_;
+    } else if (vector >= dyn::kMsixUserBase) {
+      if (user_irq_cb_) {
+        user_irq_cb_(vector - dyn::kMsixUserBase, value);
+      }
+    }
+  });
+
+  // Application layer: one region + one MMU per vFPGA.
+  vfpga::Vfpga::Config vcfg = config_.vfpga;
+  if (config_.v1_compat) {
+    vcfg.num_host_streams = 1;  // Coyote v1: a single host stream
+    vcfg.num_card_streams = 1;
+  }
+  for (uint32_t i = 0; i < config_.shell.num_vfpgas; ++i) {
+    vfpgas_.push_back(std::make_unique<vfpga::Vfpga>(engine_, i, vcfg));
+    mmu::Mmu::Config mcfg;
+    mcfg.tlb.entries = config_.shell.tlb_entries;
+    mcfg.tlb.associativity = config_.shell.tlb_associativity;
+    mcfg.tlb.page_bytes = config_.shell.page_bytes;
+    mmus_.push_back(std::make_unique<mmu::Mmu>(engine_, &svm_.page_table(), mcfg));
+    mover_->RegisterVfpga(i, mmus_.back().get());
+
+    // Interrupt channel: user interrupts become MSI-X vectors.
+    vfpga::Vfpga* region = vfpgas_.back().get();
+    region->SetInterruptHandler([this, i](uint64_t value) {
+      xdma_->RaiseMsix(dyn::kMsixUserBase + i, value);
+    });
+    // Send queues: hardware-issued DMA descriptors execute in the dynamic
+    // layer without host involvement (§7.1).
+    region->SetSendHandler([this, region, i](const vfpga::SendQueueEntry& e) {
+      dyn::TransferRequest req{
+          .vfpga_id = i, .tid = e.tid, .stream = e.stream, .vaddr = e.vaddr,
+          .bytes = e.bytes, .target = e.target};
+      if (e.remote && roce_) {
+        if (e.is_write) {
+          roce_->PostWrite(e.qpn, e.vaddr, e.vaddr, e.bytes, [region, e](bool ok) {
+            region->PushCompletion({true, e.stream, e.tid, e.bytes, ok});
+          });
+        }
+        return;
+      }
+      if (e.is_write) {
+        mover_->Write(req, e.target == mmu::MemKind::kCard ? &region->card_out(e.stream)
+                                                           : &region->host_out(e.stream),
+                      [region, e](bool ok) {
+                        region->PushCompletion({true, e.stream, e.tid, e.bytes, ok});
+                      });
+      } else {
+        mover_->Read(req, e.target == mmu::MemKind::kCard ? &region->card_in(e.stream)
+                                                          : &region->host_in(e.stream),
+                     [region, e](bool ok) {
+                       region->PushCompletion({false, e.stream, e.tid, e.bytes, ok});
+                     });
+      }
+    });
+  }
+
+  BuildShellServices();
+
+  // Publish live shell counters through the control BAR (read hooks, so each
+  // BAR read observes the current value — like reading a status register).
+  auto& bar = xdma_->bar();
+  bar.SetReadHook(kStatusH2cBytes, [this](uint32_t) { return xdma_->h2c().total_bytes(); });
+  bar.SetReadHook(kStatusC2hBytes, [this](uint32_t) { return xdma_->c2h().total_bytes(); });
+  bar.SetReadHook(kStatusPacketsMoved, [this](uint32_t) { return mover_->packets_moved(); });
+  bar.SetReadHook(kStatusPageFaults, [this](uint32_t) { return mover_->page_fault_irqs(); });
+  bar.SetReadHook(kStatusWritebacks, [this](uint32_t) { return writeback_->writebacks(); });
+  bar.SetReadHook(kStatusMsixRaised, [this](uint32_t) { return xdma_->msix_raised(); });
+  bar.SetReadHook(kStatusMigrations, [this](uint32_t) { return svm_.migrations(); });
+  for (uint32_t i = 0; i < config_.shell.num_vfpgas; ++i) {
+    const uint32_t base = kStatusVfpgaBase + i * kStatusStride;
+    bar.SetReadHook(base + kStatusTlbHits,
+                    [this, i](uint32_t) { return mmus_[i]->tlb().hits(); });
+    bar.SetReadHook(base + kStatusTlbMisses,
+                    [this, i](uint32_t) { return mmus_[i]->tlb().misses(); });
+    bar.SetReadHook(base + kStatusUserIrqs,
+                    [this, i](uint32_t) { return vfpgas_[i]->user_interrupts(); });
+    bar.SetReadHook(base + kStatusSendsPosted,
+                    [this, i](uint32_t) { return vfpgas_[i]->sends_posted(); });
+  }
+}
+
+SimDevice::~SimDevice() = default;
+
+void SimDevice::BuildShellServices() {
+  if (active_shell_.HasService(fabric::Service::kRdma) && network_ != nullptr) {
+    roce_ = std::make_unique<net::RoceStack>(engine_, network_, config_.ip, &svm_);
+  }
+  if (active_shell_.HasService(fabric::Service::kTcp) && network_ != nullptr) {
+    tcp_ = std::make_unique<net::TcpStack>(engine_, network_, config_.ip, &svm_);
+  }
+  if (active_shell_.HasService(fabric::Service::kSniffer)) {
+    sniffer_ = std::make_unique<net::TrafficSniffer>(engine_);
+    if (roce_) {
+      net::TrafficSniffer* sniff = sniffer_.get();
+      roce_->SetTap([sniff](const std::vector<uint8_t>& frame, bool is_tx) {
+        sniff->OnFrame(frame, is_tx);
+      });
+    }
+  }
+}
+
+void SimDevice::TearDownShellServices() {
+  if (roce_) {
+    roce_->SetTap(nullptr);
+  }
+  sniffer_.reset();
+  roce_.reset();
+  tcp_.reset();
+}
+
+void SimDevice::RegisterKernelFactory(const std::string& name, KernelFactory factory) {
+  kernel_factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<vfpga::HwKernel> SimDevice::MakeKernelFor(const std::string& bitstream_name) {
+  // "app:<kernel>" -> "<kernel>".
+  std::string key = bitstream_name;
+  if (key.rfind("app:", 0) == 0) {
+    key = key.substr(4);
+  }
+  auto it = kernel_factories_.find(key);
+  if (it == kernel_factories_.end()) {
+    return nullptr;
+  }
+  return it->second();
+}
+
+void SimDevice::WriteBitstreamFile(const std::string& path,
+                                   const fabric::PartialBitstream& bs) {
+  bitstream_files_[path] = bs;
+}
+
+const fabric::PartialBitstream* SimDevice::FindBitstreamFile(const std::string& path) const {
+  auto it = bitstream_files_.find(path);
+  return it == bitstream_files_.end() ? nullptr : &it->second;
+}
+
+SimDevice::ReconfigResult SimDevice::StageAndProgram(const fabric::PartialBitstream& bs) {
+  ReconfigResult result;
+  const sim::TimePs start = engine_->Now();
+
+  // Host side: read the bitstream from disk and copy it into kernel space
+  // (the Table 3 "total latency" components)...
+  const sim::TimePs disk = sim::TransferTime(bs.size_bytes, config_.disk_read_bps);
+  const sim::TimePs copy = sim::TransferTime(bs.size_bytes, config_.kernel_copy_bps);
+  const sim::TimePs staged_at = start + config_.ioctl_latency + disk + copy;
+
+  // ...then the ICAP programs the region (the "kernel latency").
+  bool done = false;
+  engine_->ScheduleAt(staged_at, [this, &bs, &done]() {
+    reconfig_->ProgramAsync(bs.size_bytes, [this, &done]() {
+      xdma_->RaiseMsix(dyn::kMsixReconfigDone, 0);
+      done = true;
+    });
+  });
+  engine_->RunUntilCondition([&done]() { return done; });
+
+  result.ok = true;
+  result.kernel_latency = reconfig_->ProgramLatency(bs.size_bytes);
+  result.total_latency = engine_->Now() - start;
+  return result;
+}
+
+SimDevice::ReconfigResult SimDevice::ReconfigureShell(const std::string& bitstream_path) {
+  ReconfigResult result;
+  if (config_.v1_compat) {
+    result.error = "Coyote v1 cannot reconfigure the service layer without a reboot";
+    return result;
+  }
+  const fabric::PartialBitstream* bs = FindBitstreamFile(bitstream_path);
+  if (bs == nullptr) {
+    result.error = "no such bitstream: " + bitstream_path;
+    return result;
+  }
+  if (!bs->IsShell()) {
+    result.error = "bitstream does not target the shell (dynamic) layer";
+    return result;
+  }
+
+  result = StageAndProgram(*bs);
+
+  // Swap the service layer and reset the application regions: a shell
+  // reconfiguration replaces both (§4).
+  TearDownShellServices();
+  active_shell_ = bs->shell_config;
+  for (auto& region : vfpgas_) {
+    region->UnloadKernel();
+  }
+  BuildShellServices();
+  return result;
+}
+
+SimDevice::ReconfigResult SimDevice::ReconfigureApp(const std::string& bitstream_path,
+                                                    uint32_t vfpga_id) {
+  ReconfigResult result;
+  const fabric::PartialBitstream* bs = FindBitstreamFile(bitstream_path);
+  if (bs == nullptr) {
+    result.error = "no such bitstream: " + bitstream_path;
+    return result;
+  }
+  if (bs->IsShell()) {
+    result.error = "bitstream targets the shell, not a vFPGA region";
+    return result;
+  }
+  if (vfpga_id >= vfpgas_.size()) {
+    result.error = "vFPGA index out of range";
+    return result;
+  }
+  // Link-time fail-safe (§4): the app must have been linked against the
+  // currently active shell configuration.
+  if (bs->shell_config_id != active_shell_.ConfigId()) {
+    result.error = "bitstream was linked against a different shell configuration";
+    return result;
+  }
+  std::unique_ptr<vfpga::HwKernel> kernel = MakeKernelFor(bs->name);
+  if (kernel == nullptr) {
+    result.error = "no kernel registered for bitstream '" + bs->name + "'";
+    return result;
+  }
+
+  result = StageAndProgram(*bs);
+  vfpgas_[vfpga_id]->LoadKernel(std::move(kernel));
+  return result;
+}
+
+}  // namespace runtime
+}  // namespace coyote

@@ -1,0 +1,119 @@
+#include "src/runtime/scheduler.h"
+
+#include <algorithm>
+
+namespace coyote {
+namespace runtime {
+
+size_t KernelScheduler::PickRequest() {
+  if (policy_ != Policy::kPriority) {
+    return 0;  // FIFO head
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i].priority > queue_[best].priority) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+int KernelScheduler::PickRegion(const Request& request) {
+  int first_free = -1;
+  for (uint32_t i = 0; i < region_state_.size(); ++i) {
+    if (region_state_[i].busy) {
+      continue;
+    }
+    if (policy_ == Policy::kAffinity &&
+        region_state_[i].resident_bitstream == request.bitstream_path) {
+      return static_cast<int>(i);  // hot region: no reconfiguration needed
+    }
+    if (first_free < 0) {
+      first_free = static_cast<int>(i);
+    }
+  }
+  if (policy_ == Policy::kAffinity && first_free >= 0) {
+    // Prefer an *empty* free region over evicting someone else's kernel, so
+    // hot kernels stay resident as long as capacity allows.
+    for (uint32_t i = 0; i < region_state_.size(); ++i) {
+      if (!region_state_[i].busy && region_state_[i].resident_bitstream.empty()) {
+        return static_cast<int>(i);
+      }
+    }
+  }
+  return first_free;
+}
+
+void KernelScheduler::Schedule() {
+  if (schedule_pending_) {
+    return;
+  }
+  schedule_pending_ = true;
+  dev_->engine().ScheduleAfter(0, [this]() {
+    schedule_pending_ = false;
+    DoSchedule();
+  });
+}
+
+void KernelScheduler::DoSchedule() {
+  // Reconfiguration advances simulated time and may re-enter the scheduler
+  // through nested event processing; serialize dispatching.
+  if (dispatching_) {
+    rerun_needed_ = true;  // a completion freed a region mid-dispatch
+    return;
+  }
+  dispatching_ = true;
+  do {
+    rerun_needed_ = false;
+    while (!queue_.empty()) {
+      const size_t req_index = PickRequest();
+      const int region = PickRegion(queue_[req_index]);
+      if (region < 0) {
+        break;  // all regions busy; completions re-enter Schedule()
+      }
+      Dispatch(req_index, static_cast<uint32_t>(region));
+    }
+  } while (rerun_needed_);
+  dispatching_ = false;
+}
+
+void KernelScheduler::Dispatch(size_t request_index, uint32_t vfpga_id) {
+  Request request = std::move(queue_[request_index]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(request_index));
+
+  RegionState& state = region_state_[vfpga_id];
+  state.busy = true;
+  ++busy_regions_;
+
+  if (state.resident_bitstream != request.bitstream_path) {
+    // Synchronous from the scheduler's perspective: the reconfiguration
+    // advances simulated time before the work starts.
+    const auto result = dev_->ReconfigureApp(request.bitstream_path, vfpga_id);
+    if (!result.ok) {
+      // Drop the request; count it completed so Idle() converges.
+      state.busy = false;
+      --busy_regions_;
+      ++completed_;
+      return;
+    }
+    state.resident_bitstream = request.bitstream_path;
+    ++reconfigurations_;
+  } else {
+    ++affinity_hits_;
+  }
+
+  auto done = [this, vfpga_id]() {
+    region_state_[vfpga_id].busy = false;
+    --busy_regions_;
+    ++completed_;
+    Schedule();
+  };
+  if (request.run) {
+    request.run(vfpga_id, std::move(done));
+  } else {
+    done();
+  }
+}
+
+}  // namespace runtime
+}  // namespace coyote

@@ -1,0 +1,243 @@
+#include "src/services/aes.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace coyote {
+namespace services {
+namespace {
+
+constexpr uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16};
+
+// Inverse S-box derived at startup (avoids a second typed table).
+const uint8_t* InvSbox() {
+  static const auto* inv = [] {
+    auto* t = new uint8_t[256];
+    for (int i = 0; i < 256; ++i) {
+      t[kSbox[i]] = static_cast<uint8_t>(i);
+    }
+    return t;
+  }();
+  return inv;
+}
+
+constexpr uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36};
+
+inline uint8_t Xtime(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+// GF(2^8) multiply (used by InvMixColumns).
+uint8_t Gmul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) {
+      p ^= a;
+    }
+    a = Xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+Aes128::Aes128(uint64_t key_lo, uint64_t key_hi) {
+  std::array<uint8_t, kKeyBytes> key;
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<uint8_t>(key_lo >> (8 * i));
+    key[8 + i] = static_cast<uint8_t>(key_hi >> (8 * i));
+  }
+  ExpandKey(key);
+}
+
+void Aes128::ExpandKey(const std::array<uint8_t, kKeyBytes>& key) {
+  std::memcpy(round_keys_.data(), key.data(), kKeyBytes);
+  for (int i = 4; i < 4 * (kRounds + 1); ++i) {
+    uint8_t t[4];
+    std::memcpy(t, &round_keys_[(i - 1) * 4], 4);
+    if (i % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      const uint8_t tmp = t[0];
+      t[0] = static_cast<uint8_t>(kSbox[t[1]] ^ kRcon[i / 4 - 1]);
+      t[1] = kSbox[t[2]];
+      t[2] = kSbox[t[3]];
+      t[3] = kSbox[tmp];
+    }
+    for (int b = 0; b < 4; ++b) {
+      round_keys_[i * 4 + b] = round_keys_[(i - 4) * 4 + b] ^ t[b];
+    }
+  }
+}
+
+void Aes128::EncryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes]) const {
+  uint8_t s[16];
+  std::memcpy(s, in, 16);
+
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i) {
+      s[i] ^= round_keys_[round * 16 + i];
+    }
+  };
+  auto sub_bytes = [&] {
+    for (auto& b : s) {
+      b = kSbox[b];
+    }
+  };
+  // State is column-major: s[r + 4c] with in[] filled column by column — we
+  // keep the flat FIPS byte order (s[i] = byte i), where row r of column c is
+  // s[4c + r]; ShiftRows rotates bytes {r, r+4, r+8, r+12}.
+  auto shift_rows = [&] {
+    uint8_t t[16];
+    std::memcpy(t, s, 16);
+    for (int c = 0; c < 4; ++c) {
+      s[4 * c + 1] = t[4 * ((c + 1) % 4) + 1];
+      s[4 * c + 2] = t[4 * ((c + 2) % 4) + 2];
+      s[4 * c + 3] = t[4 * ((c + 3) % 4) + 3];
+    }
+  };
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      uint8_t* col = &s[4 * c];
+      const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      const uint8_t t = a0 ^ a1 ^ a2 ^ a3;
+      col[0] = static_cast<uint8_t>(a0 ^ t ^ Xtime(a0 ^ a1));
+      col[1] = static_cast<uint8_t>(a1 ^ t ^ Xtime(a1 ^ a2));
+      col[2] = static_cast<uint8_t>(a2 ^ t ^ Xtime(a2 ^ a3));
+      col[3] = static_cast<uint8_t>(a3 ^ t ^ Xtime(a3 ^ a0));
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round < kRounds; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(kRounds);
+  std::memcpy(out, s, 16);
+}
+
+void Aes128::DecryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes]) const {
+  uint8_t s[16];
+  std::memcpy(s, in, 16);
+  const uint8_t* inv_sbox = InvSbox();
+
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i) {
+      s[i] ^= round_keys_[round * 16 + i];
+    }
+  };
+  auto inv_sub_bytes = [&] {
+    for (auto& b : s) {
+      b = inv_sbox[b];
+    }
+  };
+  auto inv_shift_rows = [&] {
+    uint8_t t[16];
+    std::memcpy(t, s, 16);
+    for (int c = 0; c < 4; ++c) {
+      s[4 * c + 1] = t[4 * ((c + 3) % 4) + 1];
+      s[4 * c + 2] = t[4 * ((c + 2) % 4) + 2];
+      s[4 * c + 3] = t[4 * ((c + 1) % 4) + 3];
+    }
+  };
+  auto inv_mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      uint8_t* col = &s[4 * c];
+      const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = Gmul(a0, 0x0e) ^ Gmul(a1, 0x0b) ^ Gmul(a2, 0x0d) ^ Gmul(a3, 0x09);
+      col[1] = Gmul(a0, 0x09) ^ Gmul(a1, 0x0e) ^ Gmul(a2, 0x0b) ^ Gmul(a3, 0x0d);
+      col[2] = Gmul(a0, 0x0d) ^ Gmul(a1, 0x09) ^ Gmul(a2, 0x0e) ^ Gmul(a3, 0x0b);
+      col[3] = Gmul(a0, 0x0b) ^ Gmul(a1, 0x0d) ^ Gmul(a2, 0x09) ^ Gmul(a3, 0x0e);
+    }
+  };
+
+  add_round_key(kRounds);
+  for (int round = kRounds - 1; round >= 1; --round) {
+    inv_shift_rows();
+    inv_sub_bytes();
+    add_round_key(round);
+    inv_mix_columns();
+  }
+  inv_shift_rows();
+  inv_sub_bytes();
+  add_round_key(0);
+  std::memcpy(out, s, 16);
+}
+
+std::vector<uint8_t> Aes128::EncryptEcb(const std::vector<uint8_t>& plain) const {
+  assert(plain.size() % kBlockBytes == 0);
+  std::vector<uint8_t> out(plain.size());
+  for (size_t i = 0; i < plain.size(); i += kBlockBytes) {
+    EncryptBlock(&plain[i], &out[i]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> Aes128::DecryptEcb(const std::vector<uint8_t>& cipher) const {
+  assert(cipher.size() % kBlockBytes == 0);
+  std::vector<uint8_t> out(cipher.size());
+  for (size_t i = 0; i < cipher.size(); i += kBlockBytes) {
+    DecryptBlock(&cipher[i], &out[i]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> Aes128::EncryptCbc(const std::vector<uint8_t>& plain,
+                                        const std::array<uint8_t, kBlockBytes>& iv) const {
+  assert(plain.size() % kBlockBytes == 0);
+  std::vector<uint8_t> out(plain.size());
+  uint8_t chain[kBlockBytes];
+  std::memcpy(chain, iv.data(), kBlockBytes);
+  for (size_t i = 0; i < plain.size(); i += kBlockBytes) {
+    uint8_t x[kBlockBytes];
+    for (size_t b = 0; b < kBlockBytes; ++b) {
+      x[b] = plain[i + b] ^ chain[b];
+    }
+    EncryptBlock(x, &out[i]);
+    std::memcpy(chain, &out[i], kBlockBytes);
+  }
+  return out;
+}
+
+std::vector<uint8_t> Aes128::DecryptCbc(const std::vector<uint8_t>& cipher,
+                                        const std::array<uint8_t, kBlockBytes>& iv) const {
+  assert(cipher.size() % kBlockBytes == 0);
+  std::vector<uint8_t> out(cipher.size());
+  uint8_t chain[kBlockBytes];
+  std::memcpy(chain, iv.data(), kBlockBytes);
+  for (size_t i = 0; i < cipher.size(); i += kBlockBytes) {
+    uint8_t d[kBlockBytes];
+    DecryptBlock(&cipher[i], d);
+    for (size_t b = 0; b < kBlockBytes; ++b) {
+      out[i + b] = d[b] ^ chain[b];
+    }
+    std::memcpy(chain, &cipher[i], kBlockBytes);
+  }
+  return out;
+}
+
+}  // namespace services
+}  // namespace coyote

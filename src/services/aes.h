@@ -1,0 +1,52 @@
+// AES-128 (FIPS-197).
+//
+// Functional model of the AES core used by the multi-tenant ECB benchmark
+// (Fig. 8) and the multi-threaded CBC benchmark (Figs. 9/10). Real
+// cryptography, verified against FIPS-197 / NIST SP 800-38A vectors, so
+// end-to-end tests can check ciphertext correctness, not just byte counts.
+
+#ifndef SRC_SERVICES_AES_H_
+#define SRC_SERVICES_AES_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coyote {
+namespace services {
+
+class Aes128 {
+ public:
+  static constexpr size_t kBlockBytes = 16;
+  static constexpr size_t kKeyBytes = 16;
+  static constexpr int kRounds = 10;  // also the hardware pipeline depth
+
+  explicit Aes128(const std::array<uint8_t, kKeyBytes>& key) { ExpandKey(key); }
+
+  // Convenience: key packed as two little-endian 64-bit words (the CSR
+  // layout the kernels use: reg0 = bytes 0..7, reg1 = bytes 8..15).
+  Aes128(uint64_t key_lo, uint64_t key_hi);
+
+  void EncryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes]) const;
+  void DecryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes]) const;
+
+  // Whole-buffer helpers (length must be a multiple of 16).
+  std::vector<uint8_t> EncryptEcb(const std::vector<uint8_t>& plain) const;
+  std::vector<uint8_t> DecryptEcb(const std::vector<uint8_t>& cipher) const;
+  std::vector<uint8_t> EncryptCbc(const std::vector<uint8_t>& plain,
+                                  const std::array<uint8_t, kBlockBytes>& iv) const;
+  std::vector<uint8_t> DecryptCbc(const std::vector<uint8_t>& cipher,
+                                  const std::array<uint8_t, kBlockBytes>& iv) const;
+
+ private:
+  void ExpandKey(const std::array<uint8_t, kKeyBytes>& key);
+
+  // Round keys: (kRounds + 1) * 16 bytes.
+  std::array<uint8_t, (kRounds + 1) * kBlockBytes> round_keys_{};
+};
+
+}  // namespace services
+}  // namespace coyote
+
+#endif  // SRC_SERVICES_AES_H_

@@ -1,0 +1,257 @@
+#include "src/services/compression.h"
+
+#include <cstring>
+
+namespace coyote {
+namespace services {
+namespace {
+
+// RLE format: a stream of (count, byte) pairs for runs >= 3 or literals
+// escaped as (0, n, bytes...). Encoded as:
+//   0x00, n (1..255), n literal bytes     — literal block
+//   c (1..255), b                         — run of c copies of b
+void RlePut(std::vector<uint8_t>& out, const uint8_t* lit, size_t n) {
+  while (n > 0) {
+    const size_t take = std::min<size_t>(n, 255);
+    out.push_back(0x00);
+    out.push_back(static_cast<uint8_t>(take));
+    out.insert(out.end(), lit, lit + take);
+    lit += take;
+    n -= take;
+  }
+}
+
+// LZ format (LZ4-flavoured): sequence of tokens.
+//   token: high nibble = literal length (15 => +extension bytes),
+//          low nibble  = match length - 4 (15 => +extension bytes)
+//   then literals, then 2-byte LE offset (absent after final literals).
+constexpr size_t kLzMinMatch = 4;
+constexpr uint32_t kLzHashSize = 1 << 13;
+
+uint32_t LzHash(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - 13);
+}
+
+void PutLength(std::vector<uint8_t>& out, size_t len) {
+  while (len >= 255) {
+    out.push_back(255);
+    len -= 255;
+  }
+  out.push_back(static_cast<uint8_t>(len));
+}
+
+}  // namespace
+
+std::string_view CodecName(Codec codec) {
+  return codec == Codec::kRle ? "rle" : "lz";
+}
+
+std::vector<uint8_t> RleCompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  size_t i = 0;
+  size_t lit_start = 0;
+  while (i < input.size()) {
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i] && run < 255) {
+      ++run;
+    }
+    if (run >= 3) {
+      if (i > lit_start) {
+        RlePut(out, &input[lit_start], i - lit_start);
+      }
+      out.push_back(static_cast<uint8_t>(run));
+      out.push_back(input[i]);
+      i += run;
+      lit_start = i;
+    } else {
+      i += run;
+    }
+  }
+  if (i > lit_start) {
+    RlePut(out, &input[lit_start], i - lit_start);
+  }
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> RleDecompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    const uint8_t c = input[i++];
+    if (c == 0x00) {
+      if (i >= input.size()) {
+        return std::nullopt;
+      }
+      const size_t n = input[i++];
+      if (i + n > input.size()) {
+        return std::nullopt;
+      }
+      out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(i),
+                 input.begin() + static_cast<ptrdiff_t>(i + n));
+      i += n;
+    } else {
+      if (i >= input.size()) {
+        return std::nullopt;
+      }
+      out.insert(out.end(), c, input[i++]);
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  const size_t n = input.size();
+  std::vector<int64_t> table(kLzHashSize, -1);
+
+  size_t i = 0;
+  size_t lit_start = 0;
+  while (n >= kLzMinMatch && i + kLzMinMatch <= n) {
+    // Find a match via the hash table.
+    const uint32_t h = LzHash(&input[i]);
+    const int64_t candidate = table[h];
+    table[h] = static_cast<int64_t>(i);
+    size_t match_len = 0;
+    if (candidate >= 0 && i - static_cast<size_t>(candidate) <= 0xFFFF &&
+        std::memcmp(&input[candidate], &input[i], kLzMinMatch) == 0) {
+      match_len = kLzMinMatch;
+      while (i + match_len < n &&
+             input[static_cast<size_t>(candidate) + match_len] == input[i + match_len]) {
+        ++match_len;
+      }
+    }
+    if (match_len >= kLzMinMatch) {
+      // Emit token: literals since lit_start + this match.
+      const size_t lit_len = i - lit_start;
+      const uint8_t tok_lit = static_cast<uint8_t>(std::min<size_t>(lit_len, 15));
+      const uint8_t tok_match =
+          static_cast<uint8_t>(std::min<size_t>(match_len - kLzMinMatch, 15));
+      out.push_back(static_cast<uint8_t>(tok_lit << 4 | tok_match));
+      if (lit_len >= 15) {
+        PutLength(out, lit_len - 15);
+      }
+      out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(lit_start),
+                 input.begin() + static_cast<ptrdiff_t>(i));
+      const uint16_t offset = static_cast<uint16_t>(i - static_cast<size_t>(candidate));
+      out.push_back(static_cast<uint8_t>(offset));
+      out.push_back(static_cast<uint8_t>(offset >> 8));
+      if (match_len - kLzMinMatch >= 15) {
+        PutLength(out, match_len - kLzMinMatch - 15);
+      }
+      i += match_len;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  // Final literal run (token with match nibble 0 and no offset).
+  const size_t lit_len = n - lit_start;
+  const uint8_t tok_lit = static_cast<uint8_t>(std::min<size_t>(lit_len, 15));
+  out.push_back(static_cast<uint8_t>(tok_lit << 4));
+  if (lit_len >= 15) {
+    PutLength(out, lit_len - 15);
+  }
+  out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(lit_start), input.end());
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> LzDecompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto read_length = [&](size_t base) -> std::optional<size_t> {
+    size_t len = base;
+    if (base == 15) {
+      for (;;) {
+        if (i >= n) {
+          return std::nullopt;
+        }
+        const uint8_t b = input[i++];
+        len += b;
+        if (b != 255) {
+          break;
+        }
+      }
+    }
+    return len;
+  };
+  while (i < n) {
+    const uint8_t token = input[i++];
+    auto lit_len = read_length(token >> 4);
+    if (!lit_len) {
+      return std::nullopt;
+    }
+    if (i + *lit_len > n) {
+      return std::nullopt;
+    }
+    out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(i),
+               input.begin() + static_cast<ptrdiff_t>(i + *lit_len));
+    i += *lit_len;
+    if (i >= n) {
+      break;  // final literal run
+    }
+    if (i + 2 > n) {
+      return std::nullopt;
+    }
+    const uint16_t offset = static_cast<uint16_t>(input[i] | input[i + 1] << 8);
+    i += 2;
+    if (offset == 0 || offset > out.size()) {
+      return std::nullopt;
+    }
+    auto match_extra = read_length(token & 0x0F);
+    if (!match_extra) {
+      return std::nullopt;
+    }
+    size_t match_len = kLzMinMatch + *match_extra;
+    size_t src = out.size() - offset;
+    // Byte-by-byte: overlapping matches replicate runs (as in LZ4).
+    for (size_t k = 0; k < match_len; ++k) {
+      out.push_back(out[src + k]);
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> Compress(Codec codec, const std::vector<uint8_t>& input) {
+  return codec == Codec::kRle ? RleCompress(input) : LzCompress(input);
+}
+
+std::optional<std::vector<uint8_t>> Decompress(Codec codec,
+                                               const std::vector<uint8_t>& input) {
+  return codec == Codec::kRle ? RleDecompress(input) : LzDecompress(input);
+}
+
+std::vector<uint8_t> CompressFramed(Codec codec, const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> frame(5);
+  const uint32_t size = static_cast<uint32_t>(input.size());
+  std::memcpy(frame.data(), &size, 4);
+  frame[4] = static_cast<uint8_t>(codec);
+  const std::vector<uint8_t> payload = Compress(codec, input);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::optional<std::vector<uint8_t>> DecompressFramed(const std::vector<uint8_t>& frame) {
+  if (frame.size() < 5) {
+    return std::nullopt;
+  }
+  uint32_t size = 0;
+  std::memcpy(&size, frame.data(), 4);
+  if (frame[4] > static_cast<uint8_t>(Codec::kLz)) {
+    return std::nullopt;
+  }
+  const Codec codec = static_cast<Codec>(frame[4]);
+  std::vector<uint8_t> payload(frame.begin() + 5, frame.end());
+  auto out = Decompress(codec, payload);
+  if (!out || out->size() != size) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace services
+}  // namespace coyote

@@ -1,0 +1,135 @@
+#include "src/services/hll.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/sim/clock.h"
+
+namespace coyote {
+namespace services {
+
+HllSketch::HllSketch(uint32_t precision) : precision_(precision) {
+  num_buckets_ = 1u << precision_;
+  buckets_.assign(num_buckets_, 0);
+  // Standard bias-correction constants (Flajolet et al.).
+  double alpha;
+  switch (num_buckets_) {
+    case 16:
+      alpha = 0.673;
+      break;
+    case 32:
+      alpha = 0.697;
+      break;
+    case 64:
+      alpha = 0.709;
+      break;
+    default:
+      alpha = 0.7213 / (1.0 + 1.079 / static_cast<double>(num_buckets_));
+      break;
+  }
+  alpha_mm_ = alpha * static_cast<double>(num_buckets_) * static_cast<double>(num_buckets_);
+}
+
+uint64_t HllSketch::Hash(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void HllSketch::Add(uint64_t item) {
+  const uint64_t h = Hash(item);
+  const uint32_t bucket = static_cast<uint32_t>(h >> (64 - precision_));
+  const uint64_t rest = h << precision_;
+  // Rank: position of the leftmost 1-bit in the remaining bits, 1-based;
+  // all-zero remainder gets the maximum rank.
+  const uint8_t rank =
+      rest == 0 ? static_cast<uint8_t>(64 - precision_ + 1)
+                : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  buckets_[bucket] = std::max(buckets_[bucket], rank);
+  ++items_;
+}
+
+double HllSketch::Estimate() const {
+  double sum = 0.0;
+  uint32_t zeros = 0;
+  for (uint8_t b : buckets_) {
+    sum += std::ldexp(1.0, -b);
+    if (b == 0) {
+      ++zeros;
+    }
+  }
+  double estimate = alpha_mm_ / sum;
+  // Small-range correction: linear counting.
+  const double m = static_cast<double>(num_buckets_);
+  if (estimate <= 2.5 * m && zeros != 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void HllSketch::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  items_ = 0;
+}
+
+void HllKernel::Attach(vfpga::Vfpga* region) {
+  region_ = region;
+  pipe_free_cycle_ = 0;
+  region->csr().SetWriteHook(kHllCsrCtrl, [this](uint32_t, uint64_t value) {
+    if (value & 1) {
+      sketch_.Clear();
+    }
+  });
+  region->host_in(0).set_on_data([this]() { Pump(); });
+  Pump();
+}
+
+void HllKernel::Detach() {
+  if (region_ != nullptr) {
+    region_->host_in(0).set_on_data(nullptr);
+    region_ = nullptr;
+  }
+}
+
+void HllKernel::Pump() {
+  auto& in = region_->host_in(0);
+  const sim::Clock& clk = sim::kSystemClock;
+  while (!in.Empty()) {
+    auto pkt = in.Pop();
+    const uint64_t n = pkt->data.size();
+
+    // Absorb 64-bit items. The dataflow design takes a full 512-bit beat of
+    // 8 items per cycle.
+    for (uint64_t off = 0; off + 8 <= n; off += 8) {
+      uint64_t item = 0;
+      std::memcpy(&item, &pkt->data[off], 8);
+      sketch_.Add(item);
+    }
+    region_->csr().Poke(kHllCsrCount, sketch_.items_added());
+
+    const uint64_t now_cycle = clk.PsToCycles(region_->engine()->Now());
+    const uint64_t start = std::max(now_cycle, pipe_free_cycle_);
+    const uint64_t busy = (n + axi::kDataBusBytes - 1) / axi::kDataBusBytes;
+    pipe_free_cycle_ = start + busy;
+
+    if (pkt->last) {
+      // Emit the 8-byte estimate once the pipeline drains.
+      const double estimate = sketch_.Estimate();
+      axi::StreamPacket out;
+      out.data.resize(8);
+      std::memcpy(out.data.data(), &estimate, 8);
+      out.tid = pkt->tid;
+      out.last = true;
+      vfpga::Vfpga* r = region_;
+      const sim::TimePs when = clk.CyclesToPs(pipe_free_cycle_ + kPipelineDepth);
+      region_->engine()->ScheduleAt(when, [r, out = std::move(out)]() mutable {
+        r->host_out(0).Push(std::move(out));
+      });
+    }
+  }
+}
+
+}  // namespace services
+}  // namespace coyote

@@ -1,0 +1,77 @@
+// HyperLogLog cardinality estimation (paper §9.6, after Kulkarni et al. [35]).
+//
+// Functional sketch (p-bit bucketing, 64-bit hashing, bias-corrected
+// estimator with linear-counting small-range correction) plus the hardware
+// kernel: a fully pipelined dataflow design that absorbs one 512-bit beat of
+// 64-bit items per cycle and emits the 8-byte estimate when the stream ends.
+
+#ifndef SRC_SERVICES_HLL_H_
+#define SRC_SERVICES_HLL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/axi/stream.h"
+#include "src/fabric/resources.h"
+#include "src/synth/module_library.h"
+#include "src/vfpga/kernel.h"
+#include "src/vfpga/vfpga.h"
+
+namespace coyote {
+namespace services {
+
+class HllSketch {
+ public:
+  explicit HllSketch(uint32_t precision = 14);
+
+  void Add(uint64_t item);
+  double Estimate() const;
+  void Clear();
+
+  uint32_t precision() const { return precision_; }
+  uint64_t items_added() const { return items_; }
+
+  // 64-bit avalanche hash (splitmix64 finalizer) — the same mixing quality
+  // class as the Murmur-style hash the FPGA implementation uses.
+  static uint64_t Hash(uint64_t x);
+
+ private:
+  uint32_t precision_;
+  uint32_t num_buckets_;
+  double alpha_mm_;  // alpha_m * m^2
+  std::vector<uint8_t> buckets_;
+  uint64_t items_ = 0;
+};
+
+// CSR layout for the HLL kernel.
+inline constexpr uint32_t kHllCsrCtrl = 0;    // write 1: clear the sketch
+inline constexpr uint32_t kHllCsrCount = 8;   // read: items absorbed so far
+
+class HllKernel : public vfpga::HwKernel {
+ public:
+  explicit HllKernel(uint32_t precision = 14) : sketch_(precision) {}
+
+  std::string_view name() const override { return "hyperloglog"; }
+  fabric::ResourceVector resources() const override {
+    return synth::LibraryModule("hll_core").res;
+  }
+
+  void Attach(vfpga::Vfpga* region) override;
+  void Detach() override;
+
+  const HllSketch& sketch() const { return sketch_; }
+
+ private:
+  void Pump();
+
+  vfpga::Vfpga* region_ = nullptr;
+  HllSketch sketch_;
+  uint64_t pipe_free_cycle_ = 0;
+  // Fill latency: hash + bucket update + estimator pipeline.
+  static constexpr uint64_t kPipelineDepth = 24;
+};
+
+}  // namespace services
+}  // namespace coyote
+
+#endif  // SRC_SERVICES_HLL_H_

@@ -1,0 +1,88 @@
+#include "src/services/pointer_chase.h"
+
+#include <cstring>
+
+#include "src/mmu/types.h"
+
+namespace coyote {
+namespace services {
+
+void PointerChaseKernel::Attach(vfpga::Vfpga* region) {
+  region_ = region;
+  running_ = false;
+  visited_ = 0;
+  sum_ = 0;
+  region->csr().SetWriteHook(kChaseCsrStart, [this](uint32_t, uint64_t) { Start(); });
+  region->host_in(0).set_on_data([this]() { OnData(); });
+}
+
+void PointerChaseKernel::Detach() {
+  if (region_ != nullptr) {
+    region_->host_in(0).set_on_data(nullptr);
+    region_ = nullptr;
+  }
+}
+
+void PointerChaseKernel::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  visited_ = 0;
+  sum_ = 0;
+  max_nodes_ = region_->csr().Peek(kChaseCsrMaxNodes);
+  if (max_nodes_ == 0) {
+    max_nodes_ = 1u << 20;
+  }
+  region_->csr().Poke(kChaseCsrDone, 0);
+  region_->csr().Poke(kChaseCsrVisited, 0);
+  region_->csr().Poke(kChaseCsrSum, 0);
+  const uint64_t head = region_->csr().Peek(kChaseCsrHead);
+  if (head == 0) {
+    running_ = false;
+    region_->csr().Poke(kChaseCsrDone, 1);
+    region_->RaiseUserInterrupt(0);
+    return;
+  }
+  FetchNode(head);
+}
+
+void PointerChaseKernel::FetchNode(uint64_t vaddr) {
+  // Hardware-issued read descriptor: no host involvement per hop.
+  vfpga::SendQueueEntry entry;
+  entry.is_write = false;
+  entry.vaddr = vaddr;
+  entry.bytes = kNodeBytes;
+  entry.stream = 0;
+  entry.target = mmu::MemKind::kHost;
+  region_->PostSend(entry);
+}
+
+void PointerChaseKernel::OnData() {
+  auto& in = region_->host_in(0);
+  while (!in.Empty()) {
+    auto pkt = in.Pop();
+    if (!running_ || pkt->data.size() < kNodeBytes) {
+      continue;
+    }
+    uint64_t next = 0;
+    int64_t value = 0;
+    std::memcpy(&next, pkt->data.data(), 8);
+    std::memcpy(&value, pkt->data.data() + 8, 8);
+    ++visited_;
+    sum_ += value;
+    region_->csr().Poke(kChaseCsrVisited, visited_);
+    region_->csr().Poke(kChaseCsrSum, static_cast<uint64_t>(sum_));
+
+    if (next != 0 && visited_ < max_nodes_) {
+      FetchNode(next);
+    } else {
+      running_ = false;
+      region_->csr().Poke(kChaseCsrDone, 1);
+      region_->RaiseUserInterrupt(static_cast<uint64_t>(sum_));
+    }
+  }
+}
+
+}  // namespace services
+}  // namespace coyote

@@ -1,0 +1,72 @@
+#include "src/services/stream_kernel.h"
+
+#include <algorithm>
+
+namespace coyote {
+namespace services {
+
+uint32_t StreamKernel::NumStreams() const {
+  return port_ == Port::kHost ? region_->config().num_host_streams
+                              : region_->config().num_net_streams;
+}
+
+axi::Stream& StreamKernel::In(uint32_t i) {
+  return port_ == Port::kHost ? region_->host_in(i) : region_->net_in(i);
+}
+
+axi::Stream& StreamKernel::Out(uint32_t i) {
+  return port_ == Port::kHost ? region_->host_out(i) : region_->net_out(i);
+}
+
+void StreamKernel::Attach(vfpga::Vfpga* region) {
+  region_ = region;
+  pipe_free_cycle_ = 0;
+  for (uint32_t i = 0; i < NumStreams(); ++i) {
+    In(i).set_on_data([this, i]() { Pump(i); });
+    // Drain anything already queued.
+    Pump(i);
+  }
+}
+
+void StreamKernel::Detach() {
+  if (region_ != nullptr) {
+    for (uint32_t i = 0; i < NumStreams(); ++i) {
+      In(i).set_on_data(nullptr);
+    }
+    region_ = nullptr;
+  }
+}
+
+void StreamKernel::Pump(uint32_t stream_index) {
+  auto& in = In(stream_index);
+  while (!in.Empty()) {
+    auto pkt = in.Pop();
+    const uint64_t n = pkt->data.size();
+    bytes_processed_ += n;
+
+    // Service time on the shared pipe.
+    const sim::Clock& clk = sim::kSystemClock;
+    const uint64_t now_cycle = clk.PsToCycles(region_->engine()->Now());
+    const uint64_t start = std::max(now_cycle, pipe_free_cycle_);
+    const uint64_t busy = (n + timing_.bytes_per_cycle - 1) / timing_.bytes_per_cycle;
+    pipe_free_cycle_ = start + busy;
+    const uint64_t done_cycle = pipe_free_cycle_ + timing_.pipeline_depth;
+
+    axi::StreamPacket out;
+    out.data = Process(*pkt, stream_index);
+    out.tid = pkt->tid;
+    out.tdest = pkt->tdest;
+    out.last = pkt->last;
+    const sim::TimePs when = clk.CyclesToPs(done_cycle);
+    // Capture the output stream (owned by the device, outlives the kernel)
+    // rather than `this`: a pending completion must not dangle if the region
+    // is reconfigured while data is in flight.
+    axi::Stream* dst = &Out(stream_index);
+    region_->engine()->ScheduleAt(when, [dst, out = std::move(out)]() mutable {
+      dst->Push(std::move(out));
+    });
+  }
+}
+
+}  // namespace services
+}  // namespace coyote

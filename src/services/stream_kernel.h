@@ -1,0 +1,74 @@
+// Rate-based streaming kernel base class.
+//
+// Most Coyote v2 example kernels are deeply pipelined dataflow designs that
+// sustain one 512-bit beat per system cycle once the pipeline fills. This
+// base class models exactly that: a shared pipe of `bytes_per_cycle`
+// throughput and `pipeline_depth` fill latency. Packets from every host
+// input stream i are transformed by the subclass and emitted on host output
+// stream i at the pipe's service rate. Kernels with data-dependent recurrences
+// (AES CBC) or multiple coupled inputs (vector add) implement HwKernel
+// directly instead.
+
+#ifndef SRC_SERVICES_STREAM_KERNEL_H_
+#define SRC_SERVICES_STREAM_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/axi/stream.h"
+#include "src/sim/clock.h"
+#include "src/vfpga/kernel.h"
+#include "src/vfpga/vfpga.h"
+
+namespace coyote {
+namespace services {
+
+class StreamKernel : public vfpga::HwKernel {
+ public:
+  struct Timing {
+    uint64_t bytes_per_cycle = 64;  // one 512-bit beat per 250 MHz cycle
+    uint64_t pipeline_depth = 8;    // fill latency in cycles
+  };
+
+  // Which interface kind the kernel's streams bind to. Host streams are the
+  // default; kNet puts the kernel on the network data path (the paper's
+  // on-path offload position between the stack and the application, §6.2).
+  enum class Port : uint8_t { kHost, kNet };
+
+  StreamKernel() : StreamKernel(Timing{64, 8}) {}
+  explicit StreamKernel(Timing timing, Port port = Port::kHost)
+      : timing_(timing), port_(port) {}
+
+  void Attach(vfpga::Vfpga* region) override;
+  void Detach() override;
+
+  uint64_t bytes_processed() const { return bytes_processed_; }
+
+ protected:
+  // Transforms one input packet's payload. Default: identity (pass-through).
+  virtual std::vector<uint8_t> Process(const axi::StreamPacket& in, uint32_t stream_index) {
+    (void)stream_index;
+    return in.data;
+  }
+
+  vfpga::Vfpga* region() { return region_; }
+
+ private:
+  void Pump(uint32_t stream_index);
+  uint32_t NumStreams() const;
+  axi::Stream& In(uint32_t i);
+  axi::Stream& Out(uint32_t i);
+
+  Timing timing_;
+  Port port_;
+  vfpga::Vfpga* region_ = nullptr;
+  // Absolute cycle at which the shared pipe is next free.
+  uint64_t pipe_free_cycle_ = 0;
+  uint64_t bytes_processed_ = 0;
+};
+
+}  // namespace services
+}  // namespace coyote
+
+#endif  // SRC_SERVICES_STREAM_KERNEL_H_

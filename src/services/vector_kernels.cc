@@ -1,0 +1,121 @@
+#include "src/services/vector_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/sim/clock.h"
+
+namespace coyote {
+namespace services {
+
+void CardPassthroughKernel::Attach(vfpga::Vfpga* region) {
+  region_ = region;
+  bytes_ = 0;
+  for (uint32_t i = 0; i < region->config().num_card_streams; ++i) {
+    region->card_in(i).set_on_data([this, i]() { Pump(i); });
+    Pump(i);
+  }
+}
+
+void CardPassthroughKernel::Detach() {
+  if (region_ != nullptr) {
+    for (uint32_t i = 0; i < region_->config().num_card_streams; ++i) {
+      region_->card_in(i).set_on_data(nullptr);
+    }
+    region_ = nullptr;
+  }
+}
+
+void CardPassthroughKernel::Pump(uint32_t stream_index) {
+  auto& in = region_->card_in(stream_index);
+  while (!in.Empty()) {
+    auto pkt = in.Pop();
+    bytes_ += pkt->data.size();
+    // Parallel card streams each have a dedicated data path (§6.3: no
+    // interleaving needed for HBM); forward combinationally with a small
+    // register delay.
+    vfpga::Vfpga* r = region_;
+    axi::StreamPacket out = std::move(*pkt);
+    region_->engine()->ScheduleAfter(sim::kSystemClock.CyclesToPs(2),
+                                     [r, stream_index, out = std::move(out)]() mutable {
+                                       r->card_out(stream_index).Push(std::move(out));
+                                     });
+  }
+}
+
+axi::Stream& VectorOpKernel::In(uint32_t i) {
+  return use_card_ ? region_->card_in(i) : region_->host_in(i);
+}
+axi::Stream& VectorOpKernel::Out() {
+  return use_card_ ? region_->card_out(0) : region_->host_out(0);
+}
+
+void VectorOpKernel::Attach(vfpga::Vfpga* region) {
+  region_ = region;
+  buf_a_.clear();
+  buf_b_.clear();
+  pipe_free_cycle_ = 0;
+  last_seen_ = false;
+  In(0).set_on_data([this]() { Pump(); });
+  In(1).set_on_data([this]() { Pump(); });
+  Pump();
+}
+
+void VectorOpKernel::Detach() {
+  if (region_ != nullptr) {
+    In(0).set_on_data(nullptr);
+    In(1).set_on_data(nullptr);
+    region_ = nullptr;
+  }
+}
+
+void VectorOpKernel::Pump() {
+  // Drain both inputs into the operand buffers.
+  bool last = false;
+  while (!In(0).Empty()) {
+    auto p = In(0).Pop();
+    buf_a_.insert(buf_a_.end(), p->data.begin(), p->data.end());
+    last |= p->last;
+  }
+  while (!In(1).Empty()) {
+    auto p = In(1).Pop();
+    buf_b_.insert(buf_b_.end(), p->data.begin(), p->data.end());
+    last |= p->last;
+  }
+  last_seen_ |= last;
+
+  const size_t n = std::min(buf_a_.size(), buf_b_.size()) / 4 * 4;
+  if (n == 0) {
+    return;
+  }
+  std::vector<uint8_t> out_bytes(n);
+  for (size_t off = 0; off < n; off += 4) {
+    int32_t a = 0, b = 0;
+    std::memcpy(&a, &buf_a_[off], 4);
+    std::memcpy(&b, &buf_b_[off], 4);
+    const int32_t r = op_ == VectorOp::kAdd ? a + b : a * b;
+    std::memcpy(&out_bytes[off], &r, 4);
+  }
+  buf_a_.erase(buf_a_.begin(), buf_a_.begin() + static_cast<ptrdiff_t>(n));
+  buf_b_.erase(buf_b_.begin(), buf_b_.begin() + static_cast<ptrdiff_t>(n));
+
+  const sim::Clock& clk = sim::kSystemClock;
+  const uint64_t now_cycle = clk.PsToCycles(region_->engine()->Now());
+  const uint64_t start = std::max(now_cycle, pipe_free_cycle_);
+  const uint64_t busy = (n + axi::kDataBusBytes - 1) / axi::kDataBusBytes;
+  pipe_free_cycle_ = start + busy;
+
+  axi::StreamPacket out;
+  out.data = std::move(out_bytes);
+  out.last = last_seen_ && buf_a_.empty() && buf_b_.empty();
+  vfpga::Vfpga* r = region_;
+  axi::Stream* dst = &Out();
+  region_->engine()->ScheduleAt(clk.CyclesToPs(pipe_free_cycle_ + 4),
+                                [dst, out = std::move(out)]() mutable {
+                                  dst->Push(std::move(out));
+                                });
+  (void)r;
+}
+
+}  // namespace services
+}  // namespace coyote

@@ -1,0 +1,85 @@
+// Simple data-path kernels: pass-through and element-wise vector ops.
+//
+// Pass-through is the micro-benchmark workhorse (Figs. 7(a)/7(b), Table 3).
+// Vector add/mult are the paper's running examples for why multiple parallel
+// streams matter (§2.2 Requirement 3): each operand arrives on its own
+// stream instead of being packed into one in software.
+
+#ifndef SRC_SERVICES_VECTOR_KERNELS_H_
+#define SRC_SERVICES_VECTOR_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/axi/stream.h"
+#include "src/services/stream_kernel.h"
+#include "src/synth/module_library.h"
+#include "src/vfpga/kernel.h"
+#include "src/vfpga/vfpga.h"
+
+namespace coyote {
+namespace services {
+
+class PassthroughKernel : public StreamKernel {
+ public:
+  PassthroughKernel() : StreamKernel({.bytes_per_cycle = 64, .pipeline_depth = 4}) {}
+  std::string_view name() const override { return "passthrough"; }
+  fabric::ResourceVector resources() const override {
+    return synth::LibraryModule("passthrough").res;
+  }
+};
+
+// A pass-through over the card (HBM) streams instead of the host streams;
+// used by the Fig. 7(a) HBM scaling micro-benchmark. Input card stream i is
+// forwarded to output card stream i, one 512-bit beat per HBM-side cycle.
+class CardPassthroughKernel : public vfpga::HwKernel {
+ public:
+  std::string_view name() const override { return "card_passthrough"; }
+  fabric::ResourceVector resources() const override {
+    return synth::LibraryModule("passthrough").res;
+  }
+  void Attach(vfpga::Vfpga* region) override;
+  void Detach() override;
+  uint64_t bytes_processed() const { return bytes_; }
+
+ private:
+  void Pump(uint32_t stream_index);
+  vfpga::Vfpga* region_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+enum class VectorOp : uint8_t { kAdd, kMult };
+
+// Element-wise int32 binary operation: in streams 0 and 1 -> out stream 0.
+// Uses the host streams or the card streams depending on `use_card`.
+class VectorOpKernel : public vfpga::HwKernel {
+ public:
+  VectorOpKernel(VectorOp op, bool use_card) : op_(op), use_card_(use_card) {}
+
+  std::string_view name() const override {
+    return op_ == VectorOp::kAdd ? "vector_add" : "vector_mult";
+  }
+  fabric::ResourceVector resources() const override {
+    return synth::LibraryModule(op_ == VectorOp::kAdd ? "vector_add" : "vector_mult").res;
+  }
+
+  void Attach(vfpga::Vfpga* region) override;
+  void Detach() override;
+
+ private:
+  void Pump();
+  axi::Stream& In(uint32_t i);
+  axi::Stream& Out();
+
+  VectorOp op_;
+  bool use_card_;
+  vfpga::Vfpga* region_ = nullptr;
+  std::vector<uint8_t> buf_a_, buf_b_;
+  uint64_t pipe_free_cycle_ = 0;
+  bool last_seen_ = false;
+};
+
+}  // namespace services
+}  // namespace coyote
+
+#endif  // SRC_SERVICES_VECTOR_KERNELS_H_

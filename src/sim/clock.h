@@ -1,0 +1,54 @@
+// Clock domains.
+//
+// Hardware models express their latencies in cycles of a clock domain; the
+// Clock converts those into engine time. Coyote v2's shells run the system
+// logic at 250 MHz, HBM AXI ports at 450 MHz and the ICAP at 200 MHz.
+
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace coyote {
+namespace sim {
+
+class Clock {
+ public:
+  explicit constexpr Clock(uint64_t freq_hz) : freq_hz_(freq_hz) {}
+
+  constexpr uint64_t freq_hz() const { return freq_hz_; }
+
+  // Period of one cycle, rounded to the nearest picosecond.
+  constexpr TimePs PeriodPs() const { return (kPsPerSec + freq_hz_ / 2) / freq_hz_; }
+
+  // Duration of `cycles` cycles (exact rational arithmetic, not n * rounded
+  // period, so long intervals do not drift).
+  constexpr TimePs CyclesToPs(uint64_t cycles) const {
+    const unsigned __int128 num = static_cast<unsigned __int128>(cycles) * kPsPerSec;
+    return static_cast<TimePs>(num / freq_hz_);
+  }
+
+  // Number of whole cycles that fit in `t`.
+  constexpr uint64_t PsToCycles(TimePs t) const {
+    const unsigned __int128 num = static_cast<unsigned __int128>(t) * freq_hz_;
+    return static_cast<uint64_t>(num / kPsPerSec);
+  }
+
+  // Bandwidth of a bus `bus_bytes` wide clocked by this domain, one beat/cycle.
+  constexpr uint64_t BusBandwidthBps(uint64_t bus_bytes) const { return freq_hz_ * bus_bytes; }
+
+ private:
+  uint64_t freq_hz_;
+};
+
+// Standard Coyote v2 clock domains (Alveo U55C defaults, see DESIGN.md).
+inline constexpr Clock kSystemClock{250'000'000};  // 250 MHz shell/user logic
+inline constexpr Clock kHbmClock{450'000'000};     // 450 MHz HBM AXI ports
+inline constexpr Clock kIcapClock{200'000'000};    // 200 MHz ICAP, 32-bit word
+
+}  // namespace sim
+}  // namespace coyote
+
+#endif  // SRC_SIM_CLOCK_H_

@@ -1,0 +1,60 @@
+#include "src/sim/engine.h"
+
+#include <utility>
+
+namespace coyote {
+namespace sim {
+
+void Engine::ScheduleAt(TimePs t, Callback cb) {
+  if (t < now_) {
+    t = now_;
+  }
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool Engine::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top() returns a const ref; move the callback out via a
+  // const_cast-free copy of the handle fields, then pop before invoking so
+  // that the callback can schedule new events freely.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++events_executed_;
+  ev.cb();
+  return true;
+}
+
+uint64_t Engine::RunUntilIdle() {
+  uint64_t n = 0;
+  while (Step()) {
+    ++n;
+  }
+  return n;
+}
+
+uint64_t Engine::RunUntil(TimePs deadline) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Step();
+    ++n;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+bool Engine::RunUntilCondition(const std::function<bool()>& done) {
+  while (!done()) {
+    if (!Step()) {
+      return done();
+    }
+  }
+  return true;
+}
+
+}  // namespace sim
+}  // namespace coyote

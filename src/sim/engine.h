@@ -1,0 +1,83 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of timestamped callbacks. All hardware
+// models in the substrate (links, memory channels, reconfiguration ports,
+// network switches, kernels) schedule their state transitions here. The engine
+// is strictly single-threaded: determinism is a design requirement so that
+// every benchmark in bench/ is exactly reproducible run-to-run.
+
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace coyote {
+namespace sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Current simulated time.
+  TimePs Now() const { return now_; }
+
+  // Schedules `cb` at absolute time `t`. Events scheduled for a time in the
+  // past fire at the current time. Events with equal timestamps fire in
+  // insertion order (stable FIFO tie-break).
+  void ScheduleAt(TimePs t, Callback cb);
+
+  // Schedules `cb` after `delay` picoseconds.
+  void ScheduleAfter(TimePs delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Runs the next pending event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs until no events remain. Returns the number of events executed.
+  uint64_t RunUntilIdle();
+
+  // Runs events with timestamp <= `deadline`; advances Now() to `deadline` if
+  // the queue drains earlier. Returns the number of events executed.
+  uint64_t RunUntil(TimePs deadline);
+
+  // Runs until `done` returns true or the queue drains. Returns true if the
+  // predicate was satisfied.
+  bool RunUntilCondition(const std::function<bool()>& done);
+
+  bool Idle() const { return queue_.empty(); }
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePs time;
+    uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace sim
+}  // namespace coyote
+
+#endif  // SRC_SIM_ENGINE_H_

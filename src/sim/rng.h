@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// splitmix64 seeding + xoshiro256** core: fast, reproducible across platforms
+// (no reliance on libstdc++ distribution internals), which keeps benchmark
+// inputs byte-identical between runs and machines.
+
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace coyote {
+namespace sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5EED'C0'07E5ull) {
+    // splitmix64 to expand the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  void FillBytes(void* dst, uint64_t len) {
+    auto* p = static_cast<uint8_t*>(dst);
+    while (len >= 8) {
+      const uint64_t v = Next();
+      for (int i = 0; i < 8; ++i) {
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+      }
+      p += 8;
+      len -= 8;
+    }
+    if (len > 0) {
+      const uint64_t v = Next();
+      for (uint64_t i = 0; i < len; ++i) {
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+      }
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace sim
+}  // namespace coyote
+
+#endif  // SRC_SIM_RNG_H_

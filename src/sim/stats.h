@@ -1,0 +1,88 @@
+// Lightweight statistics helpers shared by tests and the benchmark harness.
+
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace coyote {
+namespace sim {
+
+// Online mean/stddev/min/max accumulator (Welford).
+class Summary {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed set of samples with percentile queries; used for latency reporting.
+class Samples {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  uint64_t count() const { return values_.size(); }
+
+  double Percentile(double p) {
+    if (values_.empty()) {
+      return 0.0;
+    }
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double Mean() const {
+    if (values_.empty()) {
+      return 0.0;
+    }
+    double s = 0.0;
+    for (double v : values_) {
+      s += v;
+    }
+    return s / static_cast<double>(values_.size());
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+}  // namespace sim
+}  // namespace coyote
+
+#endif  // SRC_SIM_STATS_H_

@@ -1,0 +1,64 @@
+// Simulated time primitives.
+//
+// All simulated time in the Coyote v2 substrate is kept in picoseconds so that
+// the 250 MHz system clock (4000 ps), the 450 MHz HBM clock (~2222 ps) and the
+// 200 MHz ICAP clock (5000 ps) can all be represented exactly enough without
+// accumulating rounding error over long runs.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace coyote {
+namespace sim {
+
+// Absolute simulated time or a duration, in picoseconds.
+using TimePs = uint64_t;
+
+inline constexpr TimePs kPsPerNs = 1000;
+inline constexpr TimePs kPsPerUs = 1000ull * 1000;
+inline constexpr TimePs kPsPerMs = 1000ull * 1000 * 1000;
+inline constexpr TimePs kPsPerSec = 1000ull * 1000 * 1000 * 1000;
+
+constexpr TimePs Nanoseconds(double ns) { return static_cast<TimePs>(ns * kPsPerNs); }
+constexpr TimePs Microseconds(double us) { return static_cast<TimePs>(us * kPsPerUs); }
+constexpr TimePs Milliseconds(double ms) { return static_cast<TimePs>(ms * kPsPerMs); }
+constexpr TimePs Seconds(double s) { return static_cast<TimePs>(s * kPsPerSec); }
+
+constexpr double ToNanoseconds(TimePs t) { return static_cast<double>(t) / kPsPerNs; }
+constexpr double ToMicroseconds(TimePs t) { return static_cast<double>(t) / kPsPerUs; }
+constexpr double ToMilliseconds(TimePs t) { return static_cast<double>(t) / kPsPerMs; }
+constexpr double ToSeconds(TimePs t) { return static_cast<double>(t) / kPsPerSec; }
+
+// Time to move `bytes` over a resource sustaining `bytes_per_second`.
+// Rounds up so that a transfer never completes "for free".
+constexpr TimePs TransferTime(uint64_t bytes, uint64_t bytes_per_second) {
+  if (bytes_per_second == 0 || bytes == 0) {
+    return 0;
+  }
+  // bytes * 1e12 / Bps, computed in 128-bit to avoid overflow for large buffers.
+  const unsigned __int128 num = static_cast<unsigned __int128>(bytes) * kPsPerSec;
+  return static_cast<TimePs>((num + bytes_per_second - 1) / bytes_per_second);
+}
+
+// Effective bandwidth in bytes/second given bytes moved over a duration.
+constexpr double BandwidthBytesPerSec(uint64_t bytes, TimePs elapsed) {
+  if (elapsed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / ToSeconds(elapsed);
+}
+
+constexpr double BandwidthGBps(uint64_t bytes, TimePs elapsed) {
+  return BandwidthBytesPerSec(bytes, elapsed) / 1e9;
+}
+
+constexpr double BandwidthMBps(uint64_t bytes, TimePs elapsed) {
+  return BandwidthBytesPerSec(bytes, elapsed) / 1e6;
+}
+
+}  // namespace sim
+}  // namespace coyote
+
+#endif  // SRC_SIM_TIME_H_

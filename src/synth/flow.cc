@@ -1,0 +1,174 @@
+#include "src/synth/flow.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coyote {
+namespace synth {
+namespace {
+
+double Klut(const fabric::ResourceVector& r) { return static_cast<double>(r.luts) / 1000.0; }
+
+}  // namespace
+
+double BuildFlow::SynthSeconds(const std::vector<Netlist>& netlists) const {
+  double t = 0;
+  for (const Netlist& n : netlists) {
+    for (const HwModule& m : n.modules) {
+      t += model_.synth_base_s + model_.synth_per_klut_s * (static_cast<double>(m.res.luts) / 1e3);
+    }
+  }
+  return t;
+}
+
+double BuildFlow::PrSeconds(const fabric::ResourceVector& contents, double congestion,
+                            const fabric::ResourceVector& region_budget) const {
+  const double util = contents.LutUtilization(region_budget);
+  return model_.pr_base_s +
+         model_.pr_per_klut_s * Klut(contents) * congestion *
+             (1.0 + model_.util_penalty * util * util);
+}
+
+BuildOutput BuildFlow::RunShellFlow(const fabric::ShellConfigDesc& config,
+                                    const std::vector<Netlist>& apps) const {
+  BuildOutput out;
+  out.shell_config = config;
+
+  if (config.num_vfpgas != floorplan_.num_app_regions()) {
+    out.error = "shell config vFPGA count does not match the floorplan";
+    return out;
+  }
+  if (apps.size() > config.num_vfpgas) {
+    out.error = "more application netlists than vFPGA regions";
+    return out;
+  }
+
+  // Assemble the service netlist from the configuration.
+  Netlist services{"services:" + config.name, ServiceModulesFor(config)};
+  if (!services.Total().FitsIn(floorplan_.service_region().budget)) {
+    out.error = "service netlist does not fit the dynamic region";
+    return out;
+  }
+
+  // Fill unspecified regions with pass-through placeholders.
+  std::vector<Netlist> placed = apps;
+  while (placed.size() < config.num_vfpgas) {
+    placed.push_back(Netlist{"placeholder", {LibraryModule("passthrough")}});
+  }
+  fabric::ResourceVector apps_total;
+  double apps_congestion = 1.0;
+  for (uint32_t i = 0; i < placed.size(); ++i) {
+    const fabric::ResourceVector r = placed[i].Total();
+    if (!r.FitsIn(floorplan_.app_regions()[i].budget)) {
+      out.error = "application '" + placed[i].name + "' does not fit vFPGA region " +
+                  std::to_string(i);
+      return out;
+    }
+    apps_total += r;
+    apps_congestion = std::max(apps_congestion, placed[i].MaxCongestion());
+  }
+
+  const fabric::ResourceVector shell_contents = services.Total() + apps_total;
+  const double shell_congestion = std::max(services.MaxCongestion(), apps_congestion);
+
+  std::vector<Netlist> all = placed;
+  all.push_back(services);
+  out.synth_seconds = SynthSeconds(all);
+  out.pr_seconds = PrSeconds(shell_contents, shell_congestion, floorplan_.ShellBudget());
+  out.check_seconds = model_.check_base_s + model_.check_per_klut_s * Klut(shell_contents);
+  out.bitgen_seconds = model_.write_bitstream_s;
+  out.total_seconds = out.synth_seconds + out.pr_seconds + out.check_seconds + out.bitgen_seconds;
+  out.shell_congestion = shell_congestion;
+
+  // Artifacts: one shell bitstream + one bitstream per app region.
+  const uint64_t config_id = config.ConfigId();
+  out.shell_bitstream = fabric::PartialBitstream{
+      .name = "shell:" + config.name,
+      .target_layer = fabric::Layer::kDynamic,
+      .region_index = 0,
+      .size_bytes = floorplan_.ShellBitstreamBytes(shell_contents),
+      .shell_config_id = config_id,
+      .shell_config = config,
+      .occupied = shell_contents,
+  };
+  for (uint32_t i = 0; i < placed.size(); ++i) {
+    const fabric::Region& region = floorplan_.app_regions()[i];
+    out.app_bitstreams.push_back(fabric::PartialBitstream{
+        .name = "app:" + placed[i].name,
+        .target_layer = fabric::Layer::kApp,
+        .region_index = i,
+        .size_bytes = floorplan_.RegionBitstreamBytes(region, placed[i].Total()),
+        .shell_config_id = config_id,
+        .shell_config = {},
+        .occupied = placed[i].Total(),
+    });
+  }
+  out.ok = true;
+  return out;
+}
+
+BuildOutput BuildFlow::RunAppFlow(const Netlist& app, uint32_t region_index,
+                                  const BuildOutput& locked_shell) const {
+  BuildOutput out;
+  out.shell_config = locked_shell.shell_config;
+  if (!locked_shell.ok) {
+    out.error = "locked shell is not a successful shell-flow output";
+    return out;
+  }
+  if (region_index >= floorplan_.num_app_regions()) {
+    out.error = "region index out of range";
+    return out;
+  }
+  const fabric::Region& region = floorplan_.app_regions()[region_index];
+  const fabric::ResourceVector app_res = app.Total();
+  if (!app_res.FitsIn(region.budget)) {
+    out.error = "application '" + app.name + "' does not fit vFPGA region " +
+                std::to_string(region_index);
+    return out;
+  }
+
+  const fabric::ResourceVector shell_contents = locked_shell.shell_bitstream.occupied;
+
+  out.synth_seconds = SynthSeconds({app});
+  out.load_seconds = model_.load_base_s + model_.load_per_klut_s * Klut(shell_contents);
+  // In-context P&R: the marginal cost of routing the app inside its region
+  // (no tool-startup base — the session is already open), plus the share of
+  // the full-shell P&R the router repays to honor and re-time the locked
+  // context. Congestion persists: locked nets still constrain the router.
+  const double app_pr = model_.pr_per_klut_s * Klut(app_res) * app.MaxCongestion();
+  const double context_pr =
+      model_.in_context_factor *
+      PrSeconds(shell_contents, locked_shell.shell_congestion, floorplan_.ShellBudget());
+  out.pr_seconds = app_pr + context_pr;
+  out.shell_congestion = locked_shell.shell_congestion;
+  out.check_seconds =
+      model_.check_base_s + model_.check_per_klut_s * Klut(shell_contents + app_res);
+  out.bitgen_seconds = model_.write_bitstream_s;
+  out.total_seconds =
+      out.synth_seconds + out.load_seconds + out.pr_seconds + out.check_seconds +
+      out.bitgen_seconds;
+
+  out.app_bitstreams.push_back(fabric::PartialBitstream{
+      .name = "app:" + app.name,
+      .target_layer = fabric::Layer::kApp,
+      .region_index = region_index,
+      .size_bytes = floorplan_.RegionBitstreamBytes(region, app_res),
+      .shell_config_id = locked_shell.shell_bitstream.shell_config_id,
+      .shell_config = {},
+      .occupied = app_res,
+  });
+  out.ok = true;
+  return out;
+}
+
+double BuildFlow::VivadoFullProgramSeconds(const fabric::ResourceVector& device_occupied) const {
+  const fabric::FpgaPart& part = floorplan_.part();
+  const double occ = device_occupied.LutUtilization(part.total);
+  const double fill =
+      std::min(1.0, fabric::kBitstreamBaseFill + fabric::kBitstreamFillPerUtil * occ);
+  const double bytes = static_cast<double>(part.full_bitstream_bytes) * fill;
+  return bytes / model_.jtag_bytes_per_s + model_.full_program_overhead_s;
+}
+
+}  // namespace synth
+}  // namespace coyote

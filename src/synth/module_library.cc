@@ -1,0 +1,118 @@
+#include "src/synth/module_library.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace coyote {
+namespace synth {
+namespace {
+
+// name -> {LUT, FF, BRAM36, URAM, DSP}, congestion.
+const std::map<std::string, HwModule, std::less<>>& Table() {
+  static const auto* table = new std::map<std::string, HwModule, std::less<>>{
+      // --- static layer ----------------------------------------------------
+      // XDMA wrapper + PCIe hard-block glue + ICAP controller + routing.
+      {"static_layer", {"static_layer", {82'000, 130'000, 180, 0, 0}, 1.6}},
+
+      // --- dynamic layer infrastructure ------------------------------------
+      // Packetizer, interleaving arbiters, crediters, writeback engine.
+      {"dyn_crossbar", {"dyn_crossbar", {28'000, 52'000, 96, 0, 0}, 1.1}},
+      // Host streaming datapath (always-present service).
+      {"host_stream", {"host_stream", {9'000, 16'000, 32, 0, 0}, 1.0}},
+
+      // --- memory services --------------------------------------------------
+      {"hbm_controller", {"hbm_controller", {58'000, 96'000, 160, 0, 0}, 1.8}},
+      {"ddr_controller", {"ddr_controller", {26'000, 40'000, 80, 0, 0}, 1.5}},
+      {"striping_unit", {"striping_unit", {12'000, 20'000, 48, 0, 0}, 1.2}},
+
+      // --- MMU variants (per-vFPGA instance; BRAM holds the TLB) ------------
+      {"mmu_4k", {"mmu_4k", {16'500, 24'000, 96, 0, 0}, 1.1}},
+      {"mmu_2m", {"mmu_2m", {14'000, 21'000, 64, 0, 0}, 1.1}},
+      {"mmu_1g", {"mmu_1g", {12'500, 19'000, 40, 0, 0}, 1.1}},
+
+      // --- network services --------------------------------------------------
+      // BALBOA RoCE v2 stack incl. CMAC glue and retransmission buffers.
+      // Retransmission buffers live in URAM (as in fpga-network-stack).
+      {"rdma_stack", {"rdma_stack", {118'000, 175'000, 300, 64, 0}, 1.7}},
+      {"tcp_stack", {"tcp_stack", {98'000, 150'000, 280, 48, 0}, 1.7}},
+      {"sniffer", {"sniffer", {11'000, 18'000, 56, 0, 0}, 1.1}},
+      {"gpu_dma", {"gpu_dma", {8'000, 13'000, 16, 0, 0}, 1.2}},
+      // NVMe bridge: submission/completion queue engines + PRP handling.
+      {"nvme_bridge", {"nvme_bridge", {15'000, 23'000, 72, 0, 0}, 1.3}},
+
+      // --- user kernels ------------------------------------------------------
+      {"passthrough", {"passthrough", {1'600, 3'000, 4, 0, 0}, 1.0}},
+      {"vector_add", {"vector_add", {4'200, 7'500, 8, 0, 96}, 1.0}},
+      {"vector_mult", {"vector_mult", {4'800, 8'200, 8, 0, 128}, 1.0}},
+      // AES-128, 10-stage unrolled pipeline with on-chip key schedule.
+      {"aes_core", {"aes_core", {14'500, 22'000, 86, 0, 0}, 1.0}},
+      // HyperLogLog sketch (p=14) after [35]: hash + register file + estimator.
+      {"hll_core", {"hll_core", {18'200, 27'000, 72, 0, 14}, 1.0}},
+      // Network-intrusion-detection MLP (hls4ml-generated, quantized).
+      {"nn_intrusion", {"nn_intrusion", {23'000, 31'000, 44, 0, 220}, 1.0}},
+  };
+  return *table;
+}
+
+}  // namespace
+
+bool LibraryHasModule(std::string_view name) { return Table().count(name) != 0; }
+
+const HwModule& LibraryModule(std::string_view name) {
+  auto it = Table().find(name);
+  if (it == Table().end()) {
+    std::fprintf(stderr, "module library: unknown module '%.*s'\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return it->second;
+}
+
+std::vector<HwModule> ServiceModulesFor(const fabric::ShellConfigDesc& config) {
+  using fabric::Service;
+  std::vector<HwModule> mods;
+  mods.push_back(LibraryModule("dyn_crossbar"));
+  mods.push_back(LibraryModule("host_stream"));
+
+  if (config.HasService(Service::kCardMemory)) {
+    mods.push_back(LibraryModule("hbm_controller"));
+    mods.push_back(LibraryModule("striping_unit"));
+  }
+  // The RDMA/TCP stacks keep retransmission state in card memory; shells that
+  // enable them without kCardMemory still instantiate a (smaller) controller,
+  // modeled here by the DDR-class controller.
+  const bool has_net = config.HasService(Service::kRdma) || config.HasService(Service::kTcp);
+  if (has_net && !config.HasService(Service::kCardMemory)) {
+    mods.push_back(LibraryModule("ddr_controller"));
+  }
+  if (config.HasService(Service::kRdma)) {
+    mods.push_back(LibraryModule("rdma_stack"));
+  }
+  if (config.HasService(Service::kTcp)) {
+    mods.push_back(LibraryModule("tcp_stack"));
+  }
+  if (config.HasService(Service::kSniffer)) {
+    mods.push_back(LibraryModule("sniffer"));
+  }
+  if (config.HasService(Service::kGpuDma)) {
+    mods.push_back(LibraryModule("gpu_dma"));
+  }
+  if (config.HasService(Service::kStorage)) {
+    mods.push_back(LibraryModule("nvme_bridge"));
+  }
+
+  // One MMU per vFPGA; variant picked by the configured page size. Larger
+  // pages need fewer TLB BRAMs for the same reach.
+  const char* mmu = config.page_bytes >= (1ull << 30)  ? "mmu_1g"
+                    : config.page_bytes >= (2ull << 20) ? "mmu_2m"
+                                                        : "mmu_4k";
+  for (uint32_t i = 0; i < config.num_vfpgas; ++i) {
+    mods.push_back(LibraryModule(mmu));
+  }
+  return mods;
+}
+
+}  // namespace synth
+}  // namespace coyote

@@ -1,0 +1,45 @@
+// Library of hardware modules with calibrated resource footprints.
+//
+// Footprints approximate the published utilization of the corresponding real
+// IPs (Coyote v2 repo, fpga-network-stack, XDMA/HBM IP datasheets). They feed
+// three models: resource utilization (Figs. 11/12), bitstream sizes
+// (Table 3), and synthesis/P&R time (Fig. 7(b)). `congestion` captures how
+// hard a module is to route (peripheral-attached blocks pin to I/O columns
+// and dominate place & route time — paper §9.2).
+
+#ifndef SRC_SYNTH_MODULE_LIBRARY_H_
+#define SRC_SYNTH_MODULE_LIBRARY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fabric/resources.h"
+#include "src/fabric/shell_config.h"
+
+namespace coyote {
+namespace synth {
+
+struct HwModule {
+  std::string name;
+  fabric::ResourceVector res;
+  double congestion = 1.0;  // routing-difficulty multiplier
+};
+
+// Returns the named module. Dies (assert) on unknown names — the library is a
+// closed calibration surface, not user-extensible storage.
+const HwModule& LibraryModule(std::string_view name);
+
+// True if the library contains `name`.
+bool LibraryHasModule(std::string_view name);
+
+// Modules instantiated in the dynamic layer for a given shell configuration.
+// Always includes the shell crossbar/arbitration infrastructure; adds memory
+// controllers, network stacks, the sniffer and the GPU-DMA bridge on demand,
+// plus one MMU instance per vFPGA sized by the TLB parameters.
+std::vector<HwModule> ServiceModulesFor(const fabric::ShellConfigDesc& config);
+
+}  // namespace synth
+}  // namespace coyote
+
+#endif  // SRC_SYNTH_MODULE_LIBRARY_H_

@@ -1,0 +1,46 @@
+// Netlists: named collections of hardware modules.
+
+#ifndef SRC_SYNTH_NETLIST_H_
+#define SRC_SYNTH_NETLIST_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/fabric/resources.h"
+#include "src/synth/module_library.h"
+
+namespace coyote {
+namespace synth {
+
+struct Netlist {
+  std::string name;
+  std::vector<HwModule> modules;
+
+  fabric::ResourceVector Total() const {
+    fabric::ResourceVector sum;
+    for (const HwModule& m : modules) {
+      sum += m.res;
+    }
+    return sum;
+  }
+
+  double MaxCongestion() const {
+    double c = 1.0;
+    for (const HwModule& m : modules) {
+      c = std::max(c, m.congestion);
+    }
+    return c;
+  }
+
+  Netlist& Add(const HwModule& m) {
+    modules.push_back(m);
+    return *this;
+  }
+  Netlist& Add(std::string_view library_name) { return Add(LibraryModule(library_name)); }
+};
+
+}  // namespace synth
+}  // namespace coyote
+
+#endif  // SRC_SYNTH_NETLIST_H_

@@ -1,0 +1,41 @@
+// Hardware kernel abstraction.
+//
+// A kernel is the user logic inside a vFPGA region. It interacts with the
+// world only through the generic application interface (paper §7.1, Fig. 5):
+// parallel host/card/network streams, the AXI4-Lite control bus, the
+// interrupt channel and the read/write send queues. Loading a kernel into a
+// region models partial reconfiguration of that region.
+
+#ifndef SRC_VFPGA_KERNEL_H_
+#define SRC_VFPGA_KERNEL_H_
+
+#include <string_view>
+
+#include "src/fabric/resources.h"
+
+namespace coyote {
+namespace vfpga {
+
+class Vfpga;
+
+class HwKernel {
+ public:
+  virtual ~HwKernel() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Resource footprint of the kernel (drives utilization + bitstream sizes).
+  virtual fabric::ResourceVector resources() const = 0;
+
+  // Called when the kernel is loaded into a region. The kernel wires itself
+  // to the region's streams/CSRs here (subscribe to on_data etc.).
+  virtual void Attach(Vfpga* region) = 0;
+
+  // Called when the kernel is unloaded (region reconfigured away).
+  virtual void Detach() {}
+};
+
+}  // namespace vfpga
+}  // namespace coyote
+
+#endif  // SRC_VFPGA_KERNEL_H_

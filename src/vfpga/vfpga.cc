@@ -1,0 +1,48 @@
+#include "src/vfpga/vfpga.h"
+
+#include <string>
+
+namespace coyote {
+namespace vfpga {
+namespace {
+
+std::vector<std::unique_ptr<axi::Stream>> MakeStreams(uint32_t n, const std::string& prefix) {
+  std::vector<std::unique_ptr<axi::Stream>> v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    v.push_back(std::make_unique<axi::Stream>(std::numeric_limits<size_t>::max(),
+                                              prefix + std::to_string(i)));
+  }
+  return v;
+}
+
+}  // namespace
+
+Vfpga::Vfpga(sim::Engine* engine, uint32_t id, const Config& config)
+    : engine_(engine), id_(id), config_(config) {
+  const std::string p = "vfpga" + std::to_string(id) + ".";
+  host_in_ = MakeStreams(config.num_host_streams, p + "host_in");
+  host_out_ = MakeStreams(config.num_host_streams, p + "host_out");
+  card_in_ = MakeStreams(config.num_card_streams, p + "card_in");
+  card_out_ = MakeStreams(config.num_card_streams, p + "card_out");
+  net_in_ = MakeStreams(config.num_net_streams, p + "net_in");
+  net_out_ = MakeStreams(config.num_net_streams, p + "net_out");
+}
+
+void Vfpga::LoadKernel(std::unique_ptr<HwKernel> kernel) {
+  UnloadKernel();
+  kernel_ = std::move(kernel);
+  if (kernel_) {
+    kernel_->Attach(this);
+  }
+}
+
+void Vfpga::UnloadKernel() {
+  if (kernel_) {
+    kernel_->Detach();
+    kernel_.reset();
+  }
+}
+
+}  // namespace vfpga
+}  // namespace coyote

@@ -1,0 +1,149 @@
+// vFPGA: one application-layer region with the generic interface (paper §7).
+//
+// Each vFPGA owns the full unified interface of Fig. 5:
+//  * control bus        — AXI4-Lite CSRs, memory-mapped into user space
+//  * interrupt channel  — kernel-raised interrupts with arbitrary values
+//  * parallel host streams (in/out), card streams, network streams
+//  * read/write send queues — hardware-issued DMA without host involvement
+//  * read/write completion queues
+//
+// The region is a passive container: services (the data mover, the RDMA
+// stack, the device runtime) connect to its streams and queues. Kernels are
+// installed/removed by partial reconfiguration.
+
+#ifndef SRC_VFPGA_VFPGA_H_
+#define SRC_VFPGA_VFPGA_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/axi/axi_lite.h"
+#include "src/axi/stream.h"
+#include "src/mmu/types.h"
+#include "src/sim/engine.h"
+#include "src/vfpga/kernel.h"
+
+namespace coyote {
+namespace vfpga {
+
+// One entry of the hardware read/write send queues (paper §7.1): lets user
+// logic trigger local and remote transfers by specifying buffer virtual
+// address, length, operation type and target stream — the interface that
+// makes pointer chasing possible without CPU round trips.
+struct SendQueueEntry {
+  bool is_write = false;  // read SQ vs write SQ
+  uint64_t vaddr = 0;
+  uint64_t bytes = 0;
+  uint32_t stream = 0;
+  uint32_t tid = 0;
+  mmu::MemKind target = mmu::MemKind::kHost;
+  bool remote = false;  // RDMA operation through the network service
+  uint32_t qpn = 0;     // queue pair for remote ops
+};
+
+struct CompletionEntry {
+  bool is_write = false;
+  uint32_t stream = 0;
+  uint32_t tid = 0;
+  uint64_t bytes = 0;
+  bool ok = true;
+};
+
+class Vfpga {
+ public:
+  struct Config {
+    uint32_t num_host_streams = 4;
+    uint32_t num_card_streams = 4;
+    uint32_t num_net_streams = 2;
+  };
+
+  using SendHandler = std::function<void(const SendQueueEntry&)>;
+  using InterruptHandler = std::function<void(uint64_t value)>;
+
+  Vfpga(sim::Engine* engine, uint32_t id, const Config& config);
+
+  uint32_t id() const { return id_; }
+  sim::Engine* engine() { return engine_; }
+  const Config& config() const { return config_; }
+
+  // --- Parallel stream interfaces (index < configured count) ---------------
+  axi::Stream& host_in(uint32_t i) { return *host_in_[i]; }
+  axi::Stream& host_out(uint32_t i) { return *host_out_[i]; }
+  axi::Stream& card_in(uint32_t i) { return *card_in_[i]; }
+  axi::Stream& card_out(uint32_t i) { return *card_out_[i]; }
+  axi::Stream& net_in(uint32_t i) { return *net_in_[i]; }
+  axi::Stream& net_out(uint32_t i) { return *net_out_[i]; }
+
+  // --- Control bus ----------------------------------------------------------
+  axi::AxiLiteRegisterFile& csr() { return csr_; }
+
+  // --- Interrupt channel ----------------------------------------------------
+  // Kernel side: raise an interrupt with an arbitrary value.
+  void RaiseUserInterrupt(uint64_t value) {
+    ++user_interrupts_;
+    if (interrupt_handler_) {
+      interrupt_handler_(value);
+    }
+  }
+  // Shell side: route interrupts (the device wires this to MSI-X).
+  void SetInterruptHandler(InterruptHandler handler) {
+    interrupt_handler_ = std::move(handler);
+  }
+
+  // --- Send queues -----------------------------------------------------------
+  // Kernel side: post a descriptor; the shell-side handler executes it.
+  void PostSend(const SendQueueEntry& entry) {
+    ++sends_posted_;
+    if (send_handler_) {
+      send_handler_(entry);
+    }
+  }
+  void SetSendHandler(SendHandler handler) { send_handler_ = std::move(handler); }
+
+  // --- Completion queues ------------------------------------------------------
+  void PushCompletion(CompletionEntry entry) {
+    completions_.push_back(entry);
+    if (completion_handler_) {
+      completion_handler_(completions_.back());
+    }
+  }
+  std::deque<CompletionEntry>& completions() { return completions_; }
+  void SetCompletionHandler(std::function<void(const CompletionEntry&)> handler) {
+    completion_handler_ = std::move(handler);
+  }
+
+  // --- Kernel lifecycle (partial reconfiguration target) ----------------------
+  void LoadKernel(std::unique_ptr<HwKernel> kernel);
+  void UnloadKernel();
+  HwKernel* kernel() { return kernel_.get(); }
+
+  uint64_t user_interrupts() const { return user_interrupts_; }
+  uint64_t sends_posted() const { return sends_posted_; }
+
+ private:
+  sim::Engine* engine_;
+  uint32_t id_;
+  Config config_;
+
+  std::vector<std::unique_ptr<axi::Stream>> host_in_, host_out_;
+  std::vector<std::unique_ptr<axi::Stream>> card_in_, card_out_;
+  std::vector<std::unique_ptr<axi::Stream>> net_in_, net_out_;
+  axi::AxiLiteRegisterFile csr_;
+
+  InterruptHandler interrupt_handler_;
+  SendHandler send_handler_;
+  std::function<void(const CompletionEntry&)> completion_handler_;
+  std::deque<CompletionEntry> completions_;
+  std::unique_ptr<HwKernel> kernel_;
+
+  uint64_t user_interrupts_ = 0;
+  uint64_t sends_posted_ = 0;
+};
+
+}  // namespace vfpga
+}  // namespace coyote
+
+#endif  // SRC_VFPGA_VFPGA_H_

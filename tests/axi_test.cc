@@ -1,0 +1,207 @@
+// Unit tests for the AXI plumbing: streams, arbiter, credits, AXI4-Lite.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/axi/arbiter.h"
+#include "src/axi/axi_lite.h"
+#include "src/axi/credit.h"
+#include "src/axi/stream.h"
+
+namespace coyote {
+namespace axi {
+namespace {
+
+StreamPacket MakePacket(size_t bytes, uint32_t tid = 0) {
+  StreamPacket p;
+  p.data.assign(bytes, static_cast<uint8_t>(tid));
+  p.tid = tid;
+  return p;
+}
+
+TEST(StreamTest, FifoOrderAndPayloadIntegrity) {
+  Stream s;
+  for (uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(s.Push(MakePacket(100 + i, i)));
+  }
+  for (uint32_t i = 0; i < 10; ++i) {
+    auto p = s.Pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->tid, i);
+    EXPECT_EQ(p->data.size(), 100 + i);
+    EXPECT_EQ(p->data[0], static_cast<uint8_t>(i));
+  }
+  EXPECT_FALSE(s.Pop().has_value());
+}
+
+TEST(StreamTest, CapacityEnforcedAndPushRejected) {
+  Stream s(2);
+  EXPECT_TRUE(s.Push(MakePacket(1)));
+  EXPECT_TRUE(s.Push(MakePacket(1)));
+  EXPECT_FALSE(s.CanPush());
+  EXPECT_FALSE(s.Push(MakePacket(1)));
+  EXPECT_EQ(s.size(), 2u);
+  s.Pop();
+  EXPECT_TRUE(s.CanPush());
+}
+
+TEST(StreamTest, CallbacksFireOnDataAndSpace) {
+  Stream s(4);
+  int data_events = 0, space_events = 0;
+  s.set_on_data([&] { ++data_events; });
+  s.set_on_space([&] { ++space_events; });
+  s.Push(MakePacket(1));
+  s.Push(MakePacket(1));
+  EXPECT_EQ(data_events, 2);
+  EXPECT_EQ(space_events, 0);
+  s.Pop();
+  EXPECT_EQ(space_events, 1);
+}
+
+TEST(StreamTest, BeatAccounting512BitBus) {
+  StreamPacket p = MakePacket(64);
+  EXPECT_EQ(p.beats(), 1u);
+  p = MakePacket(65);
+  EXPECT_EQ(p.beats(), 2u);
+  p = MakePacket(4096);
+  EXPECT_EQ(p.beats(), 64u);
+  p = MakePacket(0);
+  EXPECT_EQ(p.beats(), 0u);
+}
+
+TEST(StreamTest, StatisticsAccumulate) {
+  Stream s;
+  s.Push(MakePacket(100));
+  s.Push(MakePacket(28));
+  EXPECT_EQ(s.total_bytes(), 128u);
+  EXPECT_EQ(s.total_packets(), 2u);
+}
+
+TEST(ArbiterTest, RoundRobinCyclesThroughReadyInputs) {
+  RoundRobinArbiter arb(4);
+  auto all_ready = [](size_t) { return true; };
+  std::vector<size_t> grants;
+  for (int i = 0; i < 8; ++i) {
+    grants.push_back(*arb.Grant(all_ready));
+  }
+  EXPECT_EQ(grants, (std::vector<size_t>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(ArbiterTest, SkipsNotReadyInputs) {
+  RoundRobinArbiter arb(4);
+  auto odd_only = [](size_t i) { return i % 2 == 1; };
+  EXPECT_EQ(*arb.Grant(odd_only), 1u);
+  EXPECT_EQ(*arb.Grant(odd_only), 3u);
+  EXPECT_EQ(*arb.Grant(odd_only), 1u);
+}
+
+TEST(ArbiterTest, NoReadyInputReturnsNullopt) {
+  RoundRobinArbiter arb(3);
+  EXPECT_FALSE(arb.Grant([](size_t) { return false; }).has_value());
+  EXPECT_EQ(arb.grants(), 0u);
+}
+
+TEST(ArbiterTest, WorkConservingUnderAsymmetricLoad) {
+  // One always-ready input must be granted every round even when others idle.
+  RoundRobinArbiter arb(8);
+  auto only_five = [](size_t i) { return i == 5; };
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(*arb.Grant(only_five), 5u);
+  }
+}
+
+TEST(CreditTest, AcquireReleaseBalance) {
+  CreditCounter c(4);
+  EXPECT_TRUE(c.TryAcquire(3));
+  EXPECT_EQ(c.available(), 1u);
+  EXPECT_FALSE(c.TryAcquire(2));
+  EXPECT_EQ(c.stalls(), 1u);
+  c.Release(2);
+  EXPECT_TRUE(c.TryAcquire(2));
+  EXPECT_EQ(c.available(), 1u);
+}
+
+TEST(CreditTest, NoPartialAcquisition) {
+  CreditCounter c(3);
+  EXPECT_FALSE(c.TryAcquire(4));
+  EXPECT_EQ(c.available(), 3u);  // untouched
+}
+
+TEST(CreditTest, WaitersWakeInFifoOrderOnRelease) {
+  CreditCounter c(0);
+  std::vector<int> woke;
+  c.WaitForCredit([&] {
+    if (c.TryAcquire()) {
+      woke.push_back(1);
+    }
+  });
+  c.WaitForCredit([&] {
+    if (c.TryAcquire()) {
+      woke.push_back(2);
+    }
+  });
+  EXPECT_EQ(c.waiters(), 2u);
+  c.Release(1);
+  EXPECT_EQ(woke, (std::vector<int>{1}));
+  c.Release(1);
+  EXPECT_EQ(woke, (std::vector<int>{1, 2}));
+}
+
+TEST(AxiLiteTest, PlainReadWrite) {
+  AxiLiteRegisterFile csr;
+  csr.Write(3, 0xABCD);
+  EXPECT_EQ(csr.Read(3), 0xABCDu);
+  EXPECT_EQ(csr.Read(99), 0u);  // unwritten registers read as zero
+  EXPECT_EQ(csr.writes(), 1u);
+}
+
+TEST(AxiLiteTest, WriteHookClaimsRegister) {
+  AxiLiteRegisterFile csr;
+  uint64_t doorbell_value = 0;
+  csr.SetWriteHook(0, [&](uint32_t, uint64_t v) { doorbell_value = v; });
+  csr.Write(0, 42);
+  EXPECT_EQ(doorbell_value, 42u);
+  EXPECT_EQ(csr.Read(0), 0u);  // hook did not store
+}
+
+TEST(AxiLiteTest, ReadHookAndPokePeek) {
+  AxiLiteRegisterFile csr;
+  csr.SetReadHook(7, [](uint32_t) { return 0x77ull; });
+  EXPECT_EQ(csr.Read(7), 0x77u);
+  csr.Poke(8, 0x88);
+  EXPECT_EQ(csr.Peek(8), 0x88u);
+}
+
+// Property: for any interleaving of pushes/pops within capacity, the stream
+// conserves bytes (total in == total out + resident).
+class StreamConservation : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StreamConservation, BytesConserved) {
+  const size_t capacity = GetParam();
+  Stream s(capacity);
+  uint64_t pushed = 0, popped = 0;
+  uint32_t seq = 0;
+  for (int round = 0; round < 200; ++round) {
+    if ((round * 7 + seq) % 3 != 0 && s.CanPush()) {
+      const size_t n = (round % 64) + 1;
+      ASSERT_TRUE(s.Push(MakePacket(n, seq++)));
+      pushed += n;
+    } else if (auto p = s.Pop()) {
+      popped += p->data.size();
+    }
+  }
+  uint64_t resident = 0;
+  while (auto p = s.Pop()) {
+    resident += p->data.size();
+  }
+  EXPECT_EQ(pushed, popped + resident);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, StreamConservation,
+                         ::testing::Values(1, 2, 8, 64, 1024));
+
+}  // namespace
+}  // namespace axi
+}  // namespace coyote

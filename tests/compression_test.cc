@@ -1,0 +1,301 @@
+// Unit + property tests for the compression service: RLE and LZ codecs,
+// framed format, kernels, and "changing the compression algorithm" through
+// partial reconfiguration (paper Requirement 1).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/runtime/crcnfg.h"
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/services/compression.h"
+#include "src/sim/rng.h"
+#include "src/synth/flow.h"
+
+namespace coyote {
+namespace services {
+namespace {
+
+std::vector<uint8_t> Runs(size_t n) {
+  std::vector<uint8_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<uint8_t>((i / 97) & 0xFF);  // long runs
+  }
+  return v;
+}
+
+std::vector<uint8_t> Text(size_t n) {
+  const std::string phrase = "the quick brown fpga jumps over the lazy shell ";
+  std::vector<uint8_t> v;
+  while (v.size() < n) {
+    v.insert(v.end(), phrase.begin(), phrase.end());
+  }
+  v.resize(n);
+  return v;
+}
+
+std::vector<uint8_t> Random(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  sim::Rng rng(seed);
+  rng.FillBytes(v.data(), n);
+  return v;
+}
+
+TEST(RleTest, RoundTripBasics) {
+  for (const auto& input : {std::vector<uint8_t>{}, std::vector<uint8_t>{1},
+                            std::vector<uint8_t>(1000, 7), Runs(5000), Random(4096, 1)}) {
+    auto out = RleDecompress(RleCompress(input));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, input);
+  }
+}
+
+TEST(RleTest, CompressesRunsExpandsRandom) {
+  EXPECT_LT(RleCompress(std::vector<uint8_t>(10'000, 42)).size(), 200u);
+  // Random data may expand slightly (literal escapes) but bounded.
+  const auto random = Random(10'000, 2);
+  EXPECT_LT(RleCompress(random).size(), 10'200u);
+}
+
+TEST(RleTest, RejectsTruncatedStreams) {
+  auto good = RleCompress(Runs(1000));
+  good.pop_back();
+  // Truncation is detected (run missing its byte or literal block short).
+  auto out = RleDecompress(good);
+  if (out.has_value()) {
+    EXPECT_NE(*out, Runs(1000));
+  }
+}
+
+TEST(LzTest, RoundTripBasics) {
+  for (const auto& input :
+       {std::vector<uint8_t>{}, std::vector<uint8_t>{1, 2, 3}, std::vector<uint8_t>(64, 9),
+        Text(10'000), Runs(10'000), Random(8192, 3)}) {
+    auto out = LzDecompress(LzCompress(input));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, input);
+  }
+}
+
+TEST(LzTest, CompressesRepetitiveText) {
+  const auto text = Text(64 * 1024);
+  const auto compressed = LzCompress(text);
+  EXPECT_LT(compressed.size(), text.size() / 4);  // highly repetitive
+}
+
+TEST(LzTest, HandlesOverlappingMatches) {
+  // "abcabcabc..." forces matches with offset 3 < match length.
+  std::vector<uint8_t> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(static_cast<uint8_t>('a' + i % 3));
+  }
+  auto out = LzDecompress(LzCompress(v));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, v);
+}
+
+TEST(LzTest, RejectsCorruptOffsets) {
+  auto frame = LzCompress(Text(1000));
+  // Find and corrupt the first offset to exceed the output cursor.
+  // Token is at 0; flipping bytes aggressively should be caught or at least
+  // not crash; run over several corruption points.
+  for (size_t pos = 0; pos < std::min<size_t>(frame.size(), 20); ++pos) {
+    auto bad = frame;
+    bad[pos] ^= 0xFF;
+    auto out = LzDecompress(bad);  // must not crash; may fail or mismatch
+    if (out.has_value() && *out == Text(1000) && pos > 0) {
+      // corruption in literal area may legitimately alter content only
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FramedTest, RoundTripAndCodecTag) {
+  const auto input = Text(5000);
+  for (Codec codec : {Codec::kRle, Codec::kLz}) {
+    const auto frame = CompressFramed(codec, input);
+    EXPECT_EQ(frame[4], static_cast<uint8_t>(codec));
+    auto out = DecompressFramed(frame);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, input);
+  }
+}
+
+TEST(FramedTest, RejectsBadFrames) {
+  EXPECT_FALSE(DecompressFramed({}).has_value());
+  EXPECT_FALSE(DecompressFramed({1, 2, 3}).has_value());
+  auto frame = CompressFramed(Codec::kLz, Text(100));
+  frame[4] = 99;  // unknown codec
+  EXPECT_FALSE(DecompressFramed(frame).has_value());
+  // Size mismatch detection.
+  auto frame2 = CompressFramed(Codec::kRle, Text(100));
+  frame2[0] ^= 0x01;
+  EXPECT_FALSE(DecompressFramed(frame2).has_value());
+}
+
+// Property: round trip across codecs, sizes and data classes.
+struct CodecCase {
+  Codec codec;
+  int data_class;  // 0 runs, 1 text, 2 random
+  size_t size;
+};
+
+class CodecSweep : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecSweep, RoundTrip) {
+  const CodecCase c = GetParam();
+  std::vector<uint8_t> input;
+  switch (c.data_class) {
+    case 0:
+      input = Runs(c.size);
+      break;
+    case 1:
+      input = Text(c.size);
+      break;
+    default:
+      input = Random(c.size, c.size);
+      break;
+  }
+  auto out = Decompress(c.codec, Compress(c.codec, input));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CodecSweep,
+    ::testing::Values(CodecCase{Codec::kRle, 0, 1}, CodecCase{Codec::kRle, 0, 100'000},
+                      CodecCase{Codec::kRle, 2, 4096}, CodecCase{Codec::kLz, 0, 100'000},
+                      CodecCase{Codec::kLz, 1, 1}, CodecCase{Codec::kLz, 1, 65'536},
+                      CodecCase{Codec::kLz, 2, 65'536}, CodecCase{Codec::kRle, 1, 12'345},
+                      CodecCase{Codec::kLz, 1, 12'345}));
+
+// --- End-to-end: compress on the FPGA, verify on the host ---------------------
+
+runtime::SimDevice::Config DeviceConfig() {
+  runtime::SimDevice::Config cfg;
+  cfg.shell.name = "compress";
+  cfg.shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory};
+  cfg.shell.num_vfpgas = 1;
+  return cfg;
+}
+
+TEST(CompressionKernelTest, EndToEndCompressThenHostDecompress) {
+  runtime::SimDevice dev(DeviceConfig());
+  dev.vfpga(0).LoadKernel(std::make_unique<CompressKernel>(Codec::kLz));
+  runtime::CThread t(&dev, 0);
+
+  const auto input = Text(32 * 1024);
+  const uint64_t src = t.GetMem({runtime::Alloc::kHpf, input.size()});
+  const uint64_t dst = t.GetMem({runtime::Alloc::kHpf, 2 * input.size()});
+  t.WriteBuffer(src, input.data(), input.size());
+
+  // The kernel emits one framed packet per 4 KB input packet; sizes vary, so
+  // drive the output side by draining host_out directly (a streaming
+  // consumer), with only the read through the data mover.
+  std::vector<uint8_t> compressed_stream;
+  std::vector<std::vector<uint8_t>> frames;
+  dev.vfpga(0).host_out(0).set_on_data(nullptr);
+  runtime::SgEntry sg;
+  sg.local = {.src_addr = src, .src_len = input.size(), .dst_addr = 0, .dst_len = 0,
+              .src_stream = 0, .dst_stream = 0};
+  auto task = t.Invoke(runtime::Oper::kLocalRead, sg);
+  dev.WaitFor([&] {
+    while (auto p = dev.vfpga(0).host_out(0).Pop()) {
+      frames.push_back(std::move(p->data));
+    }
+    return t.CheckCompleted(task) && frames.size() == 8;  // 32 KB / 4 KB
+  });
+
+  std::vector<uint8_t> reassembled;
+  uint64_t compressed_bytes = 0;
+  for (const auto& frame : frames) {
+    compressed_bytes += frame.size();
+    auto part = DecompressFramed(frame);
+    ASSERT_TRUE(part.has_value());
+    reassembled.insert(reassembled.end(), part->begin(), part->end());
+  }
+  EXPECT_EQ(reassembled, input);
+  EXPECT_LT(compressed_bytes, input.size() / 2);  // repetitive text shrinks
+  (void)dst;
+}
+
+TEST(CompressionKernelTest, ChangingTheCompressionAlgorithmViaReconfig) {
+  // Paper Requirement 1: swap the compression service at run time.
+  runtime::SimDevice dev(DeviceConfig());
+  dev.RegisterKernelFactory("compress_rle",
+                            []() { return std::make_unique<CompressKernel>(Codec::kRle); });
+  dev.RegisterKernelFactory("compress_lz",
+                            []() { return std::make_unique<CompressKernel>(Codec::kLz); });
+
+  // Build bitstreams against the active shell.
+  synth::BuildFlow flow(dev.floorplan());
+  synth::HwModule rle_mod{"compress_rle", CompressKernel(Codec::kRle).resources(), 1.0};
+  synth::HwModule lz_mod{"compress_lz", CompressKernel(Codec::kLz).resources(), 1.0};
+  auto out = flow.RunShellFlow(dev.config().shell, {synth::Netlist{"compress_rle", {rle_mod}}});
+  ASSERT_TRUE(out.ok);
+  dev.WriteBitstreamFile("/bit/rle.bin", out.app_bitstreams[0]);
+  auto lz_out = flow.RunAppFlow(synth::Netlist{"compress_lz", {lz_mod}}, 0, out);
+  ASSERT_TRUE(lz_out.ok);
+  dev.WriteBitstreamFile("/bit/lz.bin", lz_out.app_bitstreams[0]);
+
+  runtime::CRcnfg rcnfg(&dev);
+  ASSERT_TRUE(rcnfg.ReconfigureApp("/bit/rle.bin", 0).ok);
+  EXPECT_EQ(dev.vfpga(0).kernel()->name(), "compress_rle");
+
+  auto run_one_packet = [&](const std::vector<uint8_t>& data) {
+    axi::StreamPacket p;
+    p.data = data;
+    p.last = true;
+    dev.vfpga(0).host_in(0).Push(std::move(p));
+    dev.engine().RunUntilIdle();
+    auto outp = dev.vfpga(0).host_out(0).Pop();
+    EXPECT_TRUE(outp.has_value());
+    return outp ? outp->data : std::vector<uint8_t>{};
+  };
+
+  const auto input = Text(4096);
+  const auto rle_frame = run_one_packet(input);
+  ASSERT_GE(rle_frame.size(), 5u);
+  EXPECT_EQ(rle_frame[4], static_cast<uint8_t>(Codec::kRle));
+
+  // Swap the algorithm through partial reconfiguration.
+  ASSERT_TRUE(rcnfg.ReconfigureApp("/bit/lz.bin", 0).ok);
+  EXPECT_EQ(dev.vfpga(0).kernel()->name(), "compress_lz");
+  const auto lz_frame = run_one_packet(input);
+  ASSERT_GE(lz_frame.size(), 5u);
+  EXPECT_EQ(lz_frame[4], static_cast<uint8_t>(Codec::kLz));
+
+  // Both decode to the same input; LZ wins on text.
+  EXPECT_EQ(*DecompressFramed(rle_frame), input);
+  EXPECT_EQ(*DecompressFramed(lz_frame), input);
+  EXPECT_LT(lz_frame.size(), rle_frame.size());
+}
+
+TEST(CompressionKernelTest, DecompressKernelInvertsCompressKernel) {
+  runtime::SimDevice dev(DeviceConfig());
+  dev.vfpga(0).LoadKernel(std::make_unique<DecompressKernel>());
+  const auto input = Runs(8192);
+  axi::StreamPacket p;
+  p.data = CompressFramed(Codec::kLz, input);
+  p.last = true;
+  dev.vfpga(0).host_in(0).Push(std::move(p));
+  dev.engine().RunUntilIdle();
+  auto out = dev.vfpga(0).host_out(0).Pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->data, input);
+
+  // Corrupt frame: swallowed and counted.
+  axi::StreamPacket bad;
+  bad.data = {1, 2, 3, 4, 5, 6};
+  dev.vfpga(0).host_in(0).Push(std::move(bad));
+  dev.engine().RunUntilIdle();
+  auto* kernel = static_cast<DecompressKernel*>(dev.vfpga(0).kernel());
+  EXPECT_EQ(kernel->corrupt_frames(), 1u);
+}
+
+}  // namespace
+}  // namespace services
+}  // namespace coyote

@@ -1,0 +1,182 @@
+// Unit tests for the fabric layer: resources, floorplan, shell configs,
+// bitstream sizing, reconfiguration ports.
+
+#include <gtest/gtest.h>
+
+#include "src/fabric/bitstream.h"
+#include "src/fabric/floorplan.h"
+#include "src/fabric/part.h"
+#include "src/fabric/reconfig_port.h"
+#include "src/fabric/resources.h"
+#include "src/fabric/shell_config.h"
+#include "src/sim/engine.h"
+
+namespace coyote {
+namespace fabric {
+namespace {
+
+TEST(ResourceVectorTest, ArithmeticAndScaling) {
+  ResourceVector a{100, 200, 10, 2, 5};
+  ResourceVector b{50, 100, 5, 1, 3};
+  ResourceVector sum = a + b;
+  EXPECT_EQ(sum.luts, 150u);
+  EXPECT_EQ(sum.dsp, 8u);
+  ResourceVector half = a.Scaled(0.5);
+  EXPECT_EQ(half.luts, 50u);
+  EXPECT_EQ(half.uram, 1u);
+}
+
+TEST(ResourceVectorTest, FitsInIsPerDimension) {
+  ResourceVector budget{100, 100, 100, 100, 100};
+  EXPECT_TRUE((ResourceVector{100, 100, 100, 100, 100}).FitsIn(budget));
+  EXPECT_FALSE((ResourceVector{101, 0, 0, 0, 0}).FitsIn(budget));
+  EXPECT_FALSE((ResourceVector{0, 0, 0, 0, 101}).FitsIn(budget));
+  EXPECT_TRUE(ResourceVector{}.FitsIn(budget));
+  EXPECT_TRUE(ResourceVector{}.IsZero());
+}
+
+TEST(ResourceVectorTest, UtilizationPicksBindingConstraint) {
+  ResourceVector budget{1000, 1000, 100, 100, 100};
+  ResourceVector used{100, 100, 90, 10, 10};
+  EXPECT_DOUBLE_EQ(used.MaxUtilization(budget), 0.9);  // BRAM binds
+  EXPECT_DOUBLE_EQ(used.LutUtilization(budget), 0.1);
+}
+
+TEST(PartTest, KnownParts) {
+  EXPECT_EQ(kAlveoU55C.memory_channels, 32u);
+  EXPECT_EQ(kAlveoU55C.card_memory, CardMemoryKind::kHbm);
+  EXPECT_EQ(kAlveoU250.card_memory, CardMemoryKind::kDdr);
+  EXPECT_GT(kAlveoU250.total.luts, kAlveoU55C.total.luts);
+  // 100G CMAC on all supported parts.
+  EXPECT_EQ(kAlveoU55C.network_bandwidth_bps, 12'500'000'000ull);
+}
+
+TEST(FloorplanTest, RegionsPartitionTheDevice) {
+  const Floorplan fp = Floorplan::ForPart(kAlveoU55C, 4);
+  EXPECT_EQ(fp.num_app_regions(), 4u);
+  // Static + dynamic + apps stay within the device.
+  ResourceVector total = fp.static_region().budget + fp.service_region().budget;
+  for (const Region& r : fp.app_regions()) {
+    EXPECT_EQ(r.layer, Layer::kApp);
+    total += r.budget;
+  }
+  EXPECT_TRUE(total.FitsIn(kAlveoU55C.total));
+  // The static layer is deliberately thin (paper §3).
+  EXPECT_LT(fp.static_region().budget.luts, fp.service_region().budget.luts);
+}
+
+TEST(FloorplanTest, AppRegionsShrinkWithMoreVfpgas) {
+  const Floorplan fp2 = Floorplan::ForPart(kAlveoU55C, 2);
+  const Floorplan fp8 = Floorplan::ForPart(kAlveoU55C, 8);
+  EXPECT_GT(fp2.app_regions()[0].budget.luts, fp8.app_regions()[0].budget.luts);
+  // Shell budget (services + all apps) is independent of the split.
+  EXPECT_NEAR(static_cast<double>(fp2.ShellBudget().luts),
+              static_cast<double>(fp8.ShellBudget().luts),
+              static_cast<double>(fp2.ShellBudget().luts) * 0.01);
+}
+
+TEST(FloorplanTest, BitstreamGrowsWithOccupancy) {
+  const Floorplan fp = Floorplan::ForPart(kAlveoU55C, 2);
+  const Region& region = fp.app_regions()[0];
+  const uint64_t empty = fp.RegionBitstreamBytes(region, {});
+  const uint64_t tenth = fp.RegionBitstreamBytes(region, region.budget.Scaled(0.1));
+  const uint64_t third = fp.RegionBitstreamBytes(region, region.budget.Scaled(0.3));
+  const uint64_t full = fp.RegionBitstreamBytes(region, region.budget);
+  EXPECT_LT(empty, tenth);
+  EXPECT_LT(tenth, third);
+  EXPECT_LE(third, full);
+  // The fill factor saturates: never exceeds the uncompressed frame size.
+  EXPECT_LE(full, static_cast<uint64_t>(static_cast<double>(region.budget.luts) *
+                                        kBitstreamBytesPerLut));
+}
+
+TEST(FloorplanTest, ShellBitstreamInPaperRange) {
+  // Table 3 shells on the U55C are ~40-70 MB.
+  const Floorplan fp = Floorplan::ForPart(kAlveoU55C, 2);
+  const uint64_t small = fp.ShellBitstreamBytes(fp.ShellBudget().Scaled(0.05));
+  const uint64_t big = fp.ShellBitstreamBytes(fp.ShellBudget().Scaled(0.25));
+  EXPECT_GT(small, 30ull << 20);
+  EXPECT_LT(big, 80ull << 20);
+}
+
+TEST(ShellConfigTest, ConfigIdStableAndSensitive) {
+  ShellConfigDesc a;
+  a.services = {Service::kHostStream, Service::kRdma};
+  a.num_vfpgas = 2;
+  ShellConfigDesc b = a;
+  EXPECT_EQ(a.ConfigId(), b.ConfigId());
+  b.name = "renamed";  // name is documentation, not identity
+  EXPECT_EQ(a.ConfigId(), b.ConfigId());
+  b.page_bytes = 1ull << 30;
+  EXPECT_NE(a.ConfigId(), b.ConfigId());
+  ShellConfigDesc c = a;
+  c.services = {Service::kRdma, Service::kHostStream};  // order-insensitive
+  EXPECT_EQ(a.ConfigId(), c.ConfigId());
+  ShellConfigDesc d = a;
+  d.services.push_back(Service::kSniffer);
+  EXPECT_NE(a.ConfigId(), d.ConfigId());
+}
+
+TEST(ShellConfigTest, HasServiceAndNames) {
+  ShellConfigDesc s;
+  s.services = {Service::kRdma};
+  EXPECT_TRUE(s.HasService(Service::kRdma));
+  EXPECT_FALSE(s.HasService(Service::kTcp));
+  EXPECT_EQ(ServiceName(Service::kRdma), "rdma");
+  EXPECT_EQ(ServiceName(Service::kSniffer), "sniffer");
+}
+
+TEST(ReconfigPortTest, Table2Throughputs) {
+  EXPECT_NEAR(kAxiHwicap.ThroughputMBps(), 19.0, 0.1);
+  EXPECT_NEAR(kPcap.ThroughputMBps(), 128.0, 0.5);
+  EXPECT_NEAR(kMcap.ThroughputMBps(), 145.0, 0.5);
+  EXPECT_NEAR(kCoyoteIcap.ThroughputMBps(), 800.0, 0.5);
+}
+
+TEST(ReconfigPortTest, ProgramTimeScalesWithSize) {
+  const uint64_t mb = 1 << 20;
+  EXPECT_EQ(ProgramTime(kCoyoteIcap, 0), 0u);
+  const sim::TimePs one = ProgramTime(kCoyoteIcap, mb);
+  const sim::TimePs ten = ProgramTime(kCoyoteIcap, 10 * mb);
+  EXPECT_EQ(ten, 10 * one);
+  // Word-granular rounding.
+  EXPECT_EQ(ProgramTime(kCoyoteIcap, 1), ProgramTime(kCoyoteIcap, 4));
+}
+
+TEST(ReconfigControllerTest, IcapBoundWhenHostLinkFaster) {
+  sim::Engine engine;
+  ReconfigController ctrl(&engine, 12'000'000'000ull);
+  const uint64_t bytes = 40ull << 20;
+  // ICAP at 800 MB/s is the bottleneck; 40 MiB / 800 MB/s ~= 52.4 ms.
+  const double ms = sim::ToMilliseconds(ctrl.ProgramLatency(bytes));
+  EXPECT_NEAR(ms, 52.4, 1.0);
+}
+
+TEST(ReconfigControllerTest, HostLinkBoundWhenSlower) {
+  sim::Engine engine;
+  ReconfigController ctrl(&engine, 100'000'000ull);  // 100 MB/s staging link
+  const uint64_t bytes = 10ull << 20;
+  const double ms = sim::ToMilliseconds(ctrl.ProgramLatency(bytes));
+  EXPECT_NEAR(ms, 104.9, 2.0);  // DMA-bound
+}
+
+TEST(ReconfigControllerTest, AsyncProgramKeepsEngineRunning) {
+  sim::Engine engine;
+  ReconfigController ctrl(&engine, 12'000'000'000ull);
+  bool done = false;
+  int other_events = 0;
+  ctrl.ProgramAsync(8ull << 20, [&] { done = true; });
+  EXPECT_TRUE(ctrl.busy());
+  // The rest of the FPGA remains operational: unrelated events interleave.
+  for (int i = 1; i <= 5; ++i) {
+    engine.ScheduleAfter(sim::Milliseconds(i), [&] { ++other_events; });
+  }
+  engine.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ctrl.busy());
+  EXPECT_EQ(other_events, 5);
+}
+
+}  // namespace
+}  // namespace fabric
+}  // namespace coyote

@@ -1,0 +1,469 @@
+// Unit tests for the functional service cores: AES (FIPS-197 / SP 800-38A
+// vectors), HyperLogLog, the quantized MLP, and the stream-kernel timing.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/services/aes.h"
+#include "src/services/db_scan.h"
+#include "src/services/hll.h"
+#include "src/services/nn.h"
+#include "src/services/stream_kernel.h"
+#include "src/services/vector_kernels.h"
+#include "src/sim/rng.h"
+#include "src/vfpga/vfpga.h"
+
+namespace coyote {
+namespace services {
+namespace {
+
+std::array<uint8_t, 16> HexBlock(const char* hex) {
+  std::array<uint8_t, 16> out{};
+  for (int i = 0; i < 16; ++i) {
+    unsigned v = 0;
+    sscanf(hex + 2 * i, "%02x", &v);
+    out[i] = static_cast<uint8_t>(v);
+  }
+  return out;
+}
+
+TEST(AesTest, Fips197AppendixCVector) {
+  // FIPS-197 Appendix C.1: AES-128.
+  const auto key = HexBlock("000102030405060708090a0b0c0d0e0f");
+  const auto plain = HexBlock("00112233445566778899aabbccddeeff");
+  const auto expect = HexBlock("69c4e0d86a7b0430d8cdb78070b4c55a");
+  Aes128 aes(key);
+  uint8_t out[16];
+  aes.EncryptBlock(plain.data(), out);
+  EXPECT_EQ(0, std::memcmp(out, expect.data(), 16));
+  uint8_t back[16];
+  aes.DecryptBlock(out, back);
+  EXPECT_EQ(0, std::memcmp(back, plain.data(), 16));
+}
+
+TEST(AesTest, Sp80038aEcbVectors) {
+  // NIST SP 800-38A F.1.1 (ECB-AES128.Encrypt), blocks 1 and 2.
+  const auto key = HexBlock("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes(key);
+  struct Case {
+    const char* plain;
+    const char* cipher;
+  };
+  const Case cases[] = {
+      {"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+      {"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+  };
+  for (const Case& c : cases) {
+    const auto plain = HexBlock(c.plain);
+    const auto expect = HexBlock(c.cipher);
+    uint8_t out[16];
+    aes.EncryptBlock(plain.data(), out);
+    EXPECT_EQ(0, std::memcmp(out, expect.data(), 16));
+  }
+}
+
+TEST(AesTest, Sp80038aCbcVector) {
+  // NIST SP 800-38A F.2.1 (CBC-AES128.Encrypt), first two blocks.
+  const auto key = HexBlock("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto iv = HexBlock("000102030405060708090a0b0c0d0e0f");
+  std::vector<uint8_t> plain;
+  const auto b1 = HexBlock("6bc1bee22e409f96e93d7e117393172a");
+  const auto b2 = HexBlock("ae2d8a571e03ac9c9eb76fac45af8e51");
+  plain.insert(plain.end(), b1.begin(), b1.end());
+  plain.insert(plain.end(), b2.begin(), b2.end());
+
+  Aes128 aes(key);
+  const std::vector<uint8_t> cipher = aes.EncryptCbc(plain, iv);
+  const auto c1 = HexBlock("7649abac8119b246cee98e9b12e9197d");
+  const auto c2 = HexBlock("5086cb9b507219ee95db113a917678b2");
+  EXPECT_EQ(0, std::memcmp(cipher.data(), c1.data(), 16));
+  EXPECT_EQ(0, std::memcmp(cipher.data() + 16, c2.data(), 16));
+  EXPECT_EQ(aes.DecryptCbc(cipher, iv), plain);
+}
+
+TEST(AesTest, KeyFromCsrWordsMatchesArrayKey) {
+  // The CSR packing (reg0 = bytes 0..7 LE) must equal the byte-array ctor.
+  std::array<uint8_t, 16> key{};
+  for (int i = 0; i < 16; ++i) {
+    key[i] = static_cast<uint8_t>(i * 17);
+  }
+  uint64_t lo = 0, hi = 0;
+  std::memcpy(&lo, key.data(), 8);
+  std::memcpy(&hi, key.data() + 8, 8);
+  Aes128 a(key), b(lo, hi);
+  uint8_t in[16] = {42}, out_a[16], out_b[16];
+  a.EncryptBlock(in, out_a);
+  b.EncryptBlock(in, out_b);
+  EXPECT_EQ(0, std::memcmp(out_a, out_b, 16));
+}
+
+TEST(AesTest, EcbRoundTripRandomBuffers) {
+  Aes128 aes(0x123, 0x456);
+  sim::Rng rng(1);
+  for (size_t blocks : {1u, 7u, 64u, 1000u}) {
+    std::vector<uint8_t> plain(blocks * 16);
+    rng.FillBytes(plain.data(), plain.size());
+    EXPECT_EQ(aes.DecryptEcb(aes.EncryptEcb(plain)), plain);
+  }
+}
+
+TEST(AesTest, CbcDiffersFromEcbAndPropagates) {
+  Aes128 aes(1, 2);
+  std::vector<uint8_t> plain(64, 0x42);  // repeated blocks
+  const auto ecb = aes.EncryptEcb(plain);
+  const std::array<uint8_t, 16> iv{};
+  const auto cbc = aes.EncryptCbc(plain, iv);
+  // ECB leaks structure: identical blocks encrypt identically.
+  EXPECT_EQ(0, std::memcmp(ecb.data(), ecb.data() + 16, 16));
+  // CBC does not.
+  EXPECT_NE(0, std::memcmp(cbc.data(), cbc.data() + 16, 16));
+}
+
+TEST(HllTest, HashIsDeterministicAndWellMixed) {
+  EXPECT_EQ(HllSketch::Hash(1), HllSketch::Hash(1));
+  EXPECT_NE(HllSketch::Hash(1), HllSketch::Hash(2));
+  // Avalanche smoke test: flipping one input bit flips ~half the output.
+  int diff_bits = __builtin_popcountll(HllSketch::Hash(0x1234) ^ HllSketch::Hash(0x1235));
+  EXPECT_GT(diff_bits, 16);
+  EXPECT_LT(diff_bits, 48);
+}
+
+TEST(HllTest, ExactForTinyCardinalities) {
+  HllSketch sketch(14);
+  for (uint64_t i = 0; i < 100; ++i) {
+    sketch.Add(i);
+    sketch.Add(i);  // duplicates must not count
+  }
+  EXPECT_NEAR(sketch.Estimate(), 100.0, 2.0);  // linear-counting regime
+  EXPECT_EQ(sketch.items_added(), 200u);
+}
+
+TEST(HllTest, ErrorWithinTheoreticalBound) {
+  // Standard error is ~1.04/sqrt(m); at p=14 that is ~0.8%. Allow 4 sigma.
+  HllSketch sketch(14);
+  constexpr uint64_t kDistinct = 1'000'000;
+  for (uint64_t i = 0; i < kDistinct; ++i) {
+    sketch.Add(i * 0x9E3779B97F4A7C15ull);
+  }
+  const double err = std::abs(sketch.Estimate() - kDistinct) / kDistinct;
+  EXPECT_LT(err, 4 * 1.04 / std::sqrt(16384.0));
+}
+
+TEST(HllTest, ClearResets) {
+  HllSketch sketch(14);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    sketch.Add(i);
+  }
+  sketch.Clear();
+  EXPECT_EQ(sketch.items_added(), 0u);
+  EXPECT_LT(sketch.Estimate(), 1.0);
+}
+
+// Property: estimate accuracy across precisions.
+class HllPrecisionSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HllPrecisionSweep, EstimateTracksCardinality) {
+  const uint32_t p = GetParam();
+  HllSketch sketch(p);
+  constexpr uint64_t kDistinct = 50'000;
+  for (uint64_t i = 0; i < kDistinct; ++i) {
+    sketch.Add(i);
+  }
+  const double sigma = 1.04 / std::sqrt(static_cast<double>(1u << p));
+  EXPECT_NEAR(sketch.Estimate(), kDistinct, 5 * sigma * kDistinct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, HllPrecisionSweep, ::testing::Values(10, 12, 14, 16));
+
+TEST(MlpTest, ForwardMathIsExactInt) {
+  // Single 2->2 layer with hand-computed result.
+  MlpSpec spec;
+  spec.name = "tiny";
+  DenseLayer l;
+  l.in_dim = 2;
+  l.out_dim = 2;
+  l.weights = {1, 2, -3, 4};  // row-major: out0 = 1*x0 + 2*x1
+  l.bias = {10, -20};
+  l.requant_shift = 0;
+  l.relu = true;
+  spec.layers.push_back(l);
+
+  const int8_t input[2] = {5, -3};
+  const auto out = MlpForward(spec, input);
+  // out0 = 5 - 6 + 10 = 9; out1 = -15 - 12 - 20 = -47 -> relu -> 0.
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(out[1], 0);
+}
+
+TEST(MlpTest, RequantShiftAndClamp) {
+  MlpSpec spec;
+  DenseLayer l;
+  l.in_dim = 1;
+  l.out_dim = 2;
+  l.weights = {100, -100};
+  l.bias = {0, 0};
+  l.requant_shift = 1;
+  l.relu = false;
+  spec.layers.push_back(l);
+  const int8_t input[1] = {100};
+  const auto out = MlpForward(spec, input);
+  EXPECT_EQ(out[0], 127);   // 10000 >> 1 = 5000 -> clamp 127
+  EXPECT_EQ(out[1], -128);  // -5000 -> clamp -128
+}
+
+TEST(MlpTest, Conv1dMathIsExact) {
+  // One conv layer, hand-computed: in_len=4, 1 channel, 1 output channel,
+  // kernel [1, 2, -1], bias 3, no shift.
+  MlpSpec spec;
+  Conv1dLayer c;
+  c.in_len = 4;
+  c.in_channels = 1;
+  c.out_channels = 1;
+  c.kernel_size = 3;
+  c.weights = {1, 2, -1};
+  c.bias = {3};
+  c.requant_shift = 0;
+  c.relu = false;
+  spec.conv_layers.push_back(c);
+  DenseLayer d;  // identity-ish dense to expose conv output: 2 -> 2
+  d.in_dim = 2;
+  d.out_dim = 2;
+  d.weights = {1, 0, 0, 1};
+  d.bias = {0, 0};
+  d.requant_shift = 0;
+  d.relu = false;
+  spec.layers.push_back(d);
+
+  const int8_t input[4] = {1, 2, 3, 4};
+  // conv out[0] = 1*1 + 2*2 - 3 + 3 = 5; out[1] = 2 + 6 - 4 + 3 = 7.
+  const auto out = MlpForward(spec, input);
+  EXPECT_EQ(out[0], 5);
+  EXPECT_EQ(out[1], 7);
+}
+
+TEST(MlpTest, Conv1dMultiChannelGeometry) {
+  const MlpSpec spec = MakeConv1dClassifier();
+  EXPECT_EQ(spec.input_dim(), 128u);  // 64 steps x 2 channels
+  EXPECT_EQ(spec.output_dim(), 4u);
+  EXPECT_EQ(spec.conv_layers[0].out_len(), 60u);
+  EXPECT_EQ(spec.conv_layers[1].out_len(), 58u);
+  EXPECT_GT(spec.TotalMultiplies(),
+            spec.layers[0].in_dim * spec.layers[0].out_dim);  // convs counted
+  // Deterministic + runnable.
+  std::vector<int8_t> input(spec.input_dim(), 3);
+  const auto a = MlpForward(spec, input.data());
+  const auto b = MlpForward(MakeConv1dClassifier(), input.data());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(MlpTest, IntrusionModelGeometryAndEstimates) {
+  const MlpSpec spec = MakeIntrusionDetectionMlp();
+  EXPECT_EQ(spec.input_dim(), 49u);
+  EXPECT_EQ(spec.output_dim(), 2u);
+  EXPECT_EQ(spec.layers.size(), 4u);
+  EXPECT_FALSE(spec.layers.back().relu);  // logits
+  EXPECT_GT(spec.TotalMultiplies(), 5000u);
+  EXPECT_EQ(spec.IiCycles(), spec.reuse_factor);
+  EXPECT_GT(spec.LatencyCycles(), 4 * spec.reuse_factor);
+  const fabric::ResourceVector r = spec.EstimateResources();
+  EXPECT_GT(r.dsp, 0u);
+  EXPECT_EQ(r.dsp, (spec.TotalMultiplies() + 3) / 4);  // reuse factor 4
+  // Deterministic weights: two builds identical.
+  const MlpSpec again = MakeIntrusionDetectionMlp();
+  EXPECT_EQ(spec.layers[0].weights, again.layers[0].weights);
+}
+
+TEST(DbScanTest, PredicateAndAggregatesExact) {
+  sim::Engine engine;
+  vfpga::Vfpga region(&engine, 0, {.num_host_streams = 1, .num_card_streams = 1,
+                                   .num_net_streams = 1});
+  DbScanKernel kernel;
+  kernel.Attach(&region);
+  region.csr().Poke(kScanCsrMinKey, 10);
+  region.csr().Poke(kScanCsrMaxKey, 20);
+
+  std::vector<DbRecord> rows = {
+      {5, 100}, {10, -7}, {15, 3}, {20, 4}, {21, 1000}, {12, -10},
+  };
+  axi::StreamPacket p;
+  p.data.resize(rows.size() * sizeof(DbRecord));
+  std::memcpy(p.data.data(), rows.data(), p.data.size());
+  p.last = true;
+  region.host_in(0).Push(std::move(p));
+  engine.RunUntilIdle();
+
+  auto out = region.host_out(0).Pop();
+  ASSERT_TRUE(out.has_value());
+  uint64_t count = 0;
+  int64_t sum = 0;
+  std::memcpy(&count, out->data.data(), 8);
+  std::memcpy(&sum, out->data.data() + 8, 8);
+  EXPECT_EQ(count, 4u);       // keys 10, 15, 20, 12
+  EXPECT_EQ(sum, -7 + 3 + 4 - 10);
+  EXPECT_EQ(static_cast<int64_t>(region.csr().Peek(kScanCsrMin)), -10);
+  EXPECT_EQ(static_cast<int64_t>(region.csr().Peek(kScanCsrMax)), 4);
+  kernel.Detach();
+}
+
+TEST(DbScanTest, RecordsStraddlingPacketBoundaries) {
+  sim::Engine engine;
+  vfpga::Vfpga region(&engine, 0, {.num_host_streams = 1, .num_card_streams = 1,
+                                   .num_net_streams = 1});
+  DbScanKernel kernel;
+  kernel.Attach(&region);
+  region.csr().Poke(kScanCsrMinKey, 0);
+  region.csr().Poke(kScanCsrMaxKey, 1'000'000);
+
+  // 100 records split into 24-byte packets (not record-aligned).
+  std::vector<DbRecord> rows(100);
+  int64_t expected_sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    rows[i] = {i, i * 3};
+    expected_sum += i * 3;
+  }
+  std::vector<uint8_t> bytes(rows.size() * 16);
+  std::memcpy(bytes.data(), rows.data(), bytes.size());
+  for (size_t off = 0; off < bytes.size(); off += 24) {
+    axi::StreamPacket p;
+    const size_t n = std::min<size_t>(24, bytes.size() - off);
+    p.data.assign(bytes.begin() + static_cast<ptrdiff_t>(off),
+                  bytes.begin() + static_cast<ptrdiff_t>(off + n));
+    p.last = off + n == bytes.size();
+    region.host_in(0).Push(std::move(p));
+  }
+  engine.RunUntilIdle();
+  auto out = region.host_out(0).Pop();
+  ASSERT_TRUE(out.has_value());
+  uint64_t count = 0;
+  int64_t sum = 0;
+  std::memcpy(&count, out->data.data(), 8);
+  std::memcpy(&sum, out->data.data() + 8, 8);
+  EXPECT_EQ(count, 100u);
+  EXPECT_EQ(sum, expected_sum);
+  kernel.Detach();
+}
+
+TEST(DbScanTest, StateResetsBetweenQueries) {
+  sim::Engine engine;
+  vfpga::Vfpga region(&engine, 0, {.num_host_streams = 1, .num_card_streams = 1,
+                                   .num_net_streams = 1});
+  DbScanKernel kernel;
+  kernel.Attach(&region);
+  region.csr().Poke(kScanCsrMinKey, 0);
+  region.csr().Poke(kScanCsrMaxKey, 100);
+  auto run_query = [&](int64_t key, int64_t value) {
+    axi::StreamPacket p;
+    DbRecord rec{key, value};
+    p.data.resize(16);
+    std::memcpy(p.data.data(), &rec, 16);
+    p.last = true;
+    region.host_in(0).Push(std::move(p));
+    engine.RunUntilIdle();
+    auto out = region.host_out(0).Pop();
+    int64_t sum = 0;
+    std::memcpy(&sum, out->data.data() + 8, 8);
+    return sum;
+  };
+  EXPECT_EQ(run_query(1, 41), 41);
+  EXPECT_EQ(run_query(2, 1), 1);  // not 42: fresh aggregation per scan
+  kernel.Detach();
+}
+
+TEST(StreamKernelTest, RateModelThrottlesOutput) {
+  sim::Engine engine;
+  vfpga::Vfpga region(&engine, 0, {.num_host_streams = 1, .num_card_streams = 1,
+                                   .num_net_streams = 1});
+  PassthroughKernel kernel;
+  kernel.Attach(&region);
+
+  // 64 KB at 64 B/cycle = 1024 cycles = 4.096 us (+4 cycles fill).
+  axi::StreamPacket p;
+  p.data.assign(64 * 1024, 0xAB);
+  region.host_in(0).Push(std::move(p));
+  engine.RunUntilIdle();
+  EXPECT_EQ(engine.Now(), sim::kSystemClock.CyclesToPs(1024 + 4));
+  auto out = region.host_out(0).Pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->data.size(), 64u * 1024);
+  EXPECT_EQ(kernel.bytes_processed(), 64u * 1024);
+  kernel.Detach();
+}
+
+TEST(StreamKernelTest, BackToBackPacketsPipelineThroughSharedPipe) {
+  sim::Engine engine;
+  vfpga::Vfpga region(&engine, 0, {.num_host_streams = 1, .num_card_streams = 1,
+                                   .num_net_streams = 1});
+  PassthroughKernel kernel;
+  kernel.Attach(&region);
+  for (int i = 0; i < 4; ++i) {
+    axi::StreamPacket p;
+    p.data.assign(4096, 0x11);
+    region.host_in(0).Push(std::move(p));
+  }
+  engine.RunUntilIdle();
+  // 4 x 64 cycles serialized + fill, not 4 x (64 + fill).
+  EXPECT_EQ(engine.Now(), sim::kSystemClock.CyclesToPs(4 * 64 + 4));
+  EXPECT_EQ(region.host_out(0).size(), 4u);
+  kernel.Detach();
+}
+
+TEST(VectorKernelTest, AddAndMultCompute) {
+  for (VectorOp op : {VectorOp::kAdd, VectorOp::kMult}) {
+    sim::Engine engine;
+    vfpga::Vfpga region(&engine, 0, {.num_host_streams = 2, .num_card_streams = 2,
+                                     .num_net_streams = 1});
+    VectorOpKernel kernel(op, /*use_card=*/false);
+    kernel.Attach(&region);
+
+    std::vector<int32_t> a{1, -2, 3, 1000000}, b{10, 20, -30, 3};
+    axi::StreamPacket pa, pb;
+    pa.data.resize(16);
+    pb.data.resize(16);
+    std::memcpy(pa.data.data(), a.data(), 16);
+    std::memcpy(pb.data.data(), b.data(), 16);
+    pa.last = pb.last = true;
+    region.host_in(0).Push(std::move(pa));
+    region.host_in(1).Push(std::move(pb));
+    engine.RunUntilIdle();
+
+    auto out = region.host_out(0).Pop();
+    ASSERT_TRUE(out.has_value());
+    std::vector<int32_t> r(4);
+    std::memcpy(r.data(), out->data.data(), 16);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(r[i], op == VectorOp::kAdd ? a[i] + b[i] : a[i] * b[i]);
+    }
+    EXPECT_TRUE(out->last);
+    kernel.Detach();
+  }
+}
+
+TEST(VectorKernelTest, MismatchedArrivalBuffersUntilPaired) {
+  sim::Engine engine;
+  vfpga::Vfpga region(&engine, 0, {.num_host_streams = 2, .num_card_streams = 2,
+                                   .num_net_streams = 1});
+  VectorOpKernel kernel(VectorOp::kAdd, false);
+  kernel.Attach(&region);
+  axi::StreamPacket pa;
+  pa.data.assign(16, 1);
+  pa.last = false;
+  region.host_in(0).Push(std::move(pa));
+  engine.RunUntilIdle();
+  EXPECT_TRUE(region.host_out(0).Empty());  // waiting for operand B
+  axi::StreamPacket pb;
+  pb.data.assign(16, 2);
+  pb.last = true;
+  region.host_in(1).Push(std::move(pb));
+  engine.RunUntilIdle();
+  EXPECT_EQ(region.host_out(0).size(), 1u);
+  kernel.Detach();
+}
+
+}  // namespace
+}  // namespace services
+}  // namespace coyote

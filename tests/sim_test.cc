@@ -1,0 +1,327 @@
+// Unit tests for the discrete-event engine, clocks and bandwidth-shared links.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/engine.h"
+#include "src/sim/link.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace coyote {
+namespace sim {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Nanoseconds(1), 1000u);
+  EXPECT_EQ(Microseconds(1), 1'000'000u);
+  EXPECT_EQ(Milliseconds(1), 1'000'000'000u);
+  EXPECT_EQ(Seconds(1), 1'000'000'000'000u);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(57)), 57.0);
+}
+
+TEST(TimeTest, TransferTimeExact) {
+  // 12 GB/s moving 12 GB takes exactly one second.
+  EXPECT_EQ(TransferTime(12'000'000'000ull, 12'000'000'000ull), kPsPerSec);
+  // 4 KB at 800 MB/s = 5.12 us.
+  EXPECT_EQ(TransferTime(4096, 800'000'000ull), Microseconds(5.12));
+}
+
+TEST(TimeTest, TransferTimeRoundsUpAndHandlesZero) {
+  EXPECT_EQ(TransferTime(0, 1000), 0u);
+  EXPECT_EQ(TransferTime(1000, 0), 0u);
+  // 1 byte at 3 bytes/s: 1/3 s rounds up.
+  EXPECT_EQ(TransferTime(1, 3), (kPsPerSec + 2) / 3);
+}
+
+TEST(TimeTest, BandwidthHelpers) {
+  EXPECT_DOUBLE_EQ(BandwidthGBps(12'000'000'000ull, Seconds(1)), 12.0);
+  EXPECT_DOUBLE_EQ(BandwidthMBps(800'000'000ull, Seconds(1)), 800.0);
+  EXPECT_DOUBLE_EQ(BandwidthBytesPerSec(100, 0), 0.0);
+}
+
+TEST(ClockTest, StandardDomains) {
+  EXPECT_EQ(kSystemClock.PeriodPs(), 4000u);
+  EXPECT_EQ(kIcapClock.PeriodPs(), 5000u);
+  EXPECT_EQ(kSystemClock.CyclesToPs(250'000'000), kPsPerSec);
+  EXPECT_EQ(kSystemClock.PsToCycles(Microseconds(1)), 250u);
+  // 512-bit bus at 250 MHz = 16 GB/s.
+  EXPECT_EQ(kSystemClock.BusBandwidthBps(64), 16'000'000'000ull);
+}
+
+TEST(EngineTest, ExecutesInTimestampOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(300, [&] { order.push_back(3); });
+  e.ScheduleAt(100, [&] { order.push_back(1); });
+  e.ScheduleAt(200, [&] { order.push_back(2); });
+  EXPECT_EQ(e.RunUntilIdle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.Now(), 300u);
+}
+
+TEST(EngineTest, FifoTieBreakAtEqualTimestamps) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.ScheduleAt(42, [&order, i] { order.push_back(i); });
+  }
+  e.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EngineTest, EventsCanScheduleEvents) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) {
+      e.ScheduleAfter(10, chain);
+    }
+  };
+  e.ScheduleAfter(10, chain);
+  e.RunUntilIdle();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(e.Now(), 50u);
+}
+
+TEST(EngineTest, PastEventsClampToNow) {
+  Engine e;
+  e.ScheduleAt(100, [] {});
+  e.RunUntilIdle();
+  bool ran = false;
+  e.ScheduleAt(50, [&] { ran = true; });  // in the past
+  e.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(e.Now(), 100u);
+}
+
+TEST(EngineTest, RunUntilAdvancesTimeEvenWhenIdle) {
+  Engine e;
+  EXPECT_EQ(e.RunUntil(5000), 0u);
+  EXPECT_EQ(e.Now(), 5000u);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleAt(10, [&] { ++fired; });
+  e.ScheduleAt(20, [&] { ++fired; });
+  e.ScheduleAt(30, [&] { ++fired; });
+  e.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.pending_events(), 1u);
+}
+
+TEST(EngineTest, RunUntilCondition) {
+  Engine e;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    e.ScheduleAt(static_cast<TimePs>(i) * 10, [&] { ++fired; });
+  }
+  EXPECT_TRUE(e.RunUntilCondition([&] { return fired == 4; }));
+  EXPECT_EQ(fired, 4);
+  // Condition that never becomes true: drains the queue, returns false.
+  EXPECT_FALSE(e.RunUntilCondition([&] { return fired == 100; }));
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(LinkTest, SinglePacketLatency) {
+  Engine e;
+  Link link(&e, {.bytes_per_second = 1'000'000'000, .per_packet_overhead = 0, .name = "t"});
+  TimePs done_at = 0;
+  link.Submit(0, 1'000'000, [&] { done_at = e.Now(); });
+  e.RunUntilIdle();
+  EXPECT_EQ(done_at, Milliseconds(1));
+  EXPECT_EQ(link.total_bytes(), 1'000'000u);
+}
+
+TEST(LinkTest, PerPacketOverheadCharged) {
+  Engine e;
+  Link link(&e, {.bytes_per_second = 1'000'000'000, .per_packet_overhead = Nanoseconds(500),
+                 .name = "t"});
+  TimePs done_at = 0;
+  link.Submit(0, 1000, [&] { done_at = e.Now(); });
+  e.RunUntilIdle();
+  EXPECT_EQ(done_at, Nanoseconds(1000) + Nanoseconds(500));
+}
+
+TEST(LinkTest, SerializesPacketsFifoPerSource) {
+  Engine e;
+  Link link(&e, {.bytes_per_second = 1'000'000, .per_packet_overhead = 0, .name = "t"});
+  std::vector<TimePs> completions;
+  for (int i = 0; i < 3; ++i) {
+    link.Submit(7, 1'000, [&] { completions.push_back(e.Now()); });
+  }
+  e.RunUntilIdle();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Milliseconds(1));
+  EXPECT_EQ(completions[1], Milliseconds(2));
+  EXPECT_EQ(completions[2], Milliseconds(3));
+}
+
+TEST(LinkTest, RoundRobinFairSharing) {
+  // Two sources each offering unlimited load: bytes served must stay equal.
+  Engine e;
+  Link link(&e, {.bytes_per_second = 1'000'000'000, .per_packet_overhead = 0, .name = "t"});
+  constexpr int kPackets = 100;
+  for (int i = 0; i < kPackets; ++i) {
+    link.Submit(0, 4096, nullptr);
+    link.Submit(1, 4096, nullptr);
+  }
+  e.RunUntilIdle();
+  EXPECT_EQ(link.bytes_for_source(0), link.bytes_for_source(1));
+  EXPECT_EQ(link.total_packets(), 2u * kPackets);
+}
+
+TEST(LinkTest, FairSharingAcrossManySourcesWithinTolerance) {
+  Engine e;
+  Link link(&e, {.bytes_per_second = 12'000'000'000ull, .per_packet_overhead = 0, .name = "t"});
+  constexpr int kSources = 8;
+  constexpr int kPackets = 64;
+  for (int p = 0; p < kPackets; ++p) {
+    for (int s = 0; s < kSources; ++s) {
+      link.Submit(static_cast<uint32_t>(s), 4096, nullptr);
+    }
+  }
+  e.RunUntilIdle();
+  for (int s = 0; s < kSources; ++s) {
+    EXPECT_EQ(link.bytes_for_source(static_cast<uint32_t>(s)), 4096u * kPackets);
+  }
+  // Total service time equals total bytes / bandwidth (work conserving),
+  // up to the <=1 ps/packet round-up each packet's duration carries.
+  const TimePs ideal = TransferTime(4096ull * kSources * kPackets, 12'000'000'000ull);
+  EXPECT_GE(e.Now(), ideal);
+  EXPECT_LE(e.Now(), ideal + kSources * kPackets);
+}
+
+TEST(LinkTest, LateJoinerGetsFairShareGoingForward) {
+  Engine e;
+  Link link(&e, {.bytes_per_second = 1'000'000'000, .per_packet_overhead = 0, .name = "t"});
+  // Source 0 queues a long backlog; source 1 joins with one packet. The
+  // round-robin arbiter must serve source 1 after at most one more packet of
+  // source 0.
+  std::vector<TimePs> s1_done;
+  for (int i = 0; i < 10; ++i) {
+    link.Submit(0, 1000, nullptr);
+  }
+  e.RunUntil(500);  // partway through packet 0
+  link.Submit(1, 1000, [&] { s1_done.push_back(e.Now()); });
+  e.RunUntilIdle();
+  ASSERT_EQ(s1_done.size(), 1u);
+  // Packet 0 finishes at 1 us; then RR order serves source 1 next.
+  EXPECT_LE(s1_done[0], Microseconds(3));
+}
+
+TEST(LinkTest, DeliveryLatencyAddsLatencyNotOccupancy) {
+  // Pipelined delivery: completions shift by the latency, but back-to-back
+  // packets still stream at full bandwidth (the link frees at wire time).
+  Engine e;
+  Link link(&e, {.bytes_per_second = 1'000'000'000, .per_packet_overhead = 0,
+                 .delivery_latency = Microseconds(5), .name = "t"});
+  std::vector<TimePs> completions;
+  for (int i = 0; i < 3; ++i) {
+    link.Submit(0, 1'000'000, [&] { completions.push_back(e.Now()); });  // 1 ms wire time
+  }
+  e.RunUntilIdle();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Milliseconds(1) + Microseconds(5));
+  // Next completions 1 ms apart (bandwidth-spaced), not 1 ms + 5 us.
+  EXPECT_EQ(completions[1] - completions[0], Milliseconds(1));
+  EXPECT_EQ(completions[2] - completions[1], Milliseconds(1));
+}
+
+TEST(EngineTest, LargeEventCountStableAndOrdered) {
+  Engine e;
+  uint64_t last = 0;
+  uint64_t fired = 0;
+  // 100k events inserted in a scrambled order must fire monotonically.
+  Rng rng(42);
+  for (int i = 0; i < 100'000; ++i) {
+    const TimePs t = rng.NextBounded(1'000'000);
+    e.ScheduleAt(t, [&, t] {
+      EXPECT_GE(t, last);
+      last = t;
+      ++fired;
+    });
+  }
+  e.RunUntilIdle();
+  EXPECT_EQ(fired, 100'000u);
+}
+
+TEST(LinkTest, ObservedBandwidthMatchesConfig) {
+  Engine e;
+  Link link(&e, {.bytes_per_second = 800'000'000, .per_packet_overhead = 0, .name = "icap"});
+  bool done = false;
+  link.Submit(0, 40'000'000, [&] { done = true; });
+  e.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(link.ObservedBandwidthBps(), 800e6, 1e3);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BoundedIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBounded(17), 17u);
+  }
+  EXPECT_EQ(r.NextBounded(0), 0u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, FillBytesCoversAllLengths) {
+  Rng r(11);
+  for (uint64_t len = 0; len <= 33; ++len) {
+    std::vector<uint8_t> buf(len + 2, 0xAB);
+    r.FillBytes(buf.data(), len);
+    // Guard bytes untouched.
+    EXPECT_EQ(buf[len], 0xAB);
+    EXPECT_EQ(buf[len + 1], 0xAB);
+  }
+}
+
+TEST(StatsTest, SummaryMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, SamplesPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Mean(), 50.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace coyote

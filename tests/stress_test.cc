@@ -1,0 +1,365 @@
+// Stress, determinism and failure-injection tests across the stack.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/net/roce.h"
+#include "src/net/tcp.h"
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/services/aes.h"
+#include "src/services/aes_kernels.h"
+#include "src/services/vector_kernels.h"
+#include "src/sim/rng.h"
+
+namespace coyote {
+namespace {
+
+constexpr uint64_t kPage = 2ull << 20;
+
+runtime::SimDevice::Config DefaultConfig(uint32_t vfpgas = 2) {
+  runtime::SimDevice::Config cfg;
+  cfg.shell.name = "stress";
+  cfg.shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory};
+  cfg.shell.num_vfpgas = vfpgas;
+  return cfg;
+}
+
+// --- Determinism ---------------------------------------------------------------
+
+// The whole point of the single-threaded engine: identical runs produce
+// byte- and picosecond-identical results. This guards against accidental
+// nondeterminism (unordered-container iteration leaking into timing, etc.).
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalTimingAndData) {
+  auto run = []() -> std::pair<sim::TimePs, std::vector<uint8_t>> {
+    runtime::SimDevice dev(DefaultConfig());
+    dev.vfpga(0).LoadKernel(std::make_unique<services::AesEcbKernel>());
+    dev.vfpga(1).LoadKernel(std::make_unique<services::PassthroughKernel>());
+    runtime::CThread t0(&dev, 0);
+    runtime::CThread t1(&dev, 1);
+    t0.SetCsr(0x1234, services::kAesCsrKeyLo);
+
+    constexpr uint64_t kBytes = 256 << 10;
+    const uint64_t s0 = t0.GetMem({runtime::Alloc::kHpf, kBytes});
+    const uint64_t d0 = t0.GetMem({runtime::Alloc::kHpf, kBytes});
+    const uint64_t s1 = t1.GetMem({runtime::Alloc::kHpf, kBytes});
+    const uint64_t d1 = t1.GetMem({runtime::Alloc::kHpf, kBytes});
+    std::vector<uint8_t> data(kBytes);
+    sim::Rng rng(99);
+    rng.FillBytes(data.data(), kBytes);
+    t0.WriteBuffer(s0, data.data(), kBytes);
+    t1.WriteBuffer(s1, data.data(), kBytes);
+
+    runtime::SgEntry sg0, sg1;
+    sg0.local = {.src_addr = s0, .src_len = kBytes, .dst_addr = d0, .dst_len = kBytes};
+    sg1.local = {.src_addr = s1, .src_len = kBytes, .dst_addr = d1, .dst_len = kBytes};
+    auto task0 = t0.Invoke(runtime::Oper::kLocalTransfer, sg0);
+    auto task1 = t1.Invoke(runtime::Oper::kLocalTransfer, sg1);
+    t0.Wait(task0);
+    t1.Wait(task1);
+    std::vector<uint8_t> out(kBytes);
+    t0.ReadBuffer(d0, out.data(), kBytes);
+    return {dev.engine().Now(), out};
+  };
+  const auto [time_a, data_a] = run();
+  const auto [time_b, data_b] = run();
+  EXPECT_EQ(time_a, time_b);
+  EXPECT_EQ(data_a, data_b);
+}
+
+// --- RDMA / TCP under heavy random loss ------------------------------------------
+
+TEST(LossStressTest, RdmaSurvivesFivePercentRandomLoss) {
+  sim::Engine engine;
+  net::Network network(&engine, {});
+  memsys::HostMemory host_a, host_b;
+  memsys::CardMemory card_a(&engine, {}), card_b(&engine, {});
+  memsys::GpuMemory gpu_a, gpu_b;
+  mmu::Svm svm_a(&engine, &host_a, &card_a, &gpu_a, kPage);
+  mmu::Svm svm_b(&engine, &host_b, &card_b, &gpu_b, kPage);
+  net::RoceStack a(&engine, &network, 1, &svm_a);
+  net::RoceStack b(&engine, &network, 2, &svm_b);
+  const uint32_t qa = a.CreateQp(), qb = b.CreateQp();
+  a.Connect(qa, 2, qb);
+  b.Connect(qb, 1, qa);
+
+  const uint64_t buf_a = host_a.Allocate(4ull << 20, memsys::AllocKind::kHuge2M);
+  svm_a.RegisterHostBuffer(buf_a, 4ull << 20);
+  const uint64_t buf_b = host_b.Allocate(4ull << 20, memsys::AllocKind::kHuge2M);
+  svm_b.RegisterHostBuffer(buf_b, 4ull << 20);
+
+  std::vector<uint8_t> data(2 << 20);
+  sim::Rng rng(1);
+  rng.FillBytes(data.data(), data.size());
+  svm_a.WriteVirtual(buf_a, data.data(), data.size());
+
+  auto drop_rng = std::make_shared<sim::Rng>(7);
+  network.SetDropFilter([drop_rng](uint64_t) { return drop_rng->NextBounded(100) < 5; });
+
+  bool done = false;
+  a.PostWrite(qa, buf_a, buf_b, data.size(), [&](bool ok) { done = ok; });
+  engine.RunUntilCondition([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_GT(a.retransmitted_frames(), 0u);
+
+  network.SetDropFilter(nullptr);
+  std::vector<uint8_t> got(data.size());
+  svm_b.ReadVirtual(buf_b, got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST(LossStressTest, TcpSurvivesFivePercentRandomLoss) {
+  sim::Engine engine;
+  net::Network network(&engine, {});
+  memsys::HostMemory host_a, host_b;
+  memsys::CardMemory card_a(&engine, {}), card_b(&engine, {});
+  memsys::GpuMemory gpu_a, gpu_b;
+  mmu::Svm svm_a(&engine, &host_a, &card_a, &gpu_a, kPage);
+  mmu::Svm svm_b(&engine, &host_b, &card_b, &gpu_b, kPage);
+  net::TcpStack client(&engine, &network, 1, &svm_a);
+  net::TcpStack server(&engine, &network, 2, &svm_b);
+
+  const uint64_t buf = host_a.Allocate(2ull << 20, memsys::AllocKind::kHuge2M);
+  svm_a.RegisterHostBuffer(buf, 2ull << 20);
+  std::vector<uint8_t> data(1 << 20);
+  sim::Rng rng(2);
+  rng.FillBytes(data.data(), data.size());
+  svm_a.WriteVirtual(buf, data.data(), data.size());
+
+  net::TcpStack::ConnId cc = 0, sc = 0;
+  server.Listen(80, [&](net::TcpStack::ConnId c) { sc = c; });
+  client.Connect(2, 80, [&](net::TcpStack::ConnId c, bool) { cc = c; });
+  engine.RunUntilCondition([&] { return cc != 0 && sc != 0; });
+
+  // Loss starts after the handshake (handshake loss is covered by the
+  // SYN-retransmit test in tcp_test).
+  auto drop_rng = std::make_shared<sim::Rng>(8);
+  network.SetDropFilter([drop_rng](uint64_t) { return drop_rng->NextBounded(100) < 5; });
+
+  std::vector<uint8_t> received;
+  server.SetRecvHandler(sc, [&](std::vector<uint8_t> d) {
+    received.insert(received.end(), d.begin(), d.end());
+  });
+  bool done = false;
+  client.Send(cc, buf, data.size(), [&](bool ok) { done = ok; });
+  engine.RunUntilCondition([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_GT(client.retransmitted_segments(), 0u);
+  EXPECT_EQ(received, data);
+}
+
+// --- Migration ping-pong -----------------------------------------------------------
+
+TEST(MigrationStressTest, PagesBounceAcrossThreeMemoriesWithoutCorruption) {
+  runtime::SimDevice dev(DefaultConfig(1));
+  runtime::CThread t(&dev, 0);
+  constexpr uint64_t kBytes = 8ull << 20;  // 4 pages
+  const uint64_t addr = t.GetMem({runtime::Alloc::kHpf, kBytes});
+  std::vector<uint8_t> data(kBytes);
+  sim::Rng rng(3);
+  rng.FillBytes(data.data(), kBytes);
+  t.WriteBuffer(addr, data.data(), kBytes);
+
+  runtime::SgEntry sg;
+  sg.local.src_addr = addr;
+  sg.local.src_len = kBytes;
+  const mmu::MemKind sequence[] = {mmu::MemKind::kCard, mmu::MemKind::kHost,
+                                   mmu::MemKind::kCard, mmu::MemKind::kHost};
+  for (int round = 0; round < 4; ++round) {
+    for (mmu::MemKind target : sequence) {
+      const auto oper = target == mmu::MemKind::kCard ? runtime::Oper::kMigrateToCard
+                                                      : runtime::Oper::kMigrateToHost;
+      ASSERT_TRUE(t.InvokeSync(oper, sg));
+      std::vector<uint8_t> back(kBytes);
+      t.ReadBuffer(addr, back.data(), kBytes);
+      ASSERT_EQ(back, data) << "round " << round;
+    }
+  }
+  EXPECT_EQ(dev.svm().migrations(), 4u * 4 * 4);  // 4 pages x 4 moves x 4 rounds
+}
+
+// --- Mixed multi-tenant load ---------------------------------------------------------
+
+TEST(TenantStressTest, ManyThreadsManyVfpgasManyMessages) {
+  runtime::SimDevice::Config cfg = DefaultConfig(4);
+  cfg.vfpga.num_host_streams = 4;
+  runtime::SimDevice dev(cfg);
+  const uint64_t key_lo = 0xA5A5A5A5A5A5A5A5ull;
+  for (uint32_t v = 0; v < 4; ++v) {
+    if (v % 2 == 0) {
+      dev.vfpga(v).LoadKernel(std::make_unique<services::AesEcbKernel>());
+    } else {
+      dev.vfpga(v).LoadKernel(std::make_unique<services::PassthroughKernel>());
+    }
+    dev.vfpga(v).csr().Poke(services::kAesCsrKeyLo, key_lo);
+  }
+
+  struct Client {
+    std::unique_ptr<runtime::CThread> thread;
+    uint64_t src = 0, dst = 0;
+    std::vector<uint8_t> data;
+    std::vector<runtime::CThread::Task> tasks;
+    uint32_t vfpga = 0;
+  };
+  std::vector<Client> clients;
+  constexpr int kClientsPerVfpga = 3;
+  constexpr uint64_t kBytes = 64 << 10;
+  constexpr int kMessages = 4;
+  sim::Rng rng(4);
+  for (uint32_t v = 0; v < 4; ++v) {
+    for (int c = 0; c < kClientsPerVfpga; ++c) {
+      Client client;
+      client.vfpga = v;
+      client.thread = std::make_unique<runtime::CThread>(&dev, v);
+      client.src = client.thread->GetMem({runtime::Alloc::kHpf, kBytes});
+      client.dst = client.thread->GetMem({runtime::Alloc::kHpf, kBytes});
+      client.data.resize(kBytes);
+      rng.FillBytes(client.data.data(), kBytes);
+      client.thread->WriteBuffer(client.src, client.data.data(), kBytes);
+      clients.push_back(std::move(client));
+    }
+  }
+  // Fire all messages from all clients concurrently.
+  for (auto& client : clients) {
+    for (int m = 0; m < kMessages; ++m) {
+      runtime::SgEntry sg;
+      sg.local = {.src_addr = client.src, .src_len = kBytes, .dst_addr = client.dst,
+                  .dst_len = kBytes};
+      client.tasks.push_back(client.thread->Invoke(runtime::Oper::kLocalTransfer, sg));
+    }
+  }
+  for (auto& client : clients) {
+    for (auto task : client.tasks) {
+      ASSERT_TRUE(client.thread->Wait(task));
+    }
+  }
+  // Verify every client's final output.
+  const services::Aes128 aes(key_lo, 0);
+  for (auto& client : clients) {
+    std::vector<uint8_t> out(kBytes);
+    client.thread->ReadBuffer(client.dst, out.data(), kBytes);
+    if (client.vfpga % 2 == 0) {
+      EXPECT_EQ(out, aes.EncryptEcb(client.data));
+    } else {
+      EXPECT_EQ(out, client.data);
+    }
+  }
+}
+
+// --- Device geometry property sweep ------------------------------------------------------
+
+struct DeviceGeom {
+  uint32_t vfpgas;
+  uint32_t host_streams;
+  uint64_t page_bytes;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<DeviceGeom> {};
+
+TEST_P(GeometrySweep, TransfersCorrectOnEveryRegionUnderAnyGeometry) {
+  const DeviceGeom g = GetParam();
+  runtime::SimDevice::Config cfg = DefaultConfig(g.vfpgas);
+  cfg.vfpga.num_host_streams = g.host_streams;
+  cfg.shell.page_bytes = g.page_bytes;
+  runtime::SimDevice dev(cfg);
+
+  constexpr uint64_t kBytes = 48 * 1024;  // not 4K-aligned in packets
+  std::vector<std::unique_ptr<runtime::CThread>> threads;
+  std::vector<uint64_t> srcs(g.vfpgas), dsts(g.vfpgas);
+  std::vector<std::vector<uint8_t>> datas(g.vfpgas);
+  std::vector<runtime::CThread::Task> tasks;
+  const runtime::Alloc alloc =
+      g.page_bytes == 4096 ? runtime::Alloc::kReg
+      : g.page_bytes == (2ull << 20) ? runtime::Alloc::kHpf
+                                     : runtime::Alloc::kHuge1G;
+  for (uint32_t v = 0; v < g.vfpgas; ++v) {
+    dev.vfpga(v).LoadKernel(std::make_unique<services::PassthroughKernel>());
+    threads.push_back(std::make_unique<runtime::CThread>(&dev, v));
+    srcs[v] = threads[v]->GetMem({alloc, kBytes});
+    dsts[v] = threads[v]->GetMem({alloc, kBytes});
+    datas[v].resize(kBytes);
+    sim::Rng rng(900 + v);
+    rng.FillBytes(datas[v].data(), kBytes);
+    threads[v]->WriteBuffer(srcs[v], datas[v].data(), kBytes);
+  }
+  for (uint32_t v = 0; v < g.vfpgas; ++v) {
+    runtime::SgEntry sg;
+    sg.local = {.src_addr = srcs[v], .src_len = kBytes, .dst_addr = dsts[v],
+                .dst_len = kBytes};
+    tasks.push_back(threads[v]->Invoke(runtime::Oper::kLocalTransfer, sg));
+  }
+  for (uint32_t v = 0; v < g.vfpgas; ++v) {
+    ASSERT_TRUE(threads[v]->Wait(tasks[v])) << "vfpga " << v;
+    std::vector<uint8_t> out(kBytes);
+    threads[v]->ReadBuffer(dsts[v], out.data(), kBytes);
+    EXPECT_EQ(out, datas[v]) << "vfpga " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(DeviceGeom{1, 1, 4096},          // 4 KB pages: packet == page
+                      DeviceGeom{1, 4, 2ull << 20},    // defaults
+                      DeviceGeom{4, 2, 2ull << 20},    // many regions
+                      DeviceGeom{8, 1, 2ull << 20},    // max regions, single stream
+                      DeviceGeom{2, 4, 1ull << 30},    // 1 GB hugepages
+                      DeviceGeom{2, 8, 4096}));        // many streams, small pages
+
+// --- CBC thread-count property sweep ---------------------------------------------------
+
+class CbcThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CbcThreadSweep, AllLanesCorrectAndThroughputScales) {
+  const int n = GetParam();
+  runtime::SimDevice::Config cfg = DefaultConfig(1);
+  cfg.vfpga.num_host_streams = 16;
+  runtime::SimDevice dev(cfg);
+  dev.vfpga(0).LoadKernel(std::make_unique<services::AesCbcKernel>());
+  const uint64_t key_lo = 0x1111222233334444ull;
+  dev.vfpga(0).csr().Poke(services::kAesCsrKeyLo, key_lo);
+
+  constexpr uint64_t kBytes = 16 << 10;
+  std::vector<std::unique_ptr<runtime::CThread>> threads;
+  std::vector<uint64_t> srcs(n), dsts(n);
+  std::vector<std::vector<uint8_t>> plains(n);
+  std::vector<runtime::CThread::Task> tasks;
+  for (int i = 0; i < n; ++i) {
+    threads.push_back(std::make_unique<runtime::CThread>(&dev, 0));
+    srcs[i] = threads[i]->GetMem({runtime::Alloc::kHpf, kBytes});
+    dsts[i] = threads[i]->GetMem({runtime::Alloc::kHpf, kBytes});
+    plains[i].resize(kBytes);
+    sim::Rng rng(500 + i);
+    rng.FillBytes(plains[i].data(), kBytes);
+    threads[i]->WriteBuffer(srcs[i], plains[i].data(), kBytes);
+  }
+  const sim::TimePs start = dev.engine().Now();
+  for (int i = 0; i < n; ++i) {
+    runtime::SgEntry sg;
+    sg.local = {.src_addr = srcs[i], .src_len = kBytes, .dst_addr = dsts[i],
+                .dst_len = kBytes};
+    tasks.push_back(threads[i]->Invoke(runtime::Oper::kLocalTransfer, sg));
+  }
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(threads[i]->Wait(tasks[i]));
+  }
+  const double mbps =
+      sim::BandwidthMBps(kBytes * static_cast<uint64_t>(n), dev.engine().Now() - start);
+  // Aggregate throughput must exceed (n-1) x 200 MB/s (single lane ~250).
+  EXPECT_GT(mbps, 200.0 * (n - 1));
+
+  const services::Aes128 aes(key_lo, 0);
+  const std::array<uint8_t, 16> iv{};
+  for (int i = 0; i < n; ++i) {
+    std::vector<uint8_t> out(kBytes);
+    threads[i]->ReadBuffer(dsts[i], out.data(), kBytes);
+    ASSERT_EQ(out, aes.EncryptCbc(plains[i], iv)) << "lane " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CbcThreadSweep, ::testing::Values(1, 2, 3, 5, 8, 10));
+
+}  // namespace
+}  // namespace coyote

@@ -1,0 +1,205 @@
+// Unit tests for the synthesis model: module library, netlists, build flows.
+
+#include <gtest/gtest.h>
+
+#include "src/fabric/floorplan.h"
+#include "src/fabric/part.h"
+#include "src/synth/flow.h"
+#include "src/synth/module_library.h"
+#include "src/synth/netlist.h"
+
+namespace coyote {
+namespace synth {
+namespace {
+
+fabric::ShellConfigDesc Shell(std::vector<fabric::Service> services, uint32_t vfpgas = 1) {
+  fabric::ShellConfigDesc s;
+  s.name = "test";
+  s.services = std::move(services);
+  s.num_vfpgas = vfpgas;
+  return s;
+}
+
+TEST(ModuleLibraryTest, KnownModulesPresent) {
+  for (const char* name : {"static_layer", "dyn_crossbar", "host_stream", "hbm_controller",
+                           "rdma_stack", "tcp_stack", "sniffer", "mmu_4k", "mmu_2m", "mmu_1g",
+                           "aes_core", "hll_core", "passthrough", "vector_add",
+                           "nn_intrusion"}) {
+    EXPECT_TRUE(LibraryHasModule(name)) << name;
+    EXPECT_GT(LibraryModule(name).res.luts, 0u) << name;
+  }
+  EXPECT_FALSE(LibraryHasModule("flux_capacitor"));
+}
+
+TEST(ModuleLibraryTest, PeripheralModulesAreCongested) {
+  EXPECT_GT(LibraryModule("static_layer").congestion, 1.4);
+  EXPECT_GT(LibraryModule("hbm_controller").congestion, 1.4);
+  EXPECT_GT(LibraryModule("rdma_stack").congestion, 1.4);
+  EXPECT_DOUBLE_EQ(LibraryModule("passthrough").congestion, 1.0);
+}
+
+TEST(ModuleLibraryTest, ServiceModulesFollowTheConfig) {
+  using fabric::Service;
+  // Minimal shell: crossbar + host stream + 1 MMU.
+  auto minimal = ServiceModulesFor(Shell({Service::kHostStream}, 1));
+  EXPECT_EQ(minimal.size(), 3u);
+
+  // Card memory adds controller + striping.
+  auto memory = ServiceModulesFor(Shell({Service::kHostStream, Service::kCardMemory}, 1));
+  EXPECT_EQ(memory.size(), 5u);
+
+  // RDMA without card memory still instantiates a retransmit-buffer
+  // controller.
+  auto rdma = ServiceModulesFor(Shell({Service::kHostStream, Service::kRdma}, 1));
+  bool has_ddr = false;
+  for (const auto& m : rdma) {
+    has_ddr |= m.name == "ddr_controller";
+  }
+  EXPECT_TRUE(has_ddr);
+
+  // One MMU per vFPGA.
+  auto quad = ServiceModulesFor(Shell({Service::kHostStream}, 4));
+  int mmus = 0;
+  for (const auto& m : quad) {
+    mmus += m.name.rfind("mmu_", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(mmus, 4);
+}
+
+TEST(ModuleLibraryTest, MmuVariantTracksPageSize) {
+  using fabric::Service;
+  auto find_mmu = [](const std::vector<HwModule>& mods) -> std::string {
+    for (const auto& m : mods) {
+      if (m.name.rfind("mmu_", 0) == 0) {
+        return m.name;
+      }
+    }
+    return "";
+  };
+  fabric::ShellConfigDesc s = Shell({Service::kHostStream}, 1);
+  s.page_bytes = 4096;
+  EXPECT_EQ(find_mmu(ServiceModulesFor(s)), "mmu_4k");
+  s.page_bytes = 2ull << 20;
+  EXPECT_EQ(find_mmu(ServiceModulesFor(s)), "mmu_2m");
+  s.page_bytes = 1ull << 30;
+  EXPECT_EQ(find_mmu(ServiceModulesFor(s)), "mmu_1g");
+}
+
+TEST(NetlistTest, TotalsAndCongestion) {
+  Netlist n{"test", {}};
+  n.Add("rdma_stack").Add("aes_core");
+  const fabric::ResourceVector total = n.Total();
+  EXPECT_EQ(total.luts,
+            LibraryModule("rdma_stack").res.luts + LibraryModule("aes_core").res.luts);
+  EXPECT_DOUBLE_EQ(n.MaxCongestion(), LibraryModule("rdma_stack").congestion);
+}
+
+class FlowTest : public ::testing::Test {
+ protected:
+  FlowTest()
+      : floorplan_(fabric::Floorplan::ForPart(fabric::kAlveoU250, 2)), flow_(floorplan_) {}
+
+  fabric::Floorplan floorplan_;
+  BuildFlow flow_;
+  Netlist passthrough_{"passthrough", {LibraryModule("passthrough")}};
+  Netlist aes_{"aes", {LibraryModule("aes_core")}};
+};
+
+TEST_F(FlowTest, ShellFlowProducesAllArtifacts) {
+  auto out = flow_.RunShellFlow(Shell({fabric::Service::kHostStream}, 2), {passthrough_});
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_GT(out.total_seconds, 0.0);
+  EXPECT_TRUE(out.shell_bitstream.IsShell());
+  EXPECT_GT(out.shell_bitstream.size_bytes, 0u);
+  // One bitstream per region: the named app + a placeholder.
+  ASSERT_EQ(out.app_bitstreams.size(), 2u);
+  EXPECT_EQ(out.app_bitstreams[0].name, "app:passthrough");
+  EXPECT_EQ(out.app_bitstreams[1].name, "app:placeholder");
+  // All linked against the same shell config.
+  for (const auto& bs : out.app_bitstreams) {
+    EXPECT_EQ(bs.shell_config_id, out.shell_bitstream.shell_config_id);
+  }
+}
+
+TEST_F(FlowTest, ShellFlowRejectsMismatchedRegionCount) {
+  auto out = flow_.RunShellFlow(Shell({fabric::Service::kHostStream}, 4), {});
+  EXPECT_FALSE(out.ok);
+}
+
+TEST_F(FlowTest, ShellFlowRejectsTooManyApps) {
+  auto out = flow_.RunShellFlow(Shell({fabric::Service::kHostStream}, 2),
+                                {passthrough_, passthrough_, passthrough_});
+  EXPECT_FALSE(out.ok);
+}
+
+TEST_F(FlowTest, ShellFlowRejectsOversizedApp) {
+  Netlist huge{"huge", {}};
+  HwModule monster{"monster", floorplan_.part().total, 1.0};
+  huge.Add(monster);
+  auto out = flow_.RunShellFlow(Shell({fabric::Service::kHostStream}, 2), {huge});
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("does not fit"), std::string::npos);
+}
+
+TEST_F(FlowTest, AppFlowLinksAgainstLockedShell) {
+  auto shell = flow_.RunShellFlow(Shell({fabric::Service::kHostStream}, 2), {passthrough_});
+  ASSERT_TRUE(shell.ok);
+  auto app = flow_.RunAppFlow(aes_, 1, shell);
+  ASSERT_TRUE(app.ok) << app.error;
+  ASSERT_EQ(app.app_bitstreams.size(), 1u);
+  EXPECT_EQ(app.app_bitstreams[0].region_index, 1u);
+  EXPECT_EQ(app.app_bitstreams[0].shell_config_id, shell.shell_bitstream.shell_config_id);
+  EXPECT_LT(app.total_seconds, shell.total_seconds);
+}
+
+TEST_F(FlowTest, AppFlowRejectsBadRegion) {
+  auto shell = flow_.RunShellFlow(Shell({fabric::Service::kHostStream}, 2), {});
+  ASSERT_TRUE(shell.ok);
+  EXPECT_FALSE(flow_.RunAppFlow(aes_, 7, shell).ok);
+  BuildOutput bad;  // not a successful shell build
+  EXPECT_FALSE(flow_.RunAppFlow(aes_, 0, bad).ok);
+}
+
+TEST_F(FlowTest, VivadoProgramTimeGrowsWithOccupancy) {
+  const double low = flow_.VivadoFullProgramSeconds(floorplan_.part().total.Scaled(0.05));
+  const double high = flow_.VivadoFullProgramSeconds(floorplan_.part().total.Scaled(0.5));
+  EXPECT_GT(high, low);
+  EXPECT_GT(low, 14.0);  // always pays hot-plug + driver re-insert
+}
+
+// Property (the Fig. 7(b) claim): across service mixes, the app flow always
+// saves, landing in a 7-25% band (the paper's three configs sit at 15-20%;
+// an app that is large relative to a minimal shell saves proportionally
+// less).
+class AppFlowSavings : public ::testing::TestWithParam<std::vector<fabric::Service>> {};
+
+TEST_P(AppFlowSavings, InExpectedBand) {
+  const fabric::Floorplan floorplan = fabric::Floorplan::ForPart(fabric::kAlveoU250, 1);
+  BuildFlow flow(floorplan);
+  Netlist app{"aes", {LibraryModule("aes_core")}};
+  auto shell = flow.RunShellFlow(Shell(GetParam(), 1), {app});
+  ASSERT_TRUE(shell.ok) << shell.error;
+  auto linked = flow.RunAppFlow(app, 0, shell);
+  ASSERT_TRUE(linked.ok) << linked.error;
+  const double saving = (shell.total_seconds - linked.total_seconds) / shell.total_seconds;
+  EXPECT_GT(saving, 0.07);
+  EXPECT_LT(saving, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServiceMixes, AppFlowSavings,
+    ::testing::Values(
+        std::vector<fabric::Service>{fabric::Service::kHostStream},
+        std::vector<fabric::Service>{fabric::Service::kHostStream,
+                                     fabric::Service::kCardMemory},
+        std::vector<fabric::Service>{fabric::Service::kHostStream,
+                                     fabric::Service::kCardMemory, fabric::Service::kRdma},
+        std::vector<fabric::Service>{fabric::Service::kHostStream,
+                                     fabric::Service::kCardMemory, fabric::Service::kRdma,
+                                     fabric::Service::kSniffer},
+        std::vector<fabric::Service>{fabric::Service::kHostStream,
+                                     fabric::Service::kCardMemory, fabric::Service::kTcp}));
+
+}  // namespace
+}  // namespace synth
+}  // namespace coyote

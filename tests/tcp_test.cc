@@ -1,0 +1,248 @@
+// Unit tests for the TCP/IP offload stack.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/memsys/card_memory.h"
+#include "src/memsys/gpu_memory.h"
+#include "src/memsys/host_memory.h"
+#include "src/mmu/svm.h"
+#include "src/net/network.h"
+#include "src/net/packets.h"
+#include "src/net/tcp.h"
+#include "src/sim/engine.h"
+#include "src/sim/rng.h"
+
+namespace coyote {
+namespace net {
+namespace {
+
+constexpr uint64_t kPage = 2ull << 20;
+
+TEST(TcpSegmentTest, BuildParseRoundTrip) {
+  TcpSegmentMeta meta;
+  meta.src_ip = 0x0A000001;
+  meta.dst_ip = 0x0A000002;
+  meta.src_port = 0xC001;
+  meta.dst_port = 5001;
+  meta.seq = 1'000'000;
+  meta.ack = 2'000'000;
+  meta.flags = kTcpAck | kTcpSyn;
+  meta.window = 256;
+  std::vector<uint8_t> payload{9, 8, 7};
+  auto parsed = ParseTcpSegment(BuildTcpSegment(meta, payload));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->meta.src_port, meta.src_port);
+  EXPECT_EQ(parsed->meta.dst_port, meta.dst_port);
+  EXPECT_EQ(parsed->meta.seq, meta.seq);
+  EXPECT_EQ(parsed->meta.ack, meta.ack);
+  EXPECT_EQ(parsed->meta.flags, meta.flags);
+  EXPECT_EQ(parsed->meta.window, meta.window);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(TcpSegmentTest, RejectsNonTcp) {
+  EXPECT_FALSE(ParseTcpSegment({}).has_value());
+  // A RoCE (UDP) frame must not parse as TCP.
+  FrameMeta roce;
+  roce.opcode = Opcode::kSendOnly;
+  EXPECT_FALSE(ParseTcpSegment(BuildFrame(roce, {})).has_value());
+  // And vice versa: a TCP segment must not parse as RoCE.
+  TcpSegmentMeta tcp;
+  EXPECT_FALSE(ParseFrame(BuildTcpSegment(tcp, {})).has_value());
+}
+
+class TcpTest : public ::testing::Test {
+ protected:
+  TcpTest()
+      : nw_(&engine_, {}),
+        card_a_(&engine_, {}),
+        card_b_(&engine_, {}),
+        svm_a_(&engine_, &host_a_, &card_a_, &gpu_a_, kPage),
+        svm_b_(&engine_, &host_b_, &card_b_, &gpu_b_, kPage),
+        client_(&engine_, &nw_, 0x0A000001, &svm_a_),
+        server_(&engine_, &nw_, 0x0A000002, &svm_b_) {
+    buf_a_ = host_a_.Allocate(8ull << 20, memsys::AllocKind::kHuge2M);
+    svm_a_.RegisterHostBuffer(buf_a_, 8ull << 20);
+    buf_b_ = host_b_.Allocate(8ull << 20, memsys::AllocKind::kHuge2M);
+    svm_b_.RegisterHostBuffer(buf_b_, 8ull << 20);
+  }
+
+  // Establishes a connection; returns {client_conn, server_conn}.
+  std::pair<TcpStack::ConnId, TcpStack::ConnId> Establish() {
+    TcpStack::ConnId client_conn = 0, server_conn = 0;
+    server_.Listen(5001, [&](TcpStack::ConnId c) { server_conn = c; });
+    client_.Connect(0x0A000002, 5001,
+                    [&](TcpStack::ConnId c, bool ok) { client_conn = ok ? c : 0; });
+    engine_.RunUntilCondition([&] { return client_conn != 0 && server_conn != 0; });
+    return {client_conn, server_conn};
+  }
+
+  sim::Engine engine_;
+  Network nw_;
+  memsys::HostMemory host_a_, host_b_;
+  memsys::CardMemory card_a_, card_b_;
+  memsys::GpuMemory gpu_a_, gpu_b_;
+  mmu::Svm svm_a_, svm_b_;
+  TcpStack client_, server_;
+  uint64_t buf_a_ = 0, buf_b_ = 0;
+};
+
+TEST_F(TcpTest, HandshakeEstablishesBothSides) {
+  auto [c, s] = Establish();
+  EXPECT_TRUE(client_.IsOpen(c));
+  EXPECT_TRUE(server_.IsOpen(s));
+  // Handshake: SYN + SYN-ACK + ACK = 3 segments minimum.
+  EXPECT_GE(client_.segments_sent() + server_.segments_sent(), 3u);
+}
+
+TEST_F(TcpTest, ConnectToClosedPortNeverCompletes) {
+  bool called = false;
+  client_.Connect(0x0A000002, 9999, [&](TcpStack::ConnId, bool) { called = true; });
+  engine_.RunUntil(sim::Milliseconds(2));
+  EXPECT_FALSE(called);  // SYN retransmits, no listener answers
+  EXPECT_GT(client_.retransmitted_segments(), 0u);
+}
+
+TEST_F(TcpTest, StreamTransferDeliversExactBytes) {
+  auto [c, s] = Establish();
+  constexpr uint64_t kBytes = 2 << 20;
+  std::vector<uint8_t> data(kBytes);
+  sim::Rng rng(1);
+  rng.FillBytes(data.data(), kBytes);
+  svm_a_.WriteVirtual(buf_a_, data.data(), kBytes);
+
+  std::vector<uint8_t> received;
+  server_.SetRecvHandler(s, [&](std::vector<uint8_t> chunk) {
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  bool done = false;
+  client_.Send(c, buf_a_, kBytes, [&](bool ok) { done = ok; });
+  engine_.RunUntilCondition([&] { return done; });
+  EXPECT_EQ(received, data);
+  EXPECT_EQ(client_.bytes_acked(), kBytes);
+}
+
+TEST_F(TcpTest, WindowLimitsInflightBytes) {
+  auto [c, s] = Establish();
+  // The peer advertises a bounded window; the sender must pace rather than
+  // blast the whole backlog at once: so at any instant in-flight <= window.
+  constexpr uint64_t kBytes = 4 << 20;
+  server_.SetRecvHandler(s, [](std::vector<uint8_t>) {});
+  bool done = false;
+  client_.Send(c, buf_a_, kBytes, [&](bool ok) { done = ok; });
+  // Step and check the invariant as the transfer progresses.
+  for (int i = 0; i < 2000 && !done; ++i) {
+    engine_.Step();
+  }
+  engine_.RunUntilCondition([&] { return done; });
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TcpTest, LossRecoveryGoBackN) {
+  auto [c, s] = Establish();
+  constexpr uint64_t kBytes = 512 << 10;
+  std::vector<uint8_t> data(kBytes);
+  sim::Rng rng(2);
+  rng.FillBytes(data.data(), kBytes);
+  svm_a_.WriteVirtual(buf_a_, data.data(), kBytes);
+
+  uint64_t count = 0;
+  nw_.SetDropFilter([&count](uint64_t) {
+    ++count;
+    return count == 7 || count == 20;
+  });
+  std::vector<uint8_t> received;
+  server_.SetRecvHandler(s, [&](std::vector<uint8_t> chunk) {
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  bool done = false;
+  client_.Send(c, buf_a_, kBytes, [&](bool ok) { done = ok; });
+  engine_.RunUntilCondition([&] { return done; });
+  EXPECT_EQ(received, data);
+  EXPECT_GT(client_.retransmitted_segments(), 0u);
+}
+
+TEST_F(TcpTest, BidirectionalStreams) {
+  auto [c, s] = Establish();
+  std::vector<uint8_t> up(100'000, 0xAA), down(50'000, 0xBB);
+  svm_a_.WriteVirtual(buf_a_, up.data(), up.size());
+  svm_b_.WriteVirtual(buf_b_, down.data(), down.size());
+  std::vector<uint8_t> got_up, got_down;
+  server_.SetRecvHandler(s, [&](std::vector<uint8_t> d) {
+    got_up.insert(got_up.end(), d.begin(), d.end());
+  });
+  client_.SetRecvHandler(c, [&](std::vector<uint8_t> d) {
+    got_down.insert(got_down.end(), d.begin(), d.end());
+  });
+  bool done_up = false, done_down = false;
+  client_.Send(c, buf_a_, up.size(), [&](bool ok) { done_up = ok; });
+  server_.Send(s, buf_b_, down.size(), [&](bool ok) { done_down = ok; });
+  engine_.RunUntilCondition([&] { return done_up && done_down; });
+  EXPECT_EQ(got_up, up);
+  EXPECT_EQ(got_down, down);
+}
+
+TEST_F(TcpTest, MultipleSendsOnOneConnectionStaySequenced) {
+  auto [c, s] = Establish();
+  std::vector<uint8_t> all;
+  server_.SetRecvHandler(s, [&](std::vector<uint8_t> d) {
+    all.insert(all.end(), d.begin(), d.end());
+  });
+  std::vector<uint8_t> expected;
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<uint8_t> part(10'000, static_cast<uint8_t>(0x10 + i));
+    svm_a_.WriteVirtual(buf_a_ + i * 10'000, part.data(), part.size());
+    expected.insert(expected.end(), part.begin(), part.end());
+    client_.Send(c, buf_a_ + i * 10'000, part.size(), [&](bool) { ++completions; });
+  }
+  engine_.RunUntilCondition([&] { return completions == 3; });
+  EXPECT_EQ(all, expected);
+}
+
+TEST_F(TcpTest, CloseAfterSendDeliversEverythingFirst) {
+  // Graceful close: the FIN must follow the last queued byte.
+  auto [c, s] = Establish();
+  std::vector<uint8_t> data(300'000);
+  sim::Rng rng(9);
+  rng.FillBytes(data.data(), data.size());
+  svm_a_.WriteVirtual(buf_a_, data.data(), data.size());
+  std::vector<uint8_t> received;
+  server_.SetRecvHandler(s, [&](std::vector<uint8_t> d) {
+    received.insert(received.end(), d.begin(), d.end());
+  });
+  client_.Send(c, buf_a_, data.size(), nullptr);
+  client_.Close(c);  // immediately — data still in flight
+  engine_.RunUntil(engine_.Now() + sim::Milliseconds(5));
+  EXPECT_EQ(received, data);
+  EXPECT_FALSE(client_.IsOpen(c));
+  EXPECT_FALSE(server_.IsOpen(s));
+}
+
+TEST_F(TcpTest, CloseTearsDownBothSides) {
+  auto [c, s] = Establish();
+  client_.Close(c);
+  engine_.RunUntil(engine_.Now() + sim::Milliseconds(1));
+  EXPECT_FALSE(client_.IsOpen(c));
+  EXPECT_FALSE(server_.IsOpen(s));
+}
+
+TEST_F(TcpTest, ThroughputReasonableOn100G) {
+  auto [c, s] = Establish();
+  constexpr uint64_t kBytes = 8 << 20;
+  server_.SetRecvHandler(s, [](std::vector<uint8_t>) {});
+  bool done = false;
+  const sim::TimePs start = engine_.Now();
+  client_.Send(c, buf_a_, kBytes, [&](bool ok) { done = ok; });
+  engine_.RunUntilCondition([&] { return done; });
+  const double gbps = sim::BandwidthGBps(kBytes, engine_.Now() - start);
+  // Window-paced, ACK-clocked: must stay within line rate but be efficient.
+  EXPECT_GT(gbps, 5.0);
+  EXPECT_LE(gbps, 12.5);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace coyote
