@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_aes_cbc.dir/bench/bench_fig10_aes_cbc.cc.o"
+  "CMakeFiles/bench_fig10_aes_cbc.dir/bench/bench_fig10_aes_cbc.cc.o.d"
+  "bench/bench_fig10_aes_cbc"
+  "bench/bench_fig10_aes_cbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_aes_cbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

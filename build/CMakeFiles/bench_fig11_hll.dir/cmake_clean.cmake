@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hll.dir/bench/bench_fig11_hll.cc.o"
+  "CMakeFiles/bench_fig11_hll.dir/bench/bench_fig11_hll.cc.o.d"
+  "bench/bench_fig11_hll"
+  "bench/bench_fig11_hll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7b_synthesis_time.cc" "CMakeFiles/bench_fig7b_synthesis_time.dir/bench/bench_fig7b_synthesis_time.cc.o" "gcc" "CMakeFiles/bench_fig7b_synthesis_time.dir/bench/bench_fig7b_synthesis_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/coyote_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/coyote_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coyote_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

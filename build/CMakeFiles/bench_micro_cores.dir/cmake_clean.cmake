@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_cores.dir/bench/bench_micro_cores.cc.o"
+  "CMakeFiles/bench_micro_cores.dir/bench/bench_micro_cores.cc.o.d"
+  "bench/bench_micro_cores"
+  "bench/bench_micro_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_shell_reconfig.dir/bench/bench_table3_shell_reconfig.cc.o"
+  "CMakeFiles/bench_table3_shell_reconfig.dir/bench/bench_table3_shell_reconfig.cc.o.d"
+  "bench/bench_table3_shell_reconfig"
+  "bench/bench_table3_shell_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_shell_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_multithreading.dir/aes_multithreading.cpp.o"
+  "CMakeFiles/aes_multithreading.dir/aes_multithreading.cpp.o.d"
+  "aes_multithreading"
+  "aes_multithreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_multithreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

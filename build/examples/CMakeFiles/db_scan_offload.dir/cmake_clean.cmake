@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_scan_offload.dir/db_scan_offload.cpp.o"
+  "CMakeFiles/db_scan_offload.dir/db_scan_offload.cpp.o.d"
+  "db_scan_offload"
+  "db_scan_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_scan_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_p2p.dir/gpu_p2p.cpp.o"
+  "CMakeFiles/gpu_p2p.dir/gpu_p2p.cpp.o.d"
+  "gpu_p2p"
+  "gpu_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

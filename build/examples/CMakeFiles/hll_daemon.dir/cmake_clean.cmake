@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hll_daemon.dir/hll_daemon.cpp.o"
+  "CMakeFiles/hll_daemon.dir/hll_daemon.cpp.o.d"
+  "hll_daemon"
+  "hll_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hll_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

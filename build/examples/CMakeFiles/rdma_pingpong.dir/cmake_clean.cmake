@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_pingpong.dir/rdma_pingpong.cpp.o"
+  "CMakeFiles/rdma_pingpong.dir/rdma_pingpong.cpp.o.d"
+  "rdma_pingpong"
+  "rdma_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_daemon.dir/remote_daemon.cpp.o"
+  "CMakeFiles/remote_daemon.dir/remote_daemon.cpp.o.d"
+  "remote_daemon"
+  "remote_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/smartnic_offload.cpp" "examples/CMakeFiles/smartnic_offload.dir/smartnic_offload.cpp.o" "gcc" "examples/CMakeFiles/smartnic_offload.dir/smartnic_offload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/coyote_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/coyote_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/dyn/CMakeFiles/coyote_dyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coyote_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/coyote_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfpga/CMakeFiles/coyote_vfpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/coyote_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/coyote_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/coyote_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coyote_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

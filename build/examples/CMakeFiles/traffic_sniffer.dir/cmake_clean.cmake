@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_sniffer.dir/traffic_sniffer.cpp.o"
+  "CMakeFiles/traffic_sniffer.dir/traffic_sniffer.cpp.o.d"
+  "traffic_sniffer"
+  "traffic_sniffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_sniffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

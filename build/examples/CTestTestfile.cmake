@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;coyote_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aes_multithreading "/root/repo/build/examples/aes_multithreading")
+set_tests_properties(example_aes_multithreading PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;coyote_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hll_daemon "/root/repo/build/examples/hll_daemon")
+set_tests_properties(example_hll_daemon PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;coyote_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rdma_pingpong "/root/repo/build/examples/rdma_pingpong")
+set_tests_properties(example_rdma_pingpong PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;coyote_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_traffic_sniffer "/root/repo/build/examples/traffic_sniffer")
+set_tests_properties(example_traffic_sniffer PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;coyote_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nn_inference "/root/repo/build/examples/nn_inference")
+set_tests_properties(example_nn_inference PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;16;coyote_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pointer_chase "/root/repo/build/examples/pointer_chase")
+set_tests_properties(example_pointer_chase PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;17;coyote_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gpu_p2p "/root/repo/build/examples/gpu_p2p")
+set_tests_properties(example_gpu_p2p PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;18;coyote_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smartnic_offload "/root/repo/build/examples/smartnic_offload")
+set_tests_properties(example_smartnic_offload PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;19;coyote_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_remote_daemon "/root/repo/build/examples/remote_daemon")
+set_tests_properties(example_remote_daemon PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;20;coyote_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_db_scan_offload "/root/repo/build/examples/db_scan_offload")
+set_tests_properties(example_db_scan_offload PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;21;coyote_example;/root/repo/examples/CMakeLists.txt;0;")

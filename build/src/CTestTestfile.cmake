@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("axi")
+subdirs("fabric")
+subdirs("synth")
+subdirs("memsys")
+subdirs("mmu")
+subdirs("dyn")
+subdirs("net")
+subdirs("vfpga")
+subdirs("services")
+subdirs("hlscompat")
+subdirs("runtime")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_dyn.dir/data_mover.cc.o"
+  "CMakeFiles/coyote_dyn.dir/data_mover.cc.o.d"
+  "libcoyote_dyn.a"
+  "libcoyote_dyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_dyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

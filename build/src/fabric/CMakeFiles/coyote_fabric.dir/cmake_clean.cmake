@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_fabric.dir/floorplan.cc.o"
+  "CMakeFiles/coyote_fabric.dir/floorplan.cc.o.d"
+  "CMakeFiles/coyote_fabric.dir/resources.cc.o"
+  "CMakeFiles/coyote_fabric.dir/resources.cc.o.d"
+  "CMakeFiles/coyote_fabric.dir/shell_config.cc.o"
+  "CMakeFiles/coyote_fabric.dir/shell_config.cc.o.d"
+  "libcoyote_fabric.a"
+  "libcoyote_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_hlscompat.dir/hls_model.cc.o"
+  "CMakeFiles/coyote_hlscompat.dir/hls_model.cc.o.d"
+  "CMakeFiles/coyote_hlscompat.dir/overlay.cc.o"
+  "CMakeFiles/coyote_hlscompat.dir/overlay.cc.o.d"
+  "libcoyote_hlscompat.a"
+  "libcoyote_hlscompat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_hlscompat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_memsys.dir/card_memory.cc.o"
+  "CMakeFiles/coyote_memsys.dir/card_memory.cc.o.d"
+  "libcoyote_memsys.a"
+  "libcoyote_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_mmu.dir/svm.cc.o"
+  "CMakeFiles/coyote_mmu.dir/svm.cc.o.d"
+  "CMakeFiles/coyote_mmu.dir/tlb.cc.o"
+  "CMakeFiles/coyote_mmu.dir/tlb.cc.o.d"
+  "libcoyote_mmu.a"
+  "libcoyote_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/collectives.cc" "src/net/CMakeFiles/coyote_net.dir/collectives.cc.o" "gcc" "src/net/CMakeFiles/coyote_net.dir/collectives.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/coyote_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/coyote_net.dir/network.cc.o.d"
+  "/root/repo/src/net/packets.cc" "src/net/CMakeFiles/coyote_net.dir/packets.cc.o" "gcc" "src/net/CMakeFiles/coyote_net.dir/packets.cc.o.d"
+  "/root/repo/src/net/roce.cc" "src/net/CMakeFiles/coyote_net.dir/roce.cc.o" "gcc" "src/net/CMakeFiles/coyote_net.dir/roce.cc.o.d"
+  "/root/repo/src/net/sniffer.cc" "src/net/CMakeFiles/coyote_net.dir/sniffer.cc.o" "gcc" "src/net/CMakeFiles/coyote_net.dir/sniffer.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/coyote_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/coyote_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coyote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/coyote_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/coyote_memsys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

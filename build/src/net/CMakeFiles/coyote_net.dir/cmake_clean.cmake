@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_net.dir/collectives.cc.o"
+  "CMakeFiles/coyote_net.dir/collectives.cc.o.d"
+  "CMakeFiles/coyote_net.dir/network.cc.o"
+  "CMakeFiles/coyote_net.dir/network.cc.o.d"
+  "CMakeFiles/coyote_net.dir/packets.cc.o"
+  "CMakeFiles/coyote_net.dir/packets.cc.o.d"
+  "CMakeFiles/coyote_net.dir/roce.cc.o"
+  "CMakeFiles/coyote_net.dir/roce.cc.o.d"
+  "CMakeFiles/coyote_net.dir/sniffer.cc.o"
+  "CMakeFiles/coyote_net.dir/sniffer.cc.o.d"
+  "CMakeFiles/coyote_net.dir/tcp.cc.o"
+  "CMakeFiles/coyote_net.dir/tcp.cc.o.d"
+  "libcoyote_net.a"
+  "libcoyote_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

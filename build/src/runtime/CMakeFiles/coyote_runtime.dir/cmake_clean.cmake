@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_runtime.dir/cthread.cc.o"
+  "CMakeFiles/coyote_runtime.dir/cthread.cc.o.d"
+  "CMakeFiles/coyote_runtime.dir/device.cc.o"
+  "CMakeFiles/coyote_runtime.dir/device.cc.o.d"
+  "CMakeFiles/coyote_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/coyote_runtime.dir/scheduler.cc.o.d"
+  "libcoyote_runtime.a"
+  "libcoyote_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/aes.cc" "src/services/CMakeFiles/coyote_services.dir/aes.cc.o" "gcc" "src/services/CMakeFiles/coyote_services.dir/aes.cc.o.d"
+  "/root/repo/src/services/aes_kernels.cc" "src/services/CMakeFiles/coyote_services.dir/aes_kernels.cc.o" "gcc" "src/services/CMakeFiles/coyote_services.dir/aes_kernels.cc.o.d"
+  "/root/repo/src/services/compression.cc" "src/services/CMakeFiles/coyote_services.dir/compression.cc.o" "gcc" "src/services/CMakeFiles/coyote_services.dir/compression.cc.o.d"
+  "/root/repo/src/services/db_scan.cc" "src/services/CMakeFiles/coyote_services.dir/db_scan.cc.o" "gcc" "src/services/CMakeFiles/coyote_services.dir/db_scan.cc.o.d"
+  "/root/repo/src/services/hll.cc" "src/services/CMakeFiles/coyote_services.dir/hll.cc.o" "gcc" "src/services/CMakeFiles/coyote_services.dir/hll.cc.o.d"
+  "/root/repo/src/services/nn.cc" "src/services/CMakeFiles/coyote_services.dir/nn.cc.o" "gcc" "src/services/CMakeFiles/coyote_services.dir/nn.cc.o.d"
+  "/root/repo/src/services/pointer_chase.cc" "src/services/CMakeFiles/coyote_services.dir/pointer_chase.cc.o" "gcc" "src/services/CMakeFiles/coyote_services.dir/pointer_chase.cc.o.d"
+  "/root/repo/src/services/stream_kernel.cc" "src/services/CMakeFiles/coyote_services.dir/stream_kernel.cc.o" "gcc" "src/services/CMakeFiles/coyote_services.dir/stream_kernel.cc.o.d"
+  "/root/repo/src/services/vector_kernels.cc" "src/services/CMakeFiles/coyote_services.dir/vector_kernels.cc.o" "gcc" "src/services/CMakeFiles/coyote_services.dir/vector_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coyote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfpga/CMakeFiles/coyote_vfpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/coyote_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/coyote_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/coyote_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/coyote_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

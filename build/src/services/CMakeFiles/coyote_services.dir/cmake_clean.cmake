@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_services.dir/aes.cc.o"
+  "CMakeFiles/coyote_services.dir/aes.cc.o.d"
+  "CMakeFiles/coyote_services.dir/aes_kernels.cc.o"
+  "CMakeFiles/coyote_services.dir/aes_kernels.cc.o.d"
+  "CMakeFiles/coyote_services.dir/compression.cc.o"
+  "CMakeFiles/coyote_services.dir/compression.cc.o.d"
+  "CMakeFiles/coyote_services.dir/db_scan.cc.o"
+  "CMakeFiles/coyote_services.dir/db_scan.cc.o.d"
+  "CMakeFiles/coyote_services.dir/hll.cc.o"
+  "CMakeFiles/coyote_services.dir/hll.cc.o.d"
+  "CMakeFiles/coyote_services.dir/nn.cc.o"
+  "CMakeFiles/coyote_services.dir/nn.cc.o.d"
+  "CMakeFiles/coyote_services.dir/pointer_chase.cc.o"
+  "CMakeFiles/coyote_services.dir/pointer_chase.cc.o.d"
+  "CMakeFiles/coyote_services.dir/stream_kernel.cc.o"
+  "CMakeFiles/coyote_services.dir/stream_kernel.cc.o.d"
+  "CMakeFiles/coyote_services.dir/vector_kernels.cc.o"
+  "CMakeFiles/coyote_services.dir/vector_kernels.cc.o.d"
+  "libcoyote_services.a"
+  "libcoyote_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoyote_services.a"
+)

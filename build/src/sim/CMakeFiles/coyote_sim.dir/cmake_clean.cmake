@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_sim.dir/engine.cc.o"
+  "CMakeFiles/coyote_sim.dir/engine.cc.o.d"
+  "CMakeFiles/coyote_sim.dir/link.cc.o"
+  "CMakeFiles/coyote_sim.dir/link.cc.o.d"
+  "libcoyote_sim.a"
+  "libcoyote_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_synth.dir/flow.cc.o"
+  "CMakeFiles/coyote_synth.dir/flow.cc.o.d"
+  "CMakeFiles/coyote_synth.dir/module_library.cc.o"
+  "CMakeFiles/coyote_synth.dir/module_library.cc.o.d"
+  "libcoyote_synth.a"
+  "libcoyote_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

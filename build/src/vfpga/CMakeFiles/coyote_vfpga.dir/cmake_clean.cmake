@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coyote_vfpga.dir/vfpga.cc.o"
+  "CMakeFiles/coyote_vfpga.dir/vfpga.cc.o.d"
+  "libcoyote_vfpga.a"
+  "libcoyote_vfpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coyote_vfpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axi_test.dir/axi_test.cc.o"
+  "CMakeFiles/axi_test.dir/axi_test.cc.o.d"
+  "axi_test"
+  "axi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/collectives_test.cc" "tests/CMakeFiles/collectives_test.dir/collectives_test.cc.o" "gcc" "tests/CMakeFiles/collectives_test.dir/collectives_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/coyote_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/coyote_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/coyote_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coyote_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_test.dir/dyn_test.cc.o"
+  "CMakeFiles/dyn_test.dir/dyn_test.cc.o.d"
+  "dyn_test"
+  "dyn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlscompat_test.dir/hlscompat_test.cc.o"
+  "CMakeFiles/hlscompat_test.dir/hlscompat_test.cc.o.d"
+  "hlscompat_test"
+  "hlscompat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlscompat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfpga_test.dir/vfpga_test.cc.o"
+  "CMakeFiles/vfpga_test.dir/vfpga_test.cc.o.d"
+  "vfpga_test"
+  "vfpga_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfpga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
