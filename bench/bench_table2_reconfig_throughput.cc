@@ -41,7 +41,7 @@ void Run() {
     sim::Engine engine;
     fabric::ReconfigController ctrl(&engine, 12'000'000'000ull, row.spec);
     bool done = false;
-    ctrl.ProgramAsync(kBitstreamBytes, [&done]() { done = true; });
+    ctrl.ProgramAsync(kBitstreamBytes, [&done](bool) { done = true; });
     engine.RunUntilCondition([&done]() { return done; });
     const double mbps = sim::BandwidthMBps(kBitstreamBytes, engine.Now());
     bench::Row("%-18s %-12s %22.1f %18.0f", std::string(row.spec.name).c_str(),

@@ -15,6 +15,7 @@
 
 #include "src/axi/axi_lite.h"
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/sim/link.h"
 #include "src/sim/time.h"
 
@@ -70,6 +71,18 @@ class XdmaCore {
   }
 
   void SetMsixHandler(MsixHandler handler) { msix_handler_ = std::move(handler); }
+
+  // Fault injection: each DMA packet in either direction may stall the link
+  // (a PCIe replay, a host-memory backpressure hiccup). nullptr detaches.
+  void SetFaultInjector(sim::FaultInjector* injector) {
+    if (injector == nullptr) {
+      h2c_.SetFaultHook(nullptr);
+      c2h_.SetFaultHook(nullptr);
+      return;
+    }
+    h2c_.SetFaultHook([injector](uint64_t) { return injector->NextXdmaStall(); });
+    c2h_.SetFaultHook([injector](uint64_t) { return injector->NextXdmaStall(); });
+  }
 
   const Config& config() const { return config_; }
   uint64_t msix_raised() const { return msix_raised_; }

@@ -16,6 +16,7 @@
 
 #include "src/sim/clock.h"
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/sim/time.h"
 
 namespace coyote {
@@ -76,17 +77,41 @@ class ReconfigController {
     return std::max(icap, dma) + fill;
   }
 
-  void ProgramAsync(uint64_t bytes, std::function<void()> on_done) {
+  // Programs `bytes` through the port; `on_done(ok)` fires when the attempt
+  // finishes. With a fault injector attached, a program may abort mid-stream
+  // (ok=false, after roughly half the nominal latency — the point where a CRC
+  // error in the bitstream stream is detected) or run slowed by the plan's
+  // factor.
+  void ProgramAsync(uint64_t bytes, std::function<void(bool ok)> on_done) {
     ++programs_in_flight_;
-    engine_->ScheduleAfter(ProgramLatency(bytes), [this, cb = std::move(on_done)]() {
+    sim::TimePs latency = ProgramLatency(bytes);
+    bool ok = true;
+    if (injector_ != nullptr) {
+      if (injector_->NextReconfigFails()) {
+        ok = false;
+        latency /= 2;  // abort detected mid-bitstream
+        ++programs_failed_;
+      } else {
+        const double slow = injector_->NextReconfigSlowdown();
+        if (slow > 1.0) {
+          latency = static_cast<sim::TimePs>(static_cast<double>(latency) * slow);
+          ++programs_slowed_;
+        }
+      }
+    }
+    engine_->ScheduleAfter(latency, [this, ok, cb = std::move(on_done)]() {
       --programs_in_flight_;
       if (cb) {
-        cb();
+        cb(ok);
       }
     });
   }
 
+  void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+
   bool busy() const { return programs_in_flight_ > 0; }
+  uint64_t programs_failed() const { return programs_failed_; }
+  uint64_t programs_slowed() const { return programs_slowed_; }
   const ReconfigPortSpec& port() const { return port_; }
 
  private:
@@ -95,7 +120,10 @@ class ReconfigController {
   sim::Engine* engine_;
   uint64_t host_link_bps_;
   ReconfigPortSpec port_;
+  sim::FaultInjector* injector_ = nullptr;
   int programs_in_flight_ = 0;
+  uint64_t programs_failed_ = 0;
+  uint64_t programs_slowed_ = 0;
 };
 
 }  // namespace fabric

@@ -16,6 +16,7 @@
 #include "src/mmu/tlb.h"
 #include "src/sim/clock.h"
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 
 namespace coyote {
 namespace mmu {
@@ -42,6 +43,11 @@ class Mmu {
   // no mapping exists — which the caller escalates (the data mover raises a
   // page-fault interrupt and triggers allocation/migration).
   void Translate(uint64_t vaddr, TranslateCallback cb) {
+    if (injector_ != nullptr && injector_->NextForcedTlbMiss()) {
+      // Fault injection: evict the entry so this translation takes the full
+      // driver-fallback path (a TLB-miss storm under chaos testing).
+      tlb_.Invalidate(vaddr);
+    }
     if (auto hit = tlb_.Lookup(vaddr)) {
       engine_->ScheduleAfter(config_.hit_latency,
                              [cb = std::move(cb), page = *hit]() { cb(page); });
@@ -68,6 +74,8 @@ class Mmu {
   void InvalidateTlb(uint64_t vaddr) { tlb_.Invalidate(vaddr); }
   void InvalidateTlbAll() { tlb_.InvalidateAll(); }
 
+  void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+
   Tlb& tlb() { return tlb_; }
   const Tlb& tlb() const { return tlb_; }
   PageTable* page_table() { return page_table_; }
@@ -80,6 +88,7 @@ class Mmu {
   PageTable* page_table_;
   Config config_;
   Tlb tlb_;
+  sim::FaultInjector* injector_ = nullptr;
   uint64_t driver_fallbacks_ = 0;
   uint64_t page_faults_ = 0;
 };

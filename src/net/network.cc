@@ -31,25 +31,64 @@ void Network::Transmit(uint32_t src_port, uint32_t dst_ip, std::vector<uint8_t> 
     ++frames_dropped_;
     return;
   }
+
+  int copies = 1;
+  sim::TimePs extra_latency = 0;
+  if (injector_ != nullptr) {
+    const uint32_t src_ip = ports_[src_port].ip;
+    if (injector_->DropForOutage(src_ip, dst_ip)) {
+      ++frames_dropped_;
+      return;
+    }
+    const auto decision = injector_->OnFrame(src_ip, dst_ip, frame.size());
+    switch (decision.action) {
+      case sim::FaultInjector::FrameAction::kDeliver:
+        break;
+      case sim::FaultInjector::FrameAction::kDrop:
+        ++frames_dropped_;
+        return;
+      case sim::FaultInjector::FrameAction::kCorrupt: {
+        // Flip one byte with a non-zero mask; the receiver's ICRC check turns
+        // this into a drop at the RoCE/TCP layer.
+        const uint64_t e = decision.corrupt_entropy;
+        frame[e % frame.size()] ^= static_cast<uint8_t>(1 + ((e >> 32) % 255));
+        ++frames_corrupted_;
+        break;
+      }
+      case sim::FaultInjector::FrameAction::kDuplicate:
+        copies = 2;
+        ++frames_duplicated_;
+        break;
+      case sim::FaultInjector::FrameAction::kDelay:
+        extra_latency = decision.delay;
+        ++frames_delayed_;
+        break;
+    }
+  }
+
   const uint64_t bytes = frame.size();
   auto shared = std::make_shared<std::vector<uint8_t>>(std::move(frame));
+  const sim::TimePs hop_latency = config_.switch_latency + extra_latency;
 
   // Serialize on the sender's TX link, cross the switch, then serialize on
   // each destination port's RX link before the handler sees the frame (a
   // device binding multiple stacks to one IP gets a copy per stack).
   for (auto it = first; it != last; ++it) {
     const uint32_t dst_port = it->second;
-    ports_[src_port].tx_link->Submit(dst_port, bytes, [this, dst_port, bytes, shared]() {
-      engine_->ScheduleAfter(config_.switch_latency, [this, dst_port, bytes, shared]() {
-        ports_[dst_port].rx_link->Submit(0, bytes, [this, dst_port, bytes, shared]() {
-          ++frames_delivered_;
-          bytes_delivered_ += bytes;
-          if (ports_[dst_port].rx) {
-            ports_[dst_port].rx(*shared);
-          }
-        });
-      });
-    });
+    for (int c = 0; c < copies; ++c) {
+      ports_[src_port].tx_link->Submit(
+          dst_port, bytes, [this, dst_port, bytes, shared, hop_latency]() {
+            engine_->ScheduleAfter(hop_latency, [this, dst_port, bytes, shared]() {
+              ports_[dst_port].rx_link->Submit(0, bytes, [this, dst_port, bytes, shared]() {
+                ++frames_delivered_;
+                bytes_delivered_ += bytes;
+                if (ports_[dst_port].rx) {
+                  ports_[dst_port].rx(*shared);
+                }
+              });
+            });
+          });
+    }
   }
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/sim/link.h"
 
 namespace coyote {
@@ -47,8 +48,16 @@ class Network {
     drop_filter_ = std::move(filter);
   }
 
+  // Schedulable fault injection: the injector decides per frame whether to
+  // drop, corrupt, duplicate or delay it, and whether either endpoint is
+  // inside a node-outage window. Not owned; may be nullptr.
+  void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+
   uint64_t frames_delivered() const { return frames_delivered_; }
   uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t frames_corrupted() const { return frames_corrupted_; }
+  uint64_t frames_duplicated() const { return frames_duplicated_; }
+  uint64_t frames_delayed() const { return frames_delayed_; }
   uint64_t bytes_delivered() const { return bytes_delivered_; }
   const Config& config() const { return config_; }
 
@@ -65,9 +74,13 @@ class Network {
   std::vector<Port> ports_;
   std::unordered_multimap<uint32_t, uint32_t> ip_to_port_;
   std::function<bool(uint64_t)> drop_filter_;
+  sim::FaultInjector* injector_ = nullptr;
   uint64_t frame_counter_ = 0;
   uint64_t frames_delivered_ = 0;
   uint64_t frames_dropped_ = 0;
+  uint64_t frames_corrupted_ = 0;
+  uint64_t frames_duplicated_ = 0;
+  uint64_t frames_delayed_ = 0;
   uint64_t bytes_delivered_ = 0;
 };
 

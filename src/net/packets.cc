@@ -213,6 +213,11 @@ std::optional<ParsedFrame> ParseFrame(const std::vector<uint8_t>& bytes) {
   if (cursor > end) {
     return std::nullopt;
   }
+  // ICRC check: a frame corrupted in flight fails here and is treated like a
+  // loss — the sender's retransmit machinery recovers it.
+  if (GetU32(end) != Crc32(p, bytes.size() - kIcrcBytes)) {
+    return std::nullopt;
+  }
   out.payload.assign(cursor, end);
   return out;
 }

@@ -167,6 +167,8 @@ void RoceStack::OnRxFrame(std::vector<uint8_t> frame) {
   ++rx_frames_;
   auto parsed = ParseFrame(frame);
   if (!parsed) {
+    // Bad ICRC or truncated header — the frame was corrupted in flight.
+    ++rx_malformed_;
     return;
   }
   const uint32_t qpn = parsed->meta.dest_qpn;
@@ -267,7 +269,13 @@ void RoceStack::SendAck(Qp& qp, uint32_t psn) {
   TransmitFrame(qp, m, {}, /*track_for_retransmit=*/false);
 }
 
+void RoceStack::NoteProgress(Qp& qp) {
+  qp.consecutive_timeouts = 0;
+  qp.cur_timeout = config_.ack_timeout;
+}
+
 void RoceStack::HandleAck(Qp& qp, const ParsedFrame& f) {
+  NoteProgress(qp);
   const uint32_t acked = f.meta.psn;
   // Cumulative: drop every tracked frame with psn <= acked.
   qp.unacked.erase(qp.unacked.begin(), qp.unacked.upper_bound(acked));
@@ -312,6 +320,7 @@ void RoceStack::HandleReadRequest(Qp& qp, const ParsedFrame& f) {
 }
 
 void RoceStack::HandleReadResponse(Qp& qp, const ParsedFrame& f) {
+  NoteProgress(qp);
   for (auto it = qp.reads.begin(); it != qp.reads.end(); ++it) {
     ReadCtx& ctx = *it;
     if (f.meta.psn < ctx.first_psn || f.meta.psn > ctx.last_psn) {
@@ -343,8 +352,11 @@ void RoceStack::HandleReadResponse(Qp& qp, const ParsedFrame& f) {
 
 void RoceStack::ArmRetransmitTimer(uint32_t qpn) {
   Qp& qp = qps_.at(qpn);
+  if (qp.cur_timeout == 0) {
+    qp.cur_timeout = config_.ack_timeout;
+  }
   const uint64_t generation = ++qp.timer_generation;
-  engine_->ScheduleAfter(config_.ack_timeout, [this, qpn, generation]() {
+  engine_->ScheduleAfter(qp.cur_timeout, [this, qpn, generation]() {
     auto it = qps_.find(qpn);
     if (it == qps_.end()) {
       return;
@@ -353,9 +365,45 @@ void RoceStack::ArmRetransmitTimer(uint32_t qpn) {
     if (q.timer_generation != generation || q.unacked.empty()) {
       return;
     }
+    ++timeouts_;
+    if (++q.consecutive_timeouts > config_.max_retries) {
+      // Retry budget exhausted: the peer is unreachable (dead node, storm of
+      // losses). Error out instead of retrying forever.
+      FailQp(q);
+      return;
+    }
+    // Exponential backoff, capped.
+    const sim::TimePs next = std::min<sim::TimePs>(q.cur_timeout * 2, config_.max_ack_timeout);
+    if (next > q.cur_timeout) {
+      q.cur_timeout = next;
+      ++backoff_events_;
+    }
     RetransmitUnacked(q);
     ArmRetransmitTimer(qpn);
   });
+}
+
+void RoceStack::FailQp(Qp& qp) {
+  ++retries_exhausted_;
+  qp.unacked.clear();
+  NoteProgress(qp);
+  ++qp.timer_generation;  // cancel any pending timer
+  auto completions = std::move(qp.completions);
+  qp.completions.clear();
+  auto reads = std::move(qp.reads);
+  qp.reads.clear();
+  for (auto& [psn, cb] : completions) {
+    if (cb) {
+      ++error_completions_;
+      cb(false);
+    }
+  }
+  for (auto& r : reads) {
+    if (r.done) {
+      ++error_completions_;
+      r.done(false);
+    }
+  }
 }
 
 void RoceStack::RetransmitUnacked(Qp& qp) {

@@ -34,6 +34,12 @@ class RoceStack {
     sim::TimePs stack_latency = sim::Nanoseconds(350);  // per-frame processing
     sim::TimePs ack_timeout = sim::Microseconds(100);
     uint32_t ack_interval = 16;  // receiver acks at least every N data frames
+    // Retry budget: after this many consecutive unanswered timeouts on a QP,
+    // outstanding work completes with ok=false instead of retrying forever.
+    uint32_t max_retries = 8;
+    // The retransmit timeout doubles on every consecutive timeout (exponential
+    // backoff) up to this cap; any ACK or read-response progress resets it.
+    sim::TimePs max_ack_timeout = sim::Milliseconds(3);
   };
 
   using Completion = std::function<void(bool ok)>;
@@ -77,7 +83,12 @@ class RoceStack {
   // --- Statistics ---------------------------------------------------------------
   uint64_t tx_frames() const { return tx_frames_; }
   uint64_t rx_frames() const { return rx_frames_; }
+  uint64_t rx_malformed() const { return rx_malformed_; }
   uint64_t retransmitted_frames() const { return retransmitted_frames_; }
+  uint64_t timeouts() const { return timeouts_; }
+  uint64_t backoff_events() const { return backoff_events_; }
+  uint64_t retries_exhausted() const { return retries_exhausted_; }
+  uint64_t error_completions() const { return error_completions_; }
   uint64_t payload_bytes_sent() const { return payload_bytes_sent_; }
   const Config& config() const { return config_; }
 
@@ -109,6 +120,8 @@ class RoceStack {
     std::map<uint32_t, Completion> completions;      // last psn of msg -> cb
     std::vector<ReadCtx> reads;                      // outstanding reads
     uint64_t timer_generation = 0;
+    sim::TimePs cur_timeout = 0;          // 0 = use config ack_timeout
+    uint32_t consecutive_timeouts = 0;    // resets on any forward progress
 
     // Responder state.
     uint32_t expected_psn = 0;
@@ -132,6 +145,8 @@ class RoceStack {
   void SendAck(Qp& qp, uint32_t psn);
   void ArmRetransmitTimer(uint32_t qpn);
   void RetransmitUnacked(Qp& qp);
+  void FailQp(Qp& qp);
+  void NoteProgress(Qp& qp);
   FrameMeta BaseMeta(const Qp& qp) const;
   void PumpOffloadCommits();
 
@@ -161,7 +176,12 @@ class RoceStack {
 
   uint64_t tx_frames_ = 0;
   uint64_t rx_frames_ = 0;
+  uint64_t rx_malformed_ = 0;
   uint64_t retransmitted_frames_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t backoff_events_ = 0;
+  uint64_t retries_exhausted_ = 0;
+  uint64_t error_completions_ = 0;
   uint64_t payload_bytes_sent_ = 0;
 };
 

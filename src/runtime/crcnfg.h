@@ -30,6 +30,23 @@ class CRcnfg {
     return dev_->ReconfigureApp(bitstream_path, vfpga_id);
   }
 
+  // Tries `primary`; if every ICAP attempt on it fails (e.g. under fault
+  // injection), falls back to `fallback` — a known-good bitstream kept
+  // around for exactly this purpose. `used_fallback` reports which one the
+  // region ended up running.
+  SimDevice::ReconfigResult ReconfigureAppWithFallback(const std::string& primary,
+                                                       const std::string& fallback,
+                                                       uint32_t vfpga_id) {
+    SimDevice::ReconfigResult first = dev_->ReconfigureApp(primary, vfpga_id);
+    if (first.ok) {
+      return first;
+    }
+    SimDevice::ReconfigResult second = dev_->ReconfigureApp(fallback, vfpga_id);
+    second.attempts += first.attempts;
+    second.used_fallback = true;
+    return second;
+  }
+
  private:
   SimDevice* dev_;
 };

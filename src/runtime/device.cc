@@ -1,5 +1,7 @@
 #include "src/runtime/device.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 namespace coyote {
@@ -185,26 +187,38 @@ const fabric::PartialBitstream* SimDevice::FindBitstreamFile(const std::string& 
 SimDevice::ReconfigResult SimDevice::StageAndProgram(const fabric::PartialBitstream& bs) {
   ReconfigResult result;
   const sim::TimePs start = engine_->Now();
+  const uint32_t max_attempts = std::max(1u, config_.reconfig_max_retries);
 
-  // Host side: read the bitstream from disk and copy it into kernel space
-  // (the Table 3 "total latency" components)...
-  const sim::TimePs disk = sim::TransferTime(bs.size_bytes, config_.disk_read_bps);
-  const sim::TimePs copy = sim::TransferTime(bs.size_bytes, config_.kernel_copy_bps);
-  const sim::TimePs staged_at = start + config_.ioctl_latency + disk + copy;
+  for (uint32_t attempt = 0; attempt < max_attempts && !result.ok; ++attempt) {
+    ++result.attempts;
 
-  // ...then the ICAP programs the region (the "kernel latency").
-  bool done = false;
-  engine_->ScheduleAt(staged_at, [this, &bs, &done]() {
-    reconfig_->ProgramAsync(bs.size_bytes, [this, &done]() {
-      xdma_->RaiseMsix(dyn::kMsixReconfigDone, 0);
-      done = true;
+    // Host side: read the bitstream from disk and copy it into kernel space
+    // (the Table 3 "total latency" components). An aborted program restages
+    // from scratch — the driver re-validates the whole pipeline.
+    const sim::TimePs disk = sim::TransferTime(bs.size_bytes, config_.disk_read_bps);
+    const sim::TimePs copy = sim::TransferTime(bs.size_bytes, config_.kernel_copy_bps);
+    const sim::TimePs staged_at = engine_->Now() + config_.ioctl_latency + disk + copy;
+
+    // ...then the ICAP programs the region (the "kernel latency").
+    bool done = false;
+    engine_->ScheduleAt(staged_at, [this, &bs, &done, &result]() {
+      reconfig_->ProgramAsync(bs.size_bytes, [this, &done, &result](bool ok) {
+        if (ok) {
+          xdma_->RaiseMsix(dyn::kMsixReconfigDone, 0);
+          result.ok = true;
+        }
+        done = true;
+      });
     });
-  });
-  engine_->RunUntilCondition([&done]() { return done; });
+    engine_->RunUntilCondition([&done]() { return done; });
+  }
 
-  result.ok = true;
   result.kernel_latency = reconfig_->ProgramLatency(bs.size_bytes);
   result.total_latency = engine_->Now() - start;
+  if (!result.ok) {
+    result.error =
+        "ICAP programming failed after " + std::to_string(result.attempts) + " attempts";
+  }
   return result;
 }
 
@@ -225,6 +239,10 @@ SimDevice::ReconfigResult SimDevice::ReconfigureShell(const std::string& bitstre
   }
 
   result = StageAndProgram(*bs);
+  if (!result.ok) {
+    // Programming never completed: the previous shell stays active.
+    return result;
+  }
 
   // Swap the service layer and reset the application regions: a shell
   // reconfiguration replaces both (§4).
@@ -266,8 +284,20 @@ SimDevice::ReconfigResult SimDevice::ReconfigureApp(const std::string& bitstream
   }
 
   result = StageAndProgram(*bs);
+  if (!result.ok) {
+    // The region keeps whatever it held before the failed program.
+    return result;
+  }
   vfpgas_[vfpga_id]->LoadKernel(std::move(kernel));
   return result;
+}
+
+void SimDevice::AttachFaultInjector(sim::FaultInjector* injector) {
+  reconfig_->SetFaultInjector(injector);
+  xdma_->SetFaultInjector(injector);
+  for (auto& m : mmus_) {
+    m->SetFaultInjector(injector);
+  }
 }
 
 }  // namespace runtime

@@ -67,6 +67,10 @@ class SimDevice {
     uint64_t disk_read_bps = 90'000'000ull;
     uint64_t kernel_copy_bps = 6'000'000'000ull;
 
+    // ICAP programming attempts before a reconfiguration is reported failed
+    // (a fault injector can abort individual attempts).
+    uint32_t reconfig_max_retries = 3;
+
     // Coyote v1 compatibility mode (baseline for Fig. 11): single host
     // stream, no service reconfiguration.
     bool v1_compat = false;
@@ -128,6 +132,8 @@ class SimDevice {
     std::string error;
     sim::TimePs kernel_latency = 0;  // pure ICAP programming
     sim::TimePs total_latency = 0;   // + disk read + copy + driver overhead
+    uint32_t attempts = 0;           // ICAP programming attempts consumed
+    bool used_fallback = false;      // cRcnfg fell back to a secondary bitstream
   };
   // Synchronous from the caller's perspective: advances the engine.
   ReconfigResult ReconfigureShell(const std::string& bitstream_path);
@@ -141,6 +147,11 @@ class SimDevice {
 
   // Runs the engine until `done` returns true (host-side blocking wait).
   bool WaitFor(const std::function<bool()>& done) { return engine_->RunUntilCondition(done); }
+
+  // Wires a fault injector into every fault-capable component of the device
+  // (ICAP controller, XDMA links, per-vFPGA MMUs). Not owned; call with
+  // nullptr to detach.
+  void AttachFaultInjector(sim::FaultInjector* injector);
 
   // Driver-side cThread id allocation (one id space per vFPGA).
   uint32_t AllocateCtid(uint32_t vfpga_id) { return next_ctid_[vfpga_id]++; }

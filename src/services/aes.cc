@@ -60,35 +60,41 @@ uint8_t Gmul(uint8_t a, uint8_t b) {
 
 }  // namespace
 
-Aes128::Aes128(uint64_t key_lo, uint64_t key_hi) {
-  std::array<uint8_t, kKeyBytes> key;
-  for (int i = 0; i < 8; ++i) {
-    key[i] = static_cast<uint8_t>(key_lo >> (8 * i));
-    key[8 + i] = static_cast<uint8_t>(key_hi >> (8 * i));
-  }
-  ExpandKey(key);
+Aes::Aes(const std::vector<uint8_t>& key) {
+  assert(key.size() == 16 || key.size() == 24 || key.size() == 32);
+  ExpandKey(key.data(), key.size());
 }
 
-void Aes128::ExpandKey(const std::array<uint8_t, kKeyBytes>& key) {
-  std::memcpy(round_keys_.data(), key.data(), kKeyBytes);
-  for (int i = 4; i < 4 * (kRounds + 1); ++i) {
+void Aes::ExpandKey(const uint8_t* key, size_t key_bytes) {
+  key_bytes_ = key_bytes;
+  const int nk = static_cast<int>(key_bytes / 4);  // key words
+  rounds_ = nk + 6;                                // FIPS-197 §5: Nr = Nk + 6
+  round_keys_.assign((rounds_ + 1) * kBlockBytes, 0);
+
+  std::memcpy(round_keys_.data(), key, key_bytes);
+  for (int i = nk; i < 4 * (rounds_ + 1); ++i) {
     uint8_t t[4];
     std::memcpy(t, &round_keys_[(i - 1) * 4], 4);
-    if (i % 4 == 0) {
+    if (i % nk == 0) {
       // RotWord + SubWord + Rcon.
       const uint8_t tmp = t[0];
-      t[0] = static_cast<uint8_t>(kSbox[t[1]] ^ kRcon[i / 4 - 1]);
+      t[0] = static_cast<uint8_t>(kSbox[t[1]] ^ kRcon[i / nk - 1]);
       t[1] = kSbox[t[2]];
       t[2] = kSbox[t[3]];
       t[3] = kSbox[tmp];
+    } else if (nk > 6 && i % nk == 4) {
+      // AES-256 only: extra SubWord on the middle word.
+      for (auto& b : t) {
+        b = kSbox[b];
+      }
     }
     for (int b = 0; b < 4; ++b) {
-      round_keys_[i * 4 + b] = round_keys_[(i - 4) * 4 + b] ^ t[b];
+      round_keys_[i * 4 + b] = round_keys_[(i - nk) * 4 + b] ^ t[b];
     }
   }
 }
 
-void Aes128::EncryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes]) const {
+void Aes::EncryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes]) const {
   uint8_t s[16];
   std::memcpy(s, in, 16);
 
@@ -127,7 +133,7 @@ void Aes128::EncryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes
   };
 
   add_round_key(0);
-  for (int round = 1; round < kRounds; ++round) {
+  for (int round = 1; round < rounds_; ++round) {
     sub_bytes();
     shift_rows();
     mix_columns();
@@ -135,11 +141,11 @@ void Aes128::EncryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes
   }
   sub_bytes();
   shift_rows();
-  add_round_key(kRounds);
+  add_round_key(rounds_);
   std::memcpy(out, s, 16);
 }
 
-void Aes128::DecryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes]) const {
+void Aes::DecryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes]) const {
   uint8_t s[16];
   std::memcpy(s, in, 16);
   const uint8_t* inv_sbox = InvSbox();
@@ -174,8 +180,8 @@ void Aes128::DecryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes
     }
   };
 
-  add_round_key(kRounds);
-  for (int round = kRounds - 1; round >= 1; --round) {
+  add_round_key(rounds_);
+  for (int round = rounds_ - 1; round >= 1; --round) {
     inv_shift_rows();
     inv_sub_bytes();
     add_round_key(round);
@@ -187,7 +193,7 @@ void Aes128::DecryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes
   std::memcpy(out, s, 16);
 }
 
-std::vector<uint8_t> Aes128::EncryptEcb(const std::vector<uint8_t>& plain) const {
+std::vector<uint8_t> Aes::EncryptEcb(const std::vector<uint8_t>& plain) const {
   assert(plain.size() % kBlockBytes == 0);
   std::vector<uint8_t> out(plain.size());
   for (size_t i = 0; i < plain.size(); i += kBlockBytes) {
@@ -196,7 +202,7 @@ std::vector<uint8_t> Aes128::EncryptEcb(const std::vector<uint8_t>& plain) const
   return out;
 }
 
-std::vector<uint8_t> Aes128::DecryptEcb(const std::vector<uint8_t>& cipher) const {
+std::vector<uint8_t> Aes::DecryptEcb(const std::vector<uint8_t>& cipher) const {
   assert(cipher.size() % kBlockBytes == 0);
   std::vector<uint8_t> out(cipher.size());
   for (size_t i = 0; i < cipher.size(); i += kBlockBytes) {
@@ -205,8 +211,8 @@ std::vector<uint8_t> Aes128::DecryptEcb(const std::vector<uint8_t>& cipher) cons
   return out;
 }
 
-std::vector<uint8_t> Aes128::EncryptCbc(const std::vector<uint8_t>& plain,
-                                        const std::array<uint8_t, kBlockBytes>& iv) const {
+std::vector<uint8_t> Aes::EncryptCbc(const std::vector<uint8_t>& plain,
+                                     const std::array<uint8_t, kBlockBytes>& iv) const {
   assert(plain.size() % kBlockBytes == 0);
   std::vector<uint8_t> out(plain.size());
   uint8_t chain[kBlockBytes];
@@ -222,8 +228,8 @@ std::vector<uint8_t> Aes128::EncryptCbc(const std::vector<uint8_t>& plain,
   return out;
 }
 
-std::vector<uint8_t> Aes128::DecryptCbc(const std::vector<uint8_t>& cipher,
-                                        const std::array<uint8_t, kBlockBytes>& iv) const {
+std::vector<uint8_t> Aes::DecryptCbc(const std::vector<uint8_t>& cipher,
+                                     const std::array<uint8_t, kBlockBytes>& iv) const {
   assert(cipher.size() % kBlockBytes == 0);
   std::vector<uint8_t> out(cipher.size());
   uint8_t chain[kBlockBytes];
@@ -237,6 +243,15 @@ std::vector<uint8_t> Aes128::DecryptCbc(const std::vector<uint8_t>& cipher,
     std::memcpy(chain, &cipher[i], kBlockBytes);
   }
   return out;
+}
+
+Aes128::Aes128(uint64_t key_lo, uint64_t key_hi) {
+  std::array<uint8_t, kKeyBytes> key;
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<uint8_t>(key_lo >> (8 * i));
+    key[8 + i] = static_cast<uint8_t>(key_hi >> (8 * i));
+  }
+  ExpandKey(key.data(), kKeyBytes);
 }
 
 }  // namespace services

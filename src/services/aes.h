@@ -1,9 +1,14 @@
-// AES-128 (FIPS-197).
+// AES (FIPS-197): 128/192/256-bit keys.
 //
 // Functional model of the AES core used by the multi-tenant ECB benchmark
 // (Fig. 8) and the multi-threaded CBC benchmark (Figs. 9/10). Real
 // cryptography, verified against FIPS-197 / NIST SP 800-38A vectors, so
 // end-to-end tests can check ciphertext correctness, not just byte counts.
+//
+// `Aes` is the generic cipher: the key length picks the schedule
+// (Nk = key_bytes / 4 words, Nr = Nk + 6 rounds per FIPS-197 §5). `Aes128`
+// keeps the original fixed-key API the hardware kernels use (the CSR space
+// only carries a 128-bit key).
 
 #ifndef SRC_SERVICES_AES_H_
 #define SRC_SERVICES_AES_H_
@@ -16,17 +21,12 @@
 namespace coyote {
 namespace services {
 
-class Aes128 {
+class Aes {
  public:
   static constexpr size_t kBlockBytes = 16;
-  static constexpr size_t kKeyBytes = 16;
-  static constexpr int kRounds = 10;  // also the hardware pipeline depth
 
-  explicit Aes128(const std::array<uint8_t, kKeyBytes>& key) { ExpandKey(key); }
-
-  // Convenience: key packed as two little-endian 64-bit words (the CSR
-  // layout the kernels use: reg0 = bytes 0..7, reg1 = bytes 8..15).
-  Aes128(uint64_t key_lo, uint64_t key_hi);
+  // `key` must be 16, 24 or 32 bytes (AES-128/192/256).
+  explicit Aes(const std::vector<uint8_t>& key);
 
   void EncryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes]) const;
   void DecryptBlock(const uint8_t in[kBlockBytes], uint8_t out[kBlockBytes]) const;
@@ -39,11 +39,32 @@ class Aes128 {
   std::vector<uint8_t> DecryptCbc(const std::vector<uint8_t>& cipher,
                                   const std::array<uint8_t, kBlockBytes>& iv) const;
 
- private:
-  void ExpandKey(const std::array<uint8_t, kKeyBytes>& key);
+  int rounds() const { return rounds_; }
+  size_t key_bytes() const { return key_bytes_; }
 
-  // Round keys: (kRounds + 1) * 16 bytes.
-  std::array<uint8_t, (kRounds + 1) * kBlockBytes> round_keys_{};
+ protected:
+  Aes() = default;
+  void ExpandKey(const uint8_t* key, size_t key_bytes);
+
+ private:
+  int rounds_ = 0;       // Nr
+  size_t key_bytes_ = 0;
+  // Round keys: (Nr + 1) * 16 bytes.
+  std::vector<uint8_t> round_keys_;
+};
+
+class Aes128 : public Aes {
+ public:
+  static constexpr size_t kKeyBytes = 16;
+  static constexpr int kRounds = 10;  // also the hardware pipeline depth
+
+  explicit Aes128(const std::array<uint8_t, kKeyBytes>& key) {
+    ExpandKey(key.data(), kKeyBytes);
+  }
+
+  // Convenience: key packed as two little-endian 64-bit words (the CSR
+  // layout the kernels use: reg0 = bytes 0..7, reg1 = bytes 8..15).
+  Aes128(uint64_t key_lo, uint64_t key_hi);
 };
 
 }  // namespace services

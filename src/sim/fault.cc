@@ -1,0 +1,133 @@
+#include "src/sim/fault.h"
+
+namespace coyote {
+namespace sim {
+
+namespace {
+
+// Domain tags mixed into the master seed so the four streams are independent.
+constexpr uint64_t kNetDomain = 0x6E65'74'00ull;
+constexpr uint64_t kReconfigDomain = 0x7263'6E'66ull;
+constexpr uint64_t kXdmaDomain = 0x7864'6D'61ull;
+constexpr uint64_t kMmuDomain = 0x6D6D'75'00ull;
+
+}  // namespace
+
+FaultInjector::FaultInjector(Engine* engine, const FaultPlan& plan)
+    : engine_(engine),
+      plan_(plan),
+      net_rng_(plan.seed ^ kNetDomain),
+      reconfig_rng_(plan.seed ^ kReconfigDomain),
+      xdma_rng_(plan.seed ^ kXdmaDomain),
+      mmu_rng_(plan.seed ^ kMmuDomain) {}
+
+void FaultInjector::Record(std::string_view what, uint64_t detail) {
+  counters_.Increment(what);
+  const TimePs now = engine_->Now();
+  auto mix = [this](const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      fingerprint_ ^= p[i];
+      fingerprint_ *= 0x100000001b3ull;
+    }
+  };
+  mix(what.data(), what.size());
+  mix(&detail, sizeof(detail));
+  mix(&now, sizeof(now));
+}
+
+FaultInjector::FrameDecision FaultInjector::OnFrame(uint32_t src_ip, uint32_t dst_ip,
+                                                    uint64_t frame_bytes) {
+  FrameDecision d;
+  ++decisions_;
+  // One uniform decides the action via cumulative rates, so the draw count
+  // per frame is fixed regardless of which rates are non-zero.
+  const double u = net_rng_.NextDouble();
+  const double p_drop = plan_.frame_drop_rate;
+  const double p_corrupt = p_drop + plan_.frame_corrupt_rate;
+  const double p_dup = p_corrupt + plan_.frame_duplicate_rate;
+  const double p_delay = p_dup + plan_.frame_delay_rate;
+  // Second draw supplies fault parameters; always consumed for schedule
+  // stability.
+  const uint64_t entropy = net_rng_.Next();
+
+  const uint64_t key = (static_cast<uint64_t>(src_ip) << 32) | dst_ip;
+  if (u < p_drop) {
+    d.action = FrameAction::kDrop;
+    Record("net.frame_drop", key ^ frame_bytes);
+  } else if (u < p_corrupt) {
+    d.action = FrameAction::kCorrupt;
+    d.corrupt_entropy = entropy;
+    Record("net.frame_corrupt", key ^ entropy);
+  } else if (u < p_dup) {
+    d.action = FrameAction::kDuplicate;
+    Record("net.frame_duplicate", key ^ frame_bytes);
+  } else if (u < p_delay) {
+    d.action = FrameAction::kDelay;
+    const TimePs span = plan_.frame_delay_max > plan_.frame_delay_min
+                            ? plan_.frame_delay_max - plan_.frame_delay_min
+                            : 0;
+    d.delay = plan_.frame_delay_min + (span == 0 ? 0 : entropy % span);
+    Record("net.frame_delay", d.delay);
+  }
+  return d;
+}
+
+bool FaultInjector::NodeDown(uint32_t ip) const {
+  const TimePs now = engine_->Now();
+  for (const auto& o : plan_.outages) {
+    if (o.ip == ip && now >= o.start && now < o.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::DropForOutage(uint32_t src_ip, uint32_t dst_ip) {
+  if (!NodeDown(src_ip) && !NodeDown(dst_ip)) {
+    return false;
+  }
+  Record("net.outage_drop", (static_cast<uint64_t>(src_ip) << 32) | dst_ip);
+  return true;
+}
+
+bool FaultInjector::NextReconfigFails() {
+  ++decisions_;
+  const uint32_t index = reconfig_programs_seen_++;
+  const double u = reconfig_rng_.NextDouble();
+  if (index < plan_.reconfig_fail_first_n || u < plan_.reconfig_fail_rate) {
+    Record("reconfig.fail", index);
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::NextReconfigSlowdown() {
+  ++decisions_;
+  if (reconfig_rng_.NextDouble() < plan_.reconfig_slowdown_rate) {
+    Record("reconfig.slowdown", 0);
+    return plan_.reconfig_slowdown_factor;
+  }
+  return 1.0;
+}
+
+TimePs FaultInjector::NextXdmaStall() {
+  ++decisions_;
+  if (xdma_rng_.NextDouble() < plan_.xdma_stall_rate) {
+    Record("xdma.stall", plan_.xdma_stall_ps);
+    return plan_.xdma_stall_ps;
+  }
+  return 0;
+}
+
+bool FaultInjector::NextForcedTlbMiss() {
+  ++decisions_;
+  if (mmu_rng_.NextDouble() < plan_.tlb_force_miss_rate) {
+    Record("mmu.forced_tlb_miss", 0);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sim
+}  // namespace coyote

@@ -46,8 +46,16 @@ void Link::StartNext() {
   queues_[sid].pop_front();
   --queued_packets_;
 
-  const TimePs duration =
+  TimePs duration =
       TransferTime(pkt.bytes, config_.bytes_per_second) + config_.per_packet_overhead;
+  if (fault_hook_) {
+    const TimePs stall = fault_hook_(pkt.bytes);
+    if (stall > 0) {
+      ++stalled_packets_;
+      stall_time_ += stall;
+      duration += stall;
+    }
+  }
   total_bytes_ += pkt.bytes;
   ++total_packets_;
   busy_time_ += duration;

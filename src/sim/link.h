@@ -47,12 +47,20 @@ class Link {
   // from the same source stay FIFO.
   void Submit(uint32_t source_id, uint64_t bytes, Callback on_done);
 
+  // Fault injection: called once per packet as it starts transmitting; the
+  // returned duration is added to the packet's link occupancy (an XDMA stall,
+  // a controller hiccup). Cleared by passing an empty function.
+  using FaultHook = std::function<TimePs(uint64_t bytes)>;
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   // --- Introspection / statistics -------------------------------------------
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_packets() const { return total_packets_; }
   TimePs busy_time() const { return busy_time_; }
   uint64_t bytes_for_source(uint32_t source_id) const;
   uint64_t queued_packets() const { return queued_packets_; }
+  uint64_t stalled_packets() const { return stalled_packets_; }
+  TimePs stall_time() const { return stall_time_; }
   const Config& config() const { return config_; }
 
   // Effective bandwidth observed since construction (bytes actually moved over
@@ -80,8 +88,11 @@ class Link {
   bool busy_ = false;
   uint64_t queued_packets_ = 0;
 
+  FaultHook fault_hook_;
   uint64_t total_bytes_ = 0;
   uint64_t total_packets_ = 0;
+  uint64_t stalled_packets_ = 0;
+  TimePs stall_time_ = 0;
   TimePs busy_time_ = 0;
   TimePs stats_epoch_ = 0;
   std::unordered_map<uint32_t, uint64_t> per_source_bytes_;

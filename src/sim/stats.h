@@ -7,6 +7,9 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace coyote {
@@ -30,6 +33,10 @@ class Summary {
   double stddev() const { return std::sqrt(variance()); }
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
+
+  // Bit-exact comparison: two deterministic runs that fed the same samples in
+  // the same order produce equal Summaries (the chaos tests rely on this).
+  bool operator==(const Summary&) const = default;
 
  private:
   uint64_t n_ = 0;
@@ -80,6 +87,54 @@ class Samples {
  private:
   std::vector<double> values_;
   bool sorted_ = false;
+};
+
+// Named monotonic counters with deterministic (sorted) iteration order.
+// Subsystems that inject or absorb faults account every event here, so a test
+// can assert that two runs with the same seed saw the exact same fault
+// schedule by comparing fingerprints.
+class CounterSet {
+ public:
+  void Increment(std::string_view name, uint64_t n = 1) {
+    counters_[std::string(name)] += n;
+  }
+
+  uint64_t value(std::string_view name) const {
+    auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (const auto& [name, v] : counters_) {
+      sum += v;
+    }
+    return sum;
+  }
+
+  // FNV-1a over (name, value) pairs in sorted order.
+  uint64_t Fingerprint() const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](const void* data, size_t len) {
+      const auto* p = static_cast<const uint8_t*>(data);
+      for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+      }
+    };
+    for (const auto& [name, v] : counters_) {
+      mix(name.data(), name.size());
+      mix(&v, sizeof(v));
+    }
+    return h;
+  }
+
+  bool operator==(const CounterSet&) const = default;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
 };
 
 }  // namespace sim

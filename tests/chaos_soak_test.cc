@@ -1,0 +1,456 @@
+// Chaos/soak tests: every workload the repo models — AES offload, HLL
+// cardinality, NN inference, RDMA ping-pong, collectives — must produce
+// bit-identical results with a fault plan active (XDMA stalls, TLB-miss
+// storms, frame drops/corruption, failing ICAP programs). Faults may cost
+// simulated time and retries; they must never cost correctness. Every plan
+// is seeded, so a failing run is replayable from the seed printed in the
+// assertion message.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/memsys/card_memory.h"
+#include "src/memsys/gpu_memory.h"
+#include "src/memsys/host_memory.h"
+#include "src/mmu/svm.h"
+#include "src/net/collectives.h"
+#include "src/net/network.h"
+#include "src/net/roce.h"
+#include "src/runtime/crcnfg.h"
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/services/aes.h"
+#include "src/services/aes_kernels.h"
+#include "src/services/hll.h"
+#include "src/services/nn.h"
+#include "src/services/vector_kernels.h"
+#include "src/sim/engine.h"
+#include "src/sim/fault.h"
+#include "src/sim/rng.h"
+#include "src/synth/flow.h"
+#include "src/synth/netlist.h"
+
+namespace coyote {
+namespace {
+
+using runtime::Alloc;
+using runtime::CThread;
+using runtime::Oper;
+using runtime::SgEntry;
+using runtime::SimDevice;
+
+SimDevice::Config DeviceConfig() {
+  SimDevice::Config cfg;
+  cfg.shell.name = "chaos-shell";
+  cfg.shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory};
+  cfg.shell.num_vfpgas = 1;
+  return cfg;
+}
+
+// Host-link chaos: stall a fraction of XDMA packets and force TLB misses so
+// translations storm the driver-fallback path.
+sim::FaultPlan HostChaosPlan(uint64_t seed) {
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  // The data mover submits few, large DMA packets per transfer, so the stall
+  // rate must be high for a short workload to hit one.
+  plan.xdma_stall_rate = 0.9;
+  plan.xdma_stall_ps = sim::Microseconds(5);
+  plan.tlb_force_miss_rate = 0.25;
+  return plan;
+}
+
+// The acceptance-criteria network plan: 1% drop + 0.1% corruption.
+sim::FaultPlan LossyNetPlan(uint64_t seed) {
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  plan.frame_drop_rate = 0.01;
+  plan.frame_corrupt_rate = 0.001;
+  return plan;
+}
+
+std::vector<uint8_t> RandomBytes(uint64_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  sim::Rng rng(seed);
+  rng.FillBytes(v.data(), n);
+  return v;
+}
+
+// --- Device workloads under host-link chaos ----------------------------------
+
+TEST(ChaosSoakTest, AesOffloadBitIdenticalUnderHostChaos) {
+  const uint64_t kKeyLo = 0x6167717a7a767668ull;
+  const uint64_t kKeyHi = 0x1122334455667788ull;
+  constexpr uint64_t kBytes = 32 * 1024;
+  const auto plain = RandomBytes(kBytes, 11);
+
+  auto run = [&](bool chaos) -> std::pair<std::vector<uint8_t>, sim::TimePs> {
+    SimDevice dev(DeviceConfig());
+    std::unique_ptr<sim::FaultInjector> injector;
+    if (chaos) {
+      injector = std::make_unique<sim::FaultInjector>(&dev.engine(), HostChaosPlan(11));
+      dev.AttachFaultInjector(injector.get());
+    }
+    dev.vfpga(0).LoadKernel(std::make_unique<services::AesEcbKernel>());
+    CThread t(&dev, 0);
+    t.SetCsr(kKeyLo, services::kAesCsrKeyLo);
+    t.SetCsr(kKeyHi, services::kAesCsrKeyHi);
+    const uint64_t src = t.GetMem({Alloc::kHpf, kBytes});
+    const uint64_t dst = t.GetMem({Alloc::kHpf, kBytes});
+    t.WriteBuffer(src, plain.data(), kBytes);
+    SgEntry sg;
+    sg.local = {.src_addr = src, .src_len = kBytes, .dst_addr = dst, .dst_len = kBytes};
+    const sim::TimePs start = dev.engine().Now();
+    EXPECT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
+    const sim::TimePs elapsed = dev.engine().Now() - start;
+    std::vector<uint8_t> cipher(kBytes);
+    t.ReadBuffer(dst, cipher.data(), kBytes);
+    if (chaos) {
+      // The plan actually perturbed the run.
+      EXPECT_GT(injector->counters().value("xdma.stall"), 0u);
+      EXPECT_GT(injector->counters().value("mmu.forced_tlb_miss"), 0u);
+    }
+    return {std::move(cipher), elapsed};
+  };
+
+  const auto [clean_cipher, clean_time] = run(false);
+  const auto [chaos_cipher, chaos_time] = run(true);
+  services::Aes128 sw(kKeyLo, kKeyHi);
+  EXPECT_EQ(clean_cipher, sw.EncryptEcb(plain));
+  EXPECT_EQ(chaos_cipher, clean_cipher);   // bit-identical under faults
+  EXPECT_GT(chaos_time, clean_time);       // faults cost time, not correctness
+}
+
+TEST(ChaosSoakTest, HllEstimateBitIdenticalUnderHostChaos) {
+  constexpr uint64_t kItems = 50'000;
+  std::vector<uint64_t> items(kItems);
+  sim::Rng rng(12);
+  for (auto& x : items) {
+    x = rng.NextBounded(10'000);
+  }
+
+  auto run = [&](bool chaos) -> double {
+    SimDevice dev(DeviceConfig());
+    std::unique_ptr<sim::FaultInjector> injector;
+    if (chaos) {
+      injector = std::make_unique<sim::FaultInjector>(&dev.engine(), HostChaosPlan(12));
+      dev.AttachFaultInjector(injector.get());
+    }
+    dev.vfpga(0).LoadKernel(std::make_unique<services::HllKernel>());
+    CThread t(&dev, 0);
+    const uint64_t bytes = kItems * 8;
+    const uint64_t src = t.GetMem({Alloc::kHpf, bytes});
+    const uint64_t dst = t.GetMem({Alloc::kHpf, 4096});
+    t.WriteBuffer(src, items.data(), bytes);
+    SgEntry sg;
+    sg.local = {.src_addr = src, .src_len = bytes, .dst_addr = dst, .dst_len = 8};
+    EXPECT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
+    double estimate = 0;
+    t.ReadBuffer(dst, &estimate, 8);
+    return estimate;
+  };
+
+  const double clean = run(false);
+  const double chaos = run(true);
+  EXPECT_EQ(clean, chaos);  // exact double equality: same registers, same sum
+  EXPECT_NEAR(clean, 10'000.0, 0.05 * 10'000.0);
+}
+
+TEST(ChaosSoakTest, NnInferenceBitIdenticalUnderHostChaos) {
+  const services::MlpSpec spec = services::MakeIntrusionDetectionMlp();
+  constexpr size_t kSamples = 32;
+  std::vector<int8_t> inputs(kSamples * spec.input_dim());
+  sim::Rng rng(13);
+  for (auto& x : inputs) {
+    x = static_cast<int8_t>(static_cast<int64_t>(rng.NextBounded(255)) - 127);
+  }
+
+  auto run = [&](bool chaos) -> std::vector<int8_t> {
+    SimDevice dev(DeviceConfig());
+    std::unique_ptr<sim::FaultInjector> injector;
+    if (chaos) {
+      injector = std::make_unique<sim::FaultInjector>(&dev.engine(), HostChaosPlan(13));
+      dev.AttachFaultInjector(injector.get());
+    }
+    dev.vfpga(0).LoadKernel(std::make_unique<services::NnKernel>(spec));
+    CThread t(&dev, 0);
+    const uint64_t src = t.GetMem({Alloc::kHpf, inputs.size()});
+    const uint64_t dst = t.GetMem({Alloc::kHpf, kSamples * spec.output_dim()});
+    t.WriteBuffer(src, inputs.data(), inputs.size());
+    SgEntry sg;
+    sg.local = {.src_addr = src,
+                .src_len = inputs.size(),
+                .dst_addr = dst,
+                .dst_len = kSamples * spec.output_dim()};
+    EXPECT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
+    std::vector<int8_t> out(kSamples * spec.output_dim());
+    t.ReadBuffer(dst, out.data(), out.size());
+    return out;
+  };
+
+  const auto clean = run(false);
+  const auto chaos = run(true);
+  EXPECT_EQ(clean, chaos);
+  // And both match the software model sample-by-sample.
+  for (size_t s = 0; s < kSamples; ++s) {
+    const auto expect = services::MlpForward(spec, &inputs[s * spec.input_dim()]);
+    for (uint32_t j = 0; j < spec.output_dim(); ++j) {
+      ASSERT_EQ(clean[s * spec.output_dim() + j], expect[j]) << "sample " << s;
+    }
+  }
+}
+
+// --- Reconfiguration under ICAP faults ----------------------------------------
+
+class ReconfigChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = DeviceConfig();
+    dev_ = std::make_unique<SimDevice>(cfg_);
+    dev_->RegisterKernelFactory(
+        "passthrough", []() { return std::make_unique<services::PassthroughKernel>(); });
+    synth::BuildFlow flow(dev_->floorplan());
+    synth::Netlist passthrough{"passthrough", {synth::LibraryModule("passthrough")}};
+    auto out = flow.RunShellFlow(cfg_.shell, {passthrough});
+    ASSERT_TRUE(out.ok) << out.error;
+    dev_->WriteBitstreamFile("/bit/app.bin", out.app_bitstreams[0]);
+    dev_->WriteBitstreamFile("/bit/fallback.bin", out.app_bitstreams[0]);
+  }
+
+  SimDevice::Config cfg_;
+  std::unique_ptr<SimDevice> dev_;
+};
+
+TEST_F(ReconfigChaosTest, DriverRetriesFailedProgramsAndSucceeds) {
+  sim::FaultPlan plan;
+  plan.seed = 21;
+  plan.reconfig_fail_first_n = 2;  // budget is 3 attempts: the third lands
+  sim::FaultInjector injector(&dev_->engine(), plan);
+  dev_->AttachFaultInjector(&injector);
+
+  runtime::CRcnfg rcnfg(dev_.get());
+  const auto result = rcnfg.ReconfigureApp("/bit/app.bin", 0);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_FALSE(result.used_fallback);
+  EXPECT_EQ(injector.counters().value("reconfig.fail"), 2u);
+  EXPECT_EQ(dev_->reconfig_controller().programs_failed(), 2u);
+  EXPECT_NE(dev_->vfpga(0).kernel(), nullptr);
+}
+
+TEST_F(ReconfigChaosTest, FallbackBitstreamLandsWhenPrimaryExhaustsRetries) {
+  sim::FaultPlan plan;
+  plan.seed = 22;
+  plan.reconfig_fail_first_n = 3;  // primary's whole budget fails
+  sim::FaultInjector injector(&dev_->engine(), plan);
+  dev_->AttachFaultInjector(&injector);
+
+  runtime::CRcnfg rcnfg(dev_.get());
+  const auto result = rcnfg.ReconfigureAppWithFallback("/bit/app.bin", "/bit/fallback.bin", 0);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.used_fallback);
+  EXPECT_EQ(result.attempts, 4u);  // 3 failed on primary + 1 good on fallback
+  EXPECT_NE(dev_->vfpga(0).kernel(), nullptr);
+}
+
+TEST_F(ReconfigChaosTest, FailedReconfigLeavesRegionEmptyAndReportsError) {
+  sim::FaultPlan plan;
+  plan.seed = 23;
+  plan.reconfig_fail_rate = 1.0;  // nothing ever lands
+  sim::FaultInjector injector(&dev_->engine(), plan);
+  dev_->AttachFaultInjector(&injector);
+
+  runtime::CRcnfg rcnfg(dev_.get());
+  const auto result = rcnfg.ReconfigureApp("/bit/app.bin", 0);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.attempts, cfg_.reconfig_max_retries);
+  EXPECT_NE(result.error.find("attempts"), std::string::npos);
+  EXPECT_EQ(dev_->vfpga(0).kernel(), nullptr);
+}
+
+// --- Networked workloads under a lossy fabric ---------------------------------
+
+constexpr uint64_t kPage = 2ull << 20;
+
+// A simulated cluster of RoCE nodes on one lossy network (the
+// collectives_test harness plus a fault injector).
+class LossyCluster {
+ public:
+  LossyCluster(uint32_t n, uint64_t seed)
+      : network_(&engine_, {}), injector_(&engine_, LossyNetPlan(seed)) {
+    network_.SetFaultInjector(&injector_);
+    for (uint32_t i = 0; i < n; ++i) {
+      auto node = std::make_unique<Node>();
+      node->card =
+          std::make_unique<memsys::CardMemory>(&engine_, memsys::CardMemory::Config{});
+      node->svm = std::make_unique<mmu::Svm>(&engine_, &node->host, node->card.get(),
+                                             &node->gpu, kPage);
+      node->stack = std::make_unique<net::RoceStack>(&engine_, &network_, 0x0A000001 + i,
+                                                     node->svm.get());
+      node->data_vaddr = node->host.Allocate(8ull << 20, memsys::AllocKind::kHuge2M);
+      node->svm->RegisterHostBuffer(node->data_vaddr, 8ull << 20);
+      node->scratch_vaddr = node->host.Allocate(8ull << 20, memsys::AllocKind::kHuge2M);
+      node->svm->RegisterHostBuffer(node->scratch_vaddr, 8ull << 20);
+      nodes_.push_back(std::move(node));
+    }
+    std::vector<net::CollectiveGroup::Member> members;
+    for (auto& node : nodes_) {
+      members.push_back({node->stack.get(), node->svm.get(), node->scratch_vaddr});
+    }
+    group_ = std::make_unique<net::CollectiveGroup>(&engine_, std::move(members));
+  }
+
+  struct Node {
+    memsys::HostMemory host;
+    std::unique_ptr<memsys::CardMemory> card;
+    memsys::GpuMemory gpu;
+    std::unique_ptr<mmu::Svm> svm;
+    std::unique_ptr<net::RoceStack> stack;
+    uint64_t data_vaddr = 0;
+    uint64_t scratch_vaddr = 0;
+  };
+
+  sim::Engine engine_;
+  net::Network network_;
+  sim::FaultInjector injector_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<net::CollectiveGroup> group_;
+};
+
+TEST(ChaosSoakTest, RdmaPingpongSurvivesLossyFabric) {
+  LossyCluster cluster(2, 31);
+  auto& a = *cluster.nodes_[0];
+  auto& b = *cluster.nodes_[1];
+  const uint32_t qp_a = a.stack->CreateQp();
+  const uint32_t qp_b = b.stack->CreateQp();
+  a.stack->Connect(qp_a, b.stack->ip(), qp_b);
+  b.stack->Connect(qp_b, a.stack->ip(), qp_a);
+
+  constexpr uint64_t kBytes = 1 << 20;
+  const auto payload = RandomBytes(kBytes, 31);
+  a.svm->WriteVirtual(a.data_vaddr, payload.data(), kBytes);
+  b.stack->SetWriteArrivalHandler(qp_b, [&](uint64_t, uint64_t got) {
+    b.stack->PostWrite(qp_b, b.data_vaddr, a.scratch_vaddr, got, nullptr);
+  });
+  for (int i = 0; i < 4; ++i) {
+    bool pong = false;
+    a.stack->SetWriteArrivalHandler(qp_a, [&](uint64_t, uint64_t) { pong = true; });
+    a.stack->PostWrite(qp_a, a.data_vaddr, b.data_vaddr, kBytes, nullptr);
+    ASSERT_TRUE(cluster.engine_.RunUntilCondition([&] { return pong; })) << "iteration " << i;
+  }
+
+  // Payload intact at B and in the echo at A.
+  std::vector<uint8_t> at_b(kBytes), at_a(kBytes);
+  b.svm->ReadVirtual(b.data_vaddr, at_b.data(), kBytes);
+  a.svm->ReadVirtual(a.scratch_vaddr, at_a.data(), kBytes);
+  EXPECT_EQ(at_b, payload);
+  EXPECT_EQ(at_a, payload);
+
+  // The acceptance criteria: faults really fired, recovery used backoff, the
+  // retry budget was never exhausted and the retry count stayed bounded.
+  const uint64_t drops = cluster.injector_.counters().value("net.frame_drop");
+  const uint64_t corrupts = cluster.injector_.counters().value("net.frame_corrupt");
+  EXPECT_GT(drops, 0u);
+  EXPECT_GE(a.stack->backoff_events() + b.stack->backoff_events(), 1u);
+  EXPECT_EQ(a.stack->retries_exhausted(), 0u);
+  EXPECT_EQ(b.stack->retries_exhausted(), 0u);
+  EXPECT_EQ(a.stack->error_completions(), 0u);
+  const uint64_t retransmits =
+      a.stack->retransmitted_frames() + b.stack->retransmitted_frames();
+  EXPECT_GT(retransmits, 0u);
+  // Go-back-N resends a window per loss, never more than ~a window's worth.
+  EXPECT_LT(retransmits, 64 * (drops + corrupts + 1));
+}
+
+TEST(ChaosSoakTest, AllReduceBitIdenticalUnderLossyFabric) {
+  constexpr uint32_t kNodes = 4;
+  constexpr uint64_t kCount = 8 * 1024;
+  LossyCluster cluster(kNodes, 32);
+  std::vector<int32_t> expected(kCount, 0);
+  for (uint32_t i = 0; i < kNodes; ++i) {
+    std::vector<int32_t> values(kCount);
+    sim::Rng rng(300 + i);
+    for (uint64_t e = 0; e < kCount; ++e) {
+      values[e] = static_cast<int32_t>(rng.NextBounded(2000)) - 1000;
+      expected[e] += values[e];
+    }
+    cluster.nodes_[i]->svm->WriteVirtual(cluster.nodes_[i]->data_vaddr, values.data(),
+                                         kCount * 4);
+  }
+  bool done = false;
+  cluster.group_->AllReduceInt32(cluster.nodes_[0]->data_vaddr, kCount, [&] { done = true; });
+  ASSERT_TRUE(cluster.engine_.RunUntilCondition([&] { return done; }));
+
+  for (uint32_t i = 0; i < kNodes; ++i) {
+    std::vector<int32_t> got(kCount);
+    cluster.nodes_[i]->svm->ReadVirtual(cluster.nodes_[i]->data_vaddr, got.data(), kCount * 4);
+    EXPECT_EQ(got, expected) << "node " << i;
+    EXPECT_EQ(cluster.nodes_[i]->stack->retries_exhausted(), 0u);
+  }
+  // Every frame consulted the plan (whether or not a fault fired).
+  EXPECT_GT(cluster.injector_.decisions(), 0u);
+}
+
+TEST(ChaosSoakTest, MultiSeedSoakAllWorkloadsStayCorrect) {
+  // Soak: sweep fault schedules. Each seed produces a different loss pattern;
+  // every one of them must still deliver correct bytes everywhere.
+  for (uint64_t seed = 100; seed < 104; ++seed) {
+    LossyCluster cluster(3, seed);
+    auto& a = *cluster.nodes_[0];
+    auto& b = *cluster.nodes_[1];
+    const uint32_t qp_a = a.stack->CreateQp();
+    const uint32_t qp_b = b.stack->CreateQp();
+    a.stack->Connect(qp_a, b.stack->ip(), qp_b);
+    b.stack->Connect(qp_b, a.stack->ip(), qp_a);
+
+    // Workload 1: a bulk RDMA WRITE.
+    constexpr uint64_t kBytes = 256 << 10;
+    const auto payload = RandomBytes(kBytes, seed);
+    a.svm->WriteVirtual(a.data_vaddr, payload.data(), kBytes);
+    bool write_done = false, write_ok = false;
+    a.stack->PostWrite(qp_a, a.data_vaddr, b.data_vaddr, kBytes, [&](bool ok) {
+      write_done = true;
+      write_ok = ok;
+    });
+    ASSERT_TRUE(cluster.engine_.RunUntilCondition([&] { return write_done; }))
+        << "seed " << seed;
+    EXPECT_TRUE(write_ok) << "seed " << seed;
+    std::vector<uint8_t> got(kBytes);
+    b.svm->ReadVirtual(b.data_vaddr, got.data(), kBytes);
+    EXPECT_EQ(got, payload) << "seed " << seed;
+
+    // Workload 2: an allreduce across all three nodes.
+    constexpr uint64_t kCount = 4096;
+    std::vector<int32_t> expected(kCount, 0);
+    for (uint32_t i = 0; i < 3; ++i) {
+      std::vector<int32_t> values(kCount);
+      sim::Rng rng(seed * 10 + i);
+      for (uint64_t e = 0; e < kCount; ++e) {
+        values[e] = static_cast<int32_t>(rng.NextBounded(2000)) - 1000;
+        expected[e] += values[e];
+      }
+      cluster.nodes_[i]->svm->WriteVirtual(cluster.nodes_[i]->data_vaddr, values.data(),
+                                           kCount * 4);
+    }
+    bool reduce_done = false;
+    cluster.group_->AllReduceInt32(cluster.nodes_[0]->data_vaddr, kCount,
+                                   [&] { reduce_done = true; });
+    ASSERT_TRUE(cluster.engine_.RunUntilCondition([&] { return reduce_done; }))
+        << "seed " << seed;
+    for (uint32_t i = 0; i < 3; ++i) {
+      std::vector<int32_t> sums(kCount);
+      cluster.nodes_[i]->svm->ReadVirtual(cluster.nodes_[i]->data_vaddr, sums.data(),
+                                          kCount * 4);
+      EXPECT_EQ(sums, expected) << "seed " << seed << " node " << i;
+      EXPECT_EQ(cluster.nodes_[i]->stack->retries_exhausted(), 0u) << "seed " << seed;
+    }
+    EXPECT_GT(cluster.injector_.decisions(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace coyote

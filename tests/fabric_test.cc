@@ -165,7 +165,7 @@ TEST(ReconfigControllerTest, AsyncProgramKeepsEngineRunning) {
   ReconfigController ctrl(&engine, 12'000'000'000ull);
   bool done = false;
   int other_events = 0;
-  ctrl.ProgramAsync(8ull << 20, [&] { done = true; });
+  ctrl.ProgramAsync(8ull << 20, [&](bool ok) { done = ok; });
   EXPECT_TRUE(ctrl.busy());
   // The rest of the FPGA remains operational: unrelated events interleave.
   for (int i = 1; i <= 5; ++i) {

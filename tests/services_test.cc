@@ -66,23 +66,115 @@ TEST(AesTest, Sp80038aEcbVectors) {
   }
 }
 
-TEST(AesTest, Sp80038aCbcVector) {
-  // NIST SP 800-38A F.2.1 (CBC-AES128.Encrypt), first two blocks.
-  const auto key = HexBlock("2b7e151628aed2a6abf7158809cf4f3c");
-  const auto iv = HexBlock("000102030405060708090a0b0c0d0e0f");
-  std::vector<uint8_t> plain;
-  const auto b1 = HexBlock("6bc1bee22e409f96e93d7e117393172a");
-  const auto b2 = HexBlock("ae2d8a571e03ac9c9eb76fac45af8e51");
-  plain.insert(plain.end(), b1.begin(), b1.end());
-  plain.insert(plain.end(), b2.begin(), b2.end());
+std::vector<uint8_t> HexBytes(const char* hex) {
+  std::vector<uint8_t> out;
+  for (const char* p = hex; p[0] != '\0' && p[1] != '\0'; p += 2) {
+    unsigned v = 0;
+    sscanf(p, "%02x", &v);
+    out.push_back(static_cast<uint8_t>(v));
+  }
+  return out;
+}
 
-  Aes128 aes(key);
-  const std::vector<uint8_t> cipher = aes.EncryptCbc(plain, iv);
-  const auto c1 = HexBlock("7649abac8119b246cee98e9b12e9197d");
-  const auto c2 = HexBlock("5086cb9b507219ee95db113a917678b2");
-  EXPECT_EQ(0, std::memcmp(cipher.data(), c1.data(), 16));
-  EXPECT_EQ(0, std::memcmp(cipher.data() + 16, c2.data(), 16));
-  EXPECT_EQ(aes.DecryptCbc(cipher, iv), plain);
+// The shared SP 800-38A four-block plaintext (used by every mode/key size).
+std::vector<uint8_t> Sp80038aPlaintext() {
+  return HexBytes(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+}
+
+TEST(AesTest, Sp80038aCbcFullVectorSet) {
+  // NIST SP 800-38A F.2.1–F.2.6: CBC encrypt and decrypt, all four blocks,
+  // for each key size (AES-128/192/256). The decrypt vectors are the same
+  // data run backwards, so DecryptCbc doubles as F.2.2/F.2.4/F.2.6.
+  struct Case {
+    const char* key;
+    const char* cipher;
+  };
+  const Case cases[] = {
+      // F.2.1 CBC-AES128.
+      {"2b7e151628aed2a6abf7158809cf4f3c",
+       "7649abac8119b246cee98e9b12e9197d"
+       "5086cb9b507219ee95db113a917678b2"
+       "73bed6b8e3c1743b7116e69e22229516"
+       "3ff1caa1681fac09120eca307586e1a7"},
+      // F.2.3 CBC-AES192.
+      {"8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b",
+       "4f021db243bc633d7178183a9fa071e8"
+       "b4d9ada9ad7dedf4e5e738763f69145a"
+       "571b242012fb7ae07fa9baac3df102e0"
+       "08b0e27988598881d920a9e64f5615cd"},
+      // F.2.5 CBC-AES256.
+      {"603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4",
+       "f58c4c04d6e5f1ba779eabfb5f7bfbd6"
+       "9cfc4e967edb808d679f777bc6702c7d"
+       "39f23369a9d9bacfa530e26304231461"
+       "b2eb05e2c39be9fcda6c19078c6a9d1b"},
+  };
+  const auto iv = HexBlock("000102030405060708090a0b0c0d0e0f");
+  const auto plain = Sp80038aPlaintext();
+  for (const Case& c : cases) {
+    const std::vector<uint8_t> key = HexBytes(c.key);
+    Aes aes(key);
+    EXPECT_EQ(aes.rounds(), static_cast<int>(key.size() / 4) + 6);
+    const auto cipher = aes.EncryptCbc(plain, iv);
+    EXPECT_EQ(cipher, HexBytes(c.cipher)) << "key bytes: " << key.size();
+    EXPECT_EQ(aes.DecryptCbc(cipher, iv), plain) << "key bytes: " << key.size();
+  }
+}
+
+TEST(AesTest, Fips197LongerKeyVectors) {
+  // FIPS-197 Appendix C.2 (AES-192) and C.3 (AES-256): same plaintext and
+  // sequential key bytes as the C.1 AES-128 vector.
+  const auto plain = HexBlock("00112233445566778899aabbccddeeff");
+  {
+    Aes aes(HexBytes("000102030405060708090a0b0c0d0e0f1011121314151617"));
+    uint8_t out[16];
+    aes.EncryptBlock(plain.data(), out);
+    const auto expect = HexBlock("dda97ca4864cdfe06eaf70a0ec0d7191");
+    EXPECT_EQ(0, std::memcmp(out, expect.data(), 16));
+    uint8_t back[16];
+    aes.DecryptBlock(out, back);
+    EXPECT_EQ(0, std::memcmp(back, plain.data(), 16));
+  }
+  {
+    Aes aes(HexBytes("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+    uint8_t out[16];
+    aes.EncryptBlock(plain.data(), out);
+    const auto expect = HexBlock("8ea2b7ca516745bfeafc49904b496089");
+    EXPECT_EQ(0, std::memcmp(out, expect.data(), 16));
+    uint8_t back[16];
+    aes.DecryptBlock(out, back);
+    EXPECT_EQ(0, std::memcmp(back, plain.data(), 16));
+  }
+}
+
+TEST(AesTest, GenericAesMatchesAes128ForSameKey) {
+  const auto key = HexBlock("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes generic(std::vector<uint8_t>(key.begin(), key.end()));
+  Aes128 fixed(key);
+  std::vector<uint8_t> plain(160);
+  sim::Rng rng(5);
+  rng.FillBytes(plain.data(), plain.size());
+  EXPECT_EQ(generic.EncryptEcb(plain), fixed.EncryptEcb(plain));
+}
+
+TEST(AesTest, CbcRoundTripAllKeySizes) {
+  sim::Rng rng(6);
+  for (size_t key_bytes : {16u, 24u, 32u}) {
+    std::vector<uint8_t> key(key_bytes);
+    rng.FillBytes(key.data(), key.size());
+    Aes aes(key);
+    std::array<uint8_t, 16> iv;
+    rng.FillBytes(iv.data(), iv.size());
+    std::vector<uint8_t> plain(100 * 16);
+    rng.FillBytes(plain.data(), plain.size());
+    const auto cipher = aes.EncryptCbc(plain, iv);
+    EXPECT_NE(cipher, plain);
+    EXPECT_EQ(aes.DecryptCbc(cipher, iv), plain) << "key bytes: " << key_bytes;
+  }
 }
 
 TEST(AesTest, KeyFromCsrWordsMatchesArrayKey) {
