@@ -87,7 +87,7 @@ void Run() {
     bench::Row("%-18s %11.1f%% %11.1f%% %16.1f",
                std::string(hlscompat::BackendName(m->backend)).c_str(),
                100.0 * r.LutUtilization(total),
-               100.0 * (total.dsp ? static_cast<double>(r.dsp) / total.dsp : 0.0),
+               100.0 * (total.dsp ? static_cast<double>(r.dsp) / static_cast<double>(total.dsp) : 0.0),
                m->build_seconds / 60.0);
   }
   bench::PrintRule();

@@ -98,7 +98,7 @@ int main() {
                 "%.2f ms end-to-end\n",
                 ++qid, static_cast<unsigned long long>(q.items),
                 static_cast<unsigned long long>(q.distinct), est,
-                100.0 * (est - static_cast<double>(q.distinct)) / q.distinct,
+                100.0 * (est - static_cast<double>(q.distinct)) / static_cast<double>(q.distinct),
                 sim::ToMilliseconds(dev.engine().Now() - t0));
   }
   std::printf("note: only query 1 paid the reconfiguration cost; 2 and 3 reused the kernel.\n");

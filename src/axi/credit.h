@@ -14,6 +14,8 @@
 #include <functional>
 #include <utility>
 
+#include "src/sim/access_guard.h"
+
 namespace coyote {
 namespace axi {
 
@@ -28,6 +30,7 @@ class CreditCounter {
   // Consumes `n` credits if available. Returns false (no partial acquisition)
   // otherwise.
   bool TryAcquire(uint32_t n = 1) {
+    guard_.Write();
     if (available_ < n) {
       ++stalls_;
       return false;
@@ -39,6 +42,7 @@ class CreditCounter {
   // Returns `n` credits and wakes waiters registered via WaitForCredit, in
   // FIFO order, as long as credits remain.
   void Release(uint32_t n = 1) {
+    guard_.Write();
     available_ += n;
     while (available_ > 0 && !waiters_.empty()) {
       Callback cb = std::move(waiters_.front());
@@ -59,6 +63,7 @@ class CreditCounter {
   uint32_t available_;
   uint64_t stalls_ = 0;
   std::deque<Callback> waiters_;
+  sim::AccessGuard guard_{"axi.credit"};
 };
 
 }  // namespace axi

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/access_guard.h"
+
 namespace coyote {
 namespace dyn {
 
@@ -362,6 +364,9 @@ mmu::Svm::MigrationHooks DataMover::MakeMigrationHooks() {
     }
   };
   hooks.invalidate = [this](uint64_t vaddr) {
+    // TLB shootdown runs as the DMA actor: it touches every vFPGA's TLB, and
+    // a same-epoch translation by another actor is a modeled race.
+    sim::ActorScope actor(sim::kActorDma);
     for (auto& [id, mmu] : mmus_) {
       mmu->InvalidateTlb(vaddr);
     }

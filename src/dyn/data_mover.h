@@ -119,7 +119,9 @@ class DataMover {
   Config config_;
   sim::Link gpu_link_;
 
-  std::unordered_map<uint32_t, mmu::Mmu*> mmus_;
+  // Ordered: the TLB-shootdown hook iterates this map, and invalidation
+  // order must be identical run-to-run for bit-exact replay.
+  std::map<uint32_t, mmu::Mmu*> mmus_;
   std::map<std::pair<uint64_t, uint32_t>, std::unique_ptr<axi::CreditCounter>> read_credits_;
   std::map<std::pair<uint64_t, uint32_t>, std::unique_ptr<axi::CreditCounter>> write_credits_;
 

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "src/mmu/types.h"
+#include "src/sim/access_guard.h"
 
 namespace coyote {
 namespace mmu {
@@ -26,11 +27,15 @@ class PageTable {
   uint64_t PageBase(uint64_t vaddr) const { return VPage(vaddr) * page_bytes_; }
 
   // Maps the page containing `vaddr`.
-  void Map(uint64_t vaddr, PhysPage phys) { table_[VPage(vaddr)] = phys; }
+  void Map(uint64_t vaddr, PhysPage phys) {
+    guard_.Write();
+    table_[VPage(vaddr)] = phys;
+  }
 
   // Maps a contiguous virtual range backed by contiguous physical pages
   // starting at `phys_base` in `kind`.
   void MapRange(uint64_t vaddr, uint64_t bytes, MemKind kind, uint64_t phys_base) {
+    guard_.Write();
     const uint64_t first = VPage(vaddr);
     const uint64_t last = VPage(vaddr + bytes - 1);
     for (uint64_t vp = first; vp <= last; ++vp) {
@@ -39,6 +44,7 @@ class PageTable {
   }
 
   std::optional<PhysPage> Find(uint64_t vaddr) const {
+    guard_.Read();
     auto it = table_.find(VPage(vaddr));
     if (it == table_.end()) {
       return std::nullopt;
@@ -46,13 +52,17 @@ class PageTable {
     return it->second;
   }
 
-  bool Unmap(uint64_t vaddr) { return table_.erase(VPage(vaddr)) > 0; }
+  bool Unmap(uint64_t vaddr) {
+    guard_.Write();
+    return table_.erase(VPage(vaddr)) > 0;
+  }
 
   size_t size() const { return table_.size(); }
 
  private:
   uint64_t page_bytes_;
   std::unordered_map<uint64_t, PhysPage> table_;
+  sim::AccessGuard guard_{"mmu.page_table"};
 };
 
 }  // namespace mmu

@@ -13,6 +13,7 @@ Tlb::Tlb(const Config& config) : config_(config) {
 }
 
 std::optional<PhysPage> Tlb::Lookup(uint64_t vaddr) {
+  guard_.Read();
   const uint64_t vpage = VPage(vaddr);
   auto& set = sets_[SetIndex(vpage)];
   for (Way& w : set) {
@@ -27,6 +28,7 @@ std::optional<PhysPage> Tlb::Lookup(uint64_t vaddr) {
 }
 
 void Tlb::Insert(uint64_t vaddr, PhysPage page) {
+  guard_.Write();
   const uint64_t vpage = VPage(vaddr);
   auto& set = sets_[SetIndex(vpage)];
   Way* victim = nullptr;
@@ -52,6 +54,7 @@ void Tlb::Insert(uint64_t vaddr, PhysPage page) {
 }
 
 void Tlb::Invalidate(uint64_t vaddr) {
+  guard_.Write();
   const uint64_t vpage = VPage(vaddr);
   auto& set = sets_[SetIndex(vpage)];
   for (Way& w : set) {
@@ -63,6 +66,7 @@ void Tlb::Invalidate(uint64_t vaddr) {
 }
 
 void Tlb::InvalidateAll() {
+  guard_.Write();
   for (auto& set : sets_) {
     for (Way& w : set) {
       w.valid = false;

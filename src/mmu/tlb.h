@@ -11,10 +11,10 @@
 #include <cstdint>
 #include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/mmu/types.h"
+#include "src/sim/access_guard.h"
 
 namespace coyote {
 namespace mmu {
@@ -66,6 +66,7 @@ class Tlb {
   uint32_t num_sets_;
   uint64_t tick_ = 0;
   std::vector<std::vector<Way>> sets_;
+  sim::AccessGuard guard_{"mmu.tlb"};
 
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

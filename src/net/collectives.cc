@@ -49,10 +49,17 @@ void CollectiveGroup::Broadcast(uint32_t root, uint64_t vaddr, uint64_t bytes,
     engine_->ScheduleAfter(0, std::move(done));
     return;
   }
-  // Binomial tree over ranks relative to the root.
+  // Binomial tree over ranks relative to the root. The stored function
+  // captures itself weakly — in-flight completion callbacks hold the strong
+  // refs — so finishing the collective releases the whole chain.
   auto shared_done = std::make_shared<Completion>(std::move(done));
   auto round = std::make_shared<std::function<void(uint32_t)>>();
-  *round = [this, root, vaddr, bytes, n, shared_done, round](uint32_t k) {
+  std::weak_ptr<std::function<void(uint32_t)>> weak_round = round;
+  *round = [this, root, vaddr, bytes, n, shared_done, weak_round](uint32_t k) {
+    auto self = weak_round.lock();
+    if (!self) {
+      return;
+    }
     // Senders this round: relative ranks v < 2^k sending to v + 2^k.
     std::vector<std::pair<uint32_t, uint32_t>> transfers;  // (from, to) absolute
     for (uint32_t v = 0; v < (1u << k); ++v) {
@@ -69,9 +76,9 @@ void CollectiveGroup::Broadcast(uint32_t root, uint64_t vaddr, uint64_t bytes,
     auto remaining = std::make_shared<size_t>(transfers.size());
     for (auto [from, to] : transfers) {
       members_[from].stack->PostWrite(QpFor(from, to), vaddr, vaddr, bytes,
-                                      [remaining, round, k](bool) {
+                                      [remaining, self, k](bool) {
                                         if (--*remaining == 0) {
-                                          (*round)(k + 1);
+                                          (*self)(k + 1);
                                         }
                                       });
     }
@@ -86,9 +93,15 @@ void CollectiveGroup::AllGather(uint64_t vaddr, uint64_t chunk_bytes, Completion
     return;
   }
   // Ring: in step s, member i forwards chunk (i - s + n) % n to (i + 1) % n.
+  // Weak self-capture, as in Broadcast, to avoid a shared_ptr cycle.
   auto shared_done = std::make_shared<Completion>(std::move(done));
   auto step = std::make_shared<std::function<void(uint32_t)>>();
-  *step = [this, vaddr, chunk_bytes, n, shared_done, step](uint32_t s) {
+  std::weak_ptr<std::function<void(uint32_t)>> weak_step = step;
+  *step = [this, vaddr, chunk_bytes, n, shared_done, weak_step](uint32_t s) {
+    auto self = weak_step.lock();
+    if (!self) {
+      return;
+    }
     if (s == n - 1) {
       (*shared_done)();
       return;
@@ -99,9 +112,9 @@ void CollectiveGroup::AllGather(uint64_t vaddr, uint64_t chunk_bytes, Completion
       const uint32_t to = (i + 1) % n;
       const uint64_t addr = vaddr + static_cast<uint64_t>(chunk) * chunk_bytes;
       members_[i].stack->PostWrite(QpFor(i, to), addr, addr, chunk_bytes,
-                                   [remaining, step, s](bool) {
+                                   [remaining, self, s](bool) {
                                      if (--*remaining == 0) {
-                                       (*step)(s + 1);
+                                       (*self)(s + 1);
                                      }
                                    });
     }
@@ -126,7 +139,12 @@ void CollectiveGroup::AllReduceInt32(uint64_t vaddr, uint64_t count, Completion 
     // Phase 2 — ring all-gather of the reduced chunks. Member i now owns the
     // fully reduced chunk (i + 1) % n; rotate N-1 times.
     auto step = std::make_shared<std::function<void(uint32_t)>>();
-    *step = [this, vaddr, count, n, shared_done, step](uint32_t s) {
+    std::weak_ptr<std::function<void(uint32_t)>> weak_step = step;
+    *step = [this, vaddr, count, n, shared_done, weak_step](uint32_t s) {
+      auto self = weak_step.lock();
+      if (!self) {
+        return;
+      }
       if (s == n - 1) {
         (*shared_done)();
         return;
@@ -138,15 +156,15 @@ void CollectiveGroup::AllReduceInt32(uint64_t vaddr, uint64_t count, Completion 
         const uint32_t to = (i + 1) % n;
         if (r.bytes() == 0) {
           if (--*remaining == 0) {
-            (*step)(s + 1);
+            (*self)(s + 1);
           }
           continue;
         }
         const uint64_t addr = vaddr + r.offset_bytes();
         members_[i].stack->PostWrite(QpFor(i, to), addr, addr, r.bytes(),
-                                     [remaining, step, s](bool) {
+                                     [remaining, self, s](bool) {
                                        if (--*remaining == 0) {
-                                         (*step)(s + 1);
+                                         (*self)(s + 1);
                                        }
                                      });
       }
@@ -154,13 +172,18 @@ void CollectiveGroup::AllReduceInt32(uint64_t vaddr, uint64_t count, Completion 
     (*step)(0);
   };
 
-  *reduce_step = [this, vaddr, count, n, reduce_step, gather](uint32_t s) {
+  std::weak_ptr<std::function<void(uint32_t)>> weak_reduce = reduce_step;
+  *reduce_step = [this, vaddr, count, n, weak_reduce, gather](uint32_t s) {
+    auto self = weak_reduce.lock();
+    if (!self) {
+      return;
+    }
     if (s == n - 1) {
       gather();
       return;
     }
     auto remaining = std::make_shared<size_t>(n);
-    auto after_transfers = [this, vaddr, count, n, remaining, reduce_step, s, gather]() {
+    auto after_transfers = [this, vaddr, count, n, remaining, self, s]() {
       // Fold each member's scratch fragment into its local chunk.
       for (uint32_t i = 0; i < n; ++i) {
         const uint32_t chunk = (i + n - s - 1) % n;  // chunk received this step
@@ -178,7 +201,7 @@ void CollectiveGroup::AllReduceInt32(uint64_t vaddr, uint64_t count, Completion 
         }
         m.svm->WriteVirtual(vaddr + r.offset_bytes(), local.data(), r.bytes());
       }
-      (*reduce_step)(s + 1);
+      (*self)(s + 1);
     };
     auto barrier = std::make_shared<std::function<void()>>(std::move(after_transfers));
     for (uint32_t i = 0; i < n; ++i) {

@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/sim/engine.h"
@@ -72,7 +72,11 @@ class Network {
   sim::Engine* engine_;
   Config config_;
   std::vector<Port> ports_;
-  std::unordered_multimap<uint32_t, uint32_t> ip_to_port_;
+  // Ordered multimap: Transmit() fans a frame out to every port bound to the
+  // destination IP by iterating equal_range, and delivery order must be the
+  // stable attach order for bit-exact replay (multimap preserves insertion
+  // order among equal keys; unordered_multimap does not).
+  std::multimap<uint32_t, uint32_t> ip_to_port_;
   std::function<bool(uint64_t)> drop_filter_;
   sim::FaultInjector* injector_ = nullptr;
   uint64_t frame_counter_ = 0;

@@ -1,5 +1,6 @@
 #include "src/net/packets.h"
 
+#include <array>
 #include <cstring>
 
 namespace coyote {
@@ -42,8 +43,8 @@ uint16_t Ipv4Checksum(const uint8_t* hdr, size_t len) {
 
 // CRC32 (reflected, poly 0xEDB88320) stands in for the InfiniBand ICRC.
 uint32_t Crc32(const uint8_t* data, size_t len) {
-  static const auto* table = [] {
-    auto* t = new uint32_t[256];
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {

@@ -70,6 +70,7 @@ void RoceStack::TransmitFrame(Qp& qp, const FrameMeta& meta,
 
 void RoceStack::PostWrite(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vaddr,
                           uint64_t bytes, Completion done) {
+  qp_guard_.Write();
   Qp& qp = qps_.at(qpn);
   assert(qp.connected);
   const uint64_t n_frames = std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu);
@@ -105,6 +106,7 @@ void RoceStack::PostWrite(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_va
 }
 
 void RoceStack::PostSend(uint32_t qpn, uint64_t local_vaddr, uint64_t bytes, Completion done) {
+  qp_guard_.Write();
   Qp& qp = qps_.at(qpn);
   assert(qp.connected);
   const uint64_t n_frames = std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu);
@@ -137,6 +139,7 @@ void RoceStack::PostSend(uint32_t qpn, uint64_t local_vaddr, uint64_t bytes, Com
 
 void RoceStack::PostRead(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vaddr,
                          uint64_t bytes, Completion done) {
+  qp_guard_.Write();
   Qp& qp = qps_.at(qpn);
   assert(qp.connected);
   const uint32_t n_resp =
@@ -161,6 +164,10 @@ void RoceStack::PostRead(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vad
 }
 
 void RoceStack::OnRxFrame(std::vector<uint8_t> frame) {
+  // Inbound frame processing mutates responder-side QP state as the network
+  // actor; a same-epoch touch from another actor is a modeled race.
+  sim::ActorScope actor(sim::kActorNet);
+  qp_guard_.Write();
   if (tap_) {
     tap_(frame, /*is_tx=*/false);
   }
@@ -362,6 +369,7 @@ void RoceStack::ArmRetransmitTimer(uint32_t qpn) {
       return;
     }
     Qp& q = it->second;
+    qp_guard_.Write();
     if (q.timer_generation != generation || q.unacked.empty()) {
       return;
     }

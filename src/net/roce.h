@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/axi/stream.h"
+#include "src/sim/access_guard.h"
 #include "src/mmu/svm.h"
 #include "src/net/network.h"
 #include "src/net/packets.h"
@@ -158,6 +159,10 @@ class RoceStack {
   Config config_;
 
   std::map<uint32_t, Qp> qps_;
+  // One guard covers all QP state: requester/responder cursors, unacked
+  // windows, completion maps. Fine-grained-per-QP adds nothing — the race we
+  // care about is "two actors inside this stack in one epoch".
+  sim::AccessGuard qp_guard_{"roce.qpstate"};
   uint32_t next_qpn_ = 0x11;
   Tap tap_;
 

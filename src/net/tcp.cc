@@ -329,8 +329,7 @@ void TcpStack::HandleSegment(ConnId id, const ParsedTcpSegment& seg) {
 }
 
 void TcpStack::ArmTimer(ConnId id) {
-  Connection& conn = connections_.at(id);
-  const uint64_t generation = ++conn.timer_generation;
+  const uint64_t generation = ++connections_.at(id).timer_generation;
   engine_->ScheduleAfter(config_.rto, [this, id, generation]() {
     auto it = connections_.find(id);
     if (it == connections_.end()) {

@@ -56,6 +56,8 @@ void KernelScheduler::Schedule() {
 }
 
 void KernelScheduler::DoSchedule() {
+  sim::ActorScope actor(sim::kActorScheduler);
+  queue_guard_.Write();
   // Reconfiguration advances simulated time and may re-enter the scheduler
   // through nested event processing; serialize dispatching.
   if (dispatching_) {

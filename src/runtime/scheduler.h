@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/runtime/device.h"
+#include "src/sim/access_guard.h"
 
 namespace coyote {
 namespace runtime {
@@ -51,6 +52,7 @@ class KernelScheduler {
   // Enqueues the request; dispatch happens from the event loop (so a batch
   // of submissions is scheduled together, respecting the policy).
   void Submit(Request request) {
+    queue_guard_.Write();
     queue_.push_back(std::move(request));
     ++submitted_;
     Schedule();
@@ -85,6 +87,7 @@ class KernelScheduler {
   bool dispatching_ = false;
   bool rerun_needed_ = false;
 
+  sim::AccessGuard queue_guard_{"runtime.sched_queue"};
   uint64_t submitted_ = 0;
   uint64_t completed_ = 0;
   uint64_t reconfigurations_ = 0;

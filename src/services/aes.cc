@@ -1,5 +1,6 @@
 #include "src/services/aes.h"
 
+#include <array>
 #include <cassert>
 #include <cstring>
 
@@ -29,14 +30,14 @@ constexpr uint8_t kSbox[256] = {
 
 // Inverse S-box derived at startup (avoids a second typed table).
 const uint8_t* InvSbox() {
-  static const auto* inv = [] {
-    auto* t = new uint8_t[256];
+  static const std::array<uint8_t, 256> inv = [] {
+    std::array<uint8_t, 256> t{};
     for (int i = 0; i < 256; ++i) {
       t[kSbox[i]] = static_cast<uint8_t>(i);
     }
     return t;
   }();
-  return inv;
+  return inv.data();
 }
 
 constexpr uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36};

@@ -1,0 +1,76 @@
+#include "src/sim/access_guard.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coyote {
+namespace sim {
+
+std::string AccessConflict::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s conflict on '%s' at epoch %llu: actor %u vs actor %u",
+                write_write ? "write/write" : "read/write", resource.c_str(),
+                static_cast<unsigned long long>(epoch), first_actor, second_actor);
+  return std::string(buf);
+}
+
+AccessLedger& AccessLedger::Global() {
+  static AccessLedger ledger;
+  return ledger;
+}
+
+void AccessLedger::Reset() {
+  epoch_ = 0;
+  current_actor_ = kActorHost;
+  ordered_.clear();
+  conflicts_.clear();
+}
+
+void AccessLedger::DeclareOrdered(ActorId a, ActorId b) {
+  if (!Ordered(a, b)) {
+    ordered_.emplace_back(a, b);
+  }
+}
+
+bool AccessLedger::Ordered(ActorId a, ActorId b) const {
+  for (const auto& [x, y] : ordered_) {
+    if ((x == a && y == b) || (x == b && y == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AccessLedger::Report(AccessConflict conflict) {
+  if (abort_on_conflict_) {
+    std::fprintf(stderr, "AccessGuard: %s\n", conflict.ToString().c_str());
+    std::abort();
+  }
+  conflicts_.push_back(std::move(conflict));
+}
+
+void AccessGuard::Record(AccessLedger& ledger, bool is_write) const {
+  const uint64_t epoch = ledger.epoch();
+  if (epoch != epoch_) {
+    epoch_ = epoch;
+    touches_.clear();
+  }
+  const ActorId actor = ledger.current_actor();
+  for (const Touch& t : touches_) {
+    if (t.actor == actor && t.write == is_write) {
+      return;  // repeat of an already-recorded touch; conflicts were reported
+    }
+  }
+  for (const Touch& t : touches_) {
+    if (t.actor == actor) {
+      continue;  // same actor never conflicts with itself
+    }
+    if ((t.write || is_write) && !ledger.Ordered(t.actor, actor)) {
+      ledger.Report(AccessConflict{name_, epoch, t.actor, actor, t.write && is_write});
+    }
+  }
+  touches_.push_back(Touch{actor, is_write});
+}
+
+}  // namespace sim
+}  // namespace coyote

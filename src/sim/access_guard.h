@@ -1,0 +1,153 @@
+// Deterministic race detector for shared simulator state.
+//
+// The simulator is single-threaded, so classic data races cannot happen — but
+// *logical* races can: two actors (a cThread driver call, the engine's event
+// callback, the DMA completion path, the RoCE rx path) touching the same
+// shared structure within one event epoch, with the outcome depending on
+// reentrancy order rather than simulated time. Those bugs are seed-dependent
+// heisenbugs under chaos testing. The AccessGuard layer turns them into hard,
+// reproducible failures:
+//
+//   - sim::Engine advances a global *epoch* once per executed event.
+//   - Call sites annotate who is running via ActorScope (RAII).
+//   - Shared structures (TLB, page tables, credit counters, RoCE QP state,
+//     scheduler queues) hold an AccessGuard and record Read()/Write() touches.
+//   - A same-epoch write/write or read/write pair by *different* actors with
+//     no declared happens-before edge is reported as an AccessConflict.
+//
+// The layer is runtime-toggled (a single predictable branch when disabled).
+// Builds with COYOTE_ACCESS_GUARDS defined (COYOTE_SANITIZE=ON or Debug, see
+// the top-level CMakeLists) arm the global ledger automatically when the
+// first Engine is constructed, so every chaos/determinism test runs guarded.
+
+#ifndef SRC_SIM_ACCESS_GUARD_H_
+#define SRC_SIM_ACCESS_GUARD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coyote {
+namespace sim {
+
+using ActorId = uint32_t;
+
+// Well-known actor identities. Tests may mint their own from kActorUserBase.
+inline constexpr ActorId kActorHost = 0;       // driver/cThread API, default
+inline constexpr ActorId kActorEngine = 1;     // generic engine callback
+inline constexpr ActorId kActorDma = 2;        // data mover / XDMA paths
+inline constexpr ActorId kActorNet = 3;        // RoCE/TCP rx processing
+inline constexpr ActorId kActorScheduler = 4;  // kernel scheduler dispatch
+inline constexpr ActorId kActorUserBase = 16;
+
+struct AccessConflict {
+  std::string resource;
+  uint64_t epoch = 0;
+  ActorId first_actor = 0;
+  ActorId second_actor = 0;
+  bool write_write = false;  // false: read/write
+  std::string ToString() const;
+};
+
+// Process-wide conflict ledger. Owns the epoch counter, the current actor,
+// declared happens-before edges, and the conflict log. All containers are
+// append-ordered so two identical runs report identical conflict sequences.
+class AccessLedger {
+ public:
+  static AccessLedger& Global();
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Clears epoch, actor, edges, and conflicts; keeps the enabled flag.
+  void Reset();
+
+  void AdvanceEpoch() { ++epoch_; }
+  uint64_t epoch() const { return epoch_; }
+
+  ActorId current_actor() const { return current_actor_; }
+
+  // Declares that same-epoch accesses by `a` and `b` are deliberately ordered
+  // (symmetric). Guards skip conflict reports for declared pairs.
+  void DeclareOrdered(ActorId a, ActorId b);
+  bool Ordered(ActorId a, ActorId b) const;
+
+  void Report(AccessConflict conflict);
+  const std::vector<AccessConflict>& conflicts() const { return conflicts_; }
+
+  // When set, Report() prints the conflict to stderr and aborts. Off by
+  // default so tests can assert on the conflict log.
+  void set_abort_on_conflict(bool abort_on_conflict) { abort_on_conflict_ = abort_on_conflict; }
+
+ private:
+  friend class ActorScope;
+
+  bool enabled_ = false;
+  bool abort_on_conflict_ = false;
+  uint64_t epoch_ = 0;
+  ActorId current_actor_ = kActorHost;
+  std::vector<std::pair<ActorId, ActorId>> ordered_;
+  std::vector<AccessConflict> conflicts_;
+};
+
+// RAII: sets the global ledger's current actor for the enclosing dynamic
+// scope. Nesting is expected (engine callback -> rx path -> user completion).
+class ActorScope {
+ public:
+  explicit ActorScope(ActorId actor)
+      : ledger_(AccessLedger::Global()), saved_(ledger_.current_actor_) {
+    ledger_.current_actor_ = actor;
+  }
+  ~ActorScope() { ledger_.current_actor_ = saved_; }
+
+  ActorScope(const ActorScope&) = delete;
+  ActorScope& operator=(const ActorScope&) = delete;
+
+ private:
+  AccessLedger& ledger_;
+  ActorId saved_;
+};
+
+// Per-structure guard. Records (actor, kind) touches for the current epoch
+// and reports a conflict when a new touch collides with an earlier same-epoch
+// touch by a different, unordered actor where at least one side is a write.
+class AccessGuard {
+ public:
+  explicit AccessGuard(std::string name) : name_(std::move(name)) {}
+
+  void Read() const {
+    AccessLedger& ledger = AccessLedger::Global();
+    if (ledger.enabled()) {
+      Record(ledger, /*is_write=*/false);
+    }
+  }
+
+  void Write() const {
+    AccessLedger& ledger = AccessLedger::Global();
+    if (ledger.enabled()) {
+      Record(ledger, /*is_write=*/true);
+    }
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Touch {
+    ActorId actor;
+    bool write;
+  };
+
+  void Record(AccessLedger& ledger, bool is_write) const;
+
+  std::string name_;
+  // Mutable: guards live inside logically-const containers and recording a
+  // read must not force the owning structure's API non-const.
+  mutable uint64_t epoch_ = ~0ull;
+  mutable std::vector<Touch> touches_;
+};
+
+}  // namespace sim
+}  // namespace coyote
+
+#endif  // SRC_SIM_ACCESS_GUARD_H_

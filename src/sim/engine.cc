@@ -2,8 +2,18 @@
 
 #include <utility>
 
+#include "src/sim/access_guard.h"
+
 namespace coyote {
 namespace sim {
+
+Engine::Engine() {
+#ifdef COYOTE_ACCESS_GUARDS
+  // Sanitize/debug builds arm the race-detection ledger for every test that
+  // spins up an engine; release builds leave it to tests to opt in.
+  AccessLedger::Global().set_enabled(true);
+#endif
+}
 
 void Engine::ScheduleAt(TimePs t, Callback cb) {
   if (t < now_) {
@@ -23,7 +33,16 @@ bool Engine::Step() {
   queue_.pop();
   now_ = ev.time;
   ++events_executed_;
-  ev.cb();
+  AccessLedger& ledger = AccessLedger::Global();
+  if (ledger.enabled()) {
+    // Each executed event is one race-detection epoch; the callback runs as
+    // the engine actor unless a narrower ActorScope is set further down.
+    ledger.AdvanceEpoch();
+    ActorScope scope(kActorEngine);
+    ev.cb();
+  } else {
+    ev.cb();
+  }
   return true;
 }
 

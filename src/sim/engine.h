@@ -23,7 +23,9 @@ class Engine {
  public:
   using Callback = std::function<void()>;
 
-  Engine() = default;
+  // Arms the global AccessLedger in COYOTE_ACCESS_GUARDS builds (see
+  // src/sim/access_guard.h).
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 

@@ -11,7 +11,7 @@ namespace {
 
 // name -> {LUT, FF, BRAM36, URAM, DSP}, congestion.
 const std::map<std::string, HwModule, std::less<>>& Table() {
-  static const auto* table = new std::map<std::string, HwModule, std::less<>>{
+  static const std::map<std::string, HwModule, std::less<>> table{
       // --- static layer ----------------------------------------------------
       // XDMA wrapper + PCIe hard-block glue + ICAP controller + routing.
       {"static_layer", {"static_layer", {82'000, 130'000, 180, 0, 0}, 1.6}},
@@ -53,7 +53,7 @@ const std::map<std::string, HwModule, std::less<>>& Table() {
       // Network-intrusion-detection MLP (hls4ml-generated, quantized).
       {"nn_intrusion", {"nn_intrusion", {23'000, 31'000, 44, 0, 220}, 1.0}},
   };
-  return *table;
+  return table;
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/memsys/card_memory.h"
+#include "src/sim/access_guard.h"
 #include "src/memsys/gpu_memory.h"
 #include "src/memsys/host_memory.h"
 #include "src/mmu/svm.h"
@@ -449,6 +450,16 @@ TEST(ChaosSoakTest, MultiSeedSoakAllWorkloadsStayCorrect) {
       EXPECT_EQ(cluster.nodes_[i]->stack->retries_exhausted(), 0u) << "seed " << seed;
     }
     EXPECT_GT(cluster.injector_.decisions(), 0u);
+  }
+}
+
+// Guard-armed builds (COYOTE_SANITIZE / Debug) run every soak above with the
+// deterministic race detector live; any same-epoch cross-actor touch of the
+// TLBs, page tables, credit counters, QP state, or scheduler queues recorded
+// during this binary's lifetime is a real reentrancy bug, not chaos noise.
+TEST(ChaosSoak, NoAccessGuardConflictsAcrossAllSoaks) {
+  for (const auto& conflict : sim::AccessLedger::Global().conflicts()) {
+    ADD_FAILURE() << conflict.ToString();
   }
 }
 

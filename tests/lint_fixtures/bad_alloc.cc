@@ -1,0 +1,9 @@
+// Fixture: raw allocation, which the `raw-alloc` rule flags.
+int* Leaky() {
+  int* buffer = new int[64];
+  return buffer;
+}
+
+void Free(int* buffer) {
+  delete[] buffer;
+}

@@ -1,0 +1,10 @@
+// Fixture: blocking calls and thread primitives, flagged by `blocking`.
+#include <thread>
+
+void StallTheEngine() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+int Shell() {
+  return system("true");
+}

@@ -1,0 +1,10 @@
+// Fixture: wrong include-guard name and a header-scope using-namespace,
+// flagged by `header-guard` and `using-ns-header`.
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+using namespace std;
+
+inline int Answer() { return 42; }
+
+#endif  // WRONG_GUARD_NAME_H

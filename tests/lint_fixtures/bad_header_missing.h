@@ -1,0 +1,2 @@
+// Fixture: no include guard at all.
+inline int Unguarded() { return 1; }

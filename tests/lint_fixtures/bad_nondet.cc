@@ -1,0 +1,23 @@
+// Fixture: every form of ambient nondeterminism the `nondet` rule bans.
+// This file is excluded from the repo-wide lint walk (lint_fixtures/ is a
+// skipped directory); lint_test feeds it through the linter directly.
+#include <random>
+
+int SeedFromEntropy() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen());
+}
+
+int AmbientRand() {
+  srand(7);
+  return rand();
+}
+
+long WallClock() {
+  return time(nullptr);
+}
+
+const char* Environment() {
+  return getenv("COYOTE_SEED");
+}

@@ -1,0 +1,22 @@
+// Fixture: iteration over unordered containers, which the `unordered-iter`
+// rule flags because hash iteration order is implementation-defined.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+uint64_t SumValues() {
+  std::unordered_map<uint64_t, uint64_t> totals_by_id;
+  uint64_t sum = 0;
+  for (const auto& [id, v] : totals_by_id) {
+    sum += v;
+  }
+  return sum;
+}
+
+uint64_t FirstMember() {
+  std::unordered_set<uint64_t> members;
+  if (members.begin() != members.end()) {
+    return *members.begin();
+  }
+  return 0;
+}

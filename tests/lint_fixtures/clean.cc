@@ -1,0 +1,26 @@
+// Fixture: idiomatic clean code — ordered containers, point lookups into an
+// unordered map, smart pointers. The linter must report nothing.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+uint64_t OrderedTraversal() {
+  std::map<uint64_t, uint64_t> ordered;
+  uint64_t sum = 0;
+  for (const auto& [k, v] : ordered) {
+    sum += v;
+  }
+  return sum;
+}
+
+uint64_t PointLookup(uint64_t key) {
+  std::unordered_map<uint64_t, uint64_t> cache;
+  auto it = cache.find(key);
+  return it == cache.end() ? 0 : it->second;
+}
+
+std::unique_ptr<std::vector<uint8_t>> Owned() {
+  return std::make_unique<std::vector<uint8_t>>(64);
+}

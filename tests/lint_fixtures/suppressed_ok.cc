@@ -1,0 +1,28 @@
+// Fixture: each violation carries its rule's suppression comment, so the
+// linter must report nothing for this file.
+#include <cstdint>
+#include <unordered_map>
+
+uint64_t OrderInsensitiveSum() {
+  std::unordered_map<uint64_t, uint64_t> histogram;
+  uint64_t sum = 0;
+  // Commutative reduction: iteration order cannot leak into the result.
+  for (const auto& [k, v] : histogram) {  // lint: ordered-ok
+    sum += v;
+  }
+  return sum;
+}
+
+int* ArenaShim() {
+  // lint: raw-alloc-ok
+  return new int[16];
+}
+
+long FixtureOnlyWallClock() {
+  return time(nullptr);  // lint: nondet-ok
+}
+
+int FixtureOnlyShell() {
+  // lint: blocking-ok
+  return system("true");
+}

@@ -1,0 +1,205 @@
+// Tests for the coyote-verify determinism lint (tools/coyote_lint).
+//
+// Two layers: fixture files on disk (tests/lint_fixtures/, excluded from the
+// repo-wide walk) prove each rule fires on realistic bad code and that the
+// per-rule suppression comments silence it; in-memory sources pin down the
+// trickier tokenizer behaviors (comments, strings, member access, the
+// project-wide unordered-name symbol table).
+
+#include "tools/coyote_lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace coyote {
+namespace lint {
+namespace {
+
+#ifndef LINT_FIXTURE_DIR
+#error "LINT_FIXTURE_DIR must be defined by the build"
+#endif
+
+std::vector<Finding> LintFixture(const std::string& name) {
+  return LintPaths(LINT_FIXTURE_DIR, {name}, Options{});
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&rule](const Finding& f) { return f.rule == rule; });
+}
+
+bool HasRuleAtLine(const std::vector<Finding>& findings, const std::string& rule,
+                   uint32_t line) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.line == line;
+  });
+}
+
+std::vector<Finding> LintSnippet(const std::string& path, const std::string& content) {
+  return LintProject({{path, content}}, Options{});
+}
+
+TEST(LintFixtures, NondetRuleFiresOnEveryBannedForm) {
+  const auto findings = LintFixture("bad_nondet.cc");
+  EXPECT_TRUE(HasRuleAtLine(findings, "nondet", 4));   // #include <random>
+  EXPECT_TRUE(HasRuleAtLine(findings, "nondet", 7));   // std::random_device
+  EXPECT_TRUE(HasRuleAtLine(findings, "nondet", 8));   // std::mt19937
+  EXPECT_TRUE(HasRuleAtLine(findings, "nondet", 13));  // srand
+  EXPECT_TRUE(HasRuleAtLine(findings, "nondet", 14));  // rand
+  EXPECT_TRUE(HasRuleAtLine(findings, "nondet", 18));  // time(nullptr)
+  EXPECT_TRUE(HasRuleAtLine(findings, "nondet", 22));  // getenv
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "nondet") << f.file << ":" << f.line << " " << f.message;
+  }
+}
+
+TEST(LintFixtures, UnorderedIterRuleFiresOnRangeForAndBegin) {
+  const auto findings = LintFixture("bad_unordered.cc");
+  EXPECT_TRUE(HasRuleAtLine(findings, "unordered-iter", 10));  // range-for
+  EXPECT_TRUE(HasRuleAtLine(findings, "unordered-iter", 18));  // members.begin()
+}
+
+TEST(LintFixtures, RawAllocRuleFiresOnNewAndDelete) {
+  const auto findings = LintFixture("bad_alloc.cc");
+  EXPECT_TRUE(HasRuleAtLine(findings, "raw-alloc", 3));  // new
+  EXPECT_TRUE(HasRuleAtLine(findings, "raw-alloc", 8));  // delete
+}
+
+TEST(LintFixtures, BlockingRuleFiresOnSleepSystemAndThreadInclude) {
+  const auto findings = LintFixture("bad_blocking.cc");
+  EXPECT_TRUE(HasRuleAtLine(findings, "blocking", 2));  // #include <thread>
+  EXPECT_TRUE(HasRuleAtLine(findings, "blocking", 5));  // sleep_for
+  EXPECT_TRUE(HasRuleAtLine(findings, "blocking", 9));  // system
+}
+
+TEST(LintFixtures, HeaderRulesFireOnBadHeader) {
+  const auto findings = LintFixture("bad_header.h");
+  EXPECT_TRUE(HasRule(findings, "header-guard"));    // non-canonical guard name
+  EXPECT_TRUE(HasRule(findings, "using-ns-header"));  // using namespace std
+}
+
+TEST(LintFixtures, HeaderGuardRuleFiresOnMissingGuard) {
+  const auto findings = LintFixture("bad_header_missing.h");
+  EXPECT_TRUE(HasRule(findings, "header-guard"));
+}
+
+TEST(LintFixtures, SuppressionCommentsSilenceEveryRule) {
+  EXPECT_TRUE(LintFixture("suppressed_ok.cc").empty());
+}
+
+TEST(LintFixtures, CleanCodeProducesNoFindings) {
+  EXPECT_TRUE(LintFixture("clean.cc").empty());
+}
+
+TEST(LintFixtures, RuleFilterRunsOnlySelectedRules) {
+  Options only_alloc;
+  only_alloc.rules = {"raw-alloc"};
+  const auto findings = LintPaths(LINT_FIXTURE_DIR, {"bad_nondet.cc", "bad_alloc.cc"},
+                                  only_alloc);
+  EXPECT_FALSE(findings.empty());
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "raw-alloc");
+  }
+}
+
+// --- Tokenizer behaviors -----------------------------------------------------
+
+TEST(LintTokenizer, CommentsAndStringsAreNotCode) {
+  const auto findings = LintSnippet("t.cc",
+                                    "// rand() in a comment\n"
+                                    "/* srand(1); time(nullptr); */\n"
+                                    "const char* s = \"rand() getenv\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTokenizer, MemberAccessIsNotACall) {
+  // Engine events carry a `.time` field; member access must not trip the
+  // wall-clock ban, and a declaration `Type rand(` is not a call either.
+  const auto findings = LintSnippet("t.cc",
+                                    "struct Ev { long time; };\n"
+                                    "long F(Ev e) { return e.time; }\n"
+                                    "long G(Ev* e) { return e->time; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTokenizer, StdQualifiedCallIsStillACall) {
+  const auto findings = LintSnippet("t.cc", "long F() { return std::time(nullptr); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "nondet");
+}
+
+TEST(LintTokenizer, DeletedFunctionsAreNotRawDelete) {
+  const auto findings = LintSnippet("t.h",
+                                    "#ifndef T_H_\n#define T_H_\n"
+                                    "struct S {\n"
+                                    "  S(const S&) = delete;\n"
+                                    "  S& operator=(const S&) = delete;\n"
+                                    "};\n"
+                                    "#endif  // T_H_\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSymbols, UnorderedNamesAreCollectedAcrossFiles) {
+  // Declaration in one file (a header), iteration in another: the symbol
+  // table is project-wide, mirroring member declarations in .h files used by
+  // the .cc that iterates them.
+  const std::vector<SourceFile> files = {
+      {"s.h",
+       "#ifndef S_H_\n#define S_H_\n#include <unordered_map>\n"
+       "struct S { std::unordered_map<int, int> lookup_; };\n"
+       "#endif  // S_H_\n"},
+      {"s.cc",
+       "#include \"s.h\"\n"
+       "int Sum(S& s) { int n = 0; for (auto& [k, v] : s.lookup_) n += v; return n; }\n"}};
+  const auto findings = LintProject(files, Options{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].file, "s.cc");
+}
+
+TEST(LintSymbols, OrderedMapIterationIsFine) {
+  const auto findings = LintSnippet(
+      "t.cc",
+      "#include <map>\nint F() { std::map<int, int> m; int n = 0;\n"
+      "for (auto& [k, v] : m) n += v; return n; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, RuleTableExposesSuppressionsForEveryRule) {
+  const auto& rules = Rules();
+  ASSERT_GE(rules.size(), 6u);
+  for (const auto& rule : rules) {
+    EXPECT_FALSE(rule.id.empty());
+    EXPECT_FALSE(rule.suppression.empty()) << rule.id;
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+  }
+}
+
+TEST(LintWalk, CollectSkipsFixtureAndBuildDirectories) {
+  // Walking the real tests/ directory must not pick up lint_fixtures/.
+  const auto files = CollectFiles(PROJECT_SOURCE_DIR, {"tests"});
+  EXPECT_FALSE(files.empty());
+  for (const auto& f : files) {
+    EXPECT_EQ(f.find("lint_fixtures"), std::string::npos) << f;
+    EXPECT_EQ(f.find("CMakeFiles"), std::string::npos) << f;
+  }
+}
+
+TEST(LintRepo, WholeTreeIsClean) {
+  // The acceptance gate, in-process: src/, tests/, bench/, examples/ and the
+  // lint tool itself produce zero findings.
+  const auto files = CollectFiles(PROJECT_SOURCE_DIR,
+                                  {"src", "tests", "bench", "examples", "tools"});
+  ASSERT_GT(files.size(), 100u);
+  const auto findings = LintPaths(PROJECT_SOURCE_DIR, files, Options{});
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace coyote

@@ -1,0 +1,69 @@
+// coyote-verify determinism lint.
+//
+// A lightweight tokenizer-based linter that enforces the coding rules the
+// simulator's bit-exact determinism contract depends on (see ANALYSIS.md).
+// It is deliberately not a compiler plugin: the rules are lexical, the
+// tokenizer strips comments/strings, and a project-wide symbol table of
+// unordered-container names approximates type information. That keeps the
+// tool dependency-free, fast enough to run as a tier-1 ctest, and honest
+// about what it can see — each rule has a per-line suppression comment for
+// the cases the heuristic gets wrong.
+
+#ifndef TOOLS_COYOTE_LINT_LINT_H_
+#define TOOLS_COYOTE_LINT_LINT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coyote {
+namespace lint {
+
+struct Finding {
+  std::string file;
+  uint32_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;           // e.g. "nondet"
+  std::string suppression;  // e.g. "nondet-ok" -> written as "// lint: nondet-ok"
+  std::string summary;
+};
+
+struct Options {
+  // Empty: all rules. Otherwise only the listed rule ids run.
+  std::vector<std::string> rules;
+};
+
+// One source file by (project-relative) path and content.
+using SourceFile = std::pair<std::string, std::string>;
+
+// The rule table (static).
+const std::vector<RuleInfo>& Rules();
+
+// Lints a set of in-memory sources as one project: pass 1 collects the names
+// of variables declared with unordered containers across every file, pass 2
+// runs all enabled rules per file. Findings are ordered by (file, line).
+std::vector<Finding> LintProject(const std::vector<SourceFile>& files, const Options& options);
+
+// Walks `roots` (files or directories, relative to `root_dir`) collecting
+// .h/.hpp/.cc/.cpp sources in sorted order. Skips build*/, CMakeFiles/,
+// .git/, and lint_fixtures/ directories.
+std::vector<std::string> CollectFiles(const std::string& root_dir,
+                                      const std::vector<std::string>& roots);
+
+// Reads the collected files and lints them. Paths in findings are relative
+// to `root_dir`.
+std::vector<Finding> LintPaths(const std::string& root_dir,
+                               const std::vector<std::string>& relative_paths,
+                               const Options& options);
+
+}  // namespace lint
+}  // namespace coyote
+
+#endif  // TOOLS_COYOTE_LINT_LINT_H_

@@ -1,0 +1,82 @@
+// coyote_lint CLI: determinism lint over the project tree.
+//
+//   coyote_lint --root <repo> src tests bench examples tools
+//   coyote_lint --root <repo> --rule nondet src
+//   coyote_lint --list-rules
+//
+// Exit codes: 0 clean, 1 findings, 2 usage error. Findings print one per
+// line as `path:line: [rule] message` so editors and CI annotations can jump
+// straight to the offending line.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/coyote_lint/lint.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: coyote_lint [--root DIR] [--rule ID]... [--list-rules] [path...]\n"
+               "  --root DIR    project root; findings are reported relative to it (default .)\n"
+               "  --rule ID     run only the named rule (repeatable)\n"
+               "  --list-rules  print the rule table and exit\n"
+               "  path          files or directories under --root (default: src tests bench)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  coyote::lint::Options options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        PrintUsage();
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--rule") {
+      if (i + 1 >= argc) {
+        PrintUsage();
+        return 2;
+      }
+      options.rules.push_back(argv[++i]);
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : coyote::lint::Rules()) {
+        std::printf("%-16s suppress with '// lint: %s'\n    %s\n", rule.id.c_str(),
+                    rule.suppression.c_str(), rule.summary.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "coyote_lint: unknown option '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "tests", "bench"};
+  }
+
+  const auto files = coyote::lint::CollectFiles(root, paths);
+  if (files.empty()) {
+    std::fprintf(stderr, "coyote_lint: no source files found under --root %s\n", root.c_str());
+    return 2;
+  }
+  const auto findings = coyote::lint::LintPaths(root, files, options);
+  for (const auto& f : findings) {
+    std::printf("%s:%u: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr, "coyote_lint: %zu finding%s in %zu file%s\n", findings.size(),
+               findings.size() == 1 ? "" : "s", files.size(), files.size() == 1 ? "" : "s");
+  return findings.empty() ? 0 : 1;
+}
