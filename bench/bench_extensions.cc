@@ -74,13 +74,13 @@ void RunCollectives() {
 
     sim::TimePs t0 = engine.Now();
     bool done = false;
-    group.Broadcast(0, nodes[0]->data, kBytes, [&] { done = true; });
+    group.Broadcast(0, nodes[0]->data, kBytes, [&](bool) { done = true; });
     engine.RunUntilCondition([&] { return done; });
     const double bcast_ms = sim::ToMilliseconds(engine.Now() - t0);
 
     done = false;
     t0 = engine.Now();
-    group.AllReduceInt32(nodes[0]->data, kBytes / 4, [&] { done = true; });
+    group.AllReduceInt32(nodes[0]->data, kBytes / 4, [&](bool) { done = true; });
     engine.RunUntilCondition([&] { return done; });
     const double ar_ms = sim::ToMilliseconds(engine.Now() - t0);
     const double alg_bw = static_cast<double>(kBytes) / (ar_ms * 1e-3) / 1e9;

@@ -56,6 +56,14 @@ class CreditCounter {
   // requesters to retry; models the request sitting in the vFPGA-side queue.
   void WaitForCredit(Callback cb) { waiters_.push_back(std::move(cb)); }
 
+  // Recovery reset: restores the credit level and discards all waiters (their
+  // operations have been aborted; waking them would re-issue dead work).
+  void Reset(uint32_t credits) {
+    guard_.Write();
+    available_ = credits;
+    waiters_.clear();
+  }
+
   uint64_t stalls() const { return stalls_; }
   size_t waiters() const { return waiters_.size(); }
 

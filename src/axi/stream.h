@@ -84,6 +84,15 @@ class Stream {
 
   const StreamPacket* Peek() const { return fifo_.empty() ? nullptr : &fifo_.front(); }
 
+  // Drops every queued packet without firing callbacks; returns how many were
+  // discarded. Models a region-level flush during recovery: stale data from a
+  // quarantined kernel must not leak into the next tenant of the region.
+  size_t Clear() {
+    const size_t n = fifo_.size();
+    fifo_.clear();
+    return n;
+  }
+
   void set_on_data(Callback cb) { on_data_ = std::move(cb); }
   void set_on_space(Callback cb) { on_space_ = std::move(cb); }
 

@@ -29,6 +29,7 @@ struct DataMover::ReadOp {
 
 struct DataMover::WriteOp {
   TransferRequest req;
+  axi::Stream* src = nullptr;
   Completion done;
   uint64_t consumed = 0;  // bytes popped from the source stream
   uint64_t written = 0;   // bytes committed to memory
@@ -143,6 +144,10 @@ void DataMover::IssueReadPackets(const std::shared_ptr<ReadOp>& op) {
     op->next_issue += n;
 
     mmu->Translate(vaddr, [this, op, mmu, vaddr, off, n, seq](std::optional<mmu::PhysPage> e) {
+      if (op->completed) {
+        // Aborted while the translation was in flight; the result is stale.
+        return;
+      }
       auto fail = [this, op]() {
         xdma_->RaiseMsix(kMsixPageFault, op->req.vaddr);
         ++page_fault_irqs_;
@@ -197,6 +202,11 @@ void DataMover::IssueReadPackets(const std::shared_ptr<ReadOp>& op) {
 
 void DataMover::DeliverInOrder(const std::shared_ptr<ReadOp>& op, uint64_t seq,
                                axi::StreamPacket pkt) {
+  if (op->completed || op->failed) {
+    // Aborted or faulted op: in-flight packets drain to the floor rather
+    // than leaking a dead kernel's data into the destination stream.
+    return;
+  }
   op->reorder.emplace(seq, std::move(pkt));
   while (!op->reorder.empty() && op->reorder.begin()->first == op->next_seq_deliver) {
     op->dst->Push(std::move(op->reorder.begin()->second));
@@ -204,6 +214,7 @@ void DataMover::DeliverInOrder(const std::shared_ptr<ReadOp>& op, uint64_t seq,
     ++op->next_seq_deliver;
     ++op->packets_delivered;
     ++packets_moved_;
+    ++packets_moved_by_vfpga_[op->req.vfpga_id];
   }
   if (op->packets_delivered == op->packets_total && !op->completed) {
     op->completed = true;
@@ -227,6 +238,7 @@ void DataMover::RetireReadOp(const std::shared_ptr<ReadOp>& op) {
 void DataMover::Write(const TransferRequest& req, axi::Stream* src, Completion done) {
   auto op = std::make_shared<WriteOp>();
   op->req = req;
+  op->src = src;
   op->done = std::move(done);
   if (req.bytes == 0) {
     engine_->ScheduleAfter(0, [op]() {
@@ -236,6 +248,11 @@ void DataMover::Write(const TransferRequest& req, axi::Stream* src, Completion d
     });
     return;
   }
+  // Keep the per-region abort index tight: completed ops expire their weak
+  // pointers, which we prune before appending.
+  auto& index = write_ops_by_vfpga_[req.vfpga_id];
+  std::erase_if(index, [](const std::weak_ptr<WriteOp>& w) { return w.expired(); });
+  index.push_back(op);
   auto& queue = write_queues_[src];
   queue.push_back(op);
   src->set_on_data([this, src]() { PumpWrites(src); });
@@ -273,16 +290,22 @@ void DataMover::PumpWrites(axi::Stream* src) {
     auto data = std::make_shared<std::vector<uint8_t>>(std::move(pkt->data));
 
     mmu->Translate(vaddr, [this, op, mmu, vaddr, data, &credits](std::optional<mmu::PhysPage> e) {
+      if (op->completed) {
+        // Aborted while the translation was in flight; the result is stale
+        // and the credit counter was already reset by the abort.
+        return;
+      }
       auto fail = [this, op, &credits]() {
+        if (op->completed) {
+          return;
+        }
         xdma_->RaiseMsix(kMsixPageFault, op->req.vaddr);
         ++page_fault_irqs_;
         credits.Release(1);
-        if (!op->completed) {
-          op->failed = true;
-          op->completed = true;
-          if (op->done) {
-            op->done(false);
-          }
+        op->failed = true;
+        op->completed = true;
+        if (op->done) {
+          op->done(false);
         }
       };
       if (!e) {
@@ -294,9 +317,15 @@ void DataMover::PumpWrites(axi::Stream* src) {
         const uint64_t phys = pg.addr + (vaddr % page_bytes);
         // Writes to host memory travel C2H; card/GPU use their own paths.
         auto finish = [this, op, vaddr, data, &credits]() {
+          if (op->completed) {
+            // Aborted mid-flight: drop the data, and leave the credit
+            // counter alone — the abort reset it to full.
+            return;
+          }
           svm_->WriteVirtual(vaddr, data->data(), data->size());
           op->written += data->size();
           ++packets_moved_;
+          ++packets_moved_by_vfpga_[op->req.vfpga_id];
           credits.Release(1);
           if (op->written == op->req.bytes && !op->completed) {
             op->completed = true;
@@ -344,6 +373,99 @@ void DataMover::Migrate(uint32_t vfpga_id, uint64_t vaddr, uint64_t bytes, mmu::
       done(true);
     }
   });
+}
+
+size_t DataMover::OutstandingOps(uint32_t vfpga_id) const {
+  size_t live = 0;
+  const auto lo = read_queues_.lower_bound({vfpga_id, 0});
+  const auto hi = read_queues_.lower_bound({static_cast<uint64_t>(vfpga_id) + 1, 0});
+  for (auto it = lo; it != hi; ++it) {
+    for (const auto& op : it->second) {
+      if (!op->completed) {
+        ++live;
+      }
+    }
+  }
+  auto wit = write_ops_by_vfpga_.find(vfpga_id);
+  if (wit != write_ops_by_vfpga_.end()) {
+    for (const auto& weak : wit->second) {
+      if (auto op = weak.lock(); op && !op->completed) {
+        ++live;
+      }
+    }
+  }
+  return live;
+}
+
+uint64_t DataMover::AbortVfpga(uint32_t vfpga_id) {
+  uint64_t aborted = 0;
+
+  // Error-complete the op if it is still live. Ordering is deterministic:
+  // read queues in (vfpga, stream) key order, then writes in issue order.
+  auto kill_read = [&aborted](const std::shared_ptr<ReadOp>& op) {
+    if (op->completed) {
+      return;
+    }
+    op->failed = true;
+    op->completed = true;
+    ++aborted;
+    if (op->done) {
+      op->done(false);
+    }
+  };
+  const auto lo = read_queues_.lower_bound({vfpga_id, 0});
+  const auto hi = read_queues_.lower_bound({static_cast<uint64_t>(vfpga_id) + 1, 0});
+  for (auto it = lo; it != hi; ++it) {
+    for (auto& op : it->second) {
+      kill_read(op);
+    }
+    it->second.clear();
+  }
+
+  auto wit = write_ops_by_vfpga_.find(vfpga_id);
+  if (wit != write_ops_by_vfpga_.end()) {
+    for (auto& weak : wit->second) {
+      auto op = weak.lock();
+      if (!op || op->completed) {
+        continue;
+      }
+      op->failed = true;
+      op->completed = true;
+      ++aborted;
+      if (op->done) {
+        op->done(false);
+      }
+      // Unlink from the source stream's descriptor queue so PumpWrites never
+      // waits on bytes the dead kernel will not produce.
+      auto qit = write_queues_.find(op->src);
+      if (qit != write_queues_.end()) {
+        std::erase(qit->second, op);
+      }
+    }
+    write_ops_by_vfpga_.erase(wit);
+  }
+
+  // Fresh credit state for the reprogrammed region; stale waiters belong to
+  // the aborted ops and are dropped.
+  const auto clo = std::make_pair(static_cast<uint64_t>(vfpga_id), 0u);
+  const auto chi = std::make_pair(static_cast<uint64_t>(vfpga_id) + 1, 0u);
+  for (auto it = read_credits_.lower_bound(clo); it != read_credits_.lower_bound(chi); ++it) {
+    it->second->Reset(config_.credits_per_stream);
+  }
+  for (auto it = write_credits_.lower_bound(clo); it != write_credits_.lower_bound(chi); ++it) {
+    it->second->Reset(config_.credits_per_stream);
+  }
+
+  // TLB shootdown: the recovered region must re-fault its translations, like
+  // the invalidation hook this runs as the DMA actor.
+  auto mit = mmus_.find(vfpga_id);
+  if (mit != mmus_.end()) {
+    sim::ActorScope actor(sim::kActorDma);
+    mit->second->InvalidateTlbAll();
+  }
+
+  aborted_ops_ += aborted;
+  return aborted;
 }
 
 mmu::Svm::MigrationHooks DataMover::MakeMigrationHooks() {

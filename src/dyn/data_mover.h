@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "src/axi/credit.h"
 #include "src/axi/stream.h"
@@ -88,6 +89,14 @@ class DataMover {
   // Timing hooks wired into the Svm so page migrations charge DMA time here.
   mmu::Svm::MigrationHooks MakeMigrationHooks();
 
+  // Recovery path (runtime::Supervisor): aborts every queued and in-flight
+  // transfer of `vfpga_id` with an error completion, restores the region's
+  // credit counters to full, and shoots down its TLB so a reprogrammed
+  // kernel starts from a clean translation state. In-flight physical-link
+  // packets drain harmlessly — their delivery callbacks observe the aborted
+  // op and drop the data. Returns the number of operations aborted.
+  uint64_t AbortVfpga(uint32_t vfpga_id);
+
   // Credit counter for (vfpga, stream, direction); exposed for tests.
   axi::CreditCounter& ReadCredits(uint32_t vfpga_id, uint32_t stream);
   axi::CreditCounter& WriteCredits(uint32_t vfpga_id, uint32_t stream);
@@ -95,6 +104,17 @@ class DataMover {
   const Config& config() const { return config_; }
   uint64_t page_fault_irqs() const { return page_fault_irqs_; }
   uint64_t packets_moved() const { return packets_moved_; }
+  // Monotone per-region progress counter: together with the vFPGA's retired
+  // beats this is the heartbeat signal the Supervisor's watchdog samples.
+  uint64_t packets_moved_for(uint32_t vfpga_id) const {
+    auto it = packets_moved_by_vfpga_.find(vfpga_id);
+    return it == packets_moved_by_vfpga_.end() ? 0 : it->second;
+  }
+  uint64_t aborted_ops() const { return aborted_ops_; }
+  // Live (not yet completed) transfer operations for the region. The
+  // watchdog combines this with the heartbeat counters: a region is only
+  // "hung" when it has outstanding work AND its heartbeats are stale.
+  size_t OutstandingOps(uint32_t vfpga_id) const;
 
  private:
   struct ReadOp;
@@ -127,6 +147,10 @@ class DataMover {
 
   // Pending write operations per source stream, serviced FIFO.
   std::unordered_map<axi::Stream*, std::deque<std::shared_ptr<WriteOp>>> write_queues_;
+  // Deterministic per-region index over the same ops (write_queues_ is keyed
+  // by stream pointer, which must never be iterated): AbortVfpga walks this
+  // in issue order so error completions fire identically run-to-run.
+  std::map<uint32_t, std::vector<std::weak_ptr<WriteOp>>> write_ops_by_vfpga_;
 
   // Pending read operations per (vfpga, stream), serviced FIFO: like a real
   // DMA descriptor queue, a stream's transfers are processed strictly in
@@ -136,6 +160,8 @@ class DataMover {
 
   uint64_t page_fault_irqs_ = 0;
   uint64_t packets_moved_ = 0;
+  uint64_t aborted_ops_ = 0;
+  std::map<uint32_t, uint64_t> packets_moved_by_vfpga_;
 };
 
 }  // namespace dyn

@@ -46,18 +46,32 @@ void CollectiveGroup::Broadcast(uint32_t root, uint64_t vaddr, uint64_t bytes,
   ++broadcasts_;
   const uint32_t n = static_cast<uint32_t>(members_.size());
   if (n <= 1 || bytes == 0) {
-    engine_->ScheduleAfter(0, std::move(done));
+    engine_->ScheduleAfter(0, [done = std::move(done)]() {
+      if (done) {
+        done(true);
+      }
+    });
     return;
   }
   // Binomial tree over ranks relative to the root. The stored function
   // captures itself weakly — in-flight completion callbacks hold the strong
-  // refs — so finishing the collective releases the whole chain.
+  // refs — so finishing the collective releases the whole chain. Any failed
+  // per-peer WR poisons `failed`; the next round boundary turns that into
+  // one error completion instead of forwarding stale data further.
   auto shared_done = std::make_shared<Completion>(std::move(done));
+  auto failed = std::make_shared<bool>(false);
   auto round = std::make_shared<std::function<void(uint32_t)>>();
   std::weak_ptr<std::function<void(uint32_t)>> weak_round = round;
-  *round = [this, root, vaddr, bytes, n, shared_done, weak_round](uint32_t k) {
+  *round = [this, root, vaddr, bytes, n, shared_done, failed, weak_round](uint32_t k) {
     auto self = weak_round.lock();
     if (!self) {
+      return;
+    }
+    if (*failed) {
+      ++failed_collectives_;
+      if (*shared_done) {
+        (*shared_done)(false);
+      }
       return;
     }
     // Senders this round: relative ranks v < 2^k sending to v + 2^k.
@@ -70,13 +84,18 @@ void CollectiveGroup::Broadcast(uint32_t root, uint64_t vaddr, uint64_t bytes,
       transfers.emplace_back((root + v) % n, (root + dst_rel) % n);
     }
     if (transfers.empty()) {
-      (*shared_done)();
+      if (*shared_done) {
+        (*shared_done)(true);
+      }
       return;
     }
     auto remaining = std::make_shared<size_t>(transfers.size());
     for (auto [from, to] : transfers) {
       members_[from].stack->PostWrite(QpFor(from, to), vaddr, vaddr, bytes,
-                                      [remaining, self, k](bool) {
+                                      [remaining, self, failed, k](bool ok) {
+                                        if (!ok) {
+                                          *failed = true;
+                                        }
                                         if (--*remaining == 0) {
                                           (*self)(k + 1);
                                         }
@@ -89,21 +108,35 @@ void CollectiveGroup::Broadcast(uint32_t root, uint64_t vaddr, uint64_t bytes,
 void CollectiveGroup::AllGather(uint64_t vaddr, uint64_t chunk_bytes, Completion done) {
   const uint32_t n = static_cast<uint32_t>(members_.size());
   if (n <= 1 || chunk_bytes == 0) {
-    engine_->ScheduleAfter(0, std::move(done));
+    engine_->ScheduleAfter(0, [done = std::move(done)]() {
+      if (done) {
+        done(true);
+      }
+    });
     return;
   }
   // Ring: in step s, member i forwards chunk (i - s + n) % n to (i + 1) % n.
   // Weak self-capture, as in Broadcast, to avoid a shared_ptr cycle.
   auto shared_done = std::make_shared<Completion>(std::move(done));
+  auto failed = std::make_shared<bool>(false);
   auto step = std::make_shared<std::function<void(uint32_t)>>();
   std::weak_ptr<std::function<void(uint32_t)>> weak_step = step;
-  *step = [this, vaddr, chunk_bytes, n, shared_done, weak_step](uint32_t s) {
+  *step = [this, vaddr, chunk_bytes, n, shared_done, failed, weak_step](uint32_t s) {
     auto self = weak_step.lock();
     if (!self) {
       return;
     }
+    if (*failed) {
+      ++failed_collectives_;
+      if (*shared_done) {
+        (*shared_done)(false);
+      }
+      return;
+    }
     if (s == n - 1) {
-      (*shared_done)();
+      if (*shared_done) {
+        (*shared_done)(true);
+      }
       return;
     }
     auto remaining = std::make_shared<size_t>(n);
@@ -112,7 +145,10 @@ void CollectiveGroup::AllGather(uint64_t vaddr, uint64_t chunk_bytes, Completion
       const uint32_t to = (i + 1) % n;
       const uint64_t addr = vaddr + static_cast<uint64_t>(chunk) * chunk_bytes;
       members_[i].stack->PostWrite(QpFor(i, to), addr, addr, chunk_bytes,
-                                   [remaining, self, s](bool) {
+                                   [remaining, self, failed, s](bool ok) {
+                                     if (!ok) {
+                                       *failed = true;
+                                     }
                                      if (--*remaining == 0) {
                                        (*self)(s + 1);
                                      }
@@ -126,27 +162,44 @@ void CollectiveGroup::AllReduceInt32(uint64_t vaddr, uint64_t count, Completion 
   ++allreduces_;
   const uint32_t n = static_cast<uint32_t>(members_.size());
   if (n <= 1 || count == 0) {
-    engine_->ScheduleAfter(0, std::move(done));
+    engine_->ScheduleAfter(0, [done = std::move(done)]() {
+      if (done) {
+        done(true);
+      }
+    });
     return;
   }
 
   // Phase 1 — ring reduce-scatter: after step s, member (c + s + 1) % n holds
   // the partial sum of chunk c over s + 2 contributors. Incoming fragments
   // land in the member's scratch buffer, then fold into the local chunk.
+  // One `failed` flag spans both phases: a lost fragment anywhere makes the
+  // whole reduction unusable, so the collective errors out at the next
+  // barrier instead of folding garbage or stranding the caller.
   auto shared_done = std::make_shared<Completion>(std::move(done));
+  auto failed = std::make_shared<bool>(false);
   auto reduce_step = std::make_shared<std::function<void(uint32_t)>>();
-  auto gather = [this, vaddr, count, n, shared_done]() {
+  auto gather = [this, vaddr, count, n, shared_done, failed]() {
     // Phase 2 — ring all-gather of the reduced chunks. Member i now owns the
     // fully reduced chunk (i + 1) % n; rotate N-1 times.
     auto step = std::make_shared<std::function<void(uint32_t)>>();
     std::weak_ptr<std::function<void(uint32_t)>> weak_step = step;
-    *step = [this, vaddr, count, n, shared_done, weak_step](uint32_t s) {
+    *step = [this, vaddr, count, n, shared_done, failed, weak_step](uint32_t s) {
       auto self = weak_step.lock();
       if (!self) {
         return;
       }
+      if (*failed) {
+        ++failed_collectives_;
+        if (*shared_done) {
+          (*shared_done)(false);
+        }
+        return;
+      }
       if (s == n - 1) {
-        (*shared_done)();
+        if (*shared_done) {
+          (*shared_done)(true);
+        }
         return;
       }
       auto remaining = std::make_shared<size_t>(n);
@@ -162,7 +215,10 @@ void CollectiveGroup::AllReduceInt32(uint64_t vaddr, uint64_t count, Completion 
         }
         const uint64_t addr = vaddr + r.offset_bytes();
         members_[i].stack->PostWrite(QpFor(i, to), addr, addr, r.bytes(),
-                                     [remaining, self, s](bool) {
+                                     [remaining, self, failed, s](bool ok) {
+                                       if (!ok) {
+                                         *failed = true;
+                                       }
                                        if (--*remaining == 0) {
                                          (*self)(s + 1);
                                        }
@@ -173,9 +229,18 @@ void CollectiveGroup::AllReduceInt32(uint64_t vaddr, uint64_t count, Completion 
   };
 
   std::weak_ptr<std::function<void(uint32_t)>> weak_reduce = reduce_step;
-  *reduce_step = [this, vaddr, count, n, weak_reduce, gather](uint32_t s) {
+  *reduce_step = [this, vaddr, count, n, shared_done, failed, weak_reduce,
+                  gather](uint32_t s) {
     auto self = weak_reduce.lock();
     if (!self) {
+      return;
+    }
+    if (*failed) {
+      // Reduce-phase loss: skip the gather phase entirely.
+      ++failed_collectives_;
+      if (*shared_done) {
+        (*shared_done)(false);
+      }
       return;
     }
     if (s == n - 1) {
@@ -183,7 +248,13 @@ void CollectiveGroup::AllReduceInt32(uint64_t vaddr, uint64_t count, Completion 
       return;
     }
     auto remaining = std::make_shared<size_t>(n);
-    auto after_transfers = [this, vaddr, count, n, remaining, self, s]() {
+    auto after_transfers = [this, vaddr, count, n, failed, remaining, self, s]() {
+      if (*failed) {
+        // Don't fold a fragment that never arrived; the next step entry
+        // converts the poisoned flag into the error completion.
+        (*self)(s + 1);
+        return;
+      }
       // Fold each member's scratch fragment into its local chunk.
       for (uint32_t i = 0; i < n; ++i) {
         const uint32_t chunk = (i + n - s - 1) % n;  // chunk received this step
@@ -218,7 +289,10 @@ void CollectiveGroup::AllReduceInt32(uint64_t vaddr, uint64_t count, Completion 
       }
       members_[i].stack->PostWrite(QpFor(i, to), vaddr + r.offset_bytes(),
                                    members_[to].scratch_vaddr + r.offset_bytes(), r.bytes(),
-                                   [remaining, barrier](bool) {
+                                   [remaining, barrier, failed](bool ok) {
+                                     if (!ok) {
+                                       *failed = true;
+                                     }
                                      if (--*remaining == 0) {
                                        (*barrier)();
                                      }

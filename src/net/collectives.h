@@ -37,7 +37,10 @@ class CollectiveGroup {
     uint64_t scratch_vaddr = 0;
   };
 
-  using Completion = std::function<void()>;
+  // ok=false when any per-peer work request inside the collective failed
+  // (e.g. a QP hit its retry budget). The whole collective fails with ONE
+  // error completion — the continuation chain never strands a caller.
+  using Completion = std::function<void(bool ok)>;
 
   // Builds the group and connects a full QP mesh between all members.
   CollectiveGroup(sim::Engine* engine, std::vector<Member> members);
@@ -58,6 +61,7 @@ class CollectiveGroup {
 
   uint64_t broadcasts() const { return broadcasts_; }
   uint64_t allreduces() const { return allreduces_; }
+  uint64_t failed_collectives() const { return failed_collectives_; }
 
  private:
   uint32_t QpFor(uint32_t from, uint32_t to) const { return qp_[from][to]; }
@@ -70,6 +74,7 @@ class CollectiveGroup {
 
   uint64_t broadcasts_ = 0;
   uint64_t allreduces_ = 0;
+  uint64_t failed_collectives_ = 0;
 };
 
 }  // namespace net

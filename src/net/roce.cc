@@ -1,7 +1,8 @@
 #include "src/net/roce.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/sim/fault.h"
 
 namespace coyote {
 namespace net {
@@ -35,7 +36,62 @@ void RoceStack::Connect(uint32_t local_qpn, uint32_t remote_ip, uint32_t remote_
   Qp& qp = qps_.at(local_qpn);
   qp.remote_ip = remote_ip;
   qp.remote_qpn = remote_qpn;
-  qp.connected = true;
+  qp.state = QpState::kReadyToSend;
+}
+
+bool RoceStack::ResetQp(uint32_t qpn) {
+  qp_guard_.Write();
+  auto it = qps_.find(qpn);
+  if (it == qps_.end()) {
+    return false;
+  }
+  Qp& qp = it->second;
+  // Requester state: drain the SQ and restart the PSN space.
+  qp.send_psn = 0;
+  qp.unacked.clear();
+  qp.completions.clear();
+  qp.reads.clear();
+  ++qp.timer_generation;  // cancel any pending retransmit timer
+  qp.cur_timeout = 0;
+  qp.consecutive_timeouts = 0;
+  // Responder state: expect a fresh message stream from the re-inited peer.
+  qp.expected_psn = 0;
+  qp.write_cursor_vaddr = 0;
+  qp.write_msg_start = 0;
+  qp.write_msg_bytes = 0;
+  qp.recv_accum.clear();
+  qp.frames_since_ack = 0;
+  qp.wedged = false;
+  qp.state = QpState::kInit;
+  ++qp_resets_;
+  return true;
+}
+
+RoceStack::QpState RoceStack::qp_state(uint32_t qpn) const {
+  auto it = qps_.find(qpn);
+  return it == qps_.end() ? QpState::kInit : it->second.state;
+}
+
+void RoceStack::MaybeWedge(Qp& qp) {
+  if (injector_ != nullptr && !qp.wedged && injector_->NextQpWedge()) {
+    qp.wedged = true;
+    ++qps_wedged_;
+  }
+}
+
+bool RoceStack::AdmitPost(Qp& qp, Completion& done) {
+  if (qp.state == QpState::kReadyToSend) {
+    MaybeWedge(qp);
+    return true;
+  }
+  // Posting to an un-inited or errored QP is an immediate error CQE — the
+  // caller always hears back, never silently loses the WR.
+  ++error_completions_;
+  if (done) {
+    engine_->ScheduleAfter(0, [cb = std::move(done)]() { cb(false); });
+    done = nullptr;
+  }
+  return false;
 }
 
 FrameMeta RoceStack::BaseMeta(const Qp& qp) const {
@@ -53,6 +109,13 @@ void RoceStack::TransmitFrame(Qp& qp, const FrameMeta& meta,
   if (track_for_retransmit) {
     qp.unacked[meta.psn] = PendingFrame{meta, payload};
     ArmRetransmitTimer(qp.local_qpn);
+  }
+  if (qp.wedged) {
+    // Injected tx black hole: the frame is tracked (so timeouts fire and the
+    // retry budget eventually trips the QP into kError) but never reaches
+    // the wire.
+    ++wedged_tx_dropped_;
+    return;
   }
   std::vector<uint8_t> frame = BuildFrame(meta, payload);
   if (tap_) {
@@ -72,7 +135,9 @@ void RoceStack::PostWrite(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_va
                           uint64_t bytes, Completion done) {
   qp_guard_.Write();
   Qp& qp = qps_.at(qpn);
-  assert(qp.connected);
+  if (!AdmitPost(qp, done)) {
+    return;
+  }
   const uint64_t n_frames = std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu);
   uint64_t off = 0;
   for (uint64_t i = 0; i < n_frames; ++i) {
@@ -108,7 +173,9 @@ void RoceStack::PostWrite(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_va
 void RoceStack::PostSend(uint32_t qpn, uint64_t local_vaddr, uint64_t bytes, Completion done) {
   qp_guard_.Write();
   Qp& qp = qps_.at(qpn);
-  assert(qp.connected);
+  if (!AdmitPost(qp, done)) {
+    return;
+  }
   const uint64_t n_frames = std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu);
   uint64_t off = 0;
   for (uint64_t i = 0; i < n_frames; ++i) {
@@ -141,7 +208,9 @@ void RoceStack::PostRead(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vad
                          uint64_t bytes, Completion done) {
   qp_guard_.Write();
   Qp& qp = qps_.at(qpn);
-  assert(qp.connected);
+  if (!AdmitPost(qp, done)) {
+    return;
+  }
   const uint32_t n_resp =
       static_cast<uint32_t>(std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu));
 
@@ -393,6 +462,9 @@ void RoceStack::ArmRetransmitTimer(uint32_t qpn) {
 
 void RoceStack::FailQp(Qp& qp) {
   ++retries_exhausted_;
+  // SQ drain + transition to the error state: all in-flight WRs complete
+  // with ok=false, and subsequent posts bounce until ResetQp + Connect.
+  qp.state = QpState::kError;
   qp.unacked.clear();
   NoteProgress(qp);
   ++qp.timer_generation;  // cancel any pending timer

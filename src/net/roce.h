@@ -26,10 +26,21 @@
 #include "src/sim/engine.h"
 
 namespace coyote {
+namespace sim {
+class FaultInjector;
+}  // namespace sim
 namespace net {
 
 class RoceStack {
  public:
+  // QP lifecycle, modeled on the IB verbs state machine (collapsed to the
+  // states this stack distinguishes): a QP is created in kInit, Connect()
+  // moves it to kReadyToSend, and retry-budget exhaustion moves it to
+  // kError. In kError every posted WR completes immediately with ok=false
+  // (no silent drops); ResetQp() returns the QP to kInit, after which both
+  // endpoints re-Connect() — the driver-mediated re-init handshake.
+  enum class QpState : uint8_t { kInit, kReadyToSend, kError };
+
   struct Config {
     uint32_t mtu = 4096;
     sim::TimePs stack_latency = sim::Nanoseconds(350);  // per-frame processing
@@ -62,6 +73,19 @@ class RoceStack {
   uint32_t CreateQp();
   void Connect(uint32_t local_qpn, uint32_t remote_ip, uint32_t remote_qpn);
 
+  // Error recovery: clears all requester and responder state (SQ, reorder
+  // cursors, PSNs restart at 0) and returns the QP to kInit. Application
+  // handlers (recv / write-arrival) survive the reset. Both endpoints must
+  // ResetQp + Connect for the pair to be usable again. Returns false for an
+  // unknown QPN.
+  bool ResetQp(uint32_t qpn);
+  QpState qp_state(uint32_t qpn) const;
+
+  // Chaos hookup: when set, every posted WR draws a wedge decision; a wedged
+  // QP's transmit path silently eats frames until the retry budget trips it
+  // into kError. Null disables injection.
+  void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+
   // --- Verbs -------------------------------------------------------------------
   void PostWrite(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vaddr, uint64_t bytes,
                  Completion done);
@@ -91,6 +115,9 @@ class RoceStack {
   uint64_t retries_exhausted() const { return retries_exhausted_; }
   uint64_t error_completions() const { return error_completions_; }
   uint64_t payload_bytes_sent() const { return payload_bytes_sent_; }
+  uint64_t qps_wedged() const { return qps_wedged_; }
+  uint64_t qp_resets() const { return qp_resets_; }
+  uint64_t wedged_tx_dropped() const { return wedged_tx_dropped_; }
   const Config& config() const { return config_; }
 
  private:
@@ -113,7 +140,8 @@ class RoceStack {
     uint32_t local_qpn = 0;
     uint32_t remote_qpn = 0;
     uint32_t remote_ip = 0;
-    bool connected = false;
+    QpState state = QpState::kInit;
+    bool wedged = false;  // injected tx black hole (chaos)
 
     // Requester state.
     uint32_t send_psn = 0;
@@ -148,6 +176,9 @@ class RoceStack {
   void RetransmitUnacked(Qp& qp);
   void FailQp(Qp& qp);
   void NoteProgress(Qp& qp);
+  void MaybeWedge(Qp& qp);
+  // True if the WR may proceed; otherwise schedules an error completion.
+  bool AdmitPost(Qp& qp, Completion& done);
   FrameMeta BaseMeta(const Qp& qp) const;
   void PumpOffloadCommits();
 
@@ -165,6 +196,7 @@ class RoceStack {
   sim::AccessGuard qp_guard_{"roce.qpstate"};
   uint32_t next_qpn_ = 0x11;
   Tap tap_;
+  sim::FaultInjector* injector_ = nullptr;
 
   // On-path offload state: FIFO of pending commits matching the packets fed
   // into the offload kernel.
@@ -188,6 +220,9 @@ class RoceStack {
   uint64_t retries_exhausted_ = 0;
   uint64_t error_completions_ = 0;
   uint64_t payload_bytes_sent_ = 0;
+  uint64_t qps_wedged_ = 0;
+  uint64_t qp_resets_ = 0;
+  uint64_t wedged_tx_dropped_ = 0;
 };
 
 }  // namespace net

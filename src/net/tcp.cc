@@ -1,7 +1,6 @@
 #include "src/net/tcp.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
 namespace coyote {
@@ -144,8 +143,16 @@ void TcpStack::TransmitSegment(Connection& conn, uint8_t flags, uint32_t seq,
 }
 
 void TcpStack::Send(ConnId id, uint64_t vaddr, uint64_t bytes, Completion done) {
-  Connection& conn = connections_.at(id);
-  assert(conn.state == State::kEstablished);
+  auto cit = connections_.find(id);
+  if (cit == connections_.end() || cit->second.state != State::kEstablished) {
+    // Dead or half-open connection: error completion, never a silent drop.
+    ++error_completions_;
+    if (done) {
+      engine_->ScheduleAfter(0, [cb = std::move(done)]() { cb(false); });
+    }
+    return;
+  }
+  Connection& conn = cit->second;
   // Sequence of the first new byte: snd_nxt already covers transmitted data,
   // the backlog extends beyond it.
   uint64_t backlog_bytes = 0;
@@ -246,6 +253,7 @@ void TcpStack::HandleSegment(ConnId id, const ParsedTcpSegment& seg) {
     conn.rcv_nxt = seg.meta.seq + 1;
     conn.snd_una = seg.meta.ack;
     conn.state = State::kEstablished;
+    NoteProgress(conn);
     TransmitSegment(conn, kTcpAck, conn.snd_nxt, {});
     ++conn.timer_generation;  // SYN acknowledged
     if (conn.on_connected) {
@@ -256,6 +264,7 @@ void TcpStack::HandleSegment(ConnId id, const ParsedTcpSegment& seg) {
   if (conn.state == State::kSynReceived && (seg.meta.flags & kTcpAck)) {
     conn.state = State::kEstablished;
     conn.snd_una = seg.meta.ack;
+    NoteProgress(conn);
     ++conn.timer_generation;
     auto listener = listeners_.find(conn.local_port);
     if (listener != listeners_.end() && listener->second) {
@@ -270,6 +279,7 @@ void TcpStack::HandleSegment(ConnId id, const ParsedTcpSegment& seg) {
     if (acked > conn.snd_una) {
       bytes_acked_ += acked - conn.snd_una;
       conn.snd_una = acked;
+      NoteProgress(conn);
       while (!conn.inflight.empty()) {
         const SendChunk& front = conn.inflight.front();
         if (front.seq + front.payload.size() <= acked) {
@@ -328,9 +338,44 @@ void TcpStack::HandleSegment(ConnId id, const ParsedTcpSegment& seg) {
   }
 }
 
+void TcpStack::NoteProgress(Connection& conn) {
+  conn.consecutive_timeouts = 0;
+  conn.cur_rto = config_.rto;
+}
+
+void TcpStack::FailConnection(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    return;
+  }
+  ++retries_exhausted_;
+  Connection conn = std::move(it->second);
+  connections_.erase(it);
+  // Error-complete everything the application is waiting on. The connection
+  // entry is gone first so reentrant calls observe a closed connection.
+  if (conn.state == State::kSynSent && conn.on_connected) {
+    ++error_completions_;
+    conn.on_connected(id, false);
+  }
+  for (auto& [seq, cb] : conn.completions) {
+    if (cb) {
+      ++error_completions_;
+      cb(false);
+    }
+  }
+  if (conn.close_done) {
+    ++error_completions_;
+    conn.close_done(false);
+  }
+}
+
 void TcpStack::ArmTimer(ConnId id) {
-  const uint64_t generation = ++connections_.at(id).timer_generation;
-  engine_->ScheduleAfter(config_.rto, [this, id, generation]() {
+  Connection& armed = connections_.at(id);
+  if (armed.cur_rto == 0) {
+    armed.cur_rto = config_.rto;
+  }
+  const uint64_t generation = ++armed.timer_generation;
+  engine_->ScheduleAfter(armed.cur_rto, [this, id, generation]() {
     auto it = connections_.find(id);
     if (it == connections_.end()) {
       return;
@@ -338,6 +383,19 @@ void TcpStack::ArmTimer(ConnId id) {
     Connection& conn = it->second;
     if (conn.timer_generation != generation) {
       return;
+    }
+    ++timeouts_;
+    if (++conn.consecutive_timeouts > config_.max_retries) {
+      // Parity with RoCE retry-budget exhaustion: the peer is unreachable;
+      // abort instead of retrying forever.
+      FailConnection(id);
+      return;
+    }
+    // Exponential backoff, capped.
+    const sim::TimePs next = std::min<sim::TimePs>(conn.cur_rto * 2, config_.max_rto);
+    if (next > conn.cur_rto) {
+      conn.cur_rto = next;
+      ++backoff_events_;
     }
     if (conn.state == State::kSynSent) {
       TransmitSegment(conn, kTcpSyn, conn.snd_una, {});

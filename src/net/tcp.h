@@ -58,6 +58,13 @@ class TcpStack {
     uint32_t window_bytes = 256 * 1024;  // receive window advertised
     sim::TimePs stack_latency = sim::Nanoseconds(500);
     sim::TimePs rto = sim::Microseconds(200);
+    // Parity with the RoCE stack's loss hardening: after this many
+    // consecutive unanswered RTOs the connection aborts and every pending
+    // operation completes with ok=false instead of retrying forever.
+    uint32_t max_retries = 8;
+    // The RTO doubles on every consecutive timeout up to this cap; any ACK
+    // progress resets it.
+    sim::TimePs max_rto = sim::Milliseconds(3);
   };
 
   using ConnId = uint32_t;
@@ -93,6 +100,10 @@ class TcpStack {
   uint64_t segments_sent() const { return segments_sent_; }
   uint64_t retransmitted_segments() const { return retransmitted_segments_; }
   uint64_t bytes_acked() const { return bytes_acked_; }
+  uint64_t timeouts() const { return timeouts_; }
+  uint64_t backoff_events() const { return backoff_events_; }
+  uint64_t retries_exhausted() const { return retries_exhausted_; }
+  uint64_t error_completions() const { return error_completions_; }
   const Config& config() const { return config_; }
 
  private:
@@ -124,6 +135,8 @@ class TcpStack {
     std::deque<SendChunk> backlog;         // queued beyond the window
     std::map<uint32_t, Completion> completions;  // end-seq -> cb
     uint64_t timer_generation = 0;
+    sim::TimePs cur_rto = 0;            // 0 = use config rto
+    uint32_t consecutive_timeouts = 0;  // resets on any ACK progress
 
     ConnectHandler on_connected;
     RecvHandler on_recv;
@@ -137,6 +150,10 @@ class TcpStack {
   void OnRxFrame(std::vector<uint8_t> frame);
   void HandleSegment(ConnId id, const ParsedTcpSegment& seg);
   void ArmTimer(ConnId id);
+  void NoteProgress(Connection& conn);
+  // Retry budget exhausted: abort the connection, error-complete everything
+  // pending (sends, deferred close, an unfinished handshake).
+  void FailConnection(ConnId id);
   ConnId FindConnection(const TcpSegmentMeta& meta) const;
 
   sim::Engine* engine_;
@@ -154,6 +171,10 @@ class TcpStack {
   uint64_t segments_sent_ = 0;
   uint64_t retransmitted_segments_ = 0;
   uint64_t bytes_acked_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t backoff_events_ = 0;
+  uint64_t retries_exhausted_ = 0;
+  uint64_t error_completions_ = 0;
 };
 
 }  // namespace net

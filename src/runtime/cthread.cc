@@ -97,10 +97,40 @@ void CThread::FinishTask(uint64_t task_id, bool ok, bool write_direction) {
   if (it == tasks_.end()) {
     return;
   }
-  it->second.ok = it->second.ok && ok;
-  if (--it->second.remaining == 0) {
+  TaskState& state = it->second;
+  if (state.status != OpStatus::kPending) {
+    return;  // already forced terminal (deadline/abort); late completion
+  }
+  state.ok = state.ok && ok;
+  if (--state.remaining == 0) {
+    state.status = state.ok ? OpStatus::kOk : OpStatus::kError;
+    if (state.deadline_timer != sim::TimerWheel::kInvalidTimer) {
+      dev_->timers().Cancel(state.deadline_timer);
+      state.deadline_timer = sim::TimerWheel::kInvalidTimer;
+    }
     dev_->writeback().Complete({vfpga_id_, ctid_, write_direction});
   }
+}
+
+void CThread::ForceTerminal(uint64_t task_id, OpStatus status) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return;
+  }
+  TaskState& state = it->second;
+  if (state.status != OpStatus::kPending) {
+    return;
+  }
+  state.status = status;
+  state.ok = false;
+  state.remaining = 0;
+  if (state.deadline_timer != sim::TimerWheel::kInvalidTimer) {
+    dev_->timers().Cancel(state.deadline_timer);
+    state.deadline_timer = sim::TimerWheel::kInvalidTimer;
+  }
+  // Complete the writeback slot so a host spinning on the counter unblocks
+  // with the error status instead of hanging with the stuck hardware.
+  dev_->writeback().Complete({vfpga_id_, ctid_, true});
 }
 
 CThread::Task CThread::Invoke(Oper oper, const SgEntry& sg) {
@@ -195,8 +225,15 @@ CThread::Task CThread::Invoke(Oper oper, const SgEntry& sg) {
     case Oper::kRemoteWrite:
     case Oper::kRemoteRead: {
       net::RoceStack* roce = dev_->roce();
-      assert(roce != nullptr && "shell was built without the RDMA service");
       ++state.remaining;
+      if (roce == nullptr) {
+        // Shell built without the RDMA service: typed error completion
+        // instead of a crash or a silent stall.
+        dev_->engine().ScheduleAt(start, [this, task_id]() {
+          FinishTask(task_id, false, true);
+        });
+        break;
+      }
       const bool is_write = oper == Oper::kRemoteWrite;
       dev_->engine().ScheduleAt(start, [this, task_id, sg, roce, is_write]() {
         auto done = [this, task_id](bool ok) { FinishTask(task_id, ok, true); };
@@ -216,6 +253,22 @@ CThread::Task CThread::Invoke(Oper oper, const SgEntry& sg) {
     state.remaining = 1;
     dev_->engine().ScheduleAt(start, [this, task_id]() { FinishTask(task_id, true, false); });
   }
+
+  // Arm the per-op deadline: this cThread's override, else the device-wide
+  // default; 0 means the op may wait forever (legacy behavior).
+  const sim::TimePs deadline =
+      op_deadline_ != 0 ? op_deadline_ : dev_->config().default_op_deadline;
+  if (deadline != 0) {
+    state.deadline_timer = dev_->timers().ScheduleAfter(deadline, [this, task_id]() {
+      auto it = tasks_.find(task_id);
+      if (it == tasks_.end() || it->second.status != OpStatus::kPending) {
+        return;
+      }
+      ++deadline_misses_;
+      ForceTerminal(task_id, OpStatus::kDeadlineExceeded);
+      dev_->NotifyOpDeadline(vfpga_id_);
+    });
+  }
   return Task{task_id};
 }
 
@@ -228,6 +281,22 @@ bool CThread::Wait(Task task) {
   dev_->WaitFor([this, task]() { return CheckCompleted(task); });
   auto it = tasks_.find(task.id);
   return it != tasks_.end() && it->second.ok;
+}
+
+OpStatus CThread::Status(Task task) const {
+  auto it = tasks_.find(task.id);
+  return it == tasks_.end() ? OpStatus::kPending : it->second.status;
+}
+
+size_t CThread::AbortPending() {
+  size_t aborted = 0;
+  for (auto& [id, state] : tasks_) {
+    if (state.status == OpStatus::kPending) {
+      ForceTerminal(id, OpStatus::kAborted);
+      ++aborted;
+    }
+  }
+  return aborted;
 }
 
 void CThread::SetInterruptCallback(std::function<void(uint64_t value)> cb) {

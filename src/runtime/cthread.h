@@ -69,6 +69,17 @@ struct SgEntry {
   static constexpr uint32_t kAutoStream = 0xFFFF'FFFF;
 };
 
+// Typed completion status of a cThread task. Anything other than kOk is an
+// error completion; the distinction tells the caller (and the supervisor)
+// *why* the op did not succeed.
+enum class OpStatus : uint8_t {
+  kPending,           // sub-operations still in flight
+  kOk,                // all sub-operations retired successfully
+  kError,             // a sub-operation reported failure (DMA abort, QP error)
+  kDeadlineExceeded,  // the per-op deadline fired before the op retired
+  kAborted,           // host-side cancel (AbortPending after region recovery)
+};
+
 enum class Oper : uint8_t {
   kNoop,
   kLocalTransfer,  // src -> kernel -> dst (the paper's LOCAL_TRANSFER)
@@ -117,6 +128,24 @@ class CThread {
   // whether the task succeeded.
   bool Wait(Task task);
   bool InvokeSync(Oper oper, const SgEntry& sg) { return Wait(Invoke(oper, sg)); }
+  // Typed completion status (kPending while sub-operations are in flight).
+  OpStatus Status(Task task) const;
+
+  // --- Deadlines -------------------------------------------------------------------
+  // Per-op deadline override for this cThread; 0 falls back to the device's
+  // Config::default_op_deadline (0 there too = no deadline). When a deadline
+  // fires before the op retires, the task force-completes with
+  // kDeadlineExceeded — Wait() unblocks with ok=false instead of spinning on
+  // a completion that will never arrive — and the supervisor is notified.
+  void SetOpDeadline(sim::TimePs deadline) { op_deadline_ = deadline; }
+  sim::TimePs op_deadline() const { return op_deadline_; }
+
+  // Host-side cancel: force-completes every in-flight task with kAborted.
+  // Used after region recovery when the caller knows outstanding ops will
+  // never retire. Returns the number of tasks aborted.
+  size_t AbortPending();
+
+  uint64_t deadline_misses() const { return deadline_misses_; }
 
   // --- Interrupts -----------------------------------------------------------------
   // Registers the eventfd-style callback for user interrupts raised by this
@@ -133,6 +162,9 @@ class CThread {
  private:
   uint32_t StreamFor(uint32_t requested) const;
   void FinishTask(uint64_t task_id, bool ok, bool write_direction);
+  // Forces a pending task terminal with the given status (deadline expiry or
+  // host-side abort); late FinishTask calls for it become no-ops.
+  void ForceTerminal(uint64_t task_id, OpStatus status);
 
   SimDevice* dev_;
   uint32_t vfpga_id_;
@@ -141,9 +173,14 @@ class CThread {
   struct TaskState {
     int remaining = 0;
     bool ok = true;
+    OpStatus status = OpStatus::kPending;
+    sim::TimerWheel::TimerId deadline_timer = sim::TimerWheel::kInvalidTimer;
   };
   std::map<uint64_t, TaskState> tasks_;
   uint64_t next_task_id_ = 0;
+
+  sim::TimePs op_deadline_ = 0;  // 0 = device default
+  uint64_t deadline_misses_ = 0;
 
   uint64_t rd_writeback_addr_ = 0;
   uint64_t wr_writeback_addr_ = 0;

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "src/runtime/supervisor.h"
+
 namespace coyote {
 namespace runtime {
 
@@ -133,6 +135,8 @@ SimDevice::~SimDevice() = default;
 void SimDevice::BuildShellServices() {
   if (active_shell_.HasService(fabric::Service::kRdma) && network_ != nullptr) {
     roce_ = std::make_unique<net::RoceStack>(engine_, network_, config_.ip, &svm_);
+    // A shell reconfiguration recreates the stack; keep it fault-capable.
+    roce_->SetFaultInjector(injector_);
   }
   if (active_shell_.HasService(fabric::Service::kTcp) && network_ != nullptr) {
     tcp_ = std::make_unique<net::TcpStack>(engine_, network_, config_.ip, &svm_);
@@ -293,10 +297,23 @@ SimDevice::ReconfigResult SimDevice::ReconfigureApp(const std::string& bitstream
 }
 
 void SimDevice::AttachFaultInjector(sim::FaultInjector* injector) {
+  injector_ = injector;
   reconfig_->SetFaultInjector(injector);
   xdma_->SetFaultInjector(injector);
   for (auto& m : mmus_) {
     m->SetFaultInjector(injector);
+  }
+  for (auto& region : vfpgas_) {
+    region->SetFaultInjector(injector);
+  }
+  if (roce_) {
+    roce_->SetFaultInjector(injector);
+  }
+}
+
+void SimDevice::NotifyOpDeadline(uint32_t vfpga_id) {
+  if (supervisor_ != nullptr) {
+    supervisor_->NoteDeadlineMiss(vfpga_id);
   }
 }
 

@@ -43,10 +43,13 @@
 #include "src/net/sniffer.h"
 #include "src/net/tcp.h"
 #include "src/sim/engine.h"
+#include "src/sim/timer_wheel.h"
 #include "src/vfpga/vfpga.h"
 
 namespace coyote {
 namespace runtime {
+
+class Supervisor;
 
 class SimDevice {
  public:
@@ -70,6 +73,13 @@ class SimDevice {
     // ICAP programming attempts before a reconfiguration is reported failed
     // (a fault injector can abort individual attempts).
     uint32_t reconfig_max_retries = 3;
+
+    // Default per-operation deadline for cThread invokes. 0 disables the
+    // deadline (legacy behavior: a lost completion stalls Wait() forever).
+    // When set, an op that has not retired by Invoke-time + deadline is
+    // force-completed with OpStatus::kDeadlineExceeded and the supervisor
+    // (if attached) is notified.
+    sim::TimePs default_op_deadline = 0;
 
     // Coyote v1 compatibility mode (baseline for Fig. 11): single host
     // stream, no service reconfiguration.
@@ -149,9 +159,20 @@ class SimDevice {
   bool WaitFor(const std::function<bool()>& done) { return engine_->RunUntilCondition(done); }
 
   // Wires a fault injector into every fault-capable component of the device
-  // (ICAP controller, XDMA links, per-vFPGA MMUs). Not owned; call with
-  // nullptr to detach.
+  // (ICAP controller, XDMA links, per-vFPGA MMUs, vFPGA kernels, the RoCE
+  // stack). Not owned; call with nullptr to detach. The injector is
+  // remembered so services recreated by a shell reconfiguration are rewired.
   void AttachFaultInjector(sim::FaultInjector* injector);
+
+  // Cancellable timers shared by the runtime layer (cThread op deadlines,
+  // supervisor watchdogs).
+  sim::TimerWheel& timers() { return timers_; }
+
+  // Supervision hook: when a supervisor is attached, cThread deadline misses
+  // are reported to it so the watchdog can treat them as early hang evidence.
+  void SetSupervisor(Supervisor* supervisor) { supervisor_ = supervisor; }
+  Supervisor* supervisor() { return supervisor_; }
+  void NotifyOpDeadline(uint32_t vfpga_id);
 
   // Driver-side cThread id allocation (one id space per vFPGA).
   uint32_t AllocateCtid(uint32_t vfpga_id) { return next_ctid_[vfpga_id]++; }
@@ -183,6 +204,7 @@ class SimDevice {
   Config config_;
   std::unique_ptr<sim::Engine> owned_engine_;
   sim::Engine* engine_;  // == owned_engine_.get() unless shared
+  sim::TimerWheel timers_{engine_};
   fabric::Floorplan floorplan_;
 
   memsys::HostMemory host_;
@@ -212,6 +234,9 @@ class SimDevice {
   uint64_t page_faults_seen_ = 0;
   uint64_t reconfigs_seen_ = 0;
   std::map<uint32_t, uint32_t> next_ctid_;
+
+  sim::FaultInjector* injector_ = nullptr;  // not owned
+  Supervisor* supervisor_ = nullptr;        // not owned
 };
 
 }  // namespace runtime

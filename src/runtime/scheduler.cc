@@ -21,7 +21,7 @@ size_t KernelScheduler::PickRequest() {
 int KernelScheduler::PickRegion(const Request& request) {
   int first_free = -1;
   for (uint32_t i = 0; i < region_state_.size(); ++i) {
-    if (region_state_[i].busy) {
+    if (region_state_[i].busy || region_state_[i].quarantined) {
       continue;
     }
     if (policy_ == Policy::kAffinity &&
@@ -36,7 +36,8 @@ int KernelScheduler::PickRegion(const Request& request) {
     // Prefer an *empty* free region over evicting someone else's kernel, so
     // hot kernels stay resident as long as capacity allows.
     for (uint32_t i = 0; i < region_state_.size(); ++i) {
-      if (!region_state_[i].busy && region_state_[i].resident_bitstream.empty()) {
+      if (!region_state_[i].busy && !region_state_[i].quarantined &&
+          region_state_[i].resident_bitstream.empty()) {
         return static_cast<int>(i);
       }
     }
@@ -104,7 +105,11 @@ void KernelScheduler::Dispatch(size_t request_index, uint32_t vfpga_id) {
     ++affinity_hits_;
   }
 
-  auto done = [this, vfpga_id]() {
+  const uint64_t epoch = state.epoch;
+  auto done = [this, vfpga_id, epoch]() {
+    if (region_state_[vfpga_id].epoch != epoch) {
+      return;  // request was reaped by NoteRegionReset; region already freed
+    }
     region_state_[vfpga_id].busy = false;
     --busy_regions_;
     ++completed_;
@@ -114,6 +119,35 @@ void KernelScheduler::Dispatch(size_t request_index, uint32_t vfpga_id) {
     request.run(vfpga_id, std::move(done));
   } else {
     done();
+  }
+}
+
+void KernelScheduler::SetQuarantined(uint32_t vfpga_id, bool quarantined) {
+  queue_guard_.Write();
+  RegionState& state = region_state_[vfpga_id];
+  if (state.quarantined == quarantined) {
+    return;
+  }
+  state.quarantined = quarantined;
+  if (quarantined) {
+    ++quarantine_events_;
+  } else {
+    Schedule();  // re-admitted: queued work may land here again
+  }
+}
+
+void KernelScheduler::NoteRegionReset(uint32_t vfpga_id,
+                                      const std::string& resident_bitstream) {
+  queue_guard_.Write();
+  RegionState& state = region_state_[vfpga_id];
+  ++state.epoch;  // invalidate the reaped request's completion callback
+  state.resident_bitstream = resident_bitstream;
+  if (state.busy) {
+    state.busy = false;
+    --busy_regions_;
+    ++completed_;  // the hung request is counted done so Idle() converges
+    ++reaped_requests_;
+    Schedule();
   }
 }
 

@@ -61,14 +61,33 @@ class KernelScheduler {
   // True when every submitted request has completed.
   bool Idle() const { return queue_.empty() && busy_regions_ == 0; }
 
+  // --- Quarantine (supervision hooks) ----------------------------------------
+  // A quarantined region is never picked for dispatch. The supervisor
+  // quarantines a region before recovery and re-admits it after probation;
+  // re-admission kicks the scheduler so queued work lands on it again.
+  void SetQuarantined(uint32_t vfpga_id, bool quarantined);
+  bool quarantined(uint32_t vfpga_id) const {
+    return region_state_[vfpga_id].quarantined;
+  }
+  // The region was externally reset (recovery hot-swap): reap the hung
+  // request so Idle() converges, and record what is now resident (empty =
+  // nothing loaded). A stale completion from the reaped request is ignored.
+  void NoteRegionReset(uint32_t vfpga_id, const std::string& resident_bitstream);
+
   uint64_t submitted() const { return submitted_; }
   uint64_t completed() const { return completed_; }
   uint64_t reconfigurations() const { return reconfigurations_; }
   uint64_t affinity_hits() const { return affinity_hits_; }
+  uint64_t quarantine_events() const { return quarantine_events_; }
+  uint64_t reaped_requests() const { return reaped_requests_; }
 
  private:
   struct RegionState {
     bool busy = false;
+    bool quarantined = false;
+    // Bumped by NoteRegionReset; a completion whose epoch is stale belongs to
+    // a reaped request and must not double-free the region.
+    uint64_t epoch = 0;
     std::string resident_bitstream;  // empty: nothing loaded
   };
 
@@ -92,6 +111,8 @@ class KernelScheduler {
   uint64_t completed_ = 0;
   uint64_t reconfigurations_ = 0;
   uint64_t affinity_hits_ = 0;
+  uint64_t quarantine_events_ = 0;
+  uint64_t reaped_requests_ = 0;
 };
 
 }  // namespace runtime

@@ -1,0 +1,252 @@
+#include "src/runtime/supervisor.h"
+
+#include <string>
+#include <utility>
+
+namespace coyote {
+namespace runtime {
+
+Supervisor::Supervisor(SimDevice* dev, KernelScheduler* scheduler, Config config)
+    : dev_(dev), scheduler_(scheduler), config_(config) {
+  regions_.resize(dev_->num_vfpgas());
+  // The supervisor drives quarantine, DMA aborts, and reconfiguration
+  // synchronously from inside its own tick; those cross-actor touches are
+  // program-ordered by construction. Declare the pairs so the race detector
+  // stays focused on genuine reentrancy bugs.
+  auto& ledger = sim::AccessLedger::Global();
+  ledger.DeclareOrdered(sim::kActorSupervisor, sim::kActorScheduler);
+  ledger.DeclareOrdered(sim::kActorSupervisor, sim::kActorDma);
+  ledger.DeclareOrdered(sim::kActorSupervisor, sim::kActorHost);
+  dev_->SetSupervisor(this);
+}
+
+Supervisor::~Supervisor() {
+  Stop();
+  if (dev_->supervisor() == this) {
+    dev_->SetSupervisor(nullptr);
+  }
+}
+
+void Supervisor::Start() {
+  if (watchdog_timer_ != sim::TimerWheel::kInvalidTimer) {
+    return;
+  }
+  // Baseline the heartbeats so a region already busy at Start() is not
+  // instantly suspected.
+  const sim::TimePs now = dev_->engine().Now();
+  for (uint32_t i = 0; i < regions_.size(); ++i) {
+    RegionWatch& w = regions_[i];
+    w.last_beats = dev_->vfpga(i).beats_retired();
+    w.last_packets = dev_->data_mover().packets_moved_for(i);
+    w.last_progress_at = now;
+  }
+  watchdog_timer_ =
+      dev_->timers().SchedulePeriodic(config_.watchdog_period, [this]() { Tick(); });
+}
+
+void Supervisor::Stop() {
+  if (watchdog_timer_ != sim::TimerWheel::kInvalidTimer) {
+    dev_->timers().Cancel(watchdog_timer_);
+    watchdog_timer_ = sim::TimerWheel::kInvalidTimer;
+  }
+}
+
+void Supervisor::SetLastKnownGood(uint32_t vfpga_id, const std::string& bitstream_path) {
+  state_guard_.Write();
+  regions_[vfpga_id].last_known_good = bitstream_path;
+}
+
+void Supervisor::NoteDeadlineMiss(uint32_t vfpga_id) {
+  sim::ActorScope actor(sim::kActorSupervisor);
+  state_guard_.Write();
+  RegionWatch& w = regions_[vfpga_id];
+  if (w.health == RegionHealth::kHealthy || w.health == RegionHealth::kSuspected) {
+    w.deadline_missed = true;
+    TraceEvent(vfpga_id, "deadline.miss");
+  }
+}
+
+void Supervisor::Tick() {
+  if (ticking_) {
+    return;  // nested fire while a recovery advances time
+  }
+  ticking_ = true;
+  sim::ActorScope actor(sim::kActorSupervisor);
+  state_guard_.Write();
+  ++watchdog_ticks_;
+  for (uint32_t i = 0; i < regions_.size(); ++i) {
+    SampleRegion(i);
+  }
+  ticking_ = false;
+}
+
+void Supervisor::SampleRegion(uint32_t id) {
+  RegionWatch& w = regions_[id];
+  if (w.health == RegionHealth::kQuarantined) {
+    // A permanently fenced region cannot make progress; any work that still
+    // lands on it (a host unaware of the quarantine) is bounced with error
+    // completions rather than left to hang.
+    if (dev_->data_mover().OutstandingOps(id) > 0) {
+      dev_->data_mover().AbortVfpga(id);
+      dev_->vfpga(id).FlushStreams();
+      TraceEvent(id, "quarantine.bounce");
+    }
+    return;
+  }
+  if (w.health == RegionHealth::kRecovering) {
+    return;
+  }
+
+  const uint64_t beats = dev_->vfpga(id).beats_retired();
+  const uint64_t packets = dev_->data_mover().packets_moved_for(id);
+  const bool progressed = beats != w.last_beats || packets != w.last_packets;
+  const sim::TimePs now = dev_->engine().Now();
+  w.last_beats = beats;
+  w.last_packets = packets;
+
+  if (w.health == RegionHealth::kProbation) {
+    // Cool-down: the region is still quarantined in the scheduler, so clean
+    // ticks simply count down to re-admission.
+    if (w.probation_left > 0) {
+      --w.probation_left;
+    }
+    if (w.probation_left == 0) {
+      w.health = RegionHealth::kHealthy;
+      w.last_progress_at = now;
+      ++readmissions_;
+      TraceEvent(id, "readmit");
+      if (scheduler_ != nullptr) {
+        scheduler_->SetQuarantined(id, false);
+      }
+    }
+    return;
+  }
+
+  if (progressed) {
+    w.last_progress_at = now;
+    w.deadline_missed = false;
+    if (w.health == RegionHealth::kSuspected) {
+      w.health = RegionHealth::kHealthy;
+      TraceEvent(id, "clear");
+    }
+    return;
+  }
+
+  const size_t outstanding = dev_->data_mover().OutstandingOps(id);
+  if (outstanding == 0 && !w.deadline_missed) {
+    // Idle region: flat heartbeats are expected.
+    w.last_progress_at = now;
+    if (w.health == RegionHealth::kSuspected) {
+      w.health = RegionHealth::kHealthy;
+      TraceEvent(id, "clear");
+    }
+    return;
+  }
+
+  // Outstanding work with flat heartbeats: suspect first, recover once the
+  // deadline window has elapsed. A reported cThread deadline miss shortcuts
+  // the window — the host already waited its own deadline out.
+  if (w.health == RegionHealth::kHealthy) {
+    w.health = RegionHealth::kSuspected;
+    TraceEvent(id, "suspect");
+  }
+  if (w.deadline_missed || now - w.last_progress_at >= config_.heartbeat_deadline) {
+    Recover(id, w.deadline_missed ? "deadline.miss" : "kernel.hang");
+  }
+}
+
+void Supervisor::Recover(uint32_t id, const std::string& fault_class) {
+  RegionWatch& w = regions_[id];
+  const sim::TimePs detected_at = dev_->engine().Now();
+
+  Incident incident;
+  incident.vfpga_id = id;
+  incident.fault_class = fault_class;
+  incident.detected_at = detected_at;
+  incident.detect_latency = detected_at - w.last_progress_at;
+  ++hangs_detected_;
+  w.health = RegionHealth::kRecovering;
+  w.deadline_missed = false;
+  TraceEvent(id, "detect " + fault_class);
+
+  // ISOLATE: fence the region off from new dispatches, abort its in-flight
+  // DMA (error completions, credit restore, TLB shootdown) and flush the
+  // stream queues so the reprogrammed kernel starts clean.
+  if (scheduler_ != nullptr) {
+    scheduler_->SetQuarantined(id, true);
+  }
+  dev_->data_mover().AbortVfpga(id);
+  dev_->vfpga(id).FlushStreams();
+
+  // RECOVER: hot-swap the last-known-good bitstream through the normal ICAP
+  // path (real Table-3 latency; itself subject to injected ICAP faults). The
+  // budget is per incident: max_recoveries FAILED attempts escalate to
+  // permanent quarantine. Successful recoveries don't consume it — a region
+  // that keeps hanging transient workloads is reprogrammable indefinitely.
+  bool ok = false;
+  uint32_t attempts = 0;
+  while (!ok && attempts < config_.max_recoveries) {
+    ++attempts;
+    ++w.recovery_count;
+    if (w.last_known_good.empty()) {
+      break;
+    }
+    ok = dev_->ReconfigureApp(w.last_known_good, id).ok;
+    if (!ok) {
+      ++failed_recoveries_;
+      TraceEvent(id, "recover.retry");
+    }
+  }
+
+  const sim::TimePs now = dev_->engine().Now();
+  if (ok) {
+    ++recoveries_;
+    incident.recovered = true;
+    incident.recovered_at = now;
+    incident.mttr = now - detected_at;
+    w.health = RegionHealth::kProbation;
+    w.probation_left = config_.probation_ticks;
+    w.last_beats = dev_->vfpga(id).beats_retired();
+    w.last_packets = dev_->data_mover().packets_moved_for(id);
+    w.last_progress_at = now;
+    TraceEvent(id, "recover.ok");
+    if (scheduler_ != nullptr) {
+      // Reap the hung request and record the freshly programmed bitstream.
+      scheduler_->NoteRegionReset(id, w.last_known_good);
+    }
+  } else {
+    // Budget exhausted (or nothing to reprogram with): fence permanently.
+    // The shell keeps serving the other regions.
+    dev_->vfpga(id).UnloadKernel();
+    w.health = RegionHealth::kQuarantined;
+    ++permanent_quarantines_;
+    TraceEvent(id, "quarantine.permanent");
+    if (scheduler_ != nullptr) {
+      scheduler_->NoteRegionReset(id, std::string());
+    }
+  }
+  incidents_.push_back(std::move(incident));
+}
+
+void Supervisor::TraceEvent(uint32_t id, const std::string& event) {
+  trace_.push_back("t=" + std::to_string(dev_->engine().Now()) + " vfpga=" +
+                   std::to_string(id) + " " + event);
+}
+
+uint64_t Supervisor::TraceFingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64-bit offset basis
+  auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ull;
+  };
+  for (const auto& line : trace_) {
+    for (const char c : line) {
+      mix(static_cast<uint8_t>(c));
+    }
+    mix('\n');
+  }
+  return h;
+}
+
+}  // namespace runtime
+}  // namespace coyote

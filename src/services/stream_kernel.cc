@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/fault.h"
+
 namespace coyote {
 namespace services {
 
@@ -21,6 +23,10 @@ axi::Stream& StreamKernel::Out(uint32_t i) {
 void StreamKernel::Attach(vfpga::Vfpga* region) {
   region_ = region;
   pipe_free_cycle_ = 0;
+  // A freshly programmed bitstream starts healthy; the hang decision (if a
+  // fault injector is wired) is drawn when the first data arrives.
+  hang_decided_ = false;
+  wedged_ = false;
   for (uint32_t i = 0; i < NumStreams(); ++i) {
     In(i).set_on_data([this, i]() { Pump(i); });
     // Drain anything already queued.
@@ -39,10 +45,24 @@ void StreamKernel::Detach() {
 
 void StreamKernel::Pump(uint32_t stream_index) {
   auto& in = In(stream_index);
+  if (!in.Empty() && !hang_decided_) {
+    hang_decided_ = true;
+    sim::FaultInjector* injector = region_->fault_injector();
+    if (injector != nullptr && injector->NextKernelHang()) {
+      wedged_ = true;
+    }
+  }
+  if (wedged_) {
+    // Hung pipeline: input accumulates unconsumed, no beats retire, and the
+    // client's transfer never completes — exactly the silent-stall signature
+    // the Supervisor's watchdog exists to catch.
+    return;
+  }
   while (!in.Empty()) {
     auto pkt = in.Pop();
     const uint64_t n = pkt->data.size();
     bytes_processed_ += n;
+    region_->RetireBeat(pkt->beats());
 
     // Service time on the shared pipe.
     const sim::Clock& clk = sim::kSystemClock;

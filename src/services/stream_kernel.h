@@ -44,6 +44,9 @@ class StreamKernel : public vfpga::HwKernel {
   void Detach() override;
 
   uint64_t bytes_processed() const { return bytes_processed_; }
+  // True once an injected hang has wedged the pipeline: the kernel stops
+  // consuming input and retires no further beats until reconfigured.
+  bool wedged() const { return wedged_; }
 
  protected:
   // Transforms one input packet's payload. Default: identity (pass-through).
@@ -66,6 +69,9 @@ class StreamKernel : public vfpga::HwKernel {
   // Absolute cycle at which the shared pipe is next free.
   uint64_t pipe_free_cycle_ = 0;
   uint64_t bytes_processed_ = 0;
+  // Chaos: one hang decision per invocation (first data seen after attach).
+  bool hang_decided_ = false;
+  bool wedged_ = false;
 };
 
 }  // namespace services

@@ -39,6 +39,7 @@ inline constexpr ActorId kActorEngine = 1;     // generic engine callback
 inline constexpr ActorId kActorDma = 2;        // data mover / XDMA paths
 inline constexpr ActorId kActorNet = 3;        // RoCE/TCP rx processing
 inline constexpr ActorId kActorScheduler = 4;  // kernel scheduler dispatch
+inline constexpr ActorId kActorSupervisor = 5;  // watchdog / recovery engine
 inline constexpr ActorId kActorUserBase = 16;
 
 struct AccessConflict {

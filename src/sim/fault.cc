@@ -10,6 +10,8 @@ constexpr uint64_t kNetDomain = 0x6E65'74'00ull;
 constexpr uint64_t kReconfigDomain = 0x7263'6E'66ull;
 constexpr uint64_t kXdmaDomain = 0x7864'6D'61ull;
 constexpr uint64_t kMmuDomain = 0x6D6D'75'00ull;
+constexpr uint64_t kKernelDomain = 0x6B72'6E'6Cull;
+constexpr uint64_t kQpDomain = 0x7170'77'64ull;
 
 }  // namespace
 
@@ -19,7 +21,9 @@ FaultInjector::FaultInjector(Engine* engine, const FaultPlan& plan)
       net_rng_(plan.seed ^ kNetDomain),
       reconfig_rng_(plan.seed ^ kReconfigDomain),
       xdma_rng_(plan.seed ^ kXdmaDomain),
-      mmu_rng_(plan.seed ^ kMmuDomain) {}
+      mmu_rng_(plan.seed ^ kMmuDomain),
+      kernel_rng_(plan.seed ^ kKernelDomain),
+      qp_rng_(plan.seed ^ kQpDomain) {}
 
 void FaultInjector::Record(std::string_view what, uint64_t detail) {
   counters_.Increment(what);
@@ -124,6 +128,28 @@ bool FaultInjector::NextForcedTlbMiss() {
   ++decisions_;
   if (mmu_rng_.NextDouble() < plan_.tlb_force_miss_rate) {
     Record("mmu.forced_tlb_miss", 0);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::NextKernelHang() {
+  ++decisions_;
+  const uint32_t index = kernel_invocations_seen_++;
+  const double u = kernel_rng_.NextDouble();
+  if (index < plan_.kernel_hang_first_n || u < plan_.kernel_hang_rate) {
+    Record("kernel.hang", index);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::NextQpWedge() {
+  ++decisions_;
+  const uint32_t index = qp_posts_seen_++;
+  const double u = qp_rng_.NextDouble();
+  if (index < plan_.qp_wedge_first_n || u < plan_.qp_wedge_rate) {
+    Record("qp.wedge", index);
     return true;
   }
   return false;

@@ -54,6 +54,20 @@ struct FaultPlan {
   // --- MMU / TLB ---------------------------------------------------------------
   double tlb_force_miss_rate = 0.0;  // per-translation forced TLB eviction
 
+  // --- Kernel execution (vFPGA regions) ----------------------------------------
+  // A hung kernel stops retiring beats: it accepts no further input and
+  // produces no output until the region is reconfigured. Detection is the
+  // Supervisor's job (src/runtime/supervisor.h).
+  double kernel_hang_rate = 0.0;       // per-invocation hang probability
+  uint32_t kernel_hang_first_n = 0;    // deterministically hang the first N invocations
+
+  // --- RoCE QPs ----------------------------------------------------------------
+  // A wedged QP's transmit path goes dark: frames are silently eaten after
+  // the stack hands them off, so only retransmit-budget exhaustion surfaces
+  // the failure (as an error CQE + QP error state).
+  double qp_wedge_rate = 0.0;      // per-posted-WR wedge probability
+  uint32_t qp_wedge_first_n = 0;   // deterministically wedge the first N posted WRs
+
   // --- Node outages ------------------------------------------------------------
   // While Now() is inside [start, end), every frame to or from `ip` is
   // dropped — the simulated node is dead. Restore is implicit at `end`.
@@ -100,6 +114,14 @@ class FaultInjector {
   // --- MMU --------------------------------------------------------------------
   bool NextForcedTlbMiss();
 
+  // --- Kernel execution -------------------------------------------------------
+  // One decision per kernel invocation (first beat pumped after attach).
+  bool NextKernelHang();
+
+  // --- RoCE QPs ---------------------------------------------------------------
+  // One decision per posted work request.
+  bool NextQpWedge();
+
   // --- Introspection ----------------------------------------------------------
   const FaultPlan& plan() const { return plan_; }
   const CounterSet& counters() const { return counters_; }
@@ -121,8 +143,12 @@ class FaultInjector {
   Rng reconfig_rng_;
   Rng xdma_rng_;
   Rng mmu_rng_;
+  Rng kernel_rng_;
+  Rng qp_rng_;
 
   uint32_t reconfig_programs_seen_ = 0;
+  uint32_t kernel_invocations_seen_ = 0;
+  uint32_t qp_posts_seen_ = 0;
   CounterSet counters_;
   uint64_t fingerprint_ = 0xcbf29ce484222325ull;
   uint64_t decisions_ = 0;

@@ -1,0 +1,115 @@
+// Cancellable timers on top of the event engine.
+//
+// Engine::ScheduleAfter is fire-and-forget: once an event is queued it will
+// run, so any component that wants a *deadline* (fire only if something did
+// NOT happen) has to build its own generation-counter machinery — the RoCE
+// stack's retransmit timers do exactly that. The TimerWheel centralizes the
+// pattern: it hands out handles, and a cancelled handle turns the queued
+// engine event into a no-op. Watchdogs (runtime::Supervisor) and per-request
+// deadlines (runtime::CThread) are the primary clients.
+//
+// Determinism: the wheel adds no ordering of its own — timers fire as plain
+// engine events, so two timers armed for the same instant fire in the order
+// they were armed (the engine's FIFO tie-break).
+
+#ifndef SRC_SIM_TIMER_WHEEL_H_
+#define SRC_SIM_TIMER_WHEEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace coyote {
+namespace sim {
+
+class TimerWheel {
+ public:
+  using TimerId = uint64_t;
+  using Callback = std::function<void()>;
+
+  static constexpr TimerId kInvalidTimer = 0;
+
+  explicit TimerWheel(Engine* engine) : engine_(engine) {}
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // One-shot: fires once after `delay`, then the handle expires.
+  TimerId ScheduleAfter(TimePs delay, Callback cb) {
+    const TimerId id = next_id_++;
+    Timer& t = timers_[id];
+    t.periodic = false;
+    t.period = 0;
+    t.cb = std::move(cb);
+    Arm(id, delay);
+    return id;
+  }
+
+  // Periodic: first fire after `period`, then every `period` until cancelled.
+  TimerId SchedulePeriodic(TimePs period, Callback cb) {
+    const TimerId id = next_id_++;
+    Timer& t = timers_[id];
+    t.periodic = true;
+    t.period = period;
+    t.cb = std::move(cb);
+    Arm(id, period);
+    return id;
+  }
+
+  // Returns true if the timer was still pending (and is now disarmed). A
+  // one-shot that already fired, or an unknown id, returns false. Safe to
+  // call from inside the timer's own callback (stops a periodic timer).
+  bool Cancel(TimerId id) { return timers_.erase(id) > 0; }
+
+  bool Pending(TimerId id) const { return timers_.count(id) > 0; }
+  size_t active() const { return timers_.size(); }
+  uint64_t fires() const { return fires_; }
+  uint64_t cancelled_fires() const { return cancelled_fires_; }
+
+ private:
+  struct Timer {
+    bool periodic = false;
+    TimePs period = 0;
+    Callback cb;
+  };
+
+  void Arm(TimerId id, TimePs delay) {
+    engine_->ScheduleAfter(delay, [this, id] { Fire(id); });
+  }
+
+  void Fire(TimerId id) {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) {
+      // Cancelled between arm and fire: the engine event outlives the handle
+      // and degrades to a no-op.
+      ++cancelled_fires_;
+      return;
+    }
+    ++fires_;
+    if (it->second.periodic) {
+      // Re-arm before running so the callback may Cancel() its own handle to
+      // stop the cycle; run a copy because Cancel() erases the stored one.
+      Arm(id, it->second.period);
+      Callback cb = it->second.cb;
+      cb();
+    } else {
+      Callback cb = std::move(it->second.cb);
+      timers_.erase(it);
+      cb();
+    }
+  }
+
+  Engine* engine_;
+  TimerId next_id_ = 1;  // 0 is kInvalidTimer
+  uint64_t fires_ = 0;
+  uint64_t cancelled_fires_ = 0;
+  std::map<TimerId, Timer> timers_;
+};
+
+}  // namespace sim
+}  // namespace coyote
+
+#endif  // SRC_SIM_TIMER_WHEEL_H_

@@ -44,5 +44,21 @@ void Vfpga::UnloadKernel() {
   }
 }
 
+size_t Vfpga::FlushStreams() {
+  size_t dropped = 0;
+  auto flush = [&dropped](std::vector<std::unique_ptr<axi::Stream>>& streams) {
+    for (auto& s : streams) {
+      dropped += s->Clear();
+    }
+  };
+  flush(host_in_);
+  flush(host_out_);
+  flush(card_in_);
+  flush(card_out_);
+  flush(net_in_);
+  flush(net_out_);
+  return dropped;
+}
+
 }  // namespace vfpga
 }  // namespace coyote

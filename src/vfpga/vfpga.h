@@ -27,6 +27,9 @@
 #include "src/vfpga/kernel.h"
 
 namespace coyote {
+namespace sim {
+class FaultInjector;
+}  // namespace sim
 namespace vfpga {
 
 // One entry of the hardware read/write send queues (paper §7.1): lets user
@@ -120,6 +123,22 @@ class Vfpga {
   void UnloadKernel();
   HwKernel* kernel() { return kernel_.get(); }
 
+  // --- Health / supervision ----------------------------------------------------
+  // Kernels call RetireBeat as they consume input: the monotone counter is
+  // the region's heartbeat. A kernel that stops retiring beats while work is
+  // outstanding is what the Supervisor declares hung.
+  void RetireBeat(uint64_t beats) { beats_retired_ += beats; }
+  uint64_t beats_retired() const { return beats_retired_; }
+
+  // Drops all queued packets on every stream (recovery flush before the
+  // region is reprogrammed). Returns the number of packets discarded.
+  size_t FlushStreams();
+
+  // Optional chaos hookup: kernels consult this at invocation time to decide
+  // whether to simulate a hang. Null = no fault injection.
+  void SetFaultInjector(sim::FaultInjector* injector) { fault_injector_ = injector; }
+  sim::FaultInjector* fault_injector() { return fault_injector_; }
+
   uint64_t user_interrupts() const { return user_interrupts_; }
   uint64_t sends_posted() const { return sends_posted_; }
 
@@ -138,9 +157,11 @@ class Vfpga {
   std::function<void(const CompletionEntry&)> completion_handler_;
   std::deque<CompletionEntry> completions_;
   std::unique_ptr<HwKernel> kernel_;
+  sim::FaultInjector* fault_injector_ = nullptr;
 
   uint64_t user_interrupts_ = 0;
   uint64_t sends_posted_ = 0;
+  uint64_t beats_retired_ = 0;
 };
 
 }  // namespace vfpga

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "src/runtime/crcnfg.h"
 #include "src/runtime/cthread.h"
 #include "src/runtime/device.h"
+#include "src/runtime/supervisor.h"
 #include "src/services/aes.h"
 #include "src/services/aes_kernels.h"
 #include "src/services/hll.h"
@@ -79,6 +81,15 @@ std::vector<uint8_t> RandomBytes(uint64_t n, uint64_t seed) {
   sim::Rng rng(seed);
   rng.FillBytes(v.data(), n);
   return v;
+}
+
+// Supervisor tuned for soak time scales: tight watchdog, short hang window.
+runtime::Supervisor::Config SoakSupervisorConfig() {
+  runtime::Supervisor::Config cfg;
+  cfg.watchdog_period = sim::Microseconds(20);
+  cfg.heartbeat_deadline = sim::Microseconds(60);
+  cfg.probation_ticks = 2;
+  return cfg;
 }
 
 // --- Device workloads under host-link chaos ----------------------------------
@@ -273,6 +284,89 @@ TEST_F(ReconfigChaosTest, FailedReconfigLeavesRegionEmptyAndReportsError) {
   EXPECT_EQ(dev_->vfpga(0).kernel(), nullptr);
 }
 
+// --- Hang profiles: supervised recovery under chaos ----------------------------
+
+TEST_F(ReconfigChaosTest, HungKernelRecoveredBySupervisor) {
+  sim::FaultPlan plan;
+  plan.seed = 24;
+  plan.kernel_hang_first_n = 1;  // the first kernel wedges on first data
+  plan.xdma_stall_rate = 0.5;    // host-link chaos stays on during recovery
+  plan.xdma_stall_ps = sim::Microseconds(2);
+  sim::FaultInjector injector(&dev_->engine(), plan);
+  dev_->AttachFaultInjector(&injector);
+  ASSERT_TRUE(dev_->ReconfigureApp("/bit/app.bin", 0).ok);
+
+  runtime::Supervisor sup(dev_.get(), nullptr, SoakSupervisorConfig());
+  sup.SetLastKnownGood(0, "/bit/app.bin");
+  sup.Start();
+
+  CThread t(dev_.get(), 0);
+  constexpr uint64_t kBytes = 64 << 10;
+  const auto data = RandomBytes(kBytes, 24);
+  const uint64_t src = t.GetMem({Alloc::kHpf, kBytes});
+  const uint64_t dst = t.GetMem({Alloc::kHpf, kBytes});
+  t.WriteBuffer(src, data.data(), kBytes);
+  SgEntry sg;
+  sg.local = {.src_addr = src, .src_len = kBytes, .dst_addr = dst, .dst_len = kBytes};
+
+  // The wedged transfer error-completes instead of hanging: the watchdog
+  // detects the flat heartbeats and the recovery aborts the stuck DMA.
+  EXPECT_FALSE(t.InvokeSync(Oper::kLocalTransfer, sg));
+  EXPECT_EQ(sup.hangs_detected(), 1u);
+  EXPECT_EQ(sup.recoveries(), 1u);
+  EXPECT_EQ(injector.counters().value("kernel.hang"), 1u);
+
+  // The hot-swapped region serves the retried transfer bit-identically.
+  EXPECT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
+  std::vector<uint8_t> out(kBytes);
+  t.ReadBuffer(dst, out.data(), kBytes);
+  EXPECT_EQ(out, data);
+  sup.Stop();
+}
+
+TEST_F(ReconfigChaosTest, IcapFailureMidRecoveryIsAbsorbedByDriverRetry) {
+  sim::FaultPlan plan;
+  plan.seed = 25;
+  plan.kernel_hang_first_n = 1;
+  plan.reconfig_fail_first_n = 1;  // the first recovery program aborts mid-bitstream
+  sim::FaultInjector injector(&dev_->engine(), plan);
+  dev_->AttachFaultInjector(&injector);
+  // Load directly so the injected ICAP failure is saved for the recovery path.
+  dev_->vfpga(0).LoadKernel(std::make_unique<services::PassthroughKernel>());
+
+  runtime::Supervisor sup(dev_.get(), nullptr, SoakSupervisorConfig());
+  sup.SetLastKnownGood(0, "/bit/app.bin");
+  sup.Start();
+
+  CThread t(dev_.get(), 0);
+  constexpr uint64_t kBytes = 64 << 10;
+  const auto data = RandomBytes(kBytes, 25);
+  const uint64_t src = t.GetMem({Alloc::kHpf, kBytes});
+  const uint64_t dst = t.GetMem({Alloc::kHpf, kBytes});
+  t.WriteBuffer(src, data.data(), kBytes);
+  SgEntry sg;
+  sg.local = {.src_addr = src, .src_len = kBytes, .dst_addr = dst, .dst_len = kBytes};
+  EXPECT_FALSE(t.InvokeSync(Oper::kLocalTransfer, sg));
+
+  // Layered recovery: the transient ICAP abort is retried by the driver's
+  // own program budget (ReconfigureApp restages and the second attempt
+  // lands), so the supervisor's recovery budget — reserved for persistent
+  // failure — is untouched, and the incident ends recovered on attempt one.
+  EXPECT_EQ(injector.counters().value("reconfig.fail"), 1u);
+  EXPECT_EQ(dev_->reconfig_controller().programs_failed(), 1u);
+  EXPECT_EQ(sup.failed_recoveries(), 0u);
+  EXPECT_EQ(sup.recoveries(), 1u);
+  ASSERT_EQ(sup.incidents().size(), 1u);
+  EXPECT_TRUE(sup.incidents()[0].recovered);
+  EXPECT_GT(sup.incidents()[0].mttr, 0u);
+
+  EXPECT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
+  std::vector<uint8_t> out(kBytes);
+  t.ReadBuffer(dst, out.data(), kBytes);
+  EXPECT_EQ(out, data);
+  sup.Stop();
+}
+
 // --- Networked workloads under a lossy fabric ---------------------------------
 
 constexpr uint64_t kPage = 2ull << 20;
@@ -281,8 +375,10 @@ constexpr uint64_t kPage = 2ull << 20;
 // collectives_test harness plus a fault injector).
 class LossyCluster {
  public:
-  LossyCluster(uint32_t n, uint64_t seed)
-      : network_(&engine_, {}), injector_(&engine_, LossyNetPlan(seed)) {
+  LossyCluster(uint32_t n, uint64_t seed) : LossyCluster(n, LossyNetPlan(seed)) {}
+
+  LossyCluster(uint32_t n, const sim::FaultPlan& plan)
+      : network_(&engine_, {}), injector_(&engine_, plan) {
     network_.SetFaultInjector(&injector_);
     for (uint32_t i = 0; i < n; ++i) {
       auto node = std::make_unique<Node>();
@@ -292,6 +388,7 @@ class LossyCluster {
                                              &node->gpu, kPage);
       node->stack = std::make_unique<net::RoceStack>(&engine_, &network_, 0x0A000001 + i,
                                                      node->svm.get());
+      node->stack->SetFaultInjector(&injector_);
       node->data_vaddr = node->host.Allocate(8ull << 20, memsys::AllocKind::kHuge2M);
       node->svm->RegisterHostBuffer(node->data_vaddr, 8ull << 20);
       node->scratch_vaddr = node->host.Allocate(8ull << 20, memsys::AllocKind::kHuge2M);
@@ -367,6 +464,64 @@ TEST(ChaosSoakTest, RdmaPingpongSurvivesLossyFabric) {
   EXPECT_LT(retransmits, 64 * (drops + corrupts + 1));
 }
 
+TEST(ChaosSoakTest, WedgedQpFailsToErrorStateAndResetsCleanly) {
+  sim::FaultPlan plan;
+  plan.seed = 33;
+  plan.qp_wedge_first_n = 1;  // the first posted WR wedges its QP's egress
+  LossyCluster cluster(2, plan);
+  auto& a = *cluster.nodes_[0];
+  auto& b = *cluster.nodes_[1];
+  const uint32_t qp_a = a.stack->CreateQp();
+  const uint32_t qp_b = b.stack->CreateQp();
+  a.stack->Connect(qp_a, b.stack->ip(), qp_b);
+  b.stack->Connect(qp_b, a.stack->ip(), qp_a);
+
+  constexpr uint64_t kBytes = 256 << 10;
+  const auto payload = RandomBytes(kBytes, 33);
+  a.svm->WriteVirtual(a.data_vaddr, payload.data(), kBytes);
+
+  // The wedged QP transmits nothing: timeouts back off, the retry budget
+  // drains, and the WR error-completes instead of hanging forever.
+  bool done = false, ok = true;
+  a.stack->PostWrite(qp_a, a.data_vaddr, b.data_vaddr, kBytes, [&](bool k) {
+    done = true;
+    ok = k;
+  });
+  ASSERT_TRUE(cluster.engine_.RunUntilCondition([&] { return done; }));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(a.stack->qp_state(qp_a), net::RoceStack::QpState::kError);
+  EXPECT_EQ(a.stack->retries_exhausted(), 1u);
+  EXPECT_GT(a.stack->backoff_events(), 0u);
+  EXPECT_GT(a.stack->error_completions(), 0u);
+
+  // SQ drain semantics: posts on the errored QP bounce with error CQEs.
+  bool bounced = false, bounced_ok = true;
+  a.stack->PostWrite(qp_a, a.data_vaddr, b.data_vaddr, 4096, [&](bool k) {
+    bounced = true;
+    bounced_ok = k;
+  });
+  ASSERT_TRUE(cluster.engine_.RunUntilCondition([&] { return bounced; }));
+  EXPECT_FALSE(bounced_ok);
+
+  // Driver-mediated re-init handshake: both ends reset, then re-Connect.
+  EXPECT_TRUE(a.stack->ResetQp(qp_a));
+  EXPECT_TRUE(b.stack->ResetQp(qp_b));
+  a.stack->Connect(qp_a, b.stack->ip(), qp_b);
+  b.stack->Connect(qp_b, a.stack->ip(), qp_a);
+  EXPECT_EQ(a.stack->qp_state(qp_a), net::RoceStack::QpState::kReadyToSend);
+
+  bool done2 = false, ok2 = false;
+  a.stack->PostWrite(qp_a, a.data_vaddr, b.data_vaddr, kBytes, [&](bool k) {
+    done2 = true;
+    ok2 = k;
+  });
+  ASSERT_TRUE(cluster.engine_.RunUntilCondition([&] { return done2; }));
+  EXPECT_TRUE(ok2);
+  std::vector<uint8_t> got(kBytes);
+  b.svm->ReadVirtual(b.data_vaddr, got.data(), kBytes);
+  EXPECT_EQ(got, payload);  // the reset pair delivers intact data
+}
+
 TEST(ChaosSoakTest, AllReduceBitIdenticalUnderLossyFabric) {
   constexpr uint32_t kNodes = 4;
   constexpr uint64_t kCount = 8 * 1024;
@@ -383,7 +538,7 @@ TEST(ChaosSoakTest, AllReduceBitIdenticalUnderLossyFabric) {
                                          kCount * 4);
   }
   bool done = false;
-  cluster.group_->AllReduceInt32(cluster.nodes_[0]->data_vaddr, kCount, [&] { done = true; });
+  cluster.group_->AllReduceInt32(cluster.nodes_[0]->data_vaddr, kCount, [&](bool) { done = true; });
   ASSERT_TRUE(cluster.engine_.RunUntilCondition([&] { return done; }));
 
   for (uint32_t i = 0; i < kNodes; ++i) {
@@ -439,7 +594,7 @@ TEST(ChaosSoakTest, MultiSeedSoakAllWorkloadsStayCorrect) {
     }
     bool reduce_done = false;
     cluster.group_->AllReduceInt32(cluster.nodes_[0]->data_vaddr, kCount,
-                                   [&] { reduce_done = true; });
+                                   [&](bool) { reduce_done = true; });
     ASSERT_TRUE(cluster.engine_.RunUntilCondition([&] { return reduce_done; }))
         << "seed " << seed;
     for (uint32_t i = 0; i < 3; ++i) {
@@ -451,6 +606,83 @@ TEST(ChaosSoakTest, MultiSeedSoakAllWorkloadsStayCorrect) {
     }
     EXPECT_GT(cluster.injector_.decisions(), 0u);
   }
+}
+
+// --- Combined chaos: the acceptance soak ---------------------------------------
+
+// 64 sequential clients across 2 supervised regions with kernel hangs, XDMA
+// stalls, and TLB-miss storms all active. The loop finishing at all is the
+// headline assertion: every client sees either success or a typed error
+// completion — never a hang. Running the identical scenario twice must
+// reproduce the same recovery trace, fault schedule, and output bytes.
+TEST(ChaosSoakTest, SixtyFourClientCombinedChaosSoakIsHangFreeAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    SimDevice::Config cfg = DeviceConfig();
+    cfg.shell.num_vfpgas = 2;
+    SimDevice dev(cfg);
+    dev.RegisterKernelFactory(
+        "passthrough", []() { return std::make_unique<services::PassthroughKernel>(); });
+    synth::BuildFlow flow(dev.floorplan());
+    synth::Netlist passthrough{"passthrough", {synth::LibraryModule("passthrough")}};
+    auto built = flow.RunShellFlow(cfg.shell, {passthrough});
+    EXPECT_TRUE(built.ok) << built.error;
+    dev.WriteBitstreamFile("/bit/app.bin", built.app_bitstreams[0]);
+
+    sim::FaultPlan plan;
+    plan.seed = seed;
+    plan.kernel_hang_rate = 0.6;  // per freshly-programmed kernel
+    plan.xdma_stall_rate = 0.3;
+    plan.xdma_stall_ps = sim::Microseconds(2);
+    plan.tlb_force_miss_rate = 0.1;
+    sim::FaultInjector injector(&dev.engine(), plan);
+    dev.AttachFaultInjector(&injector);
+    EXPECT_TRUE(dev.ReconfigureApp("/bit/app.bin", 0).ok);
+    EXPECT_TRUE(dev.ReconfigureApp("/bit/app.bin", 1).ok);
+
+    runtime::Supervisor sup(&dev, nullptr, SoakSupervisorConfig());
+    sup.SetLastKnownGood(0, "/bit/app.bin");
+    sup.SetLastKnownGood(1, "/bit/app.bin");
+    sup.Start();
+
+    uint64_t ok_count = 0, err_count = 0;
+    uint64_t data_hash = 0xcbf29ce484222325ull;  // FNV-1a over successful outputs
+    for (uint32_t client = 0; client < 64; ++client) {
+      CThread t(&dev, client % 2);
+      constexpr uint64_t kBytes = 64 << 10;
+      const auto data = RandomBytes(kBytes, 1000 + client);
+      const uint64_t src = t.GetMem({Alloc::kHpf, kBytes});
+      const uint64_t dst = t.GetMem({Alloc::kHpf, kBytes});
+      t.WriteBuffer(src, data.data(), kBytes);
+      SgEntry sg;
+      sg.local = {.src_addr = src, .src_len = kBytes, .dst_addr = dst, .dst_len = kBytes};
+      if (t.InvokeSync(Oper::kLocalTransfer, sg)) {
+        ++ok_count;
+        std::vector<uint8_t> out(kBytes);
+        t.ReadBuffer(dst, out.data(), kBytes);
+        EXPECT_EQ(out, data) << "client " << client;
+        for (const uint8_t byte : out) {
+          data_hash ^= byte;
+          data_hash *= 0x100000001b3ull;
+        }
+      } else {
+        ++err_count;  // typed error completion, not a hang
+      }
+    }
+    sup.Stop();
+
+    EXPECT_EQ(ok_count + err_count, 64u);  // the loop completed: zero hangs
+    EXPECT_GT(ok_count, 0u);
+    EXPECT_GT(sup.hangs_detected(), 0u);   // the chaos really bit
+    EXPECT_EQ(sup.recoveries(), sup.hangs_detected());  // every hang recovered
+    EXPECT_EQ(sup.permanent_quarantines(), 0u);
+    return std::make_tuple(ok_count, err_count, sup.hangs_detected(),
+                           sup.TraceFingerprint(), injector.ScheduleFingerprint(),
+                           data_hash);
+  };
+
+  const auto first = run(77);
+  const auto second = run(77);
+  EXPECT_EQ(first, second);  // same seed => same recovery story, bit for bit
 }
 
 // Guard-armed builds (COYOTE_SANITIZE / Debug) run every soak above with the

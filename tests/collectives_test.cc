@@ -73,7 +73,7 @@ TEST(CollectivesTest, BroadcastReachesAllNodes) {
   cluster.nodes_[2]->svm->WriteVirtual(vaddr, data.data(), data.size());
 
   bool done = false;
-  cluster.group_->Broadcast(2, vaddr, data.size(), [&] { done = true; });
+  cluster.group_->Broadcast(2, vaddr, data.size(), [&](bool) { done = true; });
   cluster.engine_.RunUntilCondition([&] { return done; });
 
   for (auto& node : cluster.nodes_) {
@@ -86,13 +86,13 @@ TEST(CollectivesTest, BroadcastReachesAllNodes) {
 TEST(CollectivesTest, BroadcastTrivialCases) {
   Cluster single(1);
   bool done = false;
-  single.group_->Broadcast(0, single.nodes_[0]->data_vaddr, 100, [&] { done = true; });
+  single.group_->Broadcast(0, single.nodes_[0]->data_vaddr, 100, [&](bool) { done = true; });
   single.engine_.RunUntilIdle();
   EXPECT_TRUE(done);
 
   Cluster pair(2);
   done = false;
-  pair.group_->Broadcast(0, pair.nodes_[0]->data_vaddr, 0, [&] { done = true; });
+  pair.group_->Broadcast(0, pair.nodes_[0]->data_vaddr, 0, [&](bool) { done = true; });
   pair.engine_.RunUntilIdle();
   EXPECT_TRUE(done);
 }
@@ -108,7 +108,7 @@ TEST(CollectivesTest, AllGatherAssemblesAllChunks) {
                                          chunk.data(), kChunk);
   }
   bool done = false;
-  cluster.group_->AllGather(cluster.nodes_[0]->data_vaddr, kChunk, [&] { done = true; });
+  cluster.group_->AllGather(cluster.nodes_[0]->data_vaddr, kChunk, [&](bool) { done = true; });
   cluster.engine_.RunUntilCondition([&] { return done; });
 
   for (uint32_t i = 0; i < kNodes; ++i) {
@@ -135,7 +135,7 @@ void RunAllReduce(uint32_t n, uint64_t count) {
                                          count * 4);
   }
   bool done = false;
-  cluster.group_->AllReduceInt32(cluster.nodes_[0]->data_vaddr, count, [&] { done = true; });
+  cluster.group_->AllReduceInt32(cluster.nodes_[0]->data_vaddr, count, [&](bool) { done = true; });
   cluster.engine_.RunUntilCondition([&] { return done; });
   ASSERT_TRUE(done);
   for (uint32_t i = 0; i < n; ++i) {
@@ -168,7 +168,7 @@ TEST_P(BroadcastRootSweep, AnyRootWorks) {
   const uint64_t vaddr = cluster.nodes_[root]->data_vaddr;
   cluster.nodes_[root]->svm->WriteVirtual(vaddr, data.data(), data.size());
   bool done = false;
-  cluster.group_->Broadcast(root, vaddr, data.size(), [&] { done = true; });
+  cluster.group_->Broadcast(root, vaddr, data.size(), [&](bool) { done = true; });
   cluster.engine_.RunUntilCondition([&] { return done; });
   for (auto& node : cluster.nodes_) {
     std::vector<uint8_t> got(data.size());
@@ -185,7 +185,7 @@ TEST(CollectivesTest, BroadcastScalesLogarithmically) {
     Cluster cluster(n);
     const uint64_t bytes = 4 << 20;
     bool done = false;
-    cluster.group_->Broadcast(0, cluster.nodes_[0]->data_vaddr, bytes, [&] { done = true; });
+    cluster.group_->Broadcast(0, cluster.nodes_[0]->data_vaddr, bytes, [&](bool) { done = true; });
     cluster.engine_.RunUntilCondition([&] { return done; });
     return cluster.engine_.Now();
   };

@@ -229,6 +229,38 @@ TEST_F(TcpTest, CloseTearsDownBothSides) {
   EXPECT_FALSE(server_.IsOpen(s));
 }
 
+TEST_F(TcpTest, BlackholedSendErrorCompletesAfterRetryBudget) {
+  auto [c, s] = Establish();
+  nw_.SetDropFilter([](uint64_t) { return true; });  // total blackhole
+
+  // The send can never be acknowledged: backoff runs, the retry budget
+  // drains, and the completion fires with ok=false — never a silent hang.
+  bool done = false, ok = true;
+  client_.Send(c, buf_a_, 64 << 10, [&](bool k) {
+    done = true;
+    ok = k;
+  });
+  ASSERT_TRUE(engine_.RunUntilCondition([&] { return done; }));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(client_.retries_exhausted(), 1u);
+  EXPECT_GT(client_.backoff_events(), 0u);
+  EXPECT_GT(client_.error_completions(), 0u);
+  EXPECT_FALSE(client_.IsOpen(c));  // the failed connection is torn down
+}
+
+TEST_F(TcpTest, HandshakeIntoBlackholeFailsWithTypedError) {
+  nw_.SetDropFilter([](uint64_t) { return true; });
+  bool called = false, ok = true;
+  client_.Connect(0x0A000002, 5001, [&](TcpStack::ConnId, bool k) {
+    called = true;
+    ok = k;
+  });
+  ASSERT_TRUE(engine_.RunUntilCondition([&] { return called; }));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(client_.retries_exhausted(), 1u);
+  EXPECT_GT(client_.error_completions(), 0u);
+}
+
 TEST_F(TcpTest, ThroughputReasonableOn100G) {
   auto [c, s] = Establish();
   constexpr uint64_t kBytes = 8 << 20;
