@@ -1,0 +1,372 @@
+// Event-engine fast-path microbenchmark.
+//
+// Measures the simulator's schedule/fire cycle — the loop every other bench
+// sits on top of — and compares the calendar-queue engine (sim::Engine) with
+// an embedded copy of the pre-optimization binary-heap engine
+// (LegacyHeapEngine below: std::priority_queue + std::function callbacks,
+// byte-for-byte the old src/sim/engine.{h,cc} hot path). Three workloads:
+//
+//   1. steady-state schedule/fire throughput at several queue depths
+//      (self-rescheduling actors, the pattern links and timers produce),
+//   2. an overflow-day workload whose periods exceed the calendar span
+//      (exercises the day-jump path),
+//   3. payload fan-out: one message delivered to N consumers as zero-copy
+//      BufferView slices vs. per-consumer std::vector copies.
+//
+// Heap allocations are counted via a global operator new hook, so the
+// "allocation-free steady state" claim is measured, not asserted. Results
+// land in BENCH_sim_perf.json. Every value derived from the wall clock is
+// written under a key prefixed "wall_"; all other fields are deterministic,
+// and CI runs this bench twice and diffs the JSON with wall_ lines stripped.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/axi/buffer.h"
+#include "src/sim/engine.h"
+
+// --- Allocation counter ------------------------------------------------------
+// Replacing global operator new/delete is the one portable way to observe the
+// allocator; the bench binary owns the whole process, so this is safe.
+
+namespace {
+uint64_t g_allocs = 0;
+}  // namespace
+
+// noinline keeps the malloc/free pairing opaque to the optimizer: GCC's
+// -Wmismatched-new-delete heuristic cannot see that the replacement operator
+// new is malloc-backed and would flag the free() at every inlined call site.
+__attribute__((noinline)) void* operator new(std::size_t size) {  // lint: raw-alloc-ok
+  ++g_allocs;
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    std::abort();
+  }
+  return p;
+}
+__attribute__((noinline)) void* operator new[](std::size_t size) {  // lint: raw-alloc-ok
+  ++g_allocs;
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    std::abort();
+  }
+  return p;
+}
+__attribute__((noinline)) void operator delete(void* p) noexcept {  // lint: raw-alloc-ok
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p) noexcept {  // lint: raw-alloc-ok
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept {  // lint: raw-alloc-ok
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p, std::size_t) noexcept {  // lint: raw-alloc-ok
+  std::free(p);
+}
+
+namespace coyote {
+namespace {
+
+// --- LegacyHeapEngine --------------------------------------------------------
+// The pre-optimization engine, kept verbatim so the speedup is measured
+// against the real baseline inside one binary (same compiler, same flags).
+
+class LegacyHeapEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  sim::TimePs Now() const { return now_; }
+
+  void ScheduleAt(sim::TimePs t, Callback cb) {
+    if (t < now_) {
+      t = now_;
+    }
+    queue_.push(Event{t, next_seq_++, std::move(cb)});
+  }
+  void ScheduleAfter(sim::TimePs delay, Callback cb) {
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  bool Step() {
+    if (queue_.empty()) {
+      return false;
+    }
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.cb();
+    return true;
+  }
+
+  uint64_t RunUntilIdle() {
+    uint64_t n = 0;
+    while (Step()) {
+      ++n;
+    }
+    return n;
+  }
+
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    sim::TimePs time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  sim::TimePs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+// --- Workload 1+2: self-rescheduling actors ----------------------------------
+// `depth` concurrent actors each fire and reschedule themselves `period`
+// ahead until `budget` total events have run — the steady-state shape the
+// link/timer layers generate. The functor is 40 bytes, so it rides inline in
+// sim::Engine's callbacks and forces a heap allocation per schedule in the
+// legacy engine's std::function — exactly the difference being measured.
+
+template <typename EngineT>
+struct Actor {
+  EngineT* eng;
+  uint64_t* fired;
+  uint64_t budget;
+  sim::TimePs period;
+  uint64_t stagger;
+
+  void operator()() const {
+    if (++*fired >= budget) {
+      return;
+    }
+    eng->ScheduleAfter(period + stagger, *this);
+  }
+};
+
+struct CaseResult {
+  const char* name = "";
+  const char* engine = "";
+  uint64_t events = 0;
+  uint64_t allocs = 0;
+  uint64_t final_time_ps = 0;
+  double wall_seconds = 0.0;
+};
+
+template <typename EngineT>
+CaseResult RunActors(const char* name, const char* engine_name, uint64_t depth,
+                     uint64_t budget, sim::TimePs period) {
+  EngineT eng;
+  uint64_t fired = 0;
+  for (uint64_t i = 0; i < depth; ++i) {
+    // Distinct stagger per actor keeps timestamps spread across buckets.
+    eng.ScheduleAfter(1 + i, Actor<EngineT>{&eng, &fired, budget, period, i % 7});
+  }
+  // Warm the pools/heap outside the timed region: steady state is the claim.
+  // Two full calendar days of simulated time lets every bucket the workload
+  // touches grow its vector capacity once; those one-time growths are a
+  // startup transient, not steady-state allocation.
+  while ((fired < depth * 2 || eng.Now() < 2 * sim::Engine::kDaySpanPs) && fired < budget / 2 &&
+         eng.Step()) {
+  }
+  const uint64_t warmed = fired;
+  const uint64_t allocs_before = g_allocs;
+  bench::WallTimer timer;
+  while (fired < budget && eng.Step()) {
+  }
+  CaseResult r;
+  r.name = name;
+  r.engine = engine_name;
+  r.events = fired - warmed;
+  r.allocs = g_allocs - allocs_before;
+  r.final_time_ps = eng.Now();
+  r.wall_seconds = timer.Seconds();
+  return r;
+}
+
+// --- Workload 3: payload fan-out ---------------------------------------------
+// One 256 KB message delivered to `consumers` destinations in MTU chunks:
+// the wire pattern (switch fan-out, go-back-N window, sniffer capture).
+// The view path slices; the copy path materializes a vector per delivery.
+
+struct FanoutResult {
+  uint64_t deliveries = 0;
+  uint64_t bytes_touched = 0;
+  uint64_t checksum = 0;
+  uint64_t allocs = 0;
+  double wall_seconds = 0.0;
+};
+
+FanoutResult RunFanoutViews(uint64_t iters, uint64_t consumers, uint64_t mtu) {
+  axi::BufferView message;
+  message.resize(256 * 1024);
+  uint8_t* bytes = message.data();
+  for (size_t i = 0; i < message.size(); ++i) {
+    bytes[i] = static_cast<uint8_t>(i * 131u);
+  }
+  FanoutResult r;
+  const uint64_t allocs_before = g_allocs;
+  bench::WallTimer timer;
+  for (uint64_t it = 0; it < iters; ++it) {
+    for (uint64_t off = 0; off < message.size(); off += mtu) {
+      for (uint64_t c = 0; c < consumers; ++c) {
+        const axi::BufferView slice = message.Slice(off, mtu);
+        r.checksum += slice[0] + slice[slice.size() - 1];
+        r.bytes_touched += slice.size();
+        ++r.deliveries;
+      }
+    }
+  }
+  r.wall_seconds = timer.Seconds();
+  r.allocs = g_allocs - allocs_before;
+  return r;
+}
+
+FanoutResult RunFanoutCopies(uint64_t iters, uint64_t consumers, uint64_t mtu) {
+  std::vector<uint8_t> message(256 * 1024);
+  for (size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<uint8_t>(i * 131u);
+  }
+  FanoutResult r;
+  const uint64_t allocs_before = g_allocs;
+  bench::WallTimer timer;
+  for (uint64_t it = 0; it < iters; ++it) {
+    for (uint64_t off = 0; off < message.size(); off += mtu) {
+      for (uint64_t c = 0; c < consumers; ++c) {
+        const std::vector<uint8_t> copy(message.begin() + static_cast<ptrdiff_t>(off),
+                                        message.begin() + static_cast<ptrdiff_t>(off + mtu));
+        r.checksum += copy[0] + copy[copy.size() - 1];
+        r.bytes_touched += copy.size();
+        ++r.deliveries;
+      }
+    }
+  }
+  r.wall_seconds = timer.Seconds();
+  r.allocs = g_allocs - allocs_before;
+  return r;
+}
+
+}  // namespace
+}  // namespace coyote
+
+int main() {
+  using namespace coyote;  // NOLINT(build/namespaces)
+
+  bench::PrintHeader("Event-engine fast path: calendar queue vs. binary heap",
+                     "perf substrate for every bench/ figure (simulator internals)");
+
+  struct CaseSpec {
+    const char* name;
+    uint64_t depth;
+    uint64_t budget;
+    sim::TimePs period;
+  };
+  // The pending-event *spread* equals the reschedule period, so the period
+  // decides how many calendar buckets the queue occupies. The 100ns-1us cases
+  // match what the device models actually schedule (link serialization, DMA
+  // bursts, timer deadlines): events spread across hundreds of 1024 ps
+  // buckets, so each pop sifts a near-empty window heap — this is where the
+  // calendar engine wins. The 1 ns case is the adversarial shape: every
+  // pending event lands in one bucket and the calendar degenerates into a
+  // single heap (expected ~parity with the legacy engine, kept honest here).
+  // The 8 us case lands every event beyond the ~4.2 us calendar day, driving
+  // the overflow heap + day-jump path.
+  const CaseSpec specs[] = {
+      {"depth_64_period_100ns", 64, 2'000'000, sim::Nanoseconds(100)},
+      {"depth_1024_period_400ns", 1024, 2'000'000, sim::Nanoseconds(400)},
+      {"depth_4096_period_1us", 4096, 2'000'000, sim::Microseconds(1)},
+      {"depth_4096_period_4us", 4096, 2'000'000, sim::Microseconds(4)},
+      {"depth_65536_period_1us", 65536, 2'000'000, sim::Microseconds(1)},
+      {"depth_262144_period_1us", 262144, 4'000'000, sim::Microseconds(1)},
+      {"depth_4096_period_1ns_adversarial", 4096, 2'000'000, sim::Nanoseconds(1)},
+      {"depth_4096_period_8us_overflow", 4096, 2'000'000, sim::Microseconds(8)},
+  };
+
+  std::vector<CaseResult> results;
+  bench::PrintRule();
+  for (const CaseSpec& s : specs) {
+    CaseResult cal = RunActors<sim::Engine>(s.name, "calendar", s.depth, s.budget, s.period);
+    CaseResult heap =
+        RunActors<LegacyHeapEngine>(s.name, "legacy_heap", s.depth, s.budget, s.period);
+    if (cal.events != heap.events || cal.final_time_ps != heap.final_time_ps) {
+      bench::Note("MISMATCH: engines disagree on event count or final time");
+      return 1;
+    }
+    bench::Row("%s:", s.name);
+    bench::RowEventsPerSec("calendar queue", cal.events, cal.wall_seconds);
+    bench::RowEventsPerSec("legacy binary heap", heap.events, heap.wall_seconds);
+    bench::Row("  %-32s %12llu (calendar)  vs %12llu (heap)", "steady-state allocs",
+               static_cast<unsigned long long>(cal.allocs),
+               static_cast<unsigned long long>(heap.allocs));
+    bench::Row("  %-32s %.2fx", "wall speedup",
+               bench::EventsPerSec(cal.events, cal.wall_seconds) /
+                   bench::EventsPerSec(heap.events, heap.wall_seconds));
+    results.push_back(cal);
+    results.push_back(heap);
+  }
+
+  bench::PrintRule();
+  const uint64_t kFanoutIters = 200;
+  const uint64_t kConsumers = 8;
+  const uint64_t kMtu = 4096;
+  FanoutResult views = RunFanoutViews(kFanoutIters, kConsumers, kMtu);
+  FanoutResult copies = RunFanoutCopies(kFanoutIters, kConsumers, kMtu);
+  bench::Row("payload fan-out (256 KB message, %llu consumers, %llu B MTU):",
+             static_cast<unsigned long long>(kConsumers),
+             static_cast<unsigned long long>(kMtu));
+  bench::RowEventsPerSec("BufferView slices", views.deliveries, views.wall_seconds);
+  bench::RowEventsPerSec("vector copies", copies.deliveries, copies.wall_seconds);
+  bench::Row("  %-32s %12llu (views)     vs %12llu (copies)", "allocs",
+             static_cast<unsigned long long>(views.allocs),
+             static_cast<unsigned long long>(copies.allocs));
+  if (views.checksum != copies.checksum || views.deliveries != copies.deliveries) {
+    bench::Note("MISMATCH: fan-out paths disagree");
+    return 1;
+  }
+
+  std::FILE* json = std::fopen("BENCH_sim_perf.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"sim_perf\",\n  \"cases\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const CaseResult& r = results[i];
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"engine\": \"%s\", \"events\": %llu,\n"
+                   "     \"allocs\": %llu, \"final_time_ps\": %llu,\n"
+                   "     \"wall_seconds\": %.6f, \"wall_events_per_sec\": %.0f}%s\n",
+                   r.name, r.engine, static_cast<unsigned long long>(r.events),
+                   static_cast<unsigned long long>(r.allocs),
+                   static_cast<unsigned long long>(r.final_time_ps), r.wall_seconds,
+                   bench::EventsPerSec(r.events, r.wall_seconds),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"fanout\": {\"deliveries\": %llu, \"bytes_touched\": %llu,\n"
+                 "    \"checksum\": %llu, \"view_allocs\": %llu, \"copy_allocs\": %llu,\n"
+                 "    \"wall_view_seconds\": %.6f, \"wall_copy_seconds\": %.6f}\n}\n",
+                 static_cast<unsigned long long>(views.deliveries),
+                 static_cast<unsigned long long>(views.bytes_touched),
+                 static_cast<unsigned long long>(views.checksum),
+                 static_cast<unsigned long long>(views.allocs),
+                 static_cast<unsigned long long>(copies.allocs), views.wall_seconds,
+                 copies.wall_seconds);
+    std::fclose(json);
+    bench::Note("wrote BENCH_sim_perf.json");
+  }
+  return 0;
+}

@@ -10,7 +10,9 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <chrono>  // wall-clock for perf benches only; lint: nondet-ok
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -37,6 +39,35 @@ inline void Row(const char* fmt, ...) {
 }
 
 inline void Note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+// --- Throughput reporting (perf benches) -------------------------------------
+// Simulation code never reads the wall clock; perf benches do, to report how
+// fast the simulator itself runs. Anything derived from WallTimer is
+// nondeterministic by nature, so JSON emitters must write such values under
+// keys prefixed "wall_" — determinism checks diff the output with those lines
+// filtered out.
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}  // lint: nondet-ok
+  void Reset() { start_ = std::chrono::steady_clock::now(); }  // lint: nondet-ok
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)  // lint: nondet-ok
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;  // lint: nondet-ok
+};
+
+inline double EventsPerSec(uint64_t events, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+}
+
+inline void RowEventsPerSec(const char* label, uint64_t events, double seconds) {
+  Row("  %-32s %12llu events  %8.4f s  %9.2f M events/s", label,
+      static_cast<unsigned long long>(events), seconds, EventsPerSec(events, seconds) / 1e6);
+}
 
 }  // namespace bench
 }  // namespace coyote

@@ -1,0 +1,219 @@
+// Ref-counted payload buffers with zero-copy slice views.
+//
+// The substrate moves the same payload bytes through many hops: the dynamic
+// layer packetizes a virtual-memory read into StreamPackets, the network
+// stacks segment messages into MTU frames, HBM striping splits bursts across
+// pseudo-channels. Before this header each hop copied its slice into a fresh
+// std::vector<uint8_t>; at soak event rates those copies (and their
+// allocations) dominated the simulator wall clock.
+//
+// Buffer owns one immutable byte array behind a shared_ptr. BufferView is a
+// cheap (pointer + offset + length) slice over a Buffer with copy-on-write
+// mutation: const access never copies, Slice() never copies, and mutating
+// accessors detach to a private copy only when the storage is actually shared
+// or the view covers a strict sub-range. The API mirrors the parts of
+// std::vector the packet paths used, so StreamPacket consumers keep their
+// shape — `pkt.data = std::move(bytes)` wraps, `pkt.data.data()` (non-const)
+// detaches, `pkt.data.Slice(off, n)` replaces the per-hop copy loop.
+//
+// Threading: like everything in the simulator this is single-threaded by
+// contract; the ref-count exists for ownership, not for cross-thread sharing.
+
+#ifndef SRC_AXI_BUFFER_H_
+#define SRC_AXI_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace coyote {
+namespace axi {
+
+// Immutable (once shared) byte array. Create via BufferView or Buffer::Make.
+class Buffer {
+ public:
+  // Take-by-value + move: the buffer assumes ownership; callers std::move in.
+  explicit Buffer(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}  // lint: hot-copy-ok
+  explicit Buffer(size_t size) : bytes_(size) {}
+
+  static std::shared_ptr<Buffer> Make(std::vector<uint8_t> bytes) {  // lint: hot-copy-ok
+    return std::make_shared<Buffer>(std::move(bytes));
+  }
+
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* mutable_data() { return bytes_.data(); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  friend class BufferView;
+  std::vector<uint8_t> bytes_;
+};
+
+class BufferView {
+ public:
+  BufferView() = default;
+
+  // Wraps a byte vector without copying. Implicit on purpose: packet code
+  // writes `pkt.data = std::move(bytes)` and `pkt.data = {0x01, 0x02}`.
+  // Take-by-value + move: the view assumes ownership of the bytes.
+  BufferView(std::vector<uint8_t> bytes)  // NOLINT(google-explicit-constructor) lint: hot-copy-ok
+      : buf_(bytes.empty() ? nullptr : Buffer::Make(std::move(bytes))),
+        len_(buf_ ? buf_->size() : 0) {}
+  BufferView(std::initializer_list<uint8_t> bytes)  // NOLINT(google-explicit-constructor)
+      : BufferView(std::vector<uint8_t>(bytes)) {}
+
+  // View over an existing buffer (shares storage).
+  BufferView(std::shared_ptr<Buffer> buf, size_t offset, size_t len)
+      : buf_(std::move(buf)), off_(offset), len_(len) {}
+  explicit BufferView(std::shared_ptr<Buffer> buf)
+      : buf_(std::move(buf)), len_(buf_ ? buf_->size() : 0) {}
+
+  // Copies share storage (that is the point); mutation detaches.
+  BufferView(const BufferView&) = default;
+  BufferView& operator=(const BufferView&) = default;
+  BufferView(BufferView&& other) noexcept
+      : buf_(std::move(other.buf_)), off_(other.off_), len_(other.len_) {
+    other.off_ = 0;
+    other.len_ = 0;
+  }
+  BufferView& operator=(BufferView&& other) noexcept {
+    buf_ = std::move(other.buf_);
+    off_ = other.off_;
+    len_ = other.len_;
+    other.off_ = 0;
+    other.len_ = 0;
+    return *this;
+  }
+
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  // Zero-copy sub-slice [offset, offset + len) of this view. Clamped to the
+  // view's bounds.
+  BufferView Slice(size_t offset, size_t len) const {
+    if (offset > len_) {
+      offset = len_;
+    }
+    if (len > len_ - offset) {
+      len = len_ - offset;
+    }
+    return BufferView(buf_, off_ + offset, len);
+  }
+
+  // --- Const access: never copies -------------------------------------------
+  const uint8_t* data() const { return buf_ ? buf_->data() + off_ : nullptr; }
+  uint8_t operator[](size_t i) const { return buf_->data()[off_ + i]; }
+  const uint8_t* begin() const { return data(); }
+  const uint8_t* end() const { return data() + len_; }
+
+  // --- Mutating access: copy-on-write ---------------------------------------
+  // Detaches to a private full-span buffer first, unless this view already
+  // uniquely owns its whole buffer (then it is free).
+  uint8_t* data() {
+    Detach(len_);
+    return buf_ ? buf_->mutable_data() : nullptr;
+  }
+  uint8_t& operator[](size_t i) {
+    Detach(len_);
+    return buf_->mutable_data()[i];
+  }
+
+  void resize(size_t n) {
+    Detach(n);
+    len_ = n;
+  }
+  void assign(size_t n, uint8_t value) {
+    buf_ = std::make_shared<Buffer>(std::vector<uint8_t>(n, value));
+    off_ = 0;
+    len_ = buf_->size();
+  }
+  // Constrained so integral arguments pick the fill overload above instead of
+  // instantiating this with It = int (which only works by accident through
+  // std::vector's own iterator/fill disambiguation).
+  template <typename It, typename = std::enable_if_t<!std::is_integral_v<It>>>
+  void assign(It first, It last) {
+    buf_ = std::make_shared<Buffer>(std::vector<uint8_t>(first, last));
+    off_ = 0;
+    len_ = buf_->size();
+  }
+  void clear() {
+    buf_.reset();
+    off_ = 0;
+    len_ = 0;
+  }
+
+  std::vector<uint8_t> ToVector() const {
+    return buf_ ? std::vector<uint8_t>(data(), data() + len_) : std::vector<uint8_t>{};
+  }
+
+  // --- Introspection (tests, benches) ---------------------------------------
+  bool SharesStorageWith(const BufferView& other) const {
+    return buf_ != nullptr && buf_ == other.buf_;
+  }
+  long ref_count() const { return buf_ ? buf_.use_count() : 0; }
+  size_t offset() const { return off_; }
+
+  friend bool operator==(const BufferView& a, const BufferView& b) {
+    if (a.len_ != b.len_) {
+      return false;
+    }
+    for (size_t i = 0; i < a.len_; ++i) {
+      if (a[i] != b[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  friend bool operator==(const BufferView& a, const std::vector<uint8_t>& b) {
+    if (a.len_ != b.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < b.size(); ++i) {
+      if (a[i] != b[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  friend bool operator==(const std::vector<uint8_t>& a, const BufferView& b) { return b == a; }
+  friend bool operator!=(const BufferView& a, const BufferView& b) { return !(a == b); }
+  friend bool operator!=(const BufferView& a, const std::vector<uint8_t>& b) { return !(a == b); }
+
+ private:
+  // Ensures buf_ is a uniquely-owned full-span buffer of size max(len_, want)
+  // whose first min(len_, want) bytes are this view's bytes. No-op when the
+  // view already uniquely owns its whole buffer at the right size.
+  void Detach(size_t want) {
+    if (buf_ && buf_.use_count() == 1 && off_ == 0 && len_ == buf_->size()) {
+      // Unique full-span view: mutate in place (grow zero-fills like vector).
+      if (buf_->size() != want) {
+        buf_->bytes_.resize(want);
+      }
+      return;
+    }
+    auto fresh = std::make_shared<Buffer>(want);
+    if (buf_) {
+      const size_t keep = len_ < want ? len_ : want;
+      const uint8_t* src = buf_->data() + off_;
+      uint8_t* dst = fresh->mutable_data();
+      for (size_t i = 0; i < keep; ++i) {
+        dst[i] = src[i];
+      }
+    }
+    buf_ = std::move(fresh);
+    off_ = 0;
+  }
+
+  std::shared_ptr<Buffer> buf_;
+  size_t off_ = 0;
+  size_t len_ = 0;
+};
+
+}  // namespace axi
+}  // namespace coyote
+
+#endif  // SRC_AXI_BUFFER_H_

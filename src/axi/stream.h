@@ -16,11 +16,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <limits>
 #include <optional>
 #include <string>
-#include <vector>
+#include <utility>
+
+#include "src/axi/buffer.h"
+#include "src/sim/callback.h"
 
 namespace coyote {
 namespace axi {
@@ -29,7 +31,9 @@ namespace axi {
 inline constexpr uint32_t kDataBusBytes = 64;
 
 struct StreamPacket {
-  std::vector<uint8_t> data;
+  // Zero-copy payload slice: forwarding a packet (or segmenting it) shares
+  // the underlying bytes; only mutation copies (see src/axi/buffer.h).
+  BufferView data;
   uint32_t tid = 0;    // issuing cThread / client id (AXI TID)
   uint32_t tdest = 0;  // destination stream index (AXI TDEST)
   bool last = true;    // TLAST on the final beat of this transfer
@@ -41,7 +45,7 @@ struct StreamPacket {
 
 class Stream {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::InlineCallback;
 
   explicit Stream(size_t capacity_packets = std::numeric_limits<size_t>::max(),
                   std::string name = "stream")
@@ -55,7 +59,10 @@ class Stream {
 
   // Pushes one packet; returns false (and drops nothing) if the FIFO is full.
   // On success fires the on-data callback (the "valid" edge).
-  bool Push(StreamPacket packet) {
+  // Take-by-value + move: the FIFO assumes ownership; producers std::move in,
+  // and the payload itself is a ref-counted BufferView, so "copy" is a
+  // pointer bump even when they don't.
+  bool Push(StreamPacket packet) {  // lint: hot-copy-ok
     if (!CanPush()) {
       return false;
     }

@@ -201,7 +201,7 @@ void DataMover::IssueReadPackets(const std::shared_ptr<ReadOp>& op) {
 }
 
 void DataMover::DeliverInOrder(const std::shared_ptr<ReadOp>& op, uint64_t seq,
-                               axi::StreamPacket pkt) {
+                               axi::StreamPacket pkt) {  // lint: hot-copy-ok (sink owns)
   if (op->completed || op->failed) {
     // Aborted or faulted op: in-flight packets drain to the floor rather
     // than leaking a dead kernel's data into the destination stream.
@@ -287,7 +287,9 @@ void DataMover::PumpWrites(axi::Stream* src) {
 
     mmu::Mmu* mmu = mmus_.at(op->req.vfpga_id);
     const uint64_t vaddr = op->req.vaddr + off;
-    auto data = std::make_shared<std::vector<uint8_t>>(std::move(pkt->data));
+    // Take over the packet's payload view: the capture chain below shares the
+    // ref-counted buffer instead of copying the bytes per hop.
+    const axi::BufferView data = std::move(pkt->data);
 
     mmu->Translate(vaddr, [this, op, mmu, vaddr, data, &credits](std::optional<mmu::PhysPage> e) {
       if (op->completed) {
@@ -322,8 +324,8 @@ void DataMover::PumpWrites(axi::Stream* src) {
             // counter alone — the abort reset it to full.
             return;
           }
-          svm_->WriteVirtual(vaddr, data->data(), data->size());
-          op->written += data->size();
+          svm_->WriteVirtual(vaddr, data.data(), data.size());
+          op->written += data.size();
           ++packets_moved_;
           ++packets_moved_by_vfpga_[op->req.vfpga_id];
           credits.Release(1);
@@ -336,13 +338,13 @@ void DataMover::PumpWrites(axi::Stream* src) {
         };
         switch (pg.kind) {
           case mmu::MemKind::kHost:
-            xdma_->c2h().Submit(op->req.vfpga_id, data->size(), finish);
+            xdma_->c2h().Submit(op->req.vfpga_id, data.size(), finish);
             break;
           case mmu::MemKind::kCard:
-            card_->Access(phys, data->size(), op->req.vfpga_id, finish);
+            card_->Access(phys, data.size(), op->req.vfpga_id, finish);
             break;
           case mmu::MemKind::kGpu:
-            gpu_link_.Submit(op->req.vfpga_id, data->size(), finish);
+            gpu_link_.Submit(op->req.vfpga_id, data.size(), finish);
             break;
         }
       };

@@ -121,7 +121,9 @@ class DataMover {
   struct WriteOp;
 
   void IssueReadPackets(const std::shared_ptr<ReadOp>& op);
-  void DeliverInOrder(const std::shared_ptr<ReadOp>& op, uint64_t seq, axi::StreamPacket pkt);
+  // Take-by-value + move: the reorder buffer assumes ownership of the packet.
+  void DeliverInOrder(const std::shared_ptr<ReadOp>& op, uint64_t seq,
+                      axi::StreamPacket pkt);  // lint: hot-copy-ok
   void RetireReadOp(const std::shared_ptr<ReadOp>& op);
   void PumpWrites(axi::Stream* src);
   void SubmitPhysical(uint32_t vfpga_id, mmu::MemKind kind, uint64_t phys_addr, uint64_t bytes,

@@ -32,7 +32,7 @@ uint64_t CardMemory::Allocate(uint64_t bytes) {
 }
 
 void CardMemory::Access(uint64_t addr, uint64_t len, uint32_t source_id,
-                        std::function<void()> on_done) {
+                        sim::InlineCallback on_done) {
   if (len == 0) {
     engine_->ScheduleAfter(0, std::move(on_done));
     return;
@@ -42,7 +42,7 @@ void CardMemory::Access(uint64_t addr, uint64_t len, uint32_t source_id,
   // Split into stripe-aligned bursts; count completions across all of them.
   struct Tracker {
     uint64_t remaining = 0;
-    std::function<void()> on_done;
+    sim::InlineCallback on_done;
   };
   auto tracker = std::make_shared<Tracker>();
   tracker->on_done = std::move(on_done);

@@ -13,11 +13,11 @@
 #define SRC_MEMSYS_CARD_MEMORY_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "src/memsys/sparse_memory.h"
+#include "src/sim/callback.h"
 #include "src/sim/engine.h"
 #include "src/sim/link.h"
 #include "src/sim/time.h"
@@ -45,7 +45,7 @@ class CardMemory {
   // Timing model: moves `len` bytes at `addr` for `source_id`, invoking
   // `on_done` when the last stripe completes. Reads and writes share channel
   // bandwidth symmetrically in this model, so one entry point serves both.
-  void Access(uint64_t addr, uint64_t len, uint32_t source_id, std::function<void()> on_done);
+  void Access(uint64_t addr, uint64_t len, uint32_t source_id, sim::InlineCallback on_done);
 
   // Functional storage (real bytes).
   SparseMemory& store() { return store_; }

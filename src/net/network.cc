@@ -20,7 +20,7 @@ uint32_t Network::AttachPort(uint32_t ip, RxHandler rx) {
   return id;
 }
 
-void Network::Transmit(uint32_t src_port, uint32_t dst_ip, std::vector<uint8_t> frame) {
+void Network::Transmit(uint32_t src_port, uint32_t dst_ip, axi::BufferView frame) {
   const uint64_t index = frame_counter_++;
   auto [first, last] = ip_to_port_.equal_range(dst_ip);
   if (first == last || src_port >= ports_.size()) {
@@ -49,9 +49,11 @@ void Network::Transmit(uint32_t src_port, uint32_t dst_ip, std::vector<uint8_t> 
         return;
       case sim::FaultInjector::FrameAction::kCorrupt: {
         // Flip one byte with a non-zero mask; the receiver's ICRC check turns
-        // this into a drop at the RoCE/TCP layer.
+        // this into a drop at the RoCE/TCP layer. Mutable access detaches the
+        // view, so a sender retaining the frame (retransmit window, sniffer
+        // capture) keeps the uncorrupted bytes.
         const uint64_t e = decision.corrupt_entropy;
-        frame[e % frame.size()] ^= static_cast<uint8_t>(1 + ((e >> 32) % 255));
+        frame.data()[e % frame.size()] ^= static_cast<uint8_t>(1 + ((e >> 32) % 255));
         ++frames_corrupted_;
         break;
       }
@@ -67,23 +69,25 @@ void Network::Transmit(uint32_t src_port, uint32_t dst_ip, std::vector<uint8_t> 
   }
 
   const uint64_t bytes = frame.size();
-  auto shared = std::make_shared<std::vector<uint8_t>>(std::move(frame));
   const sim::TimePs hop_latency = config_.switch_latency + extra_latency;
 
   // Serialize on the sender's TX link, cross the switch, then serialize on
-  // each destination port's RX link before the handler sees the frame (a
-  // device binding multiple stacks to one IP gets a copy per stack).
+  // each destination port's RX link before the handler sees the frame. Every
+  // hop shares the frame's storage — a device binding multiple stacks to one
+  // IP gets a view per stack, not a copy per stack. The tx-link capture
+  // (view + port + latency) exceeds the inline-callback budget and spills to
+  // the heap once per transmit; the switch and rx-link hops stay inline.
   for (auto it = first; it != last; ++it) {
     const uint32_t dst_port = it->second;
     for (int c = 0; c < copies; ++c) {
       ports_[src_port].tx_link->Submit(
-          dst_port, bytes, [this, dst_port, bytes, shared, hop_latency]() {
-            engine_->ScheduleAfter(hop_latency, [this, dst_port, bytes, shared]() {
-              ports_[dst_port].rx_link->Submit(0, bytes, [this, dst_port, bytes, shared]() {
+          dst_port, bytes, [this, dst_port, hop_latency, frame]() {
+            engine_->ScheduleAfter(hop_latency, [this, dst_port, frame]() {
+              ports_[dst_port].rx_link->Submit(0, frame.size(), [this, dst_port, frame]() {
                 ++frames_delivered_;
-                bytes_delivered_ += bytes;
+                bytes_delivered_ += frame.size();
                 if (ports_[dst_port].rx) {
-                  ports_[dst_port].rx(*shared);
+                  ports_[dst_port].rx(frame);
                 }
               });
             });

@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "src/axi/buffer.h"
 #include "src/sim/engine.h"
 #include "src/sim/fault.h"
 #include "src/sim/link.h"
@@ -28,7 +29,9 @@ class Network {
     sim::TimePs switch_latency = sim::Nanoseconds(600);
   };
 
-  using RxHandler = std::function<void(std::vector<uint8_t> frame)>;
+  // Frames travel as ref-counted views: a fan-out to N ports delivers the
+  // same storage N times instead of copying it N times.
+  using RxHandler = std::function<void(axi::BufferView frame)>;
 
   Network(sim::Engine* engine, const Config& config) : engine_(engine), config_(config) {}
 
@@ -40,7 +43,7 @@ class Network {
 
   // Transmits a frame from `src_port` to the port bound to `dst_ip`.
   // Unroutable frames are counted and dropped (like a real switch).
-  void Transmit(uint32_t src_port, uint32_t dst_ip, std::vector<uint8_t> frame);
+  void Transmit(uint32_t src_port, uint32_t dst_ip, axi::BufferView frame);
 
   // Fault injection: return true to drop this frame (called per frame with a
   // running index). Cleared by passing nullptr.

@@ -102,7 +102,7 @@ size_t FrameOverheadBytes(Opcode op) {
   return n;
 }
 
-std::vector<uint8_t> BuildFrame(const FrameMeta& meta, const std::vector<uint8_t>& payload) {
+std::vector<uint8_t> BuildFrame(const FrameMeta& meta, const axi::BufferView& payload) {
   std::vector<uint8_t> f;
   f.reserve(FrameOverheadBytes(meta.opcode) + payload.size());
 
@@ -162,7 +162,7 @@ std::vector<uint8_t> BuildFrame(const FrameMeta& meta, const std::vector<uint8_t
   return f;
 }
 
-std::optional<ParsedFrame> ParseFrame(const std::vector<uint8_t>& bytes) {
+std::optional<ParsedFrame> ParseFrame(const axi::BufferView& bytes) {
   const size_t min_len =
       kEthHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes + kBthBytes + kIcrcBytes;
   if (bytes.size() < min_len) {
@@ -219,7 +219,8 @@ std::optional<ParsedFrame> ParseFrame(const std::vector<uint8_t>& bytes) {
   if (GetU32(end) != Crc32(p, bytes.size() - kIcrcBytes)) {
     return std::nullopt;
   }
-  out.payload.assign(cursor, end);
+  // Zero-copy: the payload view shares the frame's storage.
+  out.payload = bytes.Slice(static_cast<size_t>(cursor - p), static_cast<size_t>(end - cursor));
   return out;
 }
 

@@ -13,6 +13,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/axi/buffer.h"
+
 namespace coyote {
 namespace net {
 
@@ -80,15 +82,18 @@ inline constexpr size_t kIcrcBytes = 4;
 size_t FrameOverheadBytes(Opcode op);
 
 // Serializes a frame; `payload` may be empty (pure ACK / read request).
-std::vector<uint8_t> BuildFrame(const FrameMeta& meta, const std::vector<uint8_t>& payload);
+// Serialization inherently copies the payload bytes into the frame — this is
+// the one copy a transmitted payload pays; everything downstream shares it.
+std::vector<uint8_t> BuildFrame(const FrameMeta& meta, const axi::BufferView& payload);
 
 // Parses a frame built by BuildFrame (or any RoCE v2 frame with the same
-// layout). Returns nullopt if the frame is malformed or not RoCE.
+// layout). Returns nullopt if the frame is malformed or not RoCE. The
+// payload is a zero-copy slice of `frame` (it shares the frame's storage).
 struct ParsedFrame {
   FrameMeta meta;
-  std::vector<uint8_t> payload;
+  axi::BufferView payload;
 };
-std::optional<ParsedFrame> ParseFrame(const std::vector<uint8_t>& bytes);
+std::optional<ParsedFrame> ParseFrame(const axi::BufferView& frame);
 
 }  // namespace net
 }  // namespace coyote

@@ -19,7 +19,7 @@ MacAddr MacForIp(uint32_t ip) {
 RoceStack::RoceStack(sim::Engine* engine, Network* network, uint32_t ip, mmu::Svm* svm,
                      Config config)
     : engine_(engine), network_(network), ip_(ip), svm_(svm), config_(config) {
-  port_id_ = network_->AttachPort(ip, [this](std::vector<uint8_t> frame) {
+  port_id_ = network_->AttachPort(ip, [this](axi::BufferView frame) {
     OnRxFrame(std::move(frame));
   });
 }
@@ -105,8 +105,9 @@ FrameMeta RoceStack::BaseMeta(const Qp& qp) const {
 }
 
 void RoceStack::TransmitFrame(Qp& qp, const FrameMeta& meta,
-                              const std::vector<uint8_t>& payload, bool track_for_retransmit) {
+                              const axi::BufferView& payload, bool track_for_retransmit) {
   if (track_for_retransmit) {
+    // Shares the posted message's buffer — no per-frame payload copy.
     qp.unacked[meta.psn] = PendingFrame{meta, payload};
     ArmRetransmitTimer(qp.local_qpn);
   }
@@ -117,17 +118,18 @@ void RoceStack::TransmitFrame(Qp& qp, const FrameMeta& meta,
     ++wedged_tx_dropped_;
     return;
   }
-  std::vector<uint8_t> frame = BuildFrame(meta, payload);
+  // Serialization is the single copy a transmitted payload pays; the frame
+  // then rides as a shared view through the tap, the switch and the receiver.
+  const axi::BufferView frame = BuildFrame(meta, payload);
   if (tap_) {
     tap_(frame, /*is_tx=*/true);
   }
   ++tx_frames_;
   payload_bytes_sent_ += payload.size();
   // Per-frame stack processing latency before the frame hits the CMAC.
-  auto shared = std::make_shared<std::vector<uint8_t>>(std::move(frame));
   const uint32_t dst_ip = meta.dst_ip;
-  engine_->ScheduleAfter(config_.stack_latency, [this, dst_ip, shared]() {
-    network_->Transmit(port_id_, dst_ip, std::move(*shared));
+  engine_->ScheduleAfter(config_.stack_latency, [this, dst_ip, frame]() {
+    network_->Transmit(port_id_, dst_ip, frame);
   });
 }
 
@@ -139,6 +141,13 @@ void RoceStack::PostWrite(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_va
     return;
   }
   const uint64_t n_frames = std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu);
+  // Read the whole message out of virtual memory once; every MTU frame (and
+  // its go-back-N window entry) is a zero-copy slice of this buffer.
+  axi::BufferView message;
+  message.resize(bytes);
+  if (bytes > 0) {
+    svm_->ReadVirtual(local_vaddr, message.data(), bytes);
+  }
   uint64_t off = 0;
   for (uint64_t i = 0; i < n_frames; ++i) {
     const uint64_t n = std::min<uint64_t>(config_.mtu, bytes - off);
@@ -159,13 +168,11 @@ void RoceStack::PostWrite(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_va
     }
     m.ack_req = OpcodeIsLastOrOnly(m.opcode);
 
-    std::vector<uint8_t> payload(n);
-    svm_->ReadVirtual(local_vaddr + off, payload.data(), n);
     if (OpcodeIsLastOrOnly(m.opcode) && done) {
       qp.completions[m.psn] = std::move(done);
       done = nullptr;
     }
-    TransmitFrame(qp, m, payload, /*track_for_retransmit=*/true);
+    TransmitFrame(qp, m, message.Slice(off, n), /*track_for_retransmit=*/true);
     off += n;
   }
 }
@@ -177,6 +184,12 @@ void RoceStack::PostSend(uint32_t qpn, uint64_t local_vaddr, uint64_t bytes, Com
     return;
   }
   const uint64_t n_frames = std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu);
+  // Single bulk read; per-MTU frames slice it (see PostWrite).
+  axi::BufferView message;
+  message.resize(bytes);
+  if (bytes > 0) {
+    svm_->ReadVirtual(local_vaddr, message.data(), bytes);
+  }
   uint64_t off = 0;
   for (uint64_t i = 0; i < n_frames; ++i) {
     const uint64_t n = std::min<uint64_t>(config_.mtu, bytes - off);
@@ -193,13 +206,11 @@ void RoceStack::PostSend(uint32_t qpn, uint64_t local_vaddr, uint64_t bytes, Com
     }
     m.ack_req = OpcodeIsLastOrOnly(m.opcode);
 
-    std::vector<uint8_t> payload(n);
-    svm_->ReadVirtual(local_vaddr + off, payload.data(), n);
     if (OpcodeIsLastOrOnly(m.opcode) && done) {
       qp.completions[m.psn] = std::move(done);
       done = nullptr;
     }
-    TransmitFrame(qp, m, payload, /*track_for_retransmit=*/true);
+    TransmitFrame(qp, m, message.Slice(off, n), /*track_for_retransmit=*/true);
     off += n;
   }
 }
@@ -232,7 +243,7 @@ void RoceStack::PostRead(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vad
   TransmitFrame(qp, m, {}, /*track_for_retransmit=*/true);
 }
 
-void RoceStack::OnRxFrame(std::vector<uint8_t> frame) {
+void RoceStack::OnRxFrame(axi::BufferView frame) {
   // Inbound frame processing mutates responder-side QP state as the network
   // actor; a same-epoch touch from another actor is a modeled race.
   sim::ActorScope actor(sim::kActorNet);
@@ -373,6 +384,12 @@ void RoceStack::HandleReadRequest(Qp& qp, const ParsedFrame& f) {
   // Idempotent: duplicates re-serve the same data at the same PSNs.
   const uint64_t bytes = f.meta.reth_len;
   const uint64_t n_frames = std::max<uint64_t>(1, (bytes + config_.mtu - 1) / config_.mtu);
+  // One bulk read of the requested range; each response frame slices it.
+  axi::BufferView message;
+  message.resize(bytes);
+  if (bytes > 0) {
+    svm_->ReadVirtual(f.meta.reth_vaddr, message.data(), bytes);
+  }
   uint64_t off = 0;
   for (uint64_t i = 0; i < n_frames; ++i) {
     const uint64_t n = std::min<uint64_t>(config_.mtu, bytes - off);
@@ -388,9 +405,7 @@ void RoceStack::HandleReadRequest(Qp& qp, const ParsedFrame& f) {
       m.opcode = Opcode::kReadResponseMiddle;
     }
     m.aeth_msn = m.psn & 0x00FFFFFF;
-    std::vector<uint8_t> payload(n);
-    svm_->ReadVirtual(f.meta.reth_vaddr + off, payload.data(), n);
-    TransmitFrame(qp, m, payload, /*track_for_retransmit=*/false);
+    TransmitFrame(qp, m, message.Slice(off, n), /*track_for_retransmit=*/false);
     off += n;
   }
 }

@@ -55,13 +55,16 @@ class RoceStack {
   };
 
   using Completion = std::function<void(bool ok)>;
-  // Called when an inbound SEND message completes, with its payload.
-  using RecvHandler = std::function<void(std::vector<uint8_t> data)>;
+  // Called when an inbound SEND message completes, with its payload. The
+  // stack moves the assembled message into the handler (ownership transfer,
+  // not a copy).
+  using RecvHandler = std::function<void(std::vector<uint8_t> data)>;  // lint: hot-copy-ok
   // Called when an inbound RDMA WRITE message completes (vaddr, bytes).
   using WriteArrivalHandler = std::function<void(uint64_t vaddr, uint64_t bytes)>;
   // Sniffer tap: every frame entering (is_tx=false) or leaving (true) the
-  // stack at the CMAC boundary.
-  using Tap = std::function<void(const std::vector<uint8_t>& frame, bool is_tx)>;
+  // stack at the CMAC boundary. The view shares the wire frame's storage;
+  // a tap that retains it (the sniffer does) retains it without copying.
+  using Tap = std::function<void(const axi::BufferView& frame, bool is_tx)>;
 
   RoceStack(sim::Engine* engine, Network* network, uint32_t ip, mmu::Svm* svm)
       : RoceStack(engine, network, ip, svm, Config{}) {}
@@ -131,9 +134,12 @@ class RoceStack {
     Completion done;
   };
 
+  // Go-back-N window entry. The payload is a slice of the posted message's
+  // buffer, so tracking a frame for retransmit shares bytes instead of
+  // duplicating every in-flight payload.
   struct PendingFrame {
     FrameMeta meta;
-    std::vector<uint8_t> payload;
+    axi::BufferView payload;
   };
 
   struct Qp {
@@ -164,9 +170,9 @@ class RoceStack {
     WriteArrivalHandler write_arrival_handler;
   };
 
-  void TransmitFrame(Qp& qp, const FrameMeta& meta, const std::vector<uint8_t>& payload,
+  void TransmitFrame(Qp& qp, const FrameMeta& meta, const axi::BufferView& payload,
                      bool track_for_retransmit);
-  void OnRxFrame(std::vector<uint8_t> frame);
+  void OnRxFrame(axi::BufferView frame);
   void HandleDataFrame(Qp& qp, const ParsedFrame& f);
   void HandleAck(Qp& qp, const ParsedFrame& f);
   void HandleReadResponse(Qp& qp, const ParsedFrame& f);

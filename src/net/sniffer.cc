@@ -20,7 +20,7 @@ void PutU16Le(std::vector<uint8_t>& v, uint16_t x) {
 
 }  // namespace
 
-bool TrafficSniffer::Matches(const std::vector<uint8_t>& frame, bool is_tx) const {
+bool TrafficSniffer::Matches(const axi::BufferView& frame, bool is_tx) const {
   if (is_tx && !filter_.capture_tx) {
     return false;
   }
@@ -45,7 +45,7 @@ bool TrafficSniffer::Matches(const std::vector<uint8_t>& frame, bool is_tx) cons
   return true;
 }
 
-void TrafficSniffer::OnFrame(const std::vector<uint8_t>& frame, bool is_tx) {
+void TrafficSniffer::OnFrame(const axi::BufferView& frame, bool is_tx) {
   if (!recording_) {
     return;
   }
@@ -58,12 +58,15 @@ void TrafficSniffer::OnFrame(const std::vector<uint8_t>& frame, bool is_tx) {
   cap.is_tx = is_tx;
   cap.original_len = static_cast<uint32_t>(frame.size());
   if (filter_.headers_only) {
-    // Keep Ethernet + IPv4 + UDP + BTH + (max) RETH.
+    // Keep Ethernet + IPv4 + UDP + BTH + (max) RETH. A truncating slice
+    // would pin the full frame alive in the capture buffer, so headers-only
+    // mode copies the prefix instead (that's the mode's entire point —
+    // bounding the HBM staging footprint).
     const size_t keep = std::min(frame.size(), kEthHeaderBytes + kIpv4HeaderBytes +
                                                    kUdpHeaderBytes + kBthBytes + kRethBytes);
     cap.bytes.assign(frame.begin(), frame.begin() + static_cast<ptrdiff_t>(keep));
   } else {
-    cap.bytes = frame;
+    cap.bytes = frame;  // shares the wire frame's storage
   }
   frames_.push_back(std::move(cap));
 }

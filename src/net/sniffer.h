@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/axi/buffer.h"
 #include "src/net/packets.h"
 #include "src/sim/engine.h"
 
@@ -37,7 +38,9 @@ class TrafficSniffer {
     sim::TimePs timestamp = 0;
     bool is_tx = false;
     uint32_t original_len = 0;
-    std::vector<uint8_t> bytes;  // possibly truncated to headers
+    // Full captures share the wire frame's storage (no copy at capture
+    // time); headers-only captures hold a truncated private copy.
+    axi::BufferView bytes;
   };
 
   explicit TrafficSniffer(sim::Engine* engine) : engine_(engine) {}
@@ -51,7 +54,7 @@ class TrafficSniffer {
 
   // Data plane: called for every frame at the CMAC boundary. This is the
   // function to install as a RoceStack tap.
-  void OnFrame(const std::vector<uint8_t>& frame, bool is_tx);
+  void OnFrame(const axi::BufferView& frame, bool is_tx);
 
   const std::vector<CapturedFrame>& frames() const { return frames_; }
   uint64_t dropped_by_filter() const { return dropped_by_filter_; }
@@ -65,7 +68,7 @@ class TrafficSniffer {
   bool WritePcapFile(const std::string& path) const;
 
  private:
-  bool Matches(const std::vector<uint8_t>& frame, bool is_tx) const;
+  bool Matches(const axi::BufferView& frame, bool is_tx) const;
 
   sim::Engine* engine_;
   Filter filter_;

@@ -30,7 +30,7 @@ constexpr size_t kTcp = 20;
 }  // namespace
 
 std::vector<uint8_t> BuildTcpSegment(const TcpSegmentMeta& meta,
-                                     const std::vector<uint8_t>& payload) {
+                                     const axi::BufferView& payload) {
   std::vector<uint8_t> f;
   f.reserve(kEth + kIp + kTcp + payload.size());
   // Ethernet: derived MACs, ethertype IPv4.
@@ -69,7 +69,7 @@ std::vector<uint8_t> BuildTcpSegment(const TcpSegmentMeta& meta,
   return f;
 }
 
-std::optional<ParsedTcpSegment> ParseTcpSegment(const std::vector<uint8_t>& frame) {
+std::optional<ParsedTcpSegment> ParseTcpSegment(const axi::BufferView& frame) {
   if (frame.size() < kEth + kIp + kTcp) {
     return std::nullopt;
   }
@@ -91,14 +91,15 @@ std::optional<ParsedTcpSegment> ParseTcpSegment(const std::vector<uint8_t>& fram
   out.meta.ack = GetU32(tcp + 8);
   out.meta.flags = tcp[13];
   out.meta.window = GetU16(tcp + 14);
-  out.payload.assign(tcp + kTcp, p + frame.size());
+  // Zero-copy: the payload view shares the frame's storage.
+  out.payload = frame.Slice(kEth + kIp + kTcp, frame.size() - (kEth + kIp + kTcp));
   return out;
 }
 
 TcpStack::TcpStack(sim::Engine* engine, Network* network, uint32_t ip, mmu::Svm* svm,
                    Config config)
     : engine_(engine), network_(network), ip_(ip), svm_(svm), config_(config) {
-  port_id_ = network_->AttachPort(ip, [this](std::vector<uint8_t> frame) {
+  port_id_ = network_->AttachPort(ip, [this](axi::BufferView frame) {
     OnRxFrame(std::move(frame));
   });
 }
@@ -124,7 +125,7 @@ void TcpStack::Connect(uint32_t remote_ip, uint16_t remote_port,
 }
 
 void TcpStack::TransmitSegment(Connection& conn, uint8_t flags, uint32_t seq,
-                               const std::vector<uint8_t>& payload) {
+                               const axi::BufferView& payload) {
   TcpSegmentMeta meta;
   meta.src_ip = ip_;
   meta.dst_ip = conn.remote_ip;
@@ -135,10 +136,10 @@ void TcpStack::TransmitSegment(Connection& conn, uint8_t flags, uint32_t seq,
   meta.flags = flags;
   meta.window = static_cast<uint16_t>(std::min<uint32_t>(config_.window_bytes / 1024, 0xFFFF));
   ++segments_sent_;
-  auto frame = std::make_shared<std::vector<uint8_t>>(BuildTcpSegment(meta, payload));
+  const axi::BufferView frame = BuildTcpSegment(meta, payload);
   const uint32_t dst_ip = conn.remote_ip;
   engine_->ScheduleAfter(config_.stack_latency, [this, dst_ip, frame]() {
-    network_->Transmit(port_id_, dst_ip, std::move(*frame));
+    network_->Transmit(port_id_, dst_ip, frame);
   });
 }
 
@@ -159,14 +160,20 @@ void TcpStack::Send(ConnId id, uint64_t vaddr, uint64_t bytes, Completion done) 
   for (const auto& c : conn.backlog) {
     backlog_bytes += c.payload.size();
   }
+  // Read the whole send once; each MSS chunk is a zero-copy slice of it
+  // (held across backlog, in-flight tracking and retransmission).
+  axi::BufferView message;
+  message.resize(bytes);
+  if (bytes > 0) {
+    svm_->ReadVirtual(vaddr, message.data(), bytes);
+  }
   uint64_t off = 0;
   uint32_t seq = conn.snd_nxt + static_cast<uint32_t>(backlog_bytes);
   while (off < bytes) {
     const uint64_t n = std::min<uint64_t>(config_.mss, bytes - off);
     SendChunk chunk;
     chunk.seq = seq;
-    chunk.payload.resize(n);
-    svm_->ReadVirtual(vaddr + off, chunk.payload.data(), n);
+    chunk.payload = message.Slice(off, n);
     conn.backlog.push_back(std::move(chunk));
     off += n;
     seq += static_cast<uint32_t>(n);
@@ -197,7 +204,7 @@ void TcpStack::PumpSendWindow(ConnId id) {
   }
 }
 
-void TcpStack::OnRxFrame(std::vector<uint8_t> frame) {
+void TcpStack::OnRxFrame(axi::BufferView frame) {
   auto parsed = ParseTcpSegment(frame);
   if (!parsed) {
     return;  // not TCP (e.g., RoCE sharing the wire)
@@ -323,7 +330,9 @@ void TcpStack::HandleSegment(ConnId id, const ParsedTcpSegment& seg) {
     if (seg.meta.seq == conn.rcv_nxt) {
       conn.rcv_nxt += static_cast<uint32_t>(seg.payload.size());
       if (conn.on_recv) {
-        conn.on_recv(seg.payload);
+        // Application boundary: the handler owns its bytes (one copy, same as
+        // the old by-value vector delivery).
+        conn.on_recv(seg.payload.ToVector());
       }
     }
     // ACK whatever is in order so far (duplicate ACK on reorder/loss).

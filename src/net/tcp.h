@@ -18,6 +18,7 @@
 #include <map>
 #include <vector>
 
+#include "src/axi/buffer.h"
 #include "src/mmu/svm.h"
 #include "src/net/network.h"
 #include "src/sim/engine.h"
@@ -42,14 +43,15 @@ struct TcpSegmentMeta {
 };
 
 // Ethernet/IPv4/TCP serialization (coexists with the RoCE frames on the same
-// wire; classified by IP protocol number).
+// wire; classified by IP protocol number). Serialization copies the payload
+// into the frame once; parsing slices the payload out zero-copy.
 std::vector<uint8_t> BuildTcpSegment(const TcpSegmentMeta& meta,
-                                     const std::vector<uint8_t>& payload);
+                                     const axi::BufferView& payload);
 struct ParsedTcpSegment {
   TcpSegmentMeta meta;
-  std::vector<uint8_t> payload;
+  axi::BufferView payload;  // shares the frame's storage
 };
-std::optional<ParsedTcpSegment> ParseTcpSegment(const std::vector<uint8_t>& frame);
+std::optional<ParsedTcpSegment> ParseTcpSegment(const axi::BufferView& frame);
 
 class TcpStack {
  public:
@@ -71,7 +73,8 @@ class TcpStack {
   using Completion = std::function<void(bool ok)>;
   using AcceptHandler = std::function<void(ConnId conn)>;
   using ConnectHandler = std::function<void(ConnId conn, bool ok)>;
-  using RecvHandler = std::function<void(std::vector<uint8_t> data)>;
+  // The stack moves received bytes into the handler (ownership transfer).
+  using RecvHandler = std::function<void(std::vector<uint8_t> data)>;  // lint: hot-copy-ok
 
   TcpStack(sim::Engine* engine, Network* network, uint32_t ip, mmu::Svm* svm)
       : TcpStack(engine, network, ip, svm, Config{}) {}
@@ -115,9 +118,11 @@ class TcpStack {
     kFinSent,
   };
 
+  // Backlog / in-flight entry. The payload is a slice of the Send() call's
+  // bulk read, so windowed and retransmit-held data shares one buffer.
   struct SendChunk {
     uint32_t seq = 0;
-    std::vector<uint8_t> payload;
+    axi::BufferView payload;
   };
 
   struct Connection {
@@ -145,9 +150,9 @@ class TcpStack {
   };
 
   void TransmitSegment(Connection& conn, uint8_t flags, uint32_t seq,
-                       const std::vector<uint8_t>& payload);
+                       const axi::BufferView& payload);
   void PumpSendWindow(ConnId id);
-  void OnRxFrame(std::vector<uint8_t> frame);
+  void OnRxFrame(axi::BufferView frame);
   void HandleSegment(ConnId id, const ParsedTcpSegment& seg);
   void ArmTimer(ConnId id);
   void NoteProgress(Connection& conn);

@@ -145,7 +145,7 @@ void SimDevice::BuildShellServices() {
     sniffer_ = std::make_unique<net::TrafficSniffer>(engine_);
     if (roce_) {
       net::TrafficSniffer* sniff = sniffer_.get();
-      roce_->SetTap([sniff](const std::vector<uint8_t>& frame, bool is_tx) {
+      roce_->SetTap([sniff](const axi::BufferView& frame, bool is_tx) {
         sniff->OnFrame(frame, is_tx);
       });
     }

@@ -5,19 +5,20 @@
 namespace coyote {
 namespace services {
 
-std::vector<uint8_t> AesEcbKernel::Process(const axi::StreamPacket& in, uint32_t stream_index) {
+axi::BufferView AesEcbKernel::Process(const axi::StreamPacket& in, uint32_t stream_index) {
   (void)stream_index;
   const uint64_t key_lo = region()->csr().Peek(kAesCsrKeyLo);
   const uint64_t key_hi = region()->csr().Peek(kAesCsrKeyHi);
   Aes128 cipher(key_lo, key_hi);
 
   std::vector<uint8_t> out(in.data.size());
+  const uint8_t* src = in.data.data();
   size_t i = 0;
   for (; i + Aes128::kBlockBytes <= in.data.size(); i += Aes128::kBlockBytes) {
     if (direction_ == Direction::kEncrypt) {
-      cipher.EncryptBlock(&in.data[i], &out[i]);
+      cipher.EncryptBlock(src + i, &out[i]);
     } else {
-      cipher.DecryptBlock(&in.data[i], &out[i]);
+      cipher.DecryptBlock(src + i, &out[i]);
     }
   }
   // Trailing partial block (non-multiple-of-16 transfers) passes through
@@ -97,7 +98,7 @@ void AesCbcKernel::Pump(uint32_t stream_index) {
     }
 
     const Aes128& cipher = Cipher();
-    const std::vector<uint8_t>& data = lane.current->data;
+    const axi::BufferView& data = lane.current->data;
     const uint64_t now_cycle = clk.PsToCycles(region_->engine()->Now());
     uint64_t last_exit_cycle = now_cycle;
 

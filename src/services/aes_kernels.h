@@ -61,7 +61,7 @@ class AesEcbKernel : public StreamKernel {
   }
 
  protected:
-  std::vector<uint8_t> Process(const axi::StreamPacket& in, uint32_t stream_index) override;
+  axi::BufferView Process(const axi::StreamPacket& in, uint32_t stream_index) override;
 
  private:
   Direction direction_;

@@ -68,10 +68,10 @@ class CompressKernel : public StreamKernel {
   uint64_t bytes_out() const { return out_; }
 
  protected:
-  std::vector<uint8_t> Process(const axi::StreamPacket& in, uint32_t) override {
+  axi::BufferView Process(const axi::StreamPacket& in, uint32_t) override {
     ++frames_;
     in_ += in.data.size();
-    auto frame = CompressFramed(codec_, in.data);
+    auto frame = CompressFramed(codec_, in.data.ToVector());
     out_ += frame.size();
     return frame;
   }
@@ -94,8 +94,8 @@ class DecompressKernel : public StreamKernel {
   uint64_t corrupt_frames() const { return corrupt_frames_; }
 
  protected:
-  std::vector<uint8_t> Process(const axi::StreamPacket& in, uint32_t) override {
-    auto out = DecompressFramed(in.data);
+  axi::BufferView Process(const axi::StreamPacket& in, uint32_t) override {
+    auto out = DecompressFramed(in.data.ToVector());
     if (!out) {
       ++corrupt_frames_;
       return {};  // swallow corrupt frames; real HW would raise an interrupt

@@ -49,8 +49,10 @@ class StreamKernel : public vfpga::HwKernel {
   bool wedged() const { return wedged_; }
 
  protected:
-  // Transforms one input packet's payload. Default: identity (pass-through).
-  virtual std::vector<uint8_t> Process(const axi::StreamPacket& in, uint32_t stream_index) {
+  // Transforms one input packet's payload. Default: identity (pass-through),
+  // which shares the input's storage instead of copying it. Subclasses that
+  // produce fresh bytes return a std::vector (implicitly wrapped).
+  virtual axi::BufferView Process(const axi::StreamPacket& in, uint32_t stream_index) {
     (void)stream_index;
     return in.data;
   }

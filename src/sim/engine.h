@@ -1,27 +1,47 @@
 // Discrete-event simulation engine.
 //
-// The engine owns a priority queue of timestamped callbacks. All hardware
-// models in the substrate (links, memory channels, reconfiguration ports,
-// network switches, kernels) schedule their state transitions here. The engine
-// is strictly single-threaded: determinism is a design requirement so that
-// every benchmark in bench/ is exactly reproducible run-to-run.
+// The engine owns a timestamped callback queue. All hardware models in the
+// substrate (links, memory channels, reconfiguration ports, network switches,
+// kernels) schedule their state transitions here. The engine is strictly
+// single-threaded: determinism is a design requirement so that every
+// benchmark in bench/ is exactly reproducible run-to-run.
+//
+// Implementation: a hierarchical calendar queue (timing wheel) instead of a
+// global binary heap. Near-future events land in one of kNumBuckets
+// fixed-width buckets; the bucket under the cursor is sorted once at
+// adoption and drained with O(1) pops (`active_`), late arrivals into the
+// open window go to a small incursion min-heap, and events beyond the
+// wheel's horizon wait in an overflow heap that migrates into the wheel as
+// simulated time advances. Because every structure orders events by the
+// global (timestamp, sequence) pair, the execution order is IDENTICAL to the
+// previous binary-heap engine: events fire in timestamp order with a stable
+// FIFO tie-break among equal timestamps, so same-seed runs stay
+// bit-identical across the engine swap. What changes is the constant factor:
+// pushes are O(1) for in-horizon events, pops touch at most the two window
+// tops instead of sifting the whole queue, and event callbacks are recycled
+// through a pooled free list so steady-state scheduling never allocates
+// (callback captures up to InlineCallback::kInlineBytes ride inline too).
 
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "src/sim/callback.h"
 #include "src/sim/time.h"
 
 namespace coyote {
 namespace sim {
 
+class AccessLedger;
+
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   // Arms the global AccessLedger in COYOTE_ACCESS_GUARDS builds (see
   // src/sim/access_guard.h).
@@ -35,10 +55,10 @@ class Engine {
   // Schedules `cb` at absolute time `t`. Events scheduled for a time in the
   // past fire at the current time. Events with equal timestamps fire in
   // insertion order (stable FIFO tie-break).
-  void ScheduleAt(TimePs t, Callback cb);
+  void ScheduleAt(TimePs t, Callback cb) { ScheduleImpl(t < now_ ? now_ : t, std::move(cb)); }
 
   // Schedules `cb` after `delay` picoseconds.
-  void ScheduleAfter(TimePs delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+  void ScheduleAfter(TimePs delay, Callback cb) { ScheduleImpl(now_ + delay, std::move(cb)); }
 
   // Runs the next pending event. Returns false if the queue is empty.
   bool Step();
@@ -54,29 +74,127 @@ class Engine {
   // predicate was satisfied.
   bool RunUntilCondition(const std::function<bool()>& done);
 
-  bool Idle() const { return queue_.empty(); }
+  bool Idle() const { return num_pending_ == 0; }
   uint64_t events_executed() const { return events_executed_; }
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return num_pending_; }
+
+  // Calendar geometry, exposed so tests can exercise bucket/day boundaries.
+  static constexpr uint32_t kBucketWidthLog2 = 10;  // 1024 ps per bucket
+  static constexpr uint32_t kNumBucketsLog2 = 12;   // 4096 buckets
+  static constexpr TimePs kBucketWidthPs = TimePs{1} << kBucketWidthLog2;
+  static constexpr uint32_t kNumBuckets = 1u << kNumBucketsLog2;
+  // One full rotation of the wheel (~4.2 us of simulated time).
+  static constexpr TimePs kDaySpanPs = kBucketWidthPs * kNumBuckets;
+
+  // Allocation introspection for the perf bench: capacity of the callback
+  // pool and how many slots currently sit on the free list.
+  size_t event_pool_size() const { return pool_.size(); }
+  size_t event_free_list_size() const { return free_nodes_.size(); }
 
  private:
-  struct Event {
-    TimePs time;
-    uint64_t seq;  // tie-break: FIFO among equal timestamps
-    Callback cb;
+  // Ordering key + pool index. Entries carry their (time, seq) key so heap
+  // comparisons and sorts touch only the contiguous entry array — never the
+  // callback pool. That locality is worth ~2x on deep queues versus moving
+  // full callback slots through the ordering structures. The sequence number
+  // is stored truncated to 32 bits to keep the entry at 16 bytes: pending
+  // events never span anywhere near 2^31 sequence numbers (the spread is
+  // bounded by the pool size), so the wrap-safe difference compare below
+  // reproduces the full-width FIFO order exactly.
+  struct HeapEntry {
+    TimePs time = 0;
+    uint32_t seq = 0;  // tie-break: FIFO among equal timestamps (mod 2^32)
+    uint32_t idx = 0;  // callback slot in pool_
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
+  static bool EntryAfter(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) {
+      return a.time > b.time;
     }
-  };
+    return static_cast<int32_t>(a.seq - b.seq) > 0;
+  }
+
+  // End of the time window currently drained through active_.
+  TimePs ActiveEnd() const { return (cur_bucket_ + 1) << kBucketWidthLog2; }
+
+  // Takes the callback by rvalue reference so the capture bytes move exactly
+  // once, from the caller's frame into the pool slot.
+  void ScheduleImpl(TimePs t, Callback&& cb);
+  uint32_t AllocNode(Callback&& cb);
+  void Route(const HeapEntry& e);  // place an event into the window/wheel/overflow
+  // Absolute bucket number of the next occupied wheel bucket after
+  // cur_bucket_ (wrapping ring scan). Caller guarantees wheel_count_ > 0.
+  uint64_t NextOccupiedBucket() const;
+  // Ensures the current window (active_ or incursion_) holds the globally
+  // earliest pending event. Returns false if no events are pending.
+  bool PrepareNext();
+  void MigrateOverflow();
+  // True when the adopted bucket is fully drained.
+  bool StackEmpty() const { return drain_pos_ == active_.size(); }
+  // Earliest pending timestamp. Only valid after PrepareNext() == true.
+  TimePs NextTime() const {
+    if (incursion_.empty()) {
+      return active_[drain_pos_].time;
+    }
+    if (StackEmpty() || EntryAfter(active_[drain_pos_], incursion_.front())) {
+      return incursion_.front().time;
+    }
+    return active_[drain_pos_].time;
+  }
+
+  // (time, seq) min-heap primitives (hole-insertion sifts: one move per
+  // level instead of a swap per level).
+  static void SiftDown(std::vector<HeapEntry>* heap, size_t i);
+  static void HeapPush(std::vector<HeapEntry>* heap, const HeapEntry& e);
+  static HeapEntry HeapPop(std::vector<HeapEntry>* heap);
 
   TimePs now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  size_t num_pending_ = 0;
+  // Cached at construction: the process-wide ledger outlives every engine,
+  // and caching skips an out-of-line Global() call on the per-event path.
+  AccessLedger* ledger_ = nullptr;
+
+  // Callback pool with an index free list: slots are recycled LIFO, so the
+  // slot written at schedule time is usually the one just vacated by the
+  // firing event — cache-hot — and steady-state scheduling performs no
+  // allocation once the pool has warmed up.
+  std::vector<Callback> pool_;
+  std::vector<uint32_t> free_nodes_;
+
+  // Calendar wheel. cur_bucket_ is the absolute bucket number under the
+  // cursor (monotonic; event time >> kBucketWidthLog2); ring slot i holds
+  // absolute bucket b iff b % kNumBuckets == i. The wheel always covers one
+  // full rotation AHEAD OF THE CURSOR — not a fixed day — so any event up to
+  // kDaySpanPs in the future rides the wheel regardless of cursor phase.
+  // Invariants:
+  //  * every event with time < ActiveEnd() is in active_/incursion_;
+  //  * wheel entries have absolute bucket in (cur_bucket_,
+  //    cur_bucket_ + kNumBuckets]; inserting within one rotation of the
+  //    cursor means a ring slot never mixes two absolute buckets by the
+  //    time the cursor adopts it;
+  //  * overflow_ events lie beyond that horizon, and PrepareNext migrates
+  //    them in (earliest-bucket-first) before the cursor can pass them.
+  uint64_t cur_bucket_ = 0;
+  std::vector<std::vector<HeapEntry>> buckets_;
+  // Occupancy bitmap over buckets_ (one bit per bucket, 512 B — L1-resident).
+  // Advancing the cursor scans words with ctz instead of touching the 96 KB
+  // array of scattered vector headers; with sparse buckets that scan is the
+  // dominant per-event cost otherwise.
+  std::array<uint64_t, kNumBuckets / 64> bucket_bits_{};
+  size_t wheel_count_ = 0;
+  // The cursor window drains from two structures. active_ is the adopted
+  // bucket, sorted ascending once at adoption and consumed by advancing
+  // drain_pos_ — a bucket is fully drained before the next is adopted, so a
+  // heap's incremental ordering is wasted work there. incursion_ is a
+  // min-heap for the rarer events scheduled *into* the open window after
+  // adoption; each pop takes the min of the two tops, which preserves the
+  // exact global (time, seq) order. All vectors retain their grown capacity
+  // (adoption copies entries instead of swapping storage), so the wheel
+  // stops allocating once every touched bucket has warmed up.
+  std::vector<HeapEntry> active_;
+  size_t drain_pos_ = 0;
+  std::vector<HeapEntry> incursion_;
+  std::vector<HeapEntry> overflow_;  // min-heap beyond the wheel horizon
 };
 
 }  // namespace sim

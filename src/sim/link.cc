@@ -61,17 +61,22 @@ void Link::StartNext() {
   busy_time_ += duration;
   per_source_bytes_[sid] += pkt.bytes;
 
-  engine_->ScheduleAfter(duration, [this, done = std::move(pkt.on_done)]() mutable {
-    if (config_.delivery_latency > 0) {
-      // Free the link now; the completion arrives after the pipe latency.
-      if (done) {
-        engine_->ScheduleAfter(config_.delivery_latency, std::move(done));
-      }
-    } else if (done) {
-      done();
+  inflight_done_ = std::move(pkt.on_done);
+  engine_->ScheduleAfter(duration, [this] { OnTransmitDone(); });
+}
+
+void Link::OnTransmitDone() {
+  Callback done = std::move(inflight_done_);
+  inflight_done_ = nullptr;
+  if (config_.delivery_latency > 0) {
+    // Free the link now; the completion arrives after the pipe latency.
+    if (done) {
+      engine_->ScheduleAfter(config_.delivery_latency, std::move(done));
     }
-    StartNext();
-  });
+  } else if (done) {
+    done();
+  }
+  StartNext();
 }
 
 uint64_t Link::bytes_for_source(uint32_t source_id) const {

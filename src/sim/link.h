@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/sim/callback.h"
 #include "src/sim/engine.h"
 #include "src/sim/time.h"
 
@@ -28,7 +29,7 @@ namespace sim {
 
 class Link {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   struct Config {
     uint64_t bytes_per_second = 0;
@@ -76,6 +77,7 @@ class Link {
   };
 
   void StartNext();
+  void OnTransmitDone();
   bool PickNextSource(uint32_t* out);
 
   Engine* engine_;
@@ -87,6 +89,10 @@ class Link {
   size_t rr_index_ = 0;
   bool busy_ = false;
   uint64_t queued_packets_ = 0;
+  // Completion of the single packet occupying the link. Held here (not in the
+  // engine lambda) so the scheduled event captures only `this` and stays
+  // within InlineCallback's inline budget.
+  Callback inflight_done_;
 
   FaultHook fault_hook_;
   uint64_t total_bytes_ = 0;

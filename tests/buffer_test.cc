@@ -1,0 +1,197 @@
+// Tests for the ref-counted zero-copy payload buffers (axi::Buffer /
+// axi::BufferView): aliasing semantics, copy-on-write detach points, slice
+// clamping, and the vector-compatible mutation surface the packet paths use.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "src/axi/buffer.h"
+
+namespace coyote {
+namespace axi {
+namespace {
+
+std::vector<uint8_t> Iota(size_t n) {
+  std::vector<uint8_t> v(n);
+  std::iota(v.begin(), v.end(), static_cast<uint8_t>(0));
+  return v;
+}
+
+TEST(BufferViewTest, WrapsVectorWithoutCopy) {
+  std::vector<uint8_t> bytes = Iota(64);
+  const uint8_t* raw = bytes.data();
+  BufferView view(std::move(bytes));
+  EXPECT_EQ(view.size(), 64u);
+  // Wrapping moves the vector into the shared buffer: same backing bytes.
+  EXPECT_EQ(static_cast<const BufferView&>(view).data(), raw);
+  EXPECT_EQ(view.ref_count(), 1);
+}
+
+TEST(BufferViewTest, CopiesAliasTheSameStorage) {
+  BufferView a(Iota(32));
+  BufferView b = a;
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_EQ(a.ref_count(), 2);
+  EXPECT_EQ(static_cast<const BufferView&>(a).data(),
+            static_cast<const BufferView&>(b).data());
+}
+
+TEST(BufferViewTest, SliceIsZeroCopyAndNested) {
+  BufferView whole(Iota(100));
+  BufferView mid = whole.Slice(10, 50);
+  BufferView inner = mid.Slice(5, 10);
+  EXPECT_TRUE(whole.SharesStorageWith(mid));
+  EXPECT_TRUE(whole.SharesStorageWith(inner));
+  EXPECT_EQ(mid.size(), 50u);
+  EXPECT_EQ(inner.size(), 10u);
+  EXPECT_EQ(inner.offset(), 15u);
+  for (size_t i = 0; i < inner.size(); ++i) {
+    EXPECT_EQ(inner[i], 15 + i);
+  }
+}
+
+TEST(BufferViewTest, SliceClampsToBounds) {
+  BufferView view(Iota(16));
+  EXPECT_EQ(view.Slice(8, 100).size(), 8u);   // length clamped
+  EXPECT_EQ(view.Slice(100, 4).size(), 0u);   // offset clamped to end
+  EXPECT_EQ(view.Slice(16, 0).size(), 0u);    // exactly at end
+  EXPECT_TRUE(view.Slice(100, 4).empty());
+}
+
+TEST(BufferViewTest, ConstAccessNeverDetaches) {
+  BufferView a(Iota(32));
+  const BufferView b = a.Slice(8, 16);
+  EXPECT_EQ(b[0], 8);
+  EXPECT_EQ(*b.begin(), 8);
+  EXPECT_EQ(b.end() - b.begin(), 16);
+  // Reading through the const surface must not have detached anything.
+  EXPECT_TRUE(a.SharesStorageWith(b));
+}
+
+TEST(BufferViewTest, MutationDetachesSharedViews) {
+  BufferView a(Iota(32));
+  BufferView b = a;
+  b[0] = 0xFF;  // copy-on-write: b detaches, a is untouched
+  EXPECT_FALSE(a.SharesStorageWith(b));
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(b[0], 0xFF);
+  EXPECT_EQ(b.size(), 32u);
+  for (size_t i = 1; i < 32; ++i) {
+    EXPECT_EQ(b[i], i) << "detach must preserve the view's bytes";
+  }
+}
+
+TEST(BufferViewTest, MutatingASliceCopiesOnlyTheSlice) {
+  BufferView whole(Iota(64));
+  BufferView slice = whole.Slice(16, 8);
+  uint8_t* p = slice.data();  // non-const: detaches to a private 8-byte buffer
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(whole.SharesStorageWith(slice));
+  EXPECT_EQ(slice.size(), 8u);
+  EXPECT_EQ(slice.offset(), 0u);
+  p[0] = 0xAB;
+  EXPECT_EQ(slice[0], 0xAB);
+  EXPECT_EQ(whole[16], 16) << "original storage must be untouched";
+}
+
+TEST(BufferViewTest, UniqueFullSpanViewMutatesInPlace) {
+  BufferView view(Iota(32));
+  const uint8_t* before = static_cast<const BufferView&>(view).data();
+  view[3] = 9;  // sole owner of the whole buffer: no copy
+  EXPECT_EQ(static_cast<const BufferView&>(view).data(), before);
+}
+
+TEST(BufferViewTest, ResizeGrowsWithZeroFillAndShrinksInPlace) {
+  BufferView view(Iota(8));
+  view.resize(12);
+  EXPECT_EQ(view.size(), 12u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(view[i], i);
+  }
+  for (size_t i = 8; i < 12; ++i) {
+    EXPECT_EQ(view[i], 0u) << "growth zero-fills like std::vector";
+  }
+  view.resize(4);
+  EXPECT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[3], 3);
+}
+
+TEST(BufferViewTest, ResizeOnSharedViewLeavesPeersAlone) {
+  BufferView a(Iota(16));
+  BufferView b = a;
+  b.resize(4);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_FALSE(a.SharesStorageWith(b));
+  EXPECT_EQ(a[15], 15);
+}
+
+TEST(BufferViewTest, AssignAndClearMatchVectorSemantics) {
+  BufferView view(Iota(8));
+  view.assign(5, 0x7E);
+  EXPECT_EQ(view.size(), 5u);
+  EXPECT_EQ(view[4], 0x7E);
+
+  const std::vector<uint8_t> src = {1, 2, 3};
+  view.assign(src.begin(), src.end());
+  EXPECT_EQ(view, src);
+
+  view.clear();
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.ref_count(), 0);
+  EXPECT_EQ(static_cast<const BufferView&>(view).data(), nullptr);
+}
+
+TEST(BufferViewTest, EqualityComparesBytesNotStorage) {
+  BufferView a(Iota(16));
+  BufferView b(Iota(16));
+  EXPECT_FALSE(a.SharesStorageWith(b));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, Iota(16));
+  EXPECT_EQ(Iota(16), a);
+  b[0] = 0xFF;
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, Iota(16));
+  // Slices with the same bytes compare equal regardless of offset.
+  BufferView whole(Iota(32));
+  EXPECT_EQ(whole.Slice(0, 16), a);
+}
+
+TEST(BufferViewTest, MoveTransfersOwnershipWithoutCopy) {
+  BufferView a(Iota(32));
+  const uint8_t* raw = static_cast<const BufferView&>(a).data();
+  BufferView b = std::move(a);
+  EXPECT_EQ(static_cast<const BufferView&>(b).data(), raw);
+  EXPECT_EQ(b.ref_count(), 1);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): defined state
+}
+
+TEST(BufferViewTest, ToVectorCopiesSliceBytes) {
+  BufferView whole(Iota(32));
+  const std::vector<uint8_t> copy = whole.Slice(4, 8).ToVector();
+  ASSERT_EQ(copy.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(copy[i], 4 + i);
+  }
+  EXPECT_TRUE(BufferView().ToVector().empty());
+}
+
+TEST(BufferViewTest, RefCountTracksAliveViews) {
+  BufferView a(Iota(8));
+  EXPECT_EQ(a.ref_count(), 1);
+  {
+    BufferView b = a.Slice(0, 4);
+    BufferView c = b;
+    EXPECT_EQ(a.ref_count(), 3);
+    EXPECT_EQ(c.ref_count(), 3);
+  }
+  EXPECT_EQ(a.ref_count(), 1);
+}
+
+}  // namespace
+}  // namespace axi
+}  // namespace coyote

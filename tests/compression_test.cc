@@ -204,7 +204,7 @@ TEST(CompressionKernelTest, EndToEndCompressThenHostDecompress) {
   auto task = t.Invoke(runtime::Oper::kLocalRead, sg);
   dev.WaitFor([&] {
     while (auto p = dev.vfpga(0).host_out(0).Pop()) {
-      frames.push_back(std::move(p->data));
+      frames.push_back(p->data.ToVector());
     }
     return t.CheckCompleted(task) && frames.size() == 8;  // 32 KB / 4 KB
   });
@@ -253,7 +253,7 @@ TEST(CompressionKernelTest, ChangingTheCompressionAlgorithmViaReconfig) {
     dev.engine().RunUntilIdle();
     auto outp = dev.vfpga(0).host_out(0).Pop();
     EXPECT_TRUE(outp.has_value());
-    return outp ? outp->data : std::vector<uint8_t>{};
+    return outp ? outp->data.ToVector() : std::vector<uint8_t>{};
   };
 
   const auto input = Text(4096);

@@ -1,0 +1,35 @@
+// Fixture: by-value payload parameters on a packet hot path (src/net/...).
+#include <cstdint>
+#include <vector>
+
+struct StreamPacket {
+  std::vector<uint8_t> data;
+};
+
+void DeliverByValue(StreamPacket pkt);                       // line 9: flagged
+void ForwardBytes(std::vector<uint8_t> bytes, int port);     // line 10: flagged
+void MixedParams(int id, const StreamPacket header, int x);  // line 11: const-value still copies
+
+// Borrowed and transferred payloads are fine.
+void DeliverByRef(const StreamPacket& pkt);
+void DeliverByMove(StreamPacket&& pkt);
+void DeliverPtr(const StreamPacket* pkt);
+void BytesByRef(const std::vector<uint8_t>& bytes);
+StreamPacket MakePacket();                 // return type, not a parameter
+std::vector<uint8_t> MakeBytes();          // return type, not a parameter
+
+struct Frame {
+  StreamPacket packet;             // member declaration, not a parameter
+  std::vector<uint8_t> trailer;    // member declaration, not a parameter
+};
+
+void LocalsAreFine() {
+  StreamPacket local;                      // local, not a parameter
+  std::vector<uint8_t> buf(16, 0);         // local, not a parameter
+  DeliverByRef(local);
+  BytesByRef(buf);
+  DeliverByMove(StreamPacket{});           // constructor call in an argument list
+}
+
+// A deliberate sink copy, annotated.
+void SinkOwns(StreamPacket pkt);  // lint: hot-copy-ok

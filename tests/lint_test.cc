@@ -168,6 +168,32 @@ TEST(LintSymbols, OrderedMapIterationIsFine) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(LintFixtures, HotCopyRuleFiresOnByValuePayloadParams) {
+  const auto findings = LintFixture("src/net/bad_hotcopy.cc");
+  EXPECT_TRUE(HasRuleAtLine(findings, "hot-copy", 9));   // StreamPacket by value
+  EXPECT_TRUE(HasRuleAtLine(findings, "hot-copy", 10));  // vector<uint8_t> by value
+  EXPECT_TRUE(HasRuleAtLine(findings, "hot-copy", 11));  // const-value still copies
+  // Everything else in the fixture — refs, moves, pointers, return types,
+  // members, locals, constructor calls, the suppressed sink — is clean.
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "hot-copy") << f.file << ":" << f.line;
+    EXPECT_LE(f.line, 11u) << f.file << ":" << f.line << " " << f.message;
+  }
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(LintRules, HotCopyOnlyAppliesToHotPathDirectories) {
+  // The same by-value signature outside src/{axi,dyn,net,memsys} is not the
+  // lint's business: cold paths may copy for clarity.
+  const std::string source =
+      "struct StreamPacket { int x; };\n"
+      "void Deliver(StreamPacket pkt);\n";
+  EXPECT_TRUE(LintSnippet("src/runtime/cold.cc", source).empty());
+  EXPECT_TRUE(LintSnippet("tests/some_test.cc", source).empty());
+  EXPECT_EQ(LintSnippet("src/net/hot.cc", source).size(), 1u);
+  EXPECT_EQ(LintSnippet("src/memsys/hot.cc", source).size(), 1u);
+}
+
 TEST(LintRules, RuleTableExposesSuppressionsForEveryRule) {
   const auto& rules = Rules();
   ASSERT_GE(rules.size(), 6u);

@@ -111,7 +111,7 @@ TEST(NetworkTest, DeliversFramesWithLatencyAndBandwidth) {
   Network nw(&engine, {});
   std::vector<uint8_t> received;
   nw.AttachPort(1, nullptr);
-  nw.AttachPort(2, [&](std::vector<uint8_t> f) { received = std::move(f); });
+  nw.AttachPort(2, [&](axi::BufferView f) { received = f.ToVector(); });
   std::vector<uint8_t> frame(12500, 0xAB);  // 12.5 KB = 1 us at 100G per hop
   nw.Transmit(0, 2, frame);
   engine.RunUntilIdle();
@@ -136,7 +136,7 @@ TEST(NetworkTest, DropFilterInjectsLoss) {
   Network nw(&engine, {});
   int received = 0;
   nw.AttachPort(1, nullptr);
-  nw.AttachPort(2, [&](std::vector<uint8_t>) { ++received; });
+  nw.AttachPort(2, [&](axi::BufferView) { ++received; });
   nw.SetDropFilter([](uint64_t index) { return index % 2 == 0; });
   for (int i = 0; i < 10; ++i) {
     nw.Transmit(0, 2, std::vector<uint8_t>(100));
@@ -305,7 +305,7 @@ TEST_F(RoceTest, ConcurrentBidirectionalTraffic) {
 
 TEST_F(RoceTest, SnifferTapSeesAllTrafficAndFilters) {
   TrafficSniffer sniffer(&engine_);
-  a_.SetTap([&](const std::vector<uint8_t>& f, bool is_tx) { sniffer.OnFrame(f, is_tx); });
+  a_.SetTap([&](const axi::BufferView& f, bool is_tx) { sniffer.OnFrame(f, is_tx); });
   sniffer.Start();
   const auto data = FillA(64 << 10, 10);
   bool done = false;
@@ -321,7 +321,7 @@ TEST_F(RoceTest, SnifferTapSeesAllTrafficAndFilters) {
   f.capture_tx = false;
   rx_only.SetFilter(f);
   rx_only.Start();
-  a_.SetTap([&](const std::vector<uint8_t>& fr, bool is_tx) { rx_only.OnFrame(fr, is_tx); });
+  a_.SetTap([&](const axi::BufferView& fr, bool is_tx) { rx_only.OnFrame(fr, is_tx); });
   done = false;
   a_.PostWrite(qp_a_, buf_a_, buf_b_, data.size(), [&](bool ok) { done = ok; });
   engine_.RunUntilCondition([&] { return done; });
@@ -436,7 +436,7 @@ TEST_F(RoceTest, SnifferIpFilterSelectsDirection) {
   f.src_ip = 0x0A000002;  // only frames FROM node B (acks, on A's RX)
   sniffer.SetFilter(f);
   sniffer.Start();
-  a_.SetTap([&](const std::vector<uint8_t>& fr, bool is_tx) { sniffer.OnFrame(fr, is_tx); });
+  a_.SetTap([&](const axi::BufferView& fr, bool is_tx) { sniffer.OnFrame(fr, is_tx); });
   const auto data = FillA(64 << 10, 33);
   bool done = false;
   a_.PostWrite(qp_a_, buf_a_, buf_b_, data.size(), [&](bool ok) { done = ok; });
@@ -457,8 +457,9 @@ TEST_F(RoceTest, InboundOffloadTransformsPayloadOnPath) {
   axi::Stream to_kernel, from_kernel;
   to_kernel.set_on_data([&]() {
     while (auto p = to_kernel.Pop()) {
-      for (auto& byte : p->data) {
-        byte ^= 0x5A;
+      uint8_t* bytes = p->data.data();  // mutable access: copy-on-write detach
+      for (size_t i = 0; i < p->data.size(); ++i) {
+        bytes[i] ^= 0x5A;
       }
       from_kernel.Push(std::move(*p));
     }

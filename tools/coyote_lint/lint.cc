@@ -514,6 +514,97 @@ void RuleUsingNamespaceHeader(const FileCtx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: hot-copy — no by-value payload parameters on the packet hot paths.
+// StreamPacket and std::vector<uint8_t> travel through every per-packet call
+// in src/axi, src/dyn, src/net and src/memsys; accepting them by value costs
+// a copy (and before BufferView, an allocation) per hop per packet, which is
+// exactly the regression class the calendar-engine/zero-copy work removed.
+// Take `const T&` for borrowed payloads or `T&&`/BufferView for transfers;
+// sites that copy deliberately (e.g. a sink that must own the packet)
+// annotate with "// lint: hot-copy-ok".
+// ---------------------------------------------------------------------------
+
+void RuleHotCopy(const FileCtx& ctx) {
+  static const std::vector<std::string> kHotDirs = {"src/axi/", "src/dyn/", "src/net/",
+                                                    "src/memsys/"};
+  const auto on_hot_path = [&] {
+    for (const std::string& dir : kHotDirs) {
+      if (ctx.path.rfind(dir, 0) == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!on_hot_path()) {
+    return;
+  }
+  const auto& toks = ctx.lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) {
+      continue;
+    }
+    // Match the payload type and remember where its spelling ends.
+    size_t type_end;
+    std::string pretty;
+    if (toks[i].text == "StreamPacket") {
+      type_end = i;
+      pretty = "StreamPacket";
+    } else if (toks[i].text == "vector" && i + 3 < toks.size() && toks[i + 1].text == "<" &&
+               toks[i + 2].kind == TokKind::kIdent && toks[i + 2].text == "uint8_t" &&
+               toks[i + 3].text == ">") {
+      type_end = i + 3;
+      pretty = "std::vector<uint8_t>";
+    } else {
+      continue;
+    }
+    // Walk back over namespace qualifiers and `const` to the token that opens
+    // the parameter slot; only `(` and `,` put us in a parameter list. This
+    // rejects return types, member declarations, locals and template args.
+    size_t b = i;
+    while (b >= 2 && toks[b - 1].kind == TokKind::kPunct && toks[b - 1].text == "::" &&
+           toks[b - 2].kind == TokKind::kIdent) {
+      b -= 2;
+    }
+    if (b >= 1 && toks[b - 1].kind == TokKind::kIdent && toks[b - 1].text == "const") {
+      b -= 1;
+    }
+    const Token* opener = Prev(toks, b);
+    if (opener == nullptr || opener->kind != TokKind::kPunct ||
+        (opener->text != "(" && opener->text != ",")) {
+      continue;
+    }
+    // `StreamPacket(...)` / `StreamPacket{...}` right after the type is a
+    // constructor call inside an argument list, not a parameter.
+    if (type_end + 1 < toks.size() &&
+        (toks[type_end + 1].text == "(" || toks[type_end + 1].text == "{")) {
+      continue;
+    }
+    // Scan forward to the end of the parameter: `&` or `*` anywhere before it
+    // means the payload is borrowed or moved, not copied.
+    bool by_value = false;
+    for (size_t j = type_end + 1; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) {
+        continue;
+      }
+      const std::string& tx = toks[j].text;
+      if (tx == "&" || tx == "*") {
+        break;  // reference, rvalue-reference or pointer parameter
+      }
+      if (tx == "," || tx == ")" || tx == "=") {
+        by_value = true;  // parameter ended with no indirection in sight
+        break;
+      }
+      break;  // any other punctuation: not a plain parameter declaration
+    }
+    if (by_value) {
+      Report(ctx, toks[i].line, "hot-copy", "hot-copy-ok",
+             "by-value '" + pretty + "' parameter copies the payload on a per-packet path; "
+             "take 'const " + pretty + "&' (borrow) or '" + pretty + "&&'/BufferView (transfer)");
+    }
+  }
+}
+
 using RuleFn = void (*)(const FileCtx&);
 
 struct RuleEntry {
@@ -537,6 +628,9 @@ const std::vector<RuleEntry>& RuleTable() {
        RuleHeaderGuard},
       {{"using-ns-header", "using-ok", "no 'using namespace' in headers"},
        RuleUsingNamespaceHeader},
+      {{"hot-copy", "hot-copy-ok",
+        "no by-value StreamPacket / std::vector<uint8_t> parameters on packet hot paths"},
+       RuleHotCopy},
   };
   return table;
 }
