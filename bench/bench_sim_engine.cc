@@ -19,8 +19,10 @@
 // written under a key prefixed "wall_"; all other fields are deterministic,
 // and CI runs this bench twice and diffs the JSON with wall_ lines stripped.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <queue>
 #include <utility>
@@ -28,21 +30,24 @@
 
 #include "bench/bench_util.h"
 #include "src/axi/buffer.h"
+#include "src/runtime/placement.h"
 #include "src/sim/engine.h"
+#include "src/sim/sharded_engine.h"
 
 // --- Allocation counter ------------------------------------------------------
 // Replacing global operator new/delete is the one portable way to observe the
 // allocator; the bench binary owns the whole process, so this is safe.
+// Atomic because the sharded scaling cases allocate from worker threads.
 
 namespace {
-uint64_t g_allocs = 0;
+std::atomic<uint64_t> g_allocs{0};
 }  // namespace
 
 // noinline keeps the malloc/free pairing opaque to the optimizer: GCC's
 // -Wmismatched-new-delete heuristic cannot see that the replacement operator
 // new is malloc-backed and would flag the free() at every inlined call site.
 __attribute__((noinline)) void* operator new(std::size_t size) {  // lint: raw-alloc-ok
-  ++g_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
   void* p = std::malloc(size);
   if (p == nullptr) {
     std::abort();
@@ -50,7 +55,7 @@ __attribute__((noinline)) void* operator new(std::size_t size) {  // lint: raw-a
   return p;
 }
 __attribute__((noinline)) void* operator new[](std::size_t size) {  // lint: raw-alloc-ok
-  ++g_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
   void* p = std::malloc(size);
   if (p == nullptr) {
     std::abort();
@@ -199,6 +204,78 @@ CaseResult RunActors(const char* name, const char* engine_name, uint64_t depth,
   return r;
 }
 
+// --- Workload 4: sharded scaling ---------------------------------------------
+// The multi-core story: 16384 self-rescheduling nodes placed round-robin
+// over N shards, with ~3% of fires posting a cross-shard message timed
+// exactly at the lookahead horizon (the worst legal case — zero slack beyond
+// the contract). Every field except wall_* is deterministic for a given N;
+// CI runs this twice and diffs the JSON modulo wall_ lines. NOTE: the
+// speedup-vs-1-shard row only means something on a multi-core runner — this
+// bench reports, it does not assert.
+
+struct ShardCaseResult {
+  uint32_t shards = 0;
+  uint64_t events = 0;
+  uint64_t final_time_ps = 0;
+  uint64_t cross_shard_messages = 0;
+  uint64_t windows = 0;
+  double wall_seconds = 0.0;
+};
+
+constexpr uint32_t kShardNodes = 16384;
+constexpr uint64_t kFiresPerNode = 128;
+constexpr sim::TimePs kShardPeriod = sim::Nanoseconds(100);
+constexpr sim::TimePs kShardLookahead = sim::Microseconds(1);
+
+// 48 bytes — rides the engine's inline-callback budget exactly.
+struct ShardActor {
+  sim::ShardedEngine* eng;
+  uint32_t shard;
+  uint32_t num_shards;
+  uint64_t remaining;
+  uint64_t fire_index;
+  uint64_t stagger;
+
+  void operator()() const {
+    if (num_shards > 1 && fire_index % 32 == 0) {
+      eng->Post((shard + 1) % num_shards, eng->shard(shard).Now() + kShardLookahead, [] {},
+                /*order_key=*/shard);
+    }
+    if (remaining == 0) {
+      return;
+    }
+    ShardActor next = *this;
+    --next.remaining;
+    ++next.fire_index;
+    eng->shard(shard).ScheduleAfter(kShardPeriod + stagger, next);
+  }
+};
+
+ShardCaseResult RunShardScaling(uint32_t num_shards) {
+  sim::ShardedEngine eng(
+      sim::ShardedEngine::Config{num_shards, kShardLookahead, 1u << 16, true});
+  const std::vector<uint32_t> shard_of =
+      runtime::ShardPlacement::RoundRobin(kShardNodes, num_shards);
+  for (uint32_t n = 0; n < kShardNodes; ++n) {
+    eng.ScheduleOn(shard_of[n], 1 + n % 997,
+                   ShardActor{&eng, shard_of[n], num_shards, kFiresPerNode, 1, n % 7});
+  }
+  bench::WallTimer timer;
+  const uint64_t events = eng.RunUntilIdle();
+  ShardCaseResult r;
+  r.shards = num_shards;
+  r.events = events;
+  r.wall_seconds = timer.Seconds();
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (eng.shard(s).Now() > r.final_time_ps) {
+      r.final_time_ps = eng.shard(s).Now();
+    }
+  }
+  r.cross_shard_messages = eng.stats().cross_shard_messages;
+  r.windows = eng.stats().windows;
+  return r;
+}
+
 // --- Workload 3: payload fan-out ---------------------------------------------
 // One 256 KB message delivered to `consumers` destinations in MTU chunks:
 // the wire pattern (switch fan-out, go-back-N window, sniffer capture).
@@ -264,8 +341,32 @@ FanoutResult RunFanoutCopies(uint64_t iters, uint64_t consumers, uint64_t mtu) {
 }  // namespace
 }  // namespace coyote
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coyote;  // NOLINT(build/namespaces)
+
+  // --shards=1,4 runs ONLY the sharded scaling cases (the engine-perf CI job
+  // uses this for its run-twice determinism diff); no flag runs everything
+  // with the default shard ladder.
+  std::vector<uint32_t> shard_counts = {1, 2, 4, 8, 16};
+  bool shards_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards_only = true;
+      shard_counts.clear();
+      char* p = argv[i] + 9;
+      while (*p != '\0') {
+        char* end = p;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p) {
+          break;
+        }
+        if (v > 0) {
+          shard_counts.push_back(static_cast<uint32_t>(v));
+        }
+        p = *end == ',' ? end + 1 : end;
+      }
+    }
+  }
 
   bench::PrintHeader("Event-engine fast path: calendar queue vs. binary heap",
                      "perf substrate for every bench/ figure (simulator internals)");
@@ -298,45 +399,109 @@ int main() {
   };
 
   std::vector<CaseResult> results;
-  bench::PrintRule();
-  for (const CaseSpec& s : specs) {
-    CaseResult cal = RunActors<sim::Engine>(s.name, "calendar", s.depth, s.budget, s.period);
-    CaseResult heap =
-        RunActors<LegacyHeapEngine>(s.name, "legacy_heap", s.depth, s.budget, s.period);
-    if (cal.events != heap.events || cal.final_time_ps != heap.final_time_ps) {
-      bench::Note("MISMATCH: engines disagree on event count or final time");
+  FanoutResult views;
+  FanoutResult copies;
+  if (!shards_only) {
+    bench::PrintRule();
+    for (const CaseSpec& s : specs) {
+      CaseResult cal = RunActors<sim::Engine>(s.name, "calendar", s.depth, s.budget, s.period);
+      CaseResult heap =
+          RunActors<LegacyHeapEngine>(s.name, "legacy_heap", s.depth, s.budget, s.period);
+      if (cal.events != heap.events || cal.final_time_ps != heap.final_time_ps) {
+        bench::Note("MISMATCH: engines disagree on event count or final time");
+        return 1;
+      }
+      bench::Row("%s:", s.name);
+      bench::RowEventsPerSec("calendar queue", cal.events, cal.wall_seconds);
+      bench::RowEventsPerSec("legacy binary heap", heap.events, heap.wall_seconds);
+      bench::Row("  %-32s %12llu (calendar)  vs %12llu (heap)", "steady-state allocs",
+                 static_cast<unsigned long long>(cal.allocs),
+                 static_cast<unsigned long long>(heap.allocs));
+      bench::Row("  %-32s %.2fx", "wall speedup",
+                 bench::EventsPerSec(cal.events, cal.wall_seconds) /
+                     bench::EventsPerSec(heap.events, heap.wall_seconds));
+      results.push_back(cal);
+      results.push_back(heap);
+    }
+
+    bench::PrintRule();
+    const uint64_t kFanoutIters = 200;
+    const uint64_t kConsumers = 8;
+    const uint64_t kMtu = 4096;
+    views = RunFanoutViews(kFanoutIters, kConsumers, kMtu);
+    copies = RunFanoutCopies(kFanoutIters, kConsumers, kMtu);
+    bench::Row("payload fan-out (256 KB message, %llu consumers, %llu B MTU):",
+               static_cast<unsigned long long>(kConsumers),
+               static_cast<unsigned long long>(kMtu));
+    bench::RowEventsPerSec("BufferView slices", views.deliveries, views.wall_seconds);
+    bench::RowEventsPerSec("vector copies", copies.deliveries, copies.wall_seconds);
+    bench::Row("  %-32s %12llu (views)     vs %12llu (copies)", "allocs",
+               static_cast<unsigned long long>(views.allocs),
+               static_cast<unsigned long long>(copies.allocs));
+    if (views.checksum != copies.checksum || views.deliveries != copies.deliveries) {
+      bench::Note("MISMATCH: fan-out paths disagree");
       return 1;
     }
-    bench::Row("%s:", s.name);
-    bench::RowEventsPerSec("calendar queue", cal.events, cal.wall_seconds);
-    bench::RowEventsPerSec("legacy binary heap", heap.events, heap.wall_seconds);
-    bench::Row("  %-32s %12llu (calendar)  vs %12llu (heap)", "steady-state allocs",
-               static_cast<unsigned long long>(cal.allocs),
-               static_cast<unsigned long long>(heap.allocs));
-    bench::Row("  %-32s %.2fx", "wall speedup",
-               bench::EventsPerSec(cal.events, cal.wall_seconds) /
-                   bench::EventsPerSec(heap.events, heap.wall_seconds));
-    results.push_back(cal);
-    results.push_back(heap);
   }
 
+  // Sharded scaling ladder.
   bench::PrintRule();
-  const uint64_t kFanoutIters = 200;
-  const uint64_t kConsumers = 8;
-  const uint64_t kMtu = 4096;
-  FanoutResult views = RunFanoutViews(kFanoutIters, kConsumers, kMtu);
-  FanoutResult copies = RunFanoutCopies(kFanoutIters, kConsumers, kMtu);
-  bench::Row("payload fan-out (256 KB message, %llu consumers, %llu B MTU):",
-             static_cast<unsigned long long>(kConsumers),
-             static_cast<unsigned long long>(kMtu));
-  bench::RowEventsPerSec("BufferView slices", views.deliveries, views.wall_seconds);
-  bench::RowEventsPerSec("vector copies", copies.deliveries, copies.wall_seconds);
-  bench::Row("  %-32s %12llu (views)     vs %12llu (copies)", "allocs",
-             static_cast<unsigned long long>(views.allocs),
-             static_cast<unsigned long long>(copies.allocs));
-  if (views.checksum != copies.checksum || views.deliveries != copies.deliveries) {
-    bench::Note("MISMATCH: fan-out paths disagree");
-    return 1;
+  bench::Row("sharded PDES scaling (%llu nodes, %llu fires/node, lookahead %llu ns):",
+             static_cast<unsigned long long>(kShardNodes),
+             static_cast<unsigned long long>(kFiresPerNode),
+             static_cast<unsigned long long>(kShardLookahead / sim::kPsPerNs));
+  std::vector<ShardCaseResult> shard_results;
+  double base_eps = 0.0;
+  for (uint32_t n : shard_counts) {
+    const ShardCaseResult r = RunShardScaling(n);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%u shard%s", r.shards, r.shards == 1 ? "" : "s");
+    bench::RowEventsPerSec(label, r.events, r.wall_seconds);
+    const double eps = bench::EventsPerSec(r.events, r.wall_seconds);
+    if (r.shards == 1) {
+      base_eps = eps;
+    } else if (base_eps > 0.0) {
+      bench::Row("  %-32s %.2fx vs 1 shard", "wall speedup", eps / base_eps);
+    }
+    shard_results.push_back(r);
+  }
+  // The simulated outcome must not depend on the shard count: every N > 1
+  // case runs the identical program (same nodes, same posts), so their
+  // deterministic fields have to agree exactly.
+  for (size_t i = 1; i < shard_results.size(); ++i) {
+    if (shard_results[i].shards == 1 || shard_results[i - 1].shards == 1) {
+      continue;
+    }
+    if (shard_results[i].events != shard_results[i - 1].events ||
+        shard_results[i].final_time_ps != shard_results[i - 1].final_time_ps ||
+        shard_results[i].cross_shard_messages != shard_results[i - 1].cross_shard_messages) {
+      bench::Note("MISMATCH: shard counts disagree on deterministic outcome");
+      return 1;
+    }
+  }
+
+  if (shards_only) {
+    std::FILE* json = std::fopen("BENCH_sim_shards.json", "w");
+    if (json != nullptr) {
+      std::fprintf(json, "{\n  \"bench\": \"sim_shards\",\n  \"shard_cases\": [\n");
+      for (size_t i = 0; i < shard_results.size(); ++i) {
+        const ShardCaseResult& r = shard_results[i];
+        std::fprintf(json,
+                     "    {\"shards\": %u, \"events\": %llu, \"final_time_ps\": %llu,\n"
+                     "     \"cross_shard_messages\": %llu, \"windows\": %llu,\n"
+                     "     \"wall_seconds\": %.6f,\n     \"wall_events_per_sec\": %.0f}%s\n",
+                     r.shards, static_cast<unsigned long long>(r.events),
+                     static_cast<unsigned long long>(r.final_time_ps),
+                     static_cast<unsigned long long>(r.cross_shard_messages),
+                     static_cast<unsigned long long>(r.windows), r.wall_seconds,
+                     bench::EventsPerSec(r.events, r.wall_seconds),
+                     i + 1 < shard_results.size() ? "," : "");
+      }
+      std::fprintf(json, "  ]\n}\n");
+      std::fclose(json);
+      bench::Note("wrote BENCH_sim_shards.json");
+    }
+    return 0;
   }
 
   std::FILE* json = std::fopen("BENCH_sim_perf.json", "w");
@@ -358,13 +523,28 @@ int main() {
     std::fprintf(json,
                  "  \"fanout\": {\"deliveries\": %llu, \"bytes_touched\": %llu,\n"
                  "    \"checksum\": %llu, \"view_allocs\": %llu, \"copy_allocs\": %llu,\n"
-                 "    \"wall_view_seconds\": %.6f, \"wall_copy_seconds\": %.6f}\n}\n",
+                 "    \"wall_view_seconds\": %.6f, \"wall_copy_seconds\": %.6f},\n",
                  static_cast<unsigned long long>(views.deliveries),
                  static_cast<unsigned long long>(views.bytes_touched),
                  static_cast<unsigned long long>(views.checksum),
                  static_cast<unsigned long long>(views.allocs),
                  static_cast<unsigned long long>(copies.allocs), views.wall_seconds,
                  copies.wall_seconds);
+    std::fprintf(json, "  \"shard_cases\": [\n");
+    for (size_t i = 0; i < shard_results.size(); ++i) {
+      const ShardCaseResult& r = shard_results[i];
+      std::fprintf(json,
+                   "    {\"shards\": %u, \"events\": %llu, \"final_time_ps\": %llu,\n"
+                   "     \"cross_shard_messages\": %llu, \"windows\": %llu,\n"
+                   "     \"wall_seconds\": %.6f,\n     \"wall_events_per_sec\": %.0f}%s\n",
+                   r.shards, static_cast<unsigned long long>(r.events),
+                   static_cast<unsigned long long>(r.final_time_ps),
+                   static_cast<unsigned long long>(r.cross_shard_messages),
+                   static_cast<unsigned long long>(r.windows), r.wall_seconds,
+                   bench::EventsPerSec(r.events, r.wall_seconds),
+                   i + 1 < shard_results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
     bench::Note("wrote BENCH_sim_perf.json");
   }

@@ -21,6 +21,7 @@ uint32_t Network::AttachPort(uint32_t ip, RxHandler rx) {
 }
 
 void Network::Transmit(uint32_t src_port, uint32_t dst_ip, axi::BufferView frame) {
+  switch_guard_.CheckShardOnly(/*is_write=*/true);
   const uint64_t index = frame_counter_++;
   auto [first, last] = ip_to_port_.equal_range(dst_ip);
   if (first == last || src_port >= ports_.size()) {

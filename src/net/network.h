@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "src/axi/buffer.h"
+#include "src/sim/access_guard.h"
 #include "src/sim/engine.h"
 #include "src/sim/fault.h"
 #include "src/sim/link.h"
+#include "src/sim/time.h"
 
 namespace coyote {
 namespace net {
@@ -56,6 +58,24 @@ class Network {
   // inside a node-outage window. Not owned; may be nullptr.
   void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
 
+  // Fastest possible node-to-node traversal of this fabric: a minimum-size
+  // (64 B) frame serialized on the sender's TX link, the fixed switch
+  // latency, then serialization on the receiver's RX link. No frame can
+  // arrive sooner, so a node-partitioned sharded simulation may use this as
+  // its conservative lookahead (ShardedEngine::Config::lookahead) without
+  // changing any observable ordering. Fault-injected *extra* delay only
+  // lengthens traversals, so it never invalidates the bound.
+  sim::TimePs MinCrossNodeLatencyPs() const {
+    return config_.switch_latency + 2 * sim::TransferTime(64, config_.link_bps);
+  }
+
+  // Declares which shard's engine drives this network. All ports of one
+  // Network must live on one shard (a fabric spanning shards would need its
+  // traffic routed through the sharded engine's mailboxes instead); with the
+  // guard bound, a foreign shard calling Transmit() is reported
+  // deterministically rather than corrupting switch counters silently.
+  void BindShard(sim::ShardId shard) { switch_guard_.BindShard(shard); }
+
   uint64_t frames_delivered() const { return frames_delivered_; }
   uint64_t frames_dropped() const { return frames_dropped_; }
   uint64_t frames_corrupted() const { return frames_corrupted_; }
@@ -81,6 +101,10 @@ class Network {
   // order among equal keys; unordered_multimap does not).
   std::multimap<uint32_t, uint32_t> ip_to_port_;
   std::function<bool(uint64_t)> drop_filter_;
+  // Shard-ownership probe only: the switch's same-shard reentrancy (tx link
+  // -> switch hop -> rx link all bump shared counters) is ordered by the
+  // single engine driving it, so full actor tracking would be noise.
+  sim::AccessGuard switch_guard_{"net.switch"};
   sim::FaultInjector* injector_ = nullptr;
   uint64_t frame_counter_ = 0;
   uint64_t frames_delivered_ = 0;

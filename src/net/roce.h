@@ -89,6 +89,12 @@ class RoceStack {
   // into kError. Null disables injection.
   void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
 
+  // Declares which shard's engine owns this stack's QP state in a sharded
+  // run. All verbs and rx processing must then run on that shard; a posting
+  // from another shard's callback is a reported ShardViolation (route it
+  // through ShardedEngine::Post onto the owning shard instead).
+  void BindShard(sim::ShardId shard) { qp_guard_.BindShard(shard); }
+
   // --- Verbs -------------------------------------------------------------------
   void PostWrite(uint32_t qpn, uint64_t local_vaddr, uint64_t remote_vaddr, uint64_t bytes,
                  Completion done);

@@ -1,0 +1,49 @@
+// Node -> shard placement for the sharded PDES engine.
+//
+// A placement maps every logical node of a simulated deployment onto the
+// shard whose Engine will execute its callbacks. Determinism across shard
+// counts requires only that cross-node interaction flows through
+// ShardedEngine::Post with the *node* id as the merge order key; the
+// placement itself is free. These helpers cover the two shapes the tests and
+// bench use; they are pure functions of (num_nodes, num_shards) so a run's
+// placement is reproducible from its config alone.
+
+#ifndef SRC_RUNTIME_PLACEMENT_H_
+#define SRC_RUNTIME_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace coyote {
+namespace runtime {
+
+struct ShardPlacement {
+  // node i -> shard i % num_shards. Best load spread when nodes are
+  // homogeneous; adjacent nodes land on different shards.
+  static std::vector<uint32_t> RoundRobin(uint32_t num_nodes, uint32_t num_shards) {
+    std::vector<uint32_t> shard_of(num_nodes);
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      shard_of[n] = n % num_shards;
+    }
+    return shard_of;
+  }
+
+  // Contiguous blocks of ceil(num_nodes / num_shards) nodes per shard.
+  // Keeps ring/pairwise-adjacent nodes on one shard, minimizing cross-shard
+  // traffic for neighbor-heavy topologies. With num_shards > num_nodes the
+  // trailing shards simply stay empty (a legal, if wasteful, configuration —
+  // the stress suite exercises it).
+  static std::vector<uint32_t> Blocked(uint32_t num_nodes, uint32_t num_shards) {
+    std::vector<uint32_t> shard_of(num_nodes);
+    const uint32_t per_shard = (num_nodes + num_shards - 1) / num_shards;
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      shard_of[n] = n / per_shard;
+    }
+    return shard_of;
+  }
+};
+
+}  // namespace runtime
+}  // namespace coyote
+
+#endif  // SRC_RUNTIME_PLACEMENT_H_

@@ -107,6 +107,12 @@ void KernelScheduler::Dispatch(size_t request_index, uint32_t vfpga_id) {
 
   const uint64_t epoch = state.epoch;
   auto done = [this, vfpga_id, epoch]() {
+    // Completions arrive from arbitrary contexts (DMA callbacks, RoCE rx,
+    // supervisor probes) yet mutate scheduler-owned state; run them as the
+    // scheduler actor and record the write so a same-epoch collision with
+    // another actor is a reported conflict, not a silent reorder.
+    sim::ActorScope actor(sim::kActorScheduler);
+    queue_guard_.Write();
     if (region_state_[vfpga_id].epoch != epoch) {
       return;  // request was reaped by NoteRegionReset; region already freed
     }

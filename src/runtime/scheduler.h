@@ -47,6 +47,12 @@ class KernelScheduler {
 
   KernelScheduler(SimDevice* dev, Policy policy) : dev_(dev), policy_(policy) {
     region_state_.resize(dev->num_vfpgas());
+    // Submit() records a host-actor write in the same epoch as the completion
+    // path's scheduler-actor write when a synchronously-finishing request
+    // completes inside the submit event. That pairing is deliberately ordered:
+    // dispatch itself is deferred through ScheduleAfter(0), so the queue is
+    // only ever drained in a fresh epoch.
+    sim::AccessLedger::Global().DeclareOrdered(sim::kActorHost, sim::kActorScheduler);
   }
 
   // Enqueues the request; dispatch happens from the event loop (so a batch
@@ -73,6 +79,12 @@ class KernelScheduler {
   // request so Idle() converges, and record what is now resident (empty =
   // nothing loaded). A stale completion from the reaped request is ignored.
   void NoteRegionReset(uint32_t vfpga_id, const std::string& resident_bitstream);
+
+  // Declares which shard's engine owns this scheduler in a sharded run. A
+  // completion or Submit() arriving from another shard's callback is then a
+  // reported ShardViolation — the fix is to route it through
+  // ShardedEngine::Post onto the owning shard.
+  void BindShard(sim::ShardId shard) { queue_guard_.BindShard(shard); }
 
   uint64_t submitted() const { return submitted_; }
   uint64_t completed() const { return completed_; }

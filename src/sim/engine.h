@@ -4,7 +4,10 @@
 // substrate (links, memory channels, reconfiguration ports, network switches,
 // kernels) schedule their state transitions here. The engine is strictly
 // single-threaded: determinism is a design requirement so that every
-// benchmark in bench/ is exactly reproducible run-to-run.
+// benchmark in bench/ is exactly reproducible run-to-run. Multi-core
+// simulation does not relax this — the sharded PDES coordinator
+// (src/sim/sharded_engine.h) gives every shard its own Engine on its own
+// worker thread and only ever drives one engine from one thread at a time.
 //
 // Implementation: a hierarchical calendar queue (timing wheel) instead of a
 // global binary heap. Near-future events land in one of kNumBuckets
@@ -73,6 +76,17 @@ class Engine {
   // Runs until `done` returns true or the queue drains. Returns true if the
   // predicate was satisfied.
   bool RunUntilCondition(const std::function<bool()>& done);
+
+  // Earliest pending timestamp without executing it; false when idle. The
+  // sharded coordinator (src/sim/sharded_engine.h) uses this between windows
+  // to compute the next conservative horizon across all shards.
+  bool PeekNextTime(TimePs* t) {
+    if (!PrepareNext()) {
+      return false;
+    }
+    *t = NextTime();
+    return true;
+  }
 
   bool Idle() const { return num_pending_ == 0; }
   uint64_t events_executed() const { return events_executed_; }

@@ -1,0 +1,79 @@
+// Bounded single-producer / single-consumer mailbox.
+//
+// The cross-shard transport of the sharded PDES engine: each shard owns one
+// outbound mailbox, written only by that shard's worker thread during a
+// window and drained only by the coordinator at the window barrier. The
+// acquire/release ring protocol makes the producer/consumer handoff correct
+// on its own; the engine's barrier additionally guarantees the two phases
+// never overlap, so a drain always observes every push of the closed window.
+//
+// Capacity is a backpressure knob, not a correctness limit: when TryPush
+// fails, the sharded engine spills to an (unbounded, same-thread) overflow
+// list and truncates the producing shard's window — see
+// ShardedEngine::Post() for the policy and its determinism argument.
+
+#ifndef SRC_SIM_MAILBOX_H_
+#define SRC_SIM_MAILBOX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace coyote {
+namespace sim {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  explicit SpscMailbox(size_t capacity) : ring_(capacity + 1) {}
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  size_t capacity() const { return ring_.size() - 1; }
+
+  // Producer side. Returns false (leaving `item` intact) when the ring is
+  // full — the caller decides the backpressure policy.
+  bool TryPush(T&& item) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = Advance(head);
+    if (next == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    ring_[head] = std::move(item);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    *out = std::move(ring_[tail]);
+    tail_.store(Advance(tail), std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side: moves every queued item into `out` in push order.
+  void Drain(std::vector<T>* out) {
+    T item;
+    while (TryPop(&item)) {
+      out->push_back(std::move(item));
+    }
+  }
+
+ private:
+  size_t Advance(size_t i) const { return i + 1 == ring_.size() ? 0 : i + 1; }
+
+  std::vector<T> ring_;
+  std::atomic<size_t> head_{0};
+  std::atomic<size_t> tail_{0};
+};
+
+}  // namespace sim
+}  // namespace coyote
+
+#endif  // SRC_SIM_MAILBOX_H_

@@ -230,6 +230,130 @@ TEST_F(AccessGuardTest, ConflictLogIsDeterministic) {
   EXPECT_EQ(first, second);
 }
 
+// --- Shard ownership ---------------------------------------------------------
+
+TEST_F(AccessGuardTest, ForeignShardTouchIsReportedNamingBothShards) {
+  ledger().ConfigureShards(4);
+  AccessGuard guard("test.shard_owned");
+  guard.BindShard(2);
+  {
+    // A callback attributed to shard 1 mutating shard-2-owned state: the
+    // canonical cross-shard bug the mailbox discipline exists to prevent.
+    ShardScope shard(1);
+    ActorScope actor(kActorNet);
+    guard.Write();
+  }
+  const auto violations = ledger().shard_violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].resource, "test.shard_owned");
+  EXPECT_EQ(violations[0].owner_shard, 2u);
+  EXPECT_EQ(violations[0].touching_shard, 1u);
+  EXPECT_EQ(violations[0].actor, kActorNet);
+  EXPECT_TRUE(violations[0].write);
+  const std::string s = violations[0].ToString();
+  EXPECT_NE(s.find("shard 1"), std::string::npos);
+  EXPECT_NE(s.find("shard 2"), std::string::npos);
+  // No ordinary conflict is minted for the same touch.
+  EXPECT_TRUE(ledger().conflicts().empty());
+}
+
+TEST_F(AccessGuardTest, OwningShardAndHostTouchesAreClean) {
+  ledger().ConfigureShards(2);
+  AccessGuard guard("test.shard_owned");
+  guard.BindShard(0);
+  guard.Write();  // host context (kNoShard): setup/teardown is always legal
+  {
+    ShardScope shard(0);
+    guard.Write();  // the owner itself
+  }
+  EXPECT_TRUE(ledger().shard_violations().empty());
+}
+
+TEST_F(AccessGuardTest, UnboundGuardIgnoresShardContexts) {
+  ledger().ConfigureShards(2);
+  AccessGuard guard("test.unowned");
+  {
+    ShardScope shard(1);
+    guard.Write();
+  }
+  EXPECT_TRUE(ledger().shard_violations().empty());
+}
+
+TEST_F(AccessGuardTest, ForeignTouchDoesNotPerturbOwnersTouchHistory) {
+  ledger().ConfigureShards(2);
+  AccessGuard guard("test.shard_owned");
+  guard.BindShard(0);
+  {
+    ShardScope shard(0);
+    ActorScope a(kActorUserBase + 1);
+    guard.Write();
+  }
+  {
+    // The foreign touch must be reported WITHOUT entering the touch
+    // history — mutating it from another shard would itself be the race.
+    ShardScope shard(1);
+    ActorScope b(kActorUserBase + 2);
+    guard.Write();
+  }
+  {
+    // Same epoch, same actor as the first touch: still silent, proving the
+    // foreign write left no residue that would now collide.
+    ShardScope shard(0);
+    ActorScope a(kActorUserBase + 1);
+    guard.Write();
+  }
+  EXPECT_EQ(ledger().shard_violations().size(), 1u);
+  EXPECT_TRUE(ledger().conflicts().empty());
+}
+
+TEST_F(AccessGuardTest, CheckShardOnlyReportsWithoutTouchTracking) {
+  ledger().ConfigureShards(2);
+  AccessGuard guard("test.switch_stats");
+  guard.BindShard(0);
+  {
+    ShardScope shard(1);
+    guard.CheckShardOnly(/*is_write=*/true);  // foreign: reported
+  }
+  {
+    ShardScope shard(0);
+    ActorScope a(kActorUserBase + 1);
+    guard.CheckShardOnly(/*is_write=*/true);  // owner: silent, and no touch
+    ActorScope b(kActorUserBase + 2);
+    guard.CheckShardOnly(/*is_write=*/true);  // second actor: still no conflict
+  }
+  EXPECT_EQ(ledger().shard_violations().size(), 1u);
+  EXPECT_TRUE(ledger().conflicts().empty());
+}
+
+TEST_F(AccessGuardTest, ShardViolationLogIsDeterministic) {
+  ledger().ConfigureShards(3);
+  auto run = [this]() {
+    ledger().Reset();
+    Engine engine;
+    AccessGuard owned_by_0("test.owned0");
+    owned_by_0.BindShard(0);
+    AccessGuard owned_by_2("test.owned2");
+    owned_by_2.BindShard(2);
+    for (int i = 0; i < 3; ++i) {
+      engine.ScheduleAt(static_cast<TimePs>(10 * (i + 1)), [&]() {
+        ShardScope shard(1);
+        owned_by_0.Write();
+        owned_by_2.Read();
+      });
+    }
+    engine.RunUntilIdle();
+    std::vector<std::string> log;
+    for (const auto& v : ledger().shard_violations()) {
+      log.push_back(v.ToString());
+    }
+    return log;
+  };
+  const auto first = run();
+  const auto second = run();
+  ASSERT_EQ(first.size(), 6u);  // 2 violations x 3 events, every one reported
+  EXPECT_EQ(first, second);
+}
+
 }  // namespace
 }  // namespace sim
 }  // namespace coyote

@@ -1,0 +1,292 @@
+// Sharded-engine stress suite: the edges of the conservative protocol.
+//
+// Each case drives the coordinator into a corner the conformance suite
+// deliberately avoids — lookahead-violating posts, mailbox exhaustion, idle
+// shards woken across the horizon, shards with no work at all — and checks
+// the outcome against an analytic expectation AND against the sequential
+// (single-thread, use_threads=false) execution of the identical program,
+// which is the reference model: whatever the worker threads do, the result
+// must be what the one-thread interleaving produces.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/access_guard.h"
+#include "src/sim/engine.h"
+#include "src/sim/sharded_engine.h"
+#include "src/sim/time.h"
+
+namespace coyote {
+namespace sim {
+namespace {
+
+struct Delivery {
+  TimePs time = 0;
+  uint64_t value = 0;
+  bool operator==(const Delivery&) const = default;
+};
+
+// --- Lookahead clamp ---------------------------------------------------------
+// A post for "now" (zero effective lookahead) violates the conservative
+// contract; the engine must clamp it to now + lookahead, count it, and stay
+// deterministic.
+
+struct ClampResult {
+  std::vector<Delivery> at_b;
+  ShardedEngine::Stats stats;
+};
+
+ClampResult RunClampCase(bool threads) {
+  constexpr TimePs kLa = Nanoseconds(100);
+  ShardedEngine eng(ShardedEngine::Config{2, kLa, 4096, threads});
+  auto log = std::make_shared<std::vector<Delivery>>();
+  // Three posting events on shard 0; each tries to deliver *at its own
+  // timestamp* — impossible under conservative sync.
+  for (uint64_t i = 0; i < 3; ++i) {
+    eng.ScheduleOn(0, Microseconds(1) * (i + 1), [&eng, log, i] {
+      const TimePs now = eng.shard(0).Now();
+      eng.Post(1, now, [&eng, log, i] {
+        log->push_back(Delivery{eng.shard(1).Now(), i});
+      });
+    });
+  }
+  const uint64_t events = eng.RunUntilIdle();
+  EXPECT_EQ(events, 6u);
+  return ClampResult{*log, eng.stats()};
+}
+
+TEST(ShardStressTest, ZeroLookaheadPostsAreClampedAndCounted) {
+  const ClampResult seq = RunClampCase(false);
+  ASSERT_EQ(seq.at_b.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    // Clamped to sender-now + lookahead, never earlier.
+    EXPECT_EQ(seq.at_b[i], (Delivery{Microseconds(1) * (i + 1) + Nanoseconds(100), i}));
+  }
+  EXPECT_EQ(seq.stats.lookahead_violations, 3u);
+  EXPECT_EQ(seq.stats.cross_shard_messages, 3u);
+
+  const ClampResult thr = RunClampCase(true);
+  EXPECT_EQ(thr.at_b, seq.at_b);
+  EXPECT_EQ(thr.stats.lookahead_violations, seq.stats.lookahead_violations);
+}
+
+// --- Mailbox backpressure ----------------------------------------------------
+// One callback floods a 4-slot outbox with 64 posts: 4 ride the ring, 60
+// spill, the window is marked stalled — and every message still arrives, in
+// exact sequence order (same time + same order key -> seq tie-break).
+
+struct FloodResult {
+  std::vector<uint64_t> order_at_b;
+  ShardedEngine::Stats stats;
+};
+
+FloodResult RunFloodCase(bool threads) {
+  constexpr TimePs kLa = Nanoseconds(100);
+  constexpr uint64_t kMessages = 64;
+  ShardedEngine eng(ShardedEngine::Config{2, kLa, /*mailbox_capacity=*/4, threads});
+  auto order = std::make_shared<std::vector<uint64_t>>();
+  eng.ScheduleOn(0, Microseconds(1), [&eng, order] {
+    const TimePs t = eng.shard(0).Now() + Nanoseconds(100);
+    for (uint64_t i = 0; i < kMessages; ++i) {
+      eng.Post(1, t, [order, i] { order->push_back(i); });
+    }
+  });
+  eng.RunUntilIdle();
+  return FloodResult{*order, eng.stats()};
+}
+
+TEST(ShardStressTest, MailboxBackpressureSpillsWithoutLossOrReorder) {
+  const FloodResult seq = RunFloodCase(false);
+  ASSERT_EQ(seq.order_at_b.size(), 64u);
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(seq.order_at_b[i], i);  // FIFO among equal (time, order_key)
+  }
+  EXPECT_EQ(seq.stats.cross_shard_messages, 64u);
+  EXPECT_GE(seq.stats.backpressure_stalls, 1u);
+
+  const FloodResult thr = RunFloodCase(true);
+  EXPECT_EQ(thr.order_at_b, seq.order_at_b);
+  EXPECT_EQ(thr.stats.backpressure_stalls, seq.stats.backpressure_stalls);
+}
+
+// --- Idle shard woken across the horizon -------------------------------------
+
+TEST(ShardStressTest, IdleShardIsWokenAcrossTheHorizon) {
+  for (bool threads : {false, true}) {
+    ShardedEngine eng(ShardedEngine::Config{2, Nanoseconds(200), 4096, threads});
+    auto fired = std::make_shared<std::vector<Delivery>>();
+    // Shard 1 has NO events of its own; the only thing that can ever make it
+    // run is a cross-shard delivery.
+    eng.ScheduleOn(0, Microseconds(3), [&eng, fired] {
+      eng.Post(1, Microseconds(50), [&eng, fired] {
+        fired->push_back(Delivery{eng.shard(1).Now(), 7});
+      });
+    });
+    eng.RunUntilIdle();
+    ASSERT_EQ(fired->size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(fired->front(), (Delivery{Microseconds(50), 7}));
+    EXPECT_GE(eng.stats().idle_wakeups, 1u);
+    EXPECT_EQ(eng.shard(1).Now(), Microseconds(50));
+  }
+}
+
+// --- More shards than work ---------------------------------------------------
+// A 3-node token ring on an 8-shard engine: five shards never receive a
+// single event. The run must match the 1-shard execution of the same ring.
+
+struct RingResult {
+  std::vector<Delivery> token_log;  // (arrival time, hop) at every node
+  uint64_t events = 0;
+};
+
+RingResult RunRing(uint32_t num_shards, bool threads) {
+  constexpr uint32_t kNodes = 3;
+  constexpr uint64_t kHops = 30;
+  constexpr TimePs kHop = Nanoseconds(700);
+  ShardedEngine eng(ShardedEngine::Config{num_shards, Nanoseconds(700), 4096, threads});
+  auto log = std::make_shared<std::vector<Delivery>>();
+
+  // The token's journey is a chain of posts; node n lives on shard
+  // n % num_shards (round-robin placement over a wider engine).
+  struct Hop {
+    ShardedEngine* eng;
+    std::shared_ptr<std::vector<Delivery>> log;
+    uint32_t num_shards;
+    void operator()(uint32_t node, uint64_t hop) const {
+      log->push_back(Delivery{eng->shard(node % num_shards).Now(), hop});
+      if (hop + 1 > kHops) {
+        return;
+      }
+      const uint32_t next = (node + 1) % kNodes;
+      auto self = *this;
+      eng->Post(
+          next % num_shards, eng->shard(node % num_shards).Now() + kHop,
+          [self, next, hop] { self(next, hop + 1); }, /*order_key=*/node);
+    }
+  };
+  Hop hop{&eng, log, num_shards};
+  eng.ScheduleOn(0, Nanoseconds(50), [hop] { hop(0, 1); });
+  const uint64_t events = eng.RunUntilIdle();
+  return RingResult{*log, events};
+}
+
+TEST(ShardStressTest, MoreShardsThanNodesMatchesSingleShard) {
+  const RingResult ref = RunRing(1, false);
+  ASSERT_EQ(ref.token_log.size(), 30u);
+  for (uint32_t shards : {2u, 8u}) {
+    for (bool threads : {false, true}) {
+      const RingResult got = RunRing(shards, threads);
+      EXPECT_EQ(got.token_log, ref.token_log) << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(got.events, ref.events);
+    }
+  }
+}
+
+// --- Merge order at equal timestamps -----------------------------------------
+// Four shards all target shard 0 with the SAME delivery timestamp. The spec
+// says ascending (time, order_key, src shard, seq): order keys dominate, src
+// shard breaks key ties, seq breaks same-sender ties — independent of which
+// worker finished first.
+
+TEST(ShardStressTest, EqualTimestampMergeFollowsSpecifiedOrder) {
+  for (bool threads : {false, true}) {
+    ShardedEngine eng(ShardedEngine::Config{4, Nanoseconds(100), 4096, threads});
+    auto arrivals = std::make_shared<std::vector<uint64_t>>();
+    constexpr TimePs kT = Microseconds(2);
+    for (uint32_t s = 0; s < 4; ++s) {
+      eng.ScheduleOn(s, Microseconds(1), [&eng, arrivals, s] {
+        // Reversed order keys: shard 3 sends key 0, shard 0 sends key 3 —
+        // so arrival order must be by KEY (3, 2, 1, 0), not by source.
+        const uint32_t key = 3 - s;
+        eng.Post(
+            0, kT, [arrivals, s] { arrivals->push_back(100 + s); }, key);
+        // A second message with a SHARED key (9): ties must resolve by src
+        // shard id, then the sender's own two posts by sequence number.
+        eng.Post(
+            0, kT, [arrivals, s] { arrivals->push_back(200 + s); }, 9);
+        eng.Post(
+            0, kT, [arrivals, s] { arrivals->push_back(300 + s); }, 9);
+      });
+    }
+    eng.RunUntilIdle();
+    const std::vector<uint64_t> want = {
+        103, 102, 101, 100,                     // keys 0,1,2,3 = senders 3,2,1,0
+        200, 300, 201, 301, 202, 302, 203, 303  // key 9: src asc, then seq asc
+    };
+    EXPECT_EQ(*arrivals, want) << "threads=" << threads;
+  }
+}
+
+// --- Deadline chunking -------------------------------------------------------
+// RunUntil must compose: driving the same program in arbitrary deadline
+// chunks has to land on the identical final state as one RunUntilIdle.
+
+TEST(ShardStressTest, DeadlineChunkingMatchesSingleRun) {
+  // Observables are per-shard logs: the two bounce chains run symmetric
+  // schedules, so equal-timestamp events on DIFFERENT shards execute
+  // concurrently and have no defined mutual order (appending them to one
+  // shared vector would be both racy and meaningless).
+  using ShardLogs = std::array<std::vector<Delivery>, 2>;
+  auto build = [](ShardedEngine& eng, std::shared_ptr<ShardLogs> logs) {
+    for (uint32_t s = 0; s < 2; ++s) {
+      eng.ScheduleOn(s, Nanoseconds(100), [&eng, logs, s] {
+        struct Bounce {
+          ShardedEngine* eng;
+          std::shared_ptr<ShardLogs> logs;
+          uint32_t shard;
+          void operator()(uint64_t n) const {
+            (*logs)[shard].push_back(Delivery{eng->shard(shard).Now(), (shard << 8) | n});
+            if (n < 40) {
+              auto self = *this;
+              eng->Post(
+                  1 - shard, eng->shard(shard).Now() + Nanoseconds(300),
+                  [self, n] { Bounce{self.eng, self.logs, 1 - self.shard}(n + 1); },
+                  /*order_key=*/shard);
+            }
+          }
+        };
+        Bounce{&eng, logs, s}(0);
+      });
+    }
+  };
+
+  ShardedEngine whole(ShardedEngine::Config{2, Nanoseconds(300), 4096, true});
+  auto whole_logs = std::make_shared<ShardLogs>();
+  build(whole, whole_logs);
+  const uint64_t whole_events = whole.RunUntilIdle();
+
+  ShardedEngine chunked(ShardedEngine::Config{2, Nanoseconds(300), 4096, true});
+  auto chunked_logs = std::make_shared<ShardLogs>();
+  build(chunked, chunked_logs);
+  uint64_t chunked_events = 0;
+  for (TimePs deadline = Nanoseconds(777); !chunked.Idle(); deadline += Nanoseconds(777)) {
+    chunked_events += chunked.RunUntil(deadline);
+  }
+  EXPECT_FALSE((*whole_logs)[0].empty());
+  EXPECT_EQ(*chunked_logs, *whole_logs);
+  EXPECT_EQ(chunked_events, whole_events);
+}
+
+// --- Contract violations abort -----------------------------------------------
+
+TEST(ShardStressDeathTest, MultiShardWithZeroLookaheadAborts) {
+  EXPECT_DEATH(ShardedEngine eng(ShardedEngine::Config{4, 0, 4096, false}),
+               "lookahead");
+}
+
+TEST(ShardStressDeathTest, PostOutsideShardContextAborts) {
+  EXPECT_DEATH(
+      {
+        ShardedEngine eng(ShardedEngine::Config{2, Nanoseconds(100), 4096, false});
+        eng.Post(1, Microseconds(1), [] {});
+      },
+      "outside a shard");
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace coyote
