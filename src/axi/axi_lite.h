@@ -13,6 +13,8 @@
 #include <functional>
 #include <unordered_map>
 
+#include "src/sim/access_guard.h"
+
 namespace coyote {
 namespace axi {
 
@@ -23,6 +25,7 @@ class AxiLiteRegisterFile {
 
   // Plain storage semantics unless a hook overrides the register.
   void Write(uint32_t index, uint64_t value) {
+    guard_.Write();
     auto hook = write_hooks_.find(index);
     if (hook != write_hooks_.end()) {
       hook->second(index, value);
@@ -42,7 +45,10 @@ class AxiLiteRegisterFile {
   }
 
   // Backdoor used by kernels to publish status without going through hooks.
-  void Poke(uint32_t index, uint64_t value) { regs_[index] = value; }
+  void Poke(uint32_t index, uint64_t value) {
+    guard_.Write();
+    regs_[index] = value;
+  }
   uint64_t Peek(uint32_t index) const {
     auto it = regs_.find(index);
     return it == regs_.end() ? 0 : it->second;
@@ -50,12 +56,19 @@ class AxiLiteRegisterFile {
 
   // A write hook claims the register: writes invoke the hook instead of
   // storing (the hook may Poke to store). Used for doorbells/start bits.
-  void SetWriteHook(uint32_t index, WriteHook hook) { write_hooks_[index] = std::move(hook); }
-  void SetReadHook(uint32_t index, ReadHook hook) { read_hooks_[index] = std::move(hook); }
+  void SetWriteHook(uint32_t index, WriteHook hook) {
+    guard_.Write();
+    write_hooks_[index] = std::move(hook);
+  }
+  void SetReadHook(uint32_t index, ReadHook hook) {
+    guard_.Write();
+    read_hooks_[index] = std::move(hook);
+  }
 
   uint64_t writes() const { return writes_; }
 
  private:
+  sim::AccessGuard guard_{"axi.axi_lite"};
   std::unordered_map<uint32_t, uint64_t> regs_;
   std::unordered_map<uint32_t, WriteHook> write_hooks_;
   std::unordered_map<uint32_t, ReadHook> read_hooks_;

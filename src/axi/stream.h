@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "src/axi/buffer.h"
+#include "src/sim/access_guard.h"
 #include "src/sim/callback.h"
 
 namespace coyote {
@@ -66,6 +67,7 @@ class Stream {
     if (!CanPush()) {
       return false;
     }
+    guard_.Write();
     total_bytes_ += packet.size_bytes();
     ++total_packets_;
     fifo_.push_back(std::move(packet));
@@ -81,6 +83,7 @@ class Stream {
     if (fifo_.empty()) {
       return std::nullopt;
     }
+    guard_.Write();
     StreamPacket p = std::move(fifo_.front());
     fifo_.pop_front();
     if (on_space_) {
@@ -95,6 +98,7 @@ class Stream {
   // discarded. Models a region-level flush during recovery: stale data from a
   // quarantined kernel must not leak into the next tenant of the region.
   size_t Clear() {
+    guard_.Write();
     const size_t n = fifo_.size();
     fifo_.clear();
     return n;
@@ -109,6 +113,7 @@ class Stream {
  private:
   size_t capacity_;
   std::string name_;
+  sim::AccessGuard guard_{"axi.stream"};
   std::deque<StreamPacket> fifo_;
   Callback on_data_;
   Callback on_space_;

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "src/memsys/sparse_memory.h"
+#include "src/sim/access_guard.h"
 
 namespace coyote {
 namespace memsys {
@@ -49,13 +50,17 @@ class HostMemory {
     const uint64_t page = PageBytes(kind);
     const uint64_t size = ((bytes + page - 1) / page) * page;
     const uint64_t addr = ((next_ + page - 1) / page) * page;
+    guard_.Write();
     next_ = addr + size;
     allocations_[addr] = Allocation{addr, size, kind};
     return addr;
   }
 
   // Frees the allocation starting at `addr`. Returns false if unknown.
-  bool Free(uint64_t addr) { return allocations_.erase(addr) > 0; }
+  bool Free(uint64_t addr) {
+    guard_.Write();
+    return allocations_.erase(addr) > 0;
+  }
 
   // The allocation containing `addr`, if any.
   std::optional<Allocation> FindAllocation(uint64_t addr) const {
@@ -79,6 +84,7 @@ class HostMemory {
  private:
   // Base kept well away from zero so a null address is never valid.
   uint64_t next_ = 1ull << 30;
+  sim::AccessGuard guard_{"memsys.host_memory"};
   std::map<uint64_t, Allocation> allocations_;
   SparseMemory store_;
 };

@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/sim/access_guard.h"
+
 namespace coyote {
 namespace memsys {
 
@@ -76,6 +78,7 @@ class SparseMemory {
   uint8_t* ChunkFor(uint64_t chunk) {
     auto it = chunks_.find(chunk);
     if (it == chunks_.end()) {
+      guard_.Write();
       auto buf = std::make_unique<uint8_t[]>(kChunkBytes);
       std::memset(buf.get(), 0, kChunkBytes);
       it = chunks_.emplace(chunk, std::move(buf)).first;
@@ -83,6 +86,7 @@ class SparseMemory {
     return it->second.get();
   }
 
+  sim::AccessGuard guard_{"memsys.sparse_memory"};
   std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> chunks_;
 };
 

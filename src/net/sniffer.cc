@@ -68,6 +68,7 @@ void TrafficSniffer::OnFrame(const axi::BufferView& frame, bool is_tx) {
   } else {
     cap.bytes = frame;  // shares the wire frame's storage
   }
+  guard_.Write();
   frames_.push_back(std::move(cap));
 }
 

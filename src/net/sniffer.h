@@ -18,6 +18,7 @@
 
 #include "src/axi/buffer.h"
 #include "src/net/packets.h"
+#include "src/sim/access_guard.h"
 #include "src/sim/engine.h"
 
 namespace coyote {
@@ -50,7 +51,10 @@ class TrafficSniffer {
   void Start() { recording_ = true; }
   void Stop() { recording_ = false; }
   bool recording() const { return recording_; }
-  void Clear() { frames_.clear(); }
+  void Clear() {
+    guard_.Write();
+    frames_.clear();
+  }
 
   // Data plane: called for every frame at the CMAC boundary. This is the
   // function to install as a RoceStack tap.
@@ -73,6 +77,7 @@ class TrafficSniffer {
   sim::Engine* engine_;
   Filter filter_;
   bool recording_ = false;
+  sim::AccessGuard guard_{"net.sniffer"};
   std::vector<CapturedFrame> frames_;
   uint64_t dropped_by_filter_ = 0;
 };

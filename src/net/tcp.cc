@@ -310,6 +310,7 @@ void TcpStack::HandleSegment(ConnId id, const ParsedTcpSegment& seg) {
           conn.backlog.empty()) {
         // FIN acknowledged: connection gone.
         Completion close_cb = std::move(conn.close_done);
+        guard_.Write();
         connections_.erase(id);
         if (close_cb) {
           close_cb(true);
@@ -343,6 +344,7 @@ void TcpStack::HandleSegment(ConnId id, const ParsedTcpSegment& seg) {
   if (seg.meta.flags & kTcpFin) {
     conn.rcv_nxt = seg.meta.seq + 1;
     TransmitSegment(conn, kTcpAck, conn.snd_nxt, {});
+    guard_.Write();
     connections_.erase(id);
   }
 }
@@ -359,6 +361,7 @@ void TcpStack::FailConnection(ConnId id) {
   }
   ++retries_exhausted_;
   Connection conn = std::move(it->second);
+  guard_.Write();
   connections_.erase(it);
   // Error-complete everything the application is waiting on. The connection
   // entry is gone first so reentrant calls observe a closed connection.

@@ -21,6 +21,7 @@
 #include "src/axi/buffer.h"
 #include "src/mmu/svm.h"
 #include "src/net/network.h"
+#include "src/sim/access_guard.h"
 #include "src/sim/engine.h"
 
 namespace coyote {
@@ -168,6 +169,7 @@ class TcpStack {
   mmu::Svm* svm_;
   Config config_;
 
+  sim::AccessGuard guard_{"net.tcp"};
   std::map<ConnId, Connection> connections_;
   std::map<uint16_t, AcceptHandler> listeners_;
   ConnId next_conn_ = 1;

@@ -31,6 +31,7 @@ axi::BufferView AesEcbKernel::Process(const axi::StreamPacket& in, uint32_t stre
 
 void AesCbcKernel::Attach(vfpga::Vfpga* region) {
   region_ = region;
+  guard_.Write();
   lanes_.assign(region->config().num_host_streams, LaneState{});
   occupied_input_cycles_.clear();
   for (uint32_t i = 0; i < region->config().num_host_streams; ++i) {
@@ -60,6 +61,7 @@ const Aes128& AesCbcKernel::Cipher() {
 }
 
 uint64_t AesCbcKernel::ClaimInputSlot(uint64_t desired) {
+  guard_.Write();
   // Prune slots in the past; they can never conflict again.
   const uint64_t now_cycle = sim::kSystemClock.PsToCycles(region_->engine()->Now());
   occupied_input_cycles_.erase(occupied_input_cycles_.begin(),

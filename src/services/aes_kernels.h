@@ -27,6 +27,7 @@
 
 #include "src/axi/stream.h"
 #include "src/services/aes.h"
+#include "src/sim/access_guard.h"
 #include "src/services/stream_kernel.h"
 #include "src/synth/module_library.h"
 #include "src/vfpga/kernel.h"
@@ -107,6 +108,7 @@ class AesCbcKernel : public vfpga::HwKernel {
   uint64_t ClaimInputSlot(uint64_t desired);
 
   vfpga::Vfpga* region_ = nullptr;
+  sim::AccessGuard guard_{"svc.aes_cbc"};
   std::vector<LaneState> lanes_;
   // Input-port cycles already claimed by scheduled blocks.
   std::set<uint64_t> occupied_input_cycles_;

@@ -25,6 +25,7 @@ void DbScanKernel::Detach() {
 }
 
 void DbScanKernel::Reset() {
+  guard_.Write();
   rows_ = 0;
   matched_ = 0;
   sum_ = 0;
@@ -34,6 +35,7 @@ void DbScanKernel::Reset() {
 }
 
 void DbScanKernel::Pump() {
+  guard_.Write();
   auto& in = region_->host_in(0);
   const sim::Clock& clk = sim::kSystemClock;
   const int64_t min_key = static_cast<int64_t>(region_->csr().Peek(kScanCsrMinKey));

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/fabric/resources.h"
+#include "src/sim/access_guard.h"
 #include "src/vfpga/kernel.h"
 #include "src/vfpga/vfpga.h"
 
@@ -71,6 +72,7 @@ class DbScanKernel : public vfpga::HwKernel {
   int64_t min_ = 0;
   int64_t max_ = 0;
   // Partial record split across packet boundaries.
+  sim::AccessGuard guard_{"svc.db_scan"};
   std::vector<uint8_t> residual_;
 };
 

@@ -47,6 +47,7 @@ void HllSketch::Add(uint64_t item) {
   const uint8_t rank =
       rest == 0 ? static_cast<uint8_t>(64 - precision_ + 1)
                 : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  guard_.Write();
   buckets_[bucket] = std::max(buckets_[bucket], rank);
   ++items_;
 }

@@ -13,6 +13,7 @@
 
 #include "src/axi/stream.h"
 #include "src/fabric/resources.h"
+#include "src/sim/access_guard.h"
 #include "src/synth/module_library.h"
 #include "src/vfpga/kernel.h"
 #include "src/vfpga/vfpga.h"
@@ -39,6 +40,7 @@ class HllSketch {
   uint32_t precision_;
   uint32_t num_buckets_;
   double alpha_mm_;  // alpha_m * m^2
+  sim::AccessGuard guard_{"svc.hll"};
   std::vector<uint8_t> buckets_;
   uint64_t items_ = 0;
 };

@@ -208,6 +208,7 @@ void NnKernel::Attach(vfpga::Vfpga* region) {
   samples_ = 0;
   const uint32_t nh = region->config().num_host_streams;
   const uint32_t nc = region->config().num_card_streams;
+  guard_.Write();
   residual_.assign(nh + nc, {});
   for (uint32_t i = 0; i < nh; ++i) {
     region->host_in(i).set_on_data([this, i]() { Pump(i, false); });

@@ -16,6 +16,7 @@
 
 #include "src/axi/stream.h"
 #include "src/fabric/resources.h"
+#include "src/sim/access_guard.h"
 #include "src/synth/module_library.h"
 #include "src/vfpga/kernel.h"
 #include "src/vfpga/vfpga.h"
@@ -117,6 +118,7 @@ class NnKernel : public vfpga::HwKernel {
   uint64_t samples_ = 0;
   // Residual bytes of a sample split across packet boundaries, per stream;
   // host streams first, then card streams.
+  sim::AccessGuard guard_{"svc.nn"};
   std::vector<std::vector<uint8_t>> residual_;
 };
 

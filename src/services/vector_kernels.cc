@@ -52,6 +52,7 @@ axi::Stream& VectorOpKernel::Out() {
 
 void VectorOpKernel::Attach(vfpga::Vfpga* region) {
   region_ = region;
+  guard_.Write();
   buf_a_.clear();
   buf_b_.clear();
   pipe_free_cycle_ = 0;
@@ -70,6 +71,7 @@ void VectorOpKernel::Detach() {
 }
 
 void VectorOpKernel::Pump() {
+  guard_.Write();
   // Drain both inputs into the operand buffers.
   bool last = false;
   while (!In(0).Empty()) {

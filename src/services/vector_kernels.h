@@ -13,6 +13,7 @@
 
 #include "src/axi/stream.h"
 #include "src/services/stream_kernel.h"
+#include "src/sim/access_guard.h"
 #include "src/synth/module_library.h"
 #include "src/vfpga/kernel.h"
 #include "src/vfpga/vfpga.h"
@@ -74,6 +75,7 @@ class VectorOpKernel : public vfpga::HwKernel {
   VectorOp op_;
   bool use_card_;
   vfpga::Vfpga* region_ = nullptr;
+  sim::AccessGuard guard_{"svc.vector_op"};
   std::vector<uint8_t> buf_a_, buf_b_;
   uint64_t pipe_free_cycle_ = 0;
   bool last_seen_ = false;

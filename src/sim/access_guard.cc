@@ -83,6 +83,7 @@ bool AccessLedger::Ordered(ActorId a, ActorId b) const {
 
 void AccessLedger::Report(AccessConflict conflict) {
   if (abort_on_conflict_) {
+    // lint: callback-blocking-ok fatal diagnostic immediately before abort()
     std::fprintf(stderr, "AccessGuard: %s\n", conflict.ToString().c_str());
     std::abort();
   }
@@ -95,6 +96,7 @@ void AccessLedger::Report(AccessConflict conflict) {
 
 void AccessLedger::ReportShardViolation(ShardViolation violation) {
   if (abort_on_conflict_) {
+    // lint: callback-blocking-ok fatal diagnostic immediately before abort()
     std::fprintf(stderr, "AccessGuard: %s\n", violation.ToString().c_str());
     std::abort();
   }

@@ -130,8 +130,12 @@ void ShardedEngine::WorkerMain(uint32_t s) {
   for (;;) {
     TimePs window_end = 0;
     {
+      // Workers sleep between windows, never inside an event callback.
+      // lint: callback-blocking-ok window-barrier handshake
       std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] { return quit_ || generation_ != seen_generation; });
+      cv_work_.wait(lock, [&] {  // lint: callback-blocking-ok window barrier
+        return quit_ || generation_ != seen_generation;
+      });
       if (quit_) {
         return;
       }
@@ -140,6 +144,7 @@ void ShardedEngine::WorkerMain(uint32_t s) {
     }
     RunShardWindow(s, window_end);
     {
+      // lint: callback-blocking-ok window-barrier handshake (between windows)
       std::lock_guard<std::mutex> lock(mu_);
       --remaining_;
     }

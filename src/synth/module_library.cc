@@ -63,6 +63,7 @@ bool LibraryHasModule(std::string_view name) { return Table().count(name) != 0; 
 const HwModule& LibraryModule(std::string_view name) {
   auto it = Table().find(name);
   if (it == Table().end()) {
+    // lint: callback-blocking-ok fatal diagnostic immediately before abort()
     std::fprintf(stderr, "module library: unknown module '%.*s'\n",
                  static_cast<int>(name.size()), name.data());
     std::abort();

@@ -1,0 +1,28 @@
+// Fixture: a blocking primitive reached from an event callback *through two
+// helper frames*. The lambda itself never blocks — only the interprocedural
+// walk (callback lambda -> Commit -> FlushToDisk -> sleep_for) can see it.
+#include <chrono>
+#include <thread>
+
+namespace fx {
+
+class Journal {
+ public:
+  void Commit() { FlushToDisk(); }
+
+ private:
+  void FlushToDisk() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+};
+
+class Engine {
+ public:
+  void ScheduleAt(long when, void (*fn)());
+};
+
+void ArmCommit(Engine& engine, Journal& journal) {
+  engine.ScheduleAt(10, [&journal] { journal.Commit(); });
+}
+
+}  // namespace fx

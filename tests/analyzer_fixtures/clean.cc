@@ -1,0 +1,39 @@
+// Fixture: a file the analyzer must pass with zero findings — the golden
+// clean report. Callback-mutated state is guarded, cross-shard traffic goes
+// through the mailbox, and no blocking or nondeterminism source is reachable.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sim {
+class AccessGuard {
+ public:
+  explicit AccessGuard(std::string name);
+  void Write();
+};
+}  // namespace sim
+
+namespace fx {
+
+class Stats {
+ public:
+  void Bump(long v) {
+    guard_.Write();
+    samples_.push_back(v);
+  }
+
+ private:
+  sim::AccessGuard guard_{"fx.stats"};
+  std::vector<long> samples_;
+};
+
+class Engine {
+ public:
+  void ScheduleAt(long when, void (*fn)());
+};
+
+void ArmStats(Engine& engine, Stats& stats) {
+  engine.ScheduleAt(3, [&stats] { stats.Bump(7); });
+}
+
+}  // namespace fx

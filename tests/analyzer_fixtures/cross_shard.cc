@@ -1,0 +1,46 @@
+// Fixture: direct cross-shard mutation from callback context. The callback
+// never names another shard itself — a helper reaches through .shard() and
+// .ScheduleOn(), bypassing the ShardedEngine mailbox (Post) contract.
+#include <cstdint>
+
+namespace fx {
+
+class Cluster {
+ public:
+  void* shard(int idx);
+  void ScheduleOn(int idx, long when, void (*fn)());
+  void Post(int idx, long when, void (*fn)());
+};
+
+class Fabric {
+ public:
+  void StealWork(int target) {
+    cluster_->shard(target);
+  }
+
+  void MirrorEvent(int target, long when) {
+    cluster_->ScheduleOn(target, when, nullptr);
+  }
+
+  void ForwardEvent(int target, long when) {
+    cluster_->Post(target, when, nullptr);  // the sanctioned mailbox path
+  }
+
+ private:
+  Cluster* cluster_ = nullptr;
+};
+
+class Engine {
+ public:
+  void Post(long when, void (*fn)());
+};
+
+void ArmFabric(Engine& engine, Fabric& fabric) {
+  engine.Post(2, [&fabric] {
+    fabric.StealWork(1);
+    fabric.MirrorEvent(1, 40);
+    fabric.ForwardEvent(1, 41);
+  });
+}
+
+}  // namespace fx

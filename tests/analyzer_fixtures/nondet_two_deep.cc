@@ -1,0 +1,39 @@
+// Fixture: nondeterminism sources two-plus calls away from the callback
+// root. rand() sits three frames deep (lambda -> Draw -> Reseed -> rand);
+// the unordered iteration hides behind an accessor the lambda calls.
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fx {
+
+class Sampler {
+ public:
+  unsigned Draw() { return Reseed() % 7; }
+
+  long Sum() const {
+    long total = 0;
+    for (const auto& kv : table_) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+ private:
+  unsigned Reseed() { return static_cast<unsigned>(rand()); }
+
+  std::unordered_map<int, long> table_;
+};
+
+class Engine {
+ public:
+  void ScheduleAfter(long delay, void (*fn)());
+};
+
+void ArmSampler(Engine& engine, Sampler& sampler) {
+  engine.ScheduleAfter(5, [&sampler] {
+    sampler.Draw();
+    sampler.Sum();
+  });
+}
+
+}  // namespace fx

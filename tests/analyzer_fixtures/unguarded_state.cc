@@ -1,0 +1,49 @@
+// Fixture: the guard-state inventory. Three classes mutate a container
+// member from callback context: FlowTable registers no sim::AccessGuard
+// (finding), ScratchPad suppresses without a reason (finding: reason
+// required), AuditLog suppresses with a written reason (clean).
+#include <cstdint>
+#include <vector>
+
+namespace fx {
+
+class FlowTable {
+ public:
+  void Record(int id) { rows_.push_back(id); }
+
+ private:
+  std::vector<int> rows_;
+};
+
+class ScratchPad {
+ public:
+  void Stash(int v) { scratch_.push_back(v); }
+
+ private:
+  // lint: guard-ok
+  std::vector<int> scratch_;
+};
+
+class AuditLog {
+ public:
+  void Append(int v) { entries_.push_back(v); }
+
+ private:
+  // lint: guard-ok append-only log, replayed single-threaded after the run
+  std::vector<int> entries_;
+};
+
+class Engine {
+ public:
+  void ScheduleAt(long when, void (*fn)());
+};
+
+void ArmTables(Engine& engine, FlowTable& flows, ScratchPad& pad, AuditLog& log) {
+  engine.ScheduleAt(1, [&] {
+    flows.Record(1);
+    pad.Stash(2);
+    log.Append(3);
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,232 @@
+// Tests for the coyote-verify interprocedural analyzer (tools/coyote_analyze).
+//
+// Three layers: seeded fixture files (tests/analyzer_fixtures/, excluded from
+// the repo-wide walk) prove each rule class fires *through* helper frames and
+// reports the correct call-chain trace; a golden clean-repo test pins the
+// repo-wide report the analyze_repo gate and CI artifact rely on; in-memory
+// sources exercise the index cache (round-trip, stale-entry invalidation) and
+// primitive-site suppressions.
+
+#include "tools/coyote_analyze/analyze.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/coyote_frontend/frontend.h"
+
+namespace coyote {
+namespace analyze {
+namespace {
+
+#ifndef ANALYZER_FIXTURE_DIR
+#error "ANALYZER_FIXTURE_DIR must be defined by the build"
+#endif
+#ifndef PROJECT_SOURCE_DIR
+#error "PROJECT_SOURCE_DIR must be defined by the build"
+#endif
+
+std::vector<Finding> AnalyzeFixture(const std::string& name) {
+  const Index index = IndexPaths(ANALYZER_FIXTURE_DIR, {name}, "");
+  return Analyze(index, Options{});
+}
+
+const Finding* FindAtLine(const std::vector<Finding>& findings, const std::string& rule,
+                          uint32_t line) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule && f.line == line) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool AnyAtLine(const std::vector<Finding>& findings, uint32_t line) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [line](const Finding& f) { return f.line == line; });
+}
+
+bool ChainContains(const Finding& f, const std::string& needle) {
+  return f.ChainString().find(needle) != std::string::npos;
+}
+
+// --- Rule fixtures: detection with correct interprocedural traces -----------
+
+TEST(AnalyzerFixtures, BlockingViaHelperIsTracedThreeFramesDeep) {
+  const auto findings = AnalyzeFixture("blocking_via_helper.cc");
+  const Finding* f = FindAtLine(findings, "callback-blocking", 15);
+  ASSERT_NE(f, nullptr) << FormatReport(findings);
+  EXPECT_NE(f->message.find("'sleep_for()' blocks"), std::string::npos) << f->message;
+  // callback root lambda -> Commit -> FlushToDisk -> sleep_for: four links.
+  ASSERT_EQ(f->chain.size(), 4u) << f->ChainString();
+  EXPECT_NE(f->chain[0].find("callback root"), std::string::npos) << f->chain[0];
+  EXPECT_NE(f->chain[0].find("lambda@25"), std::string::npos) << f->chain[0];
+  EXPECT_NE(f->chain[1].find("Commit"), std::string::npos) << f->chain[1];
+  EXPECT_NE(f->chain[2].find("FlushToDisk"), std::string::npos) << f->chain[2];
+  EXPECT_NE(f->chain[3].find("sleep_for"), std::string::npos) << f->chain[3];
+}
+
+TEST(AnalyzerFixtures, NondetIsFoundThreeCallsDeep) {
+  const auto findings = AnalyzeFixture("nondet_two_deep.cc");
+  const Finding* rand_f = FindAtLine(findings, "sim-nondet", 22);
+  ASSERT_NE(rand_f, nullptr) << FormatReport(findings);
+  EXPECT_NE(rand_f->message.find("'rand()' nondeterministic call"), std::string::npos)
+      << rand_f->message;
+  // lambda -> Draw -> Reseed -> rand(): the primitive is three calls from the
+  // root, which is exactly what a line-at-a-time lint cannot see.
+  EXPECT_TRUE(ChainContains(*rand_f, "Draw")) << rand_f->ChainString();
+  EXPECT_TRUE(ChainContains(*rand_f, "Reseed")) << rand_f->ChainString();
+
+  const Finding* iter_f = FindAtLine(findings, "sim-nondet", 15);
+  ASSERT_NE(iter_f, nullptr) << FormatReport(findings);
+  EXPECT_NE(iter_f->message.find("unordered container 'table_'"), std::string::npos)
+      << iter_f->message;
+  EXPECT_TRUE(ChainContains(*iter_f, "Sum")) << iter_f->ChainString();
+}
+
+TEST(AnalyzerFixtures, UnguardedStateInventoryChecksGuardsAndReasons) {
+  const auto findings = AnalyzeFixture("unguarded_state.cc");
+  // FlowTable registers no guard: flagged.
+  const Finding* unguarded = FindAtLine(findings, "guard-state", 12);
+  ASSERT_NE(unguarded, nullptr) << FormatReport(findings);
+  EXPECT_NE(unguarded->message.find("FlowTable::rows_"), std::string::npos)
+      << unguarded->message;
+  EXPECT_NE(unguarded->message.find("registers no sim::AccessGuard"), std::string::npos)
+      << unguarded->message;
+  EXPECT_TRUE(ChainContains(*unguarded, "Record")) << unguarded->ChainString();
+  // ScratchPad suppresses without a reason: still flagged, asking for one.
+  const Finding* no_reason = FindAtLine(findings, "guard-state", 20);
+  ASSERT_NE(no_reason, nullptr) << FormatReport(findings);
+  EXPECT_NE(no_reason->message.find("requires a reason"), std::string::npos)
+      << no_reason->message;
+  // AuditLog suppresses with a written reason: clean.
+  EXPECT_FALSE(AnyAtLine(findings, 29)) << FormatReport(findings);
+}
+
+TEST(AnalyzerFixtures, CrossShardDirectAccessFlaggedMailboxAllowed) {
+  const auto findings = AnalyzeFixture("cross_shard.cc");
+  const Finding* shard_f = FindAtLine(findings, "cross-shard", 18);
+  ASSERT_NE(shard_f, nullptr) << FormatReport(findings);
+  EXPECT_NE(shard_f->message.find("'.shard()'"), std::string::npos) << shard_f->message;
+  EXPECT_TRUE(ChainContains(*shard_f, "StealWork")) << shard_f->ChainString();
+  const Finding* schedule_on_f = FindAtLine(findings, "cross-shard", 22);
+  ASSERT_NE(schedule_on_f, nullptr) << FormatReport(findings);
+  EXPECT_TRUE(ChainContains(*schedule_on_f, "MirrorEvent")) << schedule_on_f->ChainString();
+  // ForwardEvent goes through Post — the sanctioned mailbox path stays clean.
+  EXPECT_FALSE(AnyAtLine(findings, 26)) << FormatReport(findings);
+}
+
+// --- Golden clean reports ---------------------------------------------------
+
+TEST(AnalyzerFixtures, CleanFixtureProducesTheGoldenEmptyReport) {
+  const auto findings = AnalyzeFixture("clean.cc");
+  EXPECT_EQ(FormatReport(findings), "coyote_analyze: 0 findings\n");
+}
+
+TEST(AnalyzerRepo, WholeRepoSrcIsCleanAndReportIsStable) {
+  // The same walk the analyze_repo ctest gate and the CI artifact use. Every
+  // real violation in src/ is either fixed or carries a reasoned suppression,
+  // so the repo-wide report is byte-stable: the golden empty report.
+  const auto files = frontend::CollectFiles(PROJECT_SOURCE_DIR, {"src"});
+  ASSERT_FALSE(files.empty());
+  const Index index = IndexPaths(PROJECT_SOURCE_DIR, files, "");
+  const auto findings = Analyze(index, Options{});
+  EXPECT_EQ(FormatReport(findings), "coyote_analyze: 0 findings\n") << FormatReport(findings);
+}
+
+// --- Index cache ------------------------------------------------------------
+
+const char kSinkDecl[] =
+    "class E {\n public:\n  void ScheduleAt(long when, void (*fn)());\n};\n";
+
+TEST(AnalyzerIndexCache, RoundTripPreservesFindings) {
+  const std::vector<SourceFile> files = {
+      {"alpha.cc", std::string(kSinkDecl) + "void Arm(E& e) { e.ScheduleAt(1, [] { usleep(5); }); }\n"}};
+  const Index built = BuildIndex(files);
+  const auto before = Analyze(built, Options{});
+  ASSERT_EQ(before.size(), 1u) << FormatReport(before);
+  EXPECT_EQ(before[0].rule, "callback-blocking");
+
+  const std::string path = ::testing::TempDir() + "coyote_analyze_cache_test.index";
+  ASSERT_TRUE(SaveIndex(built, path));
+  Index loaded;
+  ASSERT_TRUE(LoadIndex(path, &loaded));
+  const auto after = Analyze(loaded, Options{});
+  EXPECT_EQ(FormatReport(after), FormatReport(before));
+}
+
+TEST(AnalyzerIndexCache, StaleEntriesAreReindexedUnchangedOnesReused) {
+  const std::vector<SourceFile> files = {
+      {"alpha.cc", std::string(kSinkDecl) + "void Arm(E& e) { e.ScheduleAt(1, [] { usleep(5); }); }\n"}};
+  const Index built = BuildIndex(files);
+
+  // Unchanged content: the cached FileIndex is reused verbatim.
+  const Index reused = BuildIndexCached(files, built);
+  EXPECT_EQ(FormatReport(Analyze(reused, Options{})),
+            FormatReport(Analyze(built, Options{})));
+
+  // Changed content (the blocking call is gone): the stale entry must be
+  // re-indexed, not served from the cache.
+  const std::vector<SourceFile> edited = {
+      {"alpha.cc", std::string(kSinkDecl) + "void Arm(E& e) { e.ScheduleAt(1, [] { Step(); }); }\nvoid Step();\n"}};
+  const Index refreshed = BuildIndexCached(edited, built);
+  EXPECT_EQ(FormatReport(Analyze(refreshed, Options{})), "coyote_analyze: 0 findings\n");
+}
+
+TEST(AnalyzerIndexCache, LoadRejectsMissingAndMalformedCaches) {
+  Index out;
+  EXPECT_FALSE(LoadIndex(::testing::TempDir() + "does_not_exist.index", &out));
+  const std::string path = ::testing::TempDir() + "coyote_analyze_malformed.index";
+  {
+    FILE* fp = fopen(path.c_str(), "w");
+    ASSERT_NE(fp, nullptr);
+    fputs("not-an-index v999\n", fp);
+    fclose(fp);
+  }
+  EXPECT_FALSE(LoadIndex(path, &out));
+}
+
+// --- Suppressions at the primitive site -------------------------------------
+
+TEST(AnalyzerSuppression, PrimitiveSiteTagSilencesTheWholeChain) {
+  const std::vector<SourceFile> files = {
+      {"alpha.cc", std::string(kSinkDecl) +
+                       "void Helper() {\n"
+                       "  usleep(5);  // lint: callback-blocking-ok boot-time settle\n"
+                       "}\n"
+                       "void Arm(E& e) { e.ScheduleAt(1, [] { Helper(); }); }\n"}};
+  const auto findings = Analyze(BuildIndex(files), Options{});
+  EXPECT_TRUE(findings.empty()) << FormatReport(findings);
+}
+
+TEST(AnalyzerSuppression, RuleFilterRunsOnlySelectedRules) {
+  const std::vector<SourceFile> files = {
+      {"alpha.cc", std::string(kSinkDecl) +
+                       "void Arm(E& e) { e.ScheduleAt(1, [] { usleep(5); rand(); }); }\n"}};
+  const Index index = BuildIndex(files);
+  Options only_nondet;
+  only_nondet.rules = {"sim-nondet"};
+  const auto findings = Analyze(index, only_nondet);
+  ASSERT_EQ(findings.size(), 1u) << FormatReport(findings);
+  EXPECT_EQ(findings[0].rule, "sim-nondet");
+}
+
+TEST(AnalyzerRules, AllFourRulesAreRegisteredWithSuppressions) {
+  std::vector<std::string> ids;
+  for (const RuleInfo& r : Rules()) {
+    ids.push_back(r.id);
+    EXPECT_FALSE(r.suppression.empty()) << r.id;
+  }
+  const std::vector<std::string> expected = {"callback-blocking", "sim-nondet", "cross-shard",
+                                             "guard-state"};
+  for (const std::string& id : expected) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
+  }
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace coyote

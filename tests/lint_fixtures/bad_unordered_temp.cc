@@ -1,0 +1,32 @@
+// Fixture: range-for over unordered *temporaries* — a by-value factory call,
+// a reference-returning getter, and an inline construction. All three iterate
+// in hash order even though no unordered variable is ever named.
+#include <cstdint>
+#include <unordered_set>
+
+std::unordered_set<uint64_t> MakeUnorderedSet();
+const std::unordered_set<uint64_t>& BorrowUnorderedSet();
+
+uint64_t SumFactory() {
+  uint64_t sum = 0;
+  for (auto& x : MakeUnorderedSet()) {
+    sum += x;
+  }
+  return sum;
+}
+
+uint64_t SumBorrowed() {
+  uint64_t sum = 0;
+  for (auto& x : BorrowUnorderedSet()) {
+    sum += x;
+  }
+  return sum;
+}
+
+uint64_t SumInline() {
+  uint64_t sum = 0;
+  for (uint64_t x : std::unordered_set<uint64_t>{1, 2, 3}) {
+    sum += x;
+  }
+  return sum;
+}

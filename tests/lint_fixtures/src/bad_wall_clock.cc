@@ -1,0 +1,18 @@
+// Fixture: wall-clock reads and sleeps in simulator code (a src/ path). The
+// wall-clock rule flags each one; a host-boundary file annotation exempts a
+// whole file (spelled out in host_boundary_ok.cc, not here — see why there).
+#include <chrono>
+#include <thread>
+
+long ElapsedNs(long t0) {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count() - t0;
+}
+
+long WallStamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+void Backoff() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}

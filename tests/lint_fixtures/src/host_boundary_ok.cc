@@ -1,0 +1,10 @@
+// lint: host-boundary wall-clock timing shim for the CLI frontends
+//
+// Fixture: the file-level host-boundary annotation declares that this
+// translation unit runs on the host side of the simulation boundary, so
+// wall-clock reads are its job and the wall-clock rule stays silent.
+#include <chrono>
+
+long WallNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

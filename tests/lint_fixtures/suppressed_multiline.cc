@@ -1,0 +1,24 @@
+// Fixture: a suppression comment above a statement whose flagged token sits
+// on a *continuation* line must still silence the rule — the linter maps each
+// line back to the first line of its statement before checking suppressions.
+#include <cstdint>
+#include <unordered_map>
+
+uint64_t MultiLineRangeFor() {
+  std::unordered_map<uint64_t, uint64_t> histogram;
+  uint64_t sum = 0;
+  // Commutative reduction: iteration order cannot leak into the result.
+  // lint: ordered-ok
+  for (const auto& [k, v] :
+       histogram) {
+    sum += v;
+  }
+  return sum;
+}
+
+uint64_t MultiLineBegin() {
+  std::unordered_map<uint64_t, uint64_t> histogram;
+  // lint: ordered-ok
+  return histogram.empty() ? 0
+                           : histogram.begin()->second;
+}

@@ -62,6 +62,40 @@ TEST(LintFixtures, UnorderedIterRuleFiresOnRangeForAndBegin) {
   EXPECT_TRUE(HasRuleAtLine(findings, "unordered-iter", 18));  // members.begin()
 }
 
+TEST(LintFixtures, UnorderedIterRuleFiresOnTemporaries) {
+  const auto findings = LintFixture("bad_unordered_temp.cc");
+  EXPECT_TRUE(HasRuleAtLine(findings, "unordered-iter", 12));  // MakeUnorderedSet()
+  EXPECT_TRUE(HasRuleAtLine(findings, "unordered-iter", 20));  // BorrowUnorderedSet() (by-ref)
+  EXPECT_TRUE(HasRuleAtLine(findings, "unordered-iter", 28));  // inline unordered_set{...}
+}
+
+TEST(LintFixtures, SuppressionAboveMultiLineStatementIsHonored) {
+  // The flagged tokens sit on continuation lines; the comment above the
+  // statement's first line must still cover them.
+  EXPECT_TRUE(LintFixture("suppressed_multiline.cc").empty());
+}
+
+TEST(LintFixtures, WallClockRuleFiresInSimulatorSources) {
+  const auto findings = LintFixture("src/bad_wall_clock.cc");
+  EXPECT_TRUE(HasRuleAtLine(findings, "wall-clock", 8));   // steady_clock::now()
+  EXPECT_TRUE(HasRuleAtLine(findings, "wall-clock", 13));  // system_clock::now()
+  EXPECT_TRUE(HasRuleAtLine(findings, "wall-clock", 17));  // sleep_for
+}
+
+TEST(LintFixtures, WallClockRuleIgnoresNonSrcPaths) {
+  // Identical content outside src/: bench/tests own their wall-clock policy.
+  const auto findings =
+      LintSnippet("bench/timing.cc", "long Now() {\n"
+                                     "  return std::chrono::steady_clock::now()\n"
+                                     "      .time_since_epoch().count();\n"
+                                     "}\n");
+  EXPECT_FALSE(HasRule(findings, "wall-clock"));
+}
+
+TEST(LintFixtures, HostBoundaryAnnotationDisablesWallClock) {
+  EXPECT_FALSE(HasRule(LintFixture("src/host_boundary_ok.cc"), "wall-clock"));
+}
+
 TEST(LintFixtures, RawAllocRuleFiresOnNewAndDelete) {
   const auto findings = LintFixture("bad_alloc.cc");
   EXPECT_TRUE(HasRuleAtLine(findings, "raw-alloc", 3));  // new

@@ -1,0 +1,1384 @@
+#include "tools/coyote_analyze/analyze.h"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <sstream>
+
+#include "tools/coyote_frontend/frontend.h"
+
+namespace coyote {
+namespace analyze {
+namespace {
+
+using frontend::LexedFile;
+using frontend::TokKind;
+using frontend::Token;
+
+// ---------------------------------------------------------------------------
+// Primitive vocabularies. These mirror (and extend) the per-line linter's
+// banned sets; here a hit is recorded unconditionally and only becomes a
+// finding when context propagation proves the enclosing function runs in the
+// context the rule protects.
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& BlockingCalls() {
+  static const std::set<std::string> s = {
+      "sleep",   "usleep", "nanosleep", "sleep_for", "sleep_until", "system",
+      "popen",   "fork",   "vfork",     "waitpid",   "pause",       "flock",
+      "fsync",   "fdatasync", "epoll_wait", "fopen", "fread",       "fwrite",
+      "fclose",  "fprintf", "printf",   "fscanf",    "scanf",       "fflush",
+      "puts",    "fputs",  "getchar",   "getline"};
+  return s;
+}
+
+// Bare `.lock()` is deliberately absent: weak_ptr::lock() is pervasive and
+// harmless, and idiomatic mutex use goes through the RAII lock types (which
+// BlockingTypes() catches). `.unlock()` stays — only a manually-locked mutex
+// has one.
+const std::set<std::string>& BlockingMemberCalls() {
+  static const std::set<std::string> s = {"unlock",     "wait", "wait_for", "wait_until",
+                                          "join",       "acquire", "release_and_wait"};
+  return s;
+}
+
+const std::set<std::string>& BlockingTypes() {
+  static const std::set<std::string> s = {
+      "lock_guard", "unique_lock", "scoped_lock",  "shared_lock",       "condition_variable",
+      "promise",    "packaged_task", "counting_semaphore", "binary_semaphore",
+      "ifstream",   "ofstream",   "fstream",      "cout",              "cerr",
+      "clog"};
+  return s;
+}
+
+const std::set<std::string>& NondetCalls() {
+  static const std::set<std::string> s = {
+      "rand",   "srand",     "random",       "drand48",       "lrand48",  "mrand48",
+      "time",   "clock",     "gettimeofday", "clock_gettime", "localtime", "gmtime",
+      "getenv", "setenv",    "putenv"};
+  return s;
+}
+
+const std::set<std::string>& NondetTypes() {
+  static const std::set<std::string> s = {"random_device", "mt19937", "mt19937_64",
+                                          "minstd_rand", "default_random_engine"};
+  return s;
+}
+
+const std::set<std::string>& WallClocks() {
+  static const std::set<std::string> s = {"system_clock", "steady_clock",
+                                          "high_resolution_clock"};
+  return s;
+}
+
+const std::set<std::string>& UnorderedTypes() {
+  static const std::set<std::string> s = {"unordered_map", "unordered_set",
+                                          "unordered_multimap", "unordered_multiset"};
+  return s;
+}
+
+const std::set<std::string>& ContainerTypes() {
+  static const std::set<std::string> s = {
+      "vector", "map",   "set",   "deque", "list",  "multimap", "multiset",
+      "queue",  "stack", "priority_queue", "unordered_map",     "unordered_set",
+      "unordered_multimap", "unordered_multiset"};
+  return s;
+}
+
+const std::set<std::string>& MutatorCalls() {
+  static const std::set<std::string> s = {
+      "insert", "emplace", "emplace_back", "emplace_front", "emplace_hint", "push_back",
+      "push_front", "pop_back", "pop_front", "erase",        "clear",        "resize",
+      "assign", "push",    "pop"};
+  return s;
+}
+
+const std::set<std::string>& IterCalls() {
+  static const std::set<std::string> s = {"begin", "cbegin", "rbegin", "equal_range"};
+  return s;
+}
+
+// Calls whose callable argument runs in event-callback context. ScheduleOn /
+// Post place events on engines; *Async APIs register completion callbacks
+// fired from engine context.
+const std::set<std::string>& CallbackSinks() {
+  static const std::set<std::string> s = {"ScheduleAt", "ScheduleAfter", "SchedulePeriodic",
+                                          "Post", "ScheduleOn"};
+  return s;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(),
+                                                suffix) == 0;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Indexer: one pass over a file's token stream with an explicit scope stack.
+// Understands namespaces, class bodies, function/method definitions
+// (including out-of-line `Class::Method` and constructors with init lists)
+// and lambdas; everything else nests as an anonymous block. Deliberately not
+// an AST — see the header comment for what that buys and costs.
+// ---------------------------------------------------------------------------
+
+class Indexer {
+ public:
+  Indexer(const std::string& path, const LexedFile& lexed, FileIndex* out)
+      : path_(path), lexed_(lexed), toks_(lexed.tokens), out_(out) {}
+
+  void Run() {
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPunct && t.text == "#") {
+        i = SkipDirective(i);
+        stmt_head_ = i + 1;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct) {
+        HandlePunct(i);
+        continue;
+      }
+      if (t.kind == TokKind::kIdent) {
+        HandleIdent(i);
+      }
+    }
+  }
+
+ private:
+  struct ScopeFrame {
+    enum Kind { kNamespace, kClass, kFunction, kBlock } kind;
+    std::string name;  // namespace / class name
+    int fn = -1;       // index into out_->functions (kFunction only)
+    int cls = -1;      // index into out_->classes (kClass only)
+  };
+  struct Paren {
+    std::string call;       // ident immediately before the '(' ("" if none)
+    std::string qualifier;  // Q in `Q::call(`
+  };
+
+  size_t SkipDirective(size_t i) const {
+    const uint32_t line = toks_[i].line;
+    while (i + 1 < toks_.size() && toks_[i + 1].line == line) {
+      ++i;
+    }
+    return i;
+  }
+
+  int CurrentFn() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == ScopeFrame::kFunction) {
+        return it->fn;
+      }
+    }
+    return -1;
+  }
+
+  int CurrentClass() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == ScopeFrame::kClass) {
+        return it->cls;
+      }
+      if (it->kind == ScopeFrame::kFunction) {
+        break;  // a local block inside a method is not class scope
+      }
+    }
+    return -1;
+  }
+
+  std::string ScopePrefix() const {
+    std::string p;
+    for (const ScopeFrame& s : scopes_) {
+      if ((s.kind == ScopeFrame::kNamespace || s.kind == ScopeFrame::kClass) &&
+          !s.name.empty()) {
+        p += s.name + "::";
+      }
+    }
+    return p;
+  }
+
+  void HandlePunct(size_t i) {
+    const std::string& tx = toks_[i].text;
+    if (tx == "(") {
+      Paren p;
+      const Token* prev = frontend::Prev(toks_, i);
+      if (prev != nullptr && prev->kind == TokKind::kIdent) {
+        p.call = prev->text;
+        if (i >= 3 && toks_[i - 2].text == "::" && toks_[i - 3].kind == TokKind::kIdent) {
+          p.qualifier = toks_[i - 3].text;
+        }
+      }
+      parens_.push_back(p);
+    } else if (tx == ")") {
+      if (!parens_.empty()) {
+        parens_.pop_back();
+      }
+    } else if (tx == ";") {
+      if (parens_.empty()) {
+        stmt_head_ = i + 1;
+      }
+    } else if (tx == "{") {
+      OpenBrace(i);
+      stmt_head_ = i + 1;
+    } else if (tx == "}") {
+      if (!scopes_.empty()) {
+        scopes_.pop_back();
+      }
+      stmt_head_ = i + 1;
+    }
+  }
+
+  // --- brace classification -------------------------------------------------
+
+  bool IsLambdaBrace(size_t i) const {
+    size_t j = i;  // exclusive end of the pre-'{' qualifier run
+    while (j > stmt_head_) {
+      const Token& t = toks_[j - 1];
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "mutable" || t.text == "noexcept" || t.text == "constexpr")) {
+        --j;
+        continue;
+      }
+      break;
+    }
+    // Skip a trailing-return spelling back to its "->".
+    size_t k = j;
+    bool arrow = false;
+    while (k > stmt_head_) {
+      const Token& t = toks_[k - 1];
+      if (t.kind == TokKind::kPunct && t.text == "->") {
+        arrow = true;
+        --k;
+        break;
+      }
+      if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber ||
+          (t.kind == TokKind::kPunct &&
+           (t.text == "::" || t.text == "<" || t.text == ">" || t.text == "*" ||
+            t.text == "&" || t.text == ","))) {
+        --k;
+        continue;
+      }
+      break;
+    }
+    if (arrow) {
+      j = k;
+    }
+    if (j <= stmt_head_ || j == 0) {
+      return false;
+    }
+    const Token& last = toks_[j - 1];
+    if (last.kind != TokKind::kPunct) {
+      return false;
+    }
+    if (last.text == "]") {
+      return true;  // capture-only lambda: `[x] {`
+    }
+    if (last.text != ")") {
+      return false;
+    }
+    // Match the ')' back to its '(' and look for the ']' of a capture list.
+    int depth = 1;
+    size_t p = j - 1;
+    while (p > 0 && depth > 0) {
+      --p;
+      if (toks_[p].text == ")") {
+        ++depth;
+      } else if (toks_[p].text == "(") {
+        --depth;
+      }
+    }
+    return depth == 0 && p > 0 && toks_[p - 1].kind == TokKind::kPunct &&
+           toks_[p - 1].text == "]";
+  }
+
+  // Attempts to parse head [stmt_head_, i) as a function definition header.
+  bool MatchFunction(size_t i, std::string* name, std::string* cls,
+                     std::vector<std::string>* qual) {
+    size_t p = toks_.size();
+    for (size_t j = stmt_head_; j < i; ++j) {
+      if (toks_[j].kind == TokKind::kPunct) {
+        if (toks_[j].text == "=") {
+          return false;  // initializer, not a definition
+        }
+        if (toks_[j].text == "(") {
+          p = j;
+          break;
+        }
+      }
+    }
+    if (p == toks_.size() || p <= stmt_head_) {
+      return false;
+    }
+    const Token& fn_tok = toks_[p - 1];
+    if (fn_tok.kind != TokKind::kIdent || frontend::NonCallKeywords().count(fn_tok.text) != 0) {
+      return false;
+    }
+    *name = fn_tok.text;
+    size_t q = p - 1;
+    while (q >= stmt_head_ + 2 && toks_[q - 1].text == "::" &&
+           toks_[q - 2].kind == TokKind::kIdent) {
+      qual->insert(qual->begin(), toks_[q - 2].text);
+      q -= 2;
+    }
+    if (!qual->empty()) {
+      *cls = qual->back();
+    }
+    return true;
+  }
+
+  void OpenBrace(size_t i) {
+    // Lambda bodies can open anywhere, including mid-expression.
+    if (IsLambdaBrace(i)) {
+      PushLambda(i);
+      return;
+    }
+    // Namespace?
+    size_t h = stmt_head_;
+    if (h < i && toks_[h].kind == TokKind::kIdent && toks_[h].text == "inline") {
+      ++h;
+    }
+    if (h < i && toks_[h].kind == TokKind::kIdent && toks_[h].text == "namespace") {
+      std::string name;
+      for (size_t j = h + 1; j < i; ++j) {
+        if (toks_[j].kind == TokKind::kIdent) {
+          name = toks_[j].text;  // last ident wins (nested-name rare)
+        }
+      }
+      scopes_.push_back({ScopeFrame::kNamespace, name, -1, -1});
+      return;
+    }
+    const ScopeFrame::Kind outer =
+        scopes_.empty() ? ScopeFrame::kNamespace : scopes_.back().kind;
+    // Function definition? (only at namespace/class scope)
+    if (outer == ScopeFrame::kNamespace || outer == ScopeFrame::kClass) {
+      std::string name, cls;
+      std::vector<std::string> qual;
+      if (MatchFunction(i, &name, &cls, &qual)) {
+        if (cls.empty() && outer == ScopeFrame::kClass) {
+          cls = scopes_.back().name;
+        }
+        FunctionInfo fn;
+        fn.short_name = name;
+        fn.class_name = cls;
+        std::string qual_path;
+        for (const std::string& qc : qual) {
+          qual_path += qc + "::";
+        }
+        fn.name = ScopePrefix() + qual_path + name;
+        fn.file = path_;
+        fn.line = toks_[i].line;
+        out_->functions.push_back(std::move(fn));
+        scopes_.push_back({ScopeFrame::kFunction, name,
+                           static_cast<int>(out_->functions.size() - 1), -1});
+        return;
+      }
+    }
+    // Class / struct / enum / union?
+    for (size_t j = stmt_head_; j < i; ++j) {
+      const Token& t = toks_[j];
+      if (t.kind == TokKind::kPunct && t.text == "(") {
+        break;  // parameter list before any class keyword: not a class head
+      }
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "class" || t.text == "struct" || t.text == "union" || t.text == "enum")) {
+        std::string name;
+        for (size_t k = j + 1; k < i; ++k) {
+          if (toks_[k].kind == TokKind::kIdent && toks_[k].text != "class" &&
+              toks_[k].text != "final" && toks_[k].text != "alignas") {
+            name = toks_[k].text;
+            break;
+          }
+          if (toks_[k].kind == TokKind::kPunct && toks_[k].text == ":") {
+            break;  // unnamed `enum : int`
+          }
+        }
+        ClassInfo ci;
+        ci.name = name;
+        ci.file = path_;
+        ci.line = toks_[i].line;
+        out_->classes.push_back(std::move(ci));
+        scopes_.push_back({ScopeFrame::kClass, name, -1,
+                           static_cast<int>(out_->classes.size() - 1)});
+        return;
+      }
+    }
+    scopes_.push_back({ScopeFrame::kBlock, "", CurrentFn() >= 0 ? -1 : -1, -1});
+  }
+
+  void PushLambda(size_t i) {
+    const int encloser = CurrentFn();
+    FunctionInfo fn;
+    fn.is_lambda = true;
+    fn.file = path_;
+    fn.line = toks_[i].line;
+    // The short name doubles as the call-graph key for the encloser edge, so
+    // it must be globally unique: embed the path.
+    fn.short_name = path_ + ":lambda@" + std::to_string(toks_[i].line);
+    const std::string base =
+        encloser >= 0 ? out_->functions[static_cast<size_t>(encloser)].name : ScopePrefix();
+    fn.name = base + (base.empty() || EndsWith(base, "::") ? "" : "::") + "lambda@" +
+              std::to_string(toks_[i].line);
+    if (encloser >= 0) {
+      fn.class_name = out_->functions[static_cast<size_t>(encloser)].class_name;
+    }
+    // Event-callback root? Either the lambda is an argument of a schedule
+    // sink / *Async registration, or it is being stored into an
+    // InlineCallback / Engine::Callback variable.
+    if (!parens_.empty() &&
+        (CallbackSinks().count(parens_.back().call) != 0 ||
+         (parens_.back().call.size() > 5 && EndsWith(parens_.back().call, "Async")))) {
+      fn.root = "callback";
+    } else {
+      bool saw_cb_type = false;
+      bool saw_assign = false;
+      for (size_t j = stmt_head_; j < i; ++j) {
+        if (toks_[j].kind == TokKind::kIdent &&
+            (toks_[j].text == "InlineCallback" || toks_[j].text == "Callback")) {
+          saw_cb_type = true;
+        }
+        if (toks_[j].kind == TokKind::kPunct && toks_[j].text == "=") {
+          saw_assign = true;
+        }
+      }
+      if (saw_cb_type && saw_assign) {
+        fn.root = "callback";
+      }
+    }
+    out_->functions.push_back(fn);
+    const int id = static_cast<int>(out_->functions.size() - 1);
+    if (encloser >= 0) {
+      // The encloser "calls" the lambda: a lambda run inline (algorithms,
+      // immediate invocation) executes in its encloser's context; a callback
+      // root additionally seeds the stricter context.
+      out_->functions[static_cast<size_t>(encloser)].calls.push_back(
+          CallSite{fn.short_name, "", toks_[i].line, false});
+    }
+    scopes_.push_back({ScopeFrame::kFunction, fn.short_name, id, -1});
+  }
+
+  // --- identifier-driven extraction ----------------------------------------
+
+  void HandleIdent(size_t i) {
+    const int fn = CurrentFn();
+    if (fn < 0) {
+      HandleDeclScopeIdent(i);
+      return;
+    }
+    FunctionInfo& f = out_->functions[static_cast<size_t>(fn)];
+    const Token& t = toks_[i];
+    const Token* nx = frontend::Next(toks_, i);
+    const bool call_like = nx != nullptr && nx->kind == TokKind::kPunct && nx->text == "(";
+    const bool member = frontend::PrevIsMemberAccess(toks_, i);
+
+    if (t.text == "for" && call_like) {
+      HandleRangeFor(i, &f);
+      return;
+    }
+    if (t.text == "static") {
+      HandleLocalStatic(i, &f);
+      return;
+    }
+    // hash<...*...>: pointer-keyed hashing — value depends on ASLR.
+    if (t.text == "hash" && nx != nullptr && nx->text == "<") {
+      int depth = 0;
+      for (size_t j = i + 1; j < toks_.size() && j < i + 40; ++j) {
+        if (toks_[j].text == "<") {
+          ++depth;
+        } else if (toks_[j].text == ">") {
+          if (--depth == 0) {
+            break;
+          }
+        } else if (toks_[j].text == "*") {
+          AddPrimitive(&f, "sim-nondet", t.line, "std::hash over a pointer type",
+                       "sim-nondet-ok");
+          break;
+        }
+      }
+      return;
+    }
+    // steady_clock::now() and friends.
+    if (WallClocks().count(t.text) != 0 && i + 3 < toks_.size() && toks_[i + 1].text == "::" &&
+        toks_[i + 2].text == "now" && toks_[i + 3].text == "(") {
+      AddPrimitive(&f, "sim-nondet", t.line, t.text + "::now() wall-clock read",
+                   "sim-nondet-ok");
+      return;
+    }
+    if (!member && NondetTypes().count(t.text) != 0) {
+      AddPrimitive(&f, "sim-nondet", t.line, "'" + t.text + "' nondeterministic source",
+                   "sim-nondet-ok");
+      return;
+    }
+    if (!member && BlockingTypes().count(t.text) != 0 && !call_like) {
+      // cout/cerr stream writes and RAII lock types used as expressions.
+      AddPrimitive(&f, "callback-blocking", t.line, "'" + t.text + "' (blocking/IO)",
+                   "callback-blocking-ok");
+      return;
+    }
+    if (call_like && BlockingTypes().count(t.text) != 0) {
+      AddPrimitive(&f, "callback-blocking", t.line,
+                   "'" + t.text + "' construction (blocking/IO)", "callback-blocking-ok");
+      return;
+    }
+    if (!call_like) {
+      HandleMutationCandidate(i, &f);
+      return;
+    }
+
+    // From here on: `ident (` — a call (or declaration, filtered below).
+    std::string qualifier;
+    if (i >= 2 && toks_[i - 1].text == "::" && toks_[i - 2].kind == TokKind::kIdent) {
+      qualifier = toks_[i - 2].text;
+    }
+    if (member) {
+      if (BlockingMemberCalls().count(t.text) != 0) {
+        AddPrimitive(&f, "callback-blocking", t.line, "'." + t.text + "()' blocking wait/lock",
+                     "callback-blocking-ok");
+      }
+      if (t.text == "shard" || t.text == "ScheduleOn") {
+        AddPrimitive(&f, "cross-shard", t.line,
+                     "'." + t.text + "()' reaches into another shard's engine",
+                     "cross-shard-ok");
+      }
+      if (IterCalls().count(t.text) != 0 && i >= 2 && toks_[i - 2].kind == TokKind::kIdent &&
+          !frontend::Suppressed(lexed_, t.line, "sim-nondet-ok")) {
+        f.iters.push_back(IterSite{toks_[i - 2].text, t.line});
+      }
+      f.calls.push_back(CallSite{t.text, qualifier, t.line, true});
+      return;
+    }
+    if (frontend::NonCallKeywords().count(t.text) != 0) {
+      return;
+    }
+    if (!qualifier.empty() || frontend::LooksLikeCall(toks_, i)) {
+      if (BlockingCalls().count(t.text) != 0) {
+        AddPrimitive(&f, "callback-blocking", t.line, "'" + t.text + "()' blocks",
+                     "callback-blocking-ok");
+      }
+      if (NondetCalls().count(t.text) != 0) {
+        AddPrimitive(&f, "sim-nondet", t.line, "'" + t.text + "()' nondeterministic call",
+                     "sim-nondet-ok");
+      }
+      if (t.text == "ScheduleOn") {
+        AddPrimitive(&f, "cross-shard", t.line,
+                     "'ScheduleOn()' host-side placement API called from simulation",
+                     "cross-shard-ok");
+      }
+      f.calls.push_back(CallSite{t.text, qualifier, t.line, false});
+    }
+  }
+
+  // Range-for: record every identifier in the range expression as an
+  // iteration candidate (resolved against the project-wide unordered-name
+  // table at analyze time); a literal unordered type there is an iteration
+  // over an unordered temporary — nondeterministic on the spot.
+  void HandleRangeFor(size_t i, FunctionInfo* f) {
+    int depth = 0;
+    size_t colon = 0;
+    size_t close = 0;
+    for (size_t j = i + 1; j < toks_.size(); ++j) {
+      if (toks_[j].text == "(") {
+        ++depth;
+      } else if (toks_[j].text == ")") {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (toks_[j].text == ":" && depth == 1 && colon == 0) {
+        colon = j;
+      }
+    }
+    if (colon == 0 || close == 0) {
+      return;
+    }
+    const uint32_t line = toks_[i].line;
+    if (frontend::Suppressed(lexed_, line, "sim-nondet-ok")) {
+      return;
+    }
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (toks_[j].kind != TokKind::kIdent) {
+        continue;
+      }
+      if (UnorderedTypes().count(toks_[j].text) != 0) {
+        AddPrimitive(f, "sim-nondet", line,
+                     "iteration over an unordered temporary ('" + toks_[j].text + "')",
+                     "sim-nondet-ok");
+      } else {
+        f->iters.push_back(IterSite{toks_[j].text, line});
+      }
+    }
+  }
+
+  void HandleLocalStatic(size_t i, FunctionInfo* f) {
+    bool is_const = false;
+    for (size_t j = i + 1; j < toks_.size() && j < i + 8; ++j) {
+      if (toks_[j].kind == TokKind::kIdent && toks_[j].text == "const") {
+        is_const = true;
+      }
+      if (toks_[j].kind == TokKind::kIdent && ContainerTypes().count(toks_[j].text) != 0 &&
+          j + 1 < toks_.size() && toks_[j + 1].text == "<") {
+        if (!is_const) {
+          std::string reason;
+          if (frontend::SuppressedWithReason(lexed_, toks_[i].line, "guard-ok", &reason)) {
+            if (reason.empty()) {
+              f->primitives.push_back(PrimitiveSite{
+                  "guard-state", toks_[i].line,
+                  "function-local static mutable container (guard-ok needs a reason)", true});
+            }
+            return;
+          }
+          f->primitives.push_back(PrimitiveSite{
+              "guard-state", toks_[i].line,
+              "function-local static mutable '" + toks_[j].text +
+                  "' is shared singleton state invisible to sim::AccessGuard",
+              false});
+        }
+        return;
+      }
+      if (toks_[j].kind == TokKind::kPunct && toks_[j].text != "::") {
+        return;
+      }
+    }
+  }
+
+  // `entries_.insert(...)` / `entries_[k] = v` — container mutation of a
+  // member (trailing underscore) or a namespace-scope global.
+  void HandleMutationCandidate(size_t i, FunctionInfo* f) {
+    const Token& t = toks_[i];
+    if (frontend::PrevIsMemberAccess(toks_, i)) {
+      return;  // x.y_ — a member of some other object; resolution hopeless
+    }
+    const Token* nx = frontend::Next(toks_, i);
+    if (nx == nullptr || nx->kind != TokKind::kPunct) {
+      return;
+    }
+    bool mutation = false;
+    if ((nx->text == "." || nx->text == "->") && i + 3 < toks_.size() &&
+        toks_[i + 2].kind == TokKind::kIdent && MutatorCalls().count(toks_[i + 2].text) != 0 &&
+        toks_[i + 3].text == "(") {
+      mutation = true;
+    } else if (nx->text == "[") {
+      // `name[...] = v` (single '=', not '==').
+      int depth = 0;
+      for (size_t j = i + 1; j < toks_.size(); ++j) {
+        if (toks_[j].text == "[") {
+          ++depth;
+        } else if (toks_[j].text == "]") {
+          if (--depth == 0) {
+            mutation = j + 1 < toks_.size() && toks_[j + 1].text == "=" &&
+                       (j + 2 >= toks_.size() || toks_[j + 2].text != "=");
+            break;
+          }
+        }
+      }
+    }
+    if (!mutation) {
+      return;
+    }
+    std::string reason;
+    if (frontend::SuppressedWithReason(lexed_, t.line, "guard-ok", &reason)) {
+      if (reason.empty()) {
+        f->primitives.push_back(PrimitiveSite{
+            "guard-state", t.line,
+            "mutation of '" + t.text + "' (guard-ok suppression needs a reason)", true});
+      }
+      return;
+    }
+    f->mutations.push_back(MutationSite{t.text, t.line, !EndsWith(t.text, "_")});
+  }
+
+  // Declaration scope (namespace or class body, outside any function):
+  // container members, AccessGuard registrations, unordered declarations,
+  // namespace-scope mutable globals.
+  void HandleDeclScopeIdent(size_t i) {
+    if (!parens_.empty()) {
+      return;  // inside a function signature: parameters are not globals
+    }
+    const Token& t = toks_[i];
+    const int cls = CurrentClass();
+    if (t.text == "AccessGuard" && cls >= 0) {
+      out_->classes[static_cast<size_t>(cls)].has_access_guard = true;
+      return;
+    }
+    if (ContainerTypes().count(t.text) == 0) {
+      return;
+    }
+    const Token* nx = frontend::Next(toks_, i);
+    if (nx == nullptr || nx->text != "<") {
+      return;
+    }
+    // Reject alias heads (`using X = std::map<...>`): the alias itself is
+    // recorded by the unordered table below, not as state.
+    bool alias_head = false;
+    for (size_t j = stmt_head_; j < i; ++j) {
+      if (toks_[j].kind == TokKind::kIdent &&
+          (toks_[j].text == "using" || toks_[j].text == "typedef")) {
+        alias_head = true;
+        break;
+      }
+    }
+    bool is_const = false;
+    for (size_t j = stmt_head_; j < i; ++j) {
+      if (toks_[j].kind == TokKind::kIdent && toks_[j].text == "const") {
+        is_const = true;
+        break;
+      }
+    }
+    // Skip the template argument list, then cv/ref qualifiers, then the name.
+    size_t j = i + 1;
+    int depth = 0;
+    for (; j < toks_.size(); ++j) {
+      if (toks_[j].text == "<") {
+        ++depth;
+      } else if (toks_[j].text == ">") {
+        if (--depth == 0) {
+          break;
+        }
+      }
+    }
+    ++j;
+    while (j < toks_.size() &&
+           ((toks_[j].kind == TokKind::kPunct &&
+             (toks_[j].text == "&" || toks_[j].text == "*")) ||
+            (toks_[j].kind == TokKind::kIdent && toks_[j].text == "const"))) {
+      if (toks_[j].kind == TokKind::kIdent) {
+        is_const = true;
+      }
+      ++j;
+    }
+    if (j >= toks_.size() || toks_[j].kind != TokKind::kIdent) {
+      return;
+    }
+    const std::string declared = toks_[j].text;
+    const Token* after = frontend::Next(toks_, j);
+    const bool is_function = after != nullptr && after->text == "(";
+    if (UnorderedTypes().count(t.text) != 0) {
+      // Project-wide unordered symbol table: variables, members, and
+      // functions returning unordered containers all make range-for over
+      // them (or their temporaries) nondeterministic.
+      out_->unordered_names.push_back(declared);
+    }
+    if (alias_head || is_function || is_const) {
+      return;
+    }
+    std::string reason;
+    const bool suppressed =
+        frontend::SuppressedWithReason(lexed_, toks_[j].line, "guard-ok", &reason);
+    if (cls >= 0) {
+      out_->classes[static_cast<size_t>(cls)].container_members.push_back(
+          MemberInfo{declared, toks_[j].line, suppressed, suppressed && !reason.empty()});
+    } else {
+      out_->globals.push_back(
+          GlobalInfo{declared, toks_[j].line, suppressed, suppressed && !reason.empty()});
+    }
+  }
+
+  void AddPrimitive(FunctionInfo* f, const std::string& rule, uint32_t line,
+                    const std::string& detail, const std::string& tag) {
+    if (frontend::Suppressed(lexed_, line, tag)) {
+      return;
+    }
+    f->primitives.push_back(PrimitiveSite{rule, line, detail, false});
+  }
+
+  const std::string& path_;
+  const LexedFile& lexed_;
+  const std::vector<Token>& toks_;
+  FileIndex* out_;
+  std::vector<ScopeFrame> scopes_;
+  std::vector<Paren> parens_;
+  size_t stmt_head_ = 0;
+};
+
+// Unordered declarations also hide inside function bodies (locals); sweep
+// the whole token stream for them so the analyze-time table is complete.
+void CollectLocalUnordered(const LexedFile& lexed, FileIndex* out) {
+  const auto& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || UnorderedTypes().count(toks[i].text) == 0) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") {
+      continue;
+    }
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") {
+        ++depth;
+      } else if (toks[j].text == ">") {
+        if (--depth == 0) {
+          break;
+        }
+      }
+    }
+    ++j;
+    while (j < toks.size() &&
+           ((toks[j].kind == TokKind::kPunct &&
+             (toks[j].text == "&" || toks[j].text == "*")) ||
+            (toks[j].kind == TokKind::kIdent && toks[j].text == "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      out->unordered_names.push_back(toks[j].text);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> rules = {
+      {"callback-blocking", "callback-blocking-ok",
+       "no blocking/sleep/IO/mutex acquisition reachable from event-callback context"},
+      {"sim-nondet", "sim-nondet-ok",
+       "no nondeterminism source (wall clock, rand, pointer hashing, unordered iteration) "
+       "reachable from simulation context"},
+      {"cross-shard", "cross-shard-ok",
+       "callbacks reach other shards only through the ShardedEngine mailbox API (Post)"},
+      {"guard-state", "guard-ok (reason required)",
+       "mutable containers mutated from callback context register a sim::AccessGuard or "
+       "carry a justified suppression"},
+  };
+  return rules;
+}
+
+Index BuildIndex(const std::vector<SourceFile>& files) {
+  Index index;
+  index.files.reserve(files.size());
+  for (const SourceFile& f : files) {
+    FileIndex fi;
+    fi.path = f.first;
+    fi.fnv = frontend::Fnv1a(f.second);
+    const LexedFile lexed = frontend::Lex(f.second);
+    Indexer(fi.path, lexed, &fi).Run();
+    CollectLocalUnordered(lexed, &fi);
+    std::sort(fi.unordered_names.begin(), fi.unordered_names.end());
+    fi.unordered_names.erase(
+        std::unique(fi.unordered_names.begin(), fi.unordered_names.end()),
+        fi.unordered_names.end());
+    index.files.push_back(std::move(fi));
+  }
+  return index;
+}
+
+Index BuildIndexCached(const std::vector<SourceFile>& files, const Index& cached) {
+  std::map<std::string, const FileIndex*> by_path;
+  for (const FileIndex& fi : cached.files) {
+    by_path[fi.path] = &fi;
+  }
+  Index index;
+  index.files.reserve(files.size());
+  for (const SourceFile& f : files) {
+    auto it = by_path.find(f.first);
+    if (it != by_path.end() && it->second->fnv == frontend::Fnv1a(f.second)) {
+      index.files.push_back(*it->second);
+      continue;
+    }
+    Index one = BuildIndex({f});
+    index.files.push_back(std::move(one.files.front()));
+  }
+  return index;
+}
+
+Index IndexPaths(const std::string& root_dir, const std::vector<std::string>& relative_paths,
+                 const std::string& cache_path) {
+  const auto files = frontend::ReadFiles(root_dir, relative_paths);
+  Index cached;
+  if (!cache_path.empty()) {
+    LoadIndex(cache_path, &cached);
+  }
+  Index index = cached.files.empty() ? BuildIndex(files) : BuildIndexCached(files, cached);
+  if (!cache_path.empty()) {
+    SaveIndex(index, cache_path);
+  }
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Analysis: call-graph assembly, context propagation, rule evaluation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Graph {
+  std::vector<const FunctionInfo*> fns;
+  std::vector<const FileIndex*> owner;
+  std::map<std::string, std::vector<int>> by_short;
+  std::map<std::string, const ClassInfo*> classes;
+  std::set<std::string> unordered;
+  std::map<std::string, const GlobalInfo*> globals;
+};
+
+bool TestContext(const std::string& file) {
+  return StartsWith(file, "tests/") || StartsWith(file, "bench/") ||
+         StartsWith(file, "examples/") || StartsWith(file, "tools/");
+}
+
+std::vector<int> Resolve(const Graph& g, int caller, const CallSite& call) {
+  auto it = g.by_short.find(call.name);
+  if (it == g.by_short.end()) {
+    return {};
+  }
+  const std::vector<int>& cands = it->second;
+  std::vector<int> out;
+  if (!call.qualifier.empty()) {
+    for (int c : cands) {
+      if (g.fns[static_cast<size_t>(c)]->class_name == call.qualifier) {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+  if (call.member) {
+    return cands;  // receiver type unknown: any method of that name (over-approx)
+  }
+  // Unqualified free call: same-class methods shadow free functions.
+  const std::string& cls = g.fns[static_cast<size_t>(caller)]->class_name;
+  if (!cls.empty()) {
+    for (int c : cands) {
+      if (g.fns[static_cast<size_t>(c)]->class_name == cls) {
+        out.push_back(c);
+      }
+    }
+    if (!out.empty()) {
+      return out;
+    }
+  }
+  for (int c : cands) {
+    if (g.fns[static_cast<size_t>(c)]->class_name.empty()) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct Reach {
+  int parent = -1;        // function we were reached from (-1: root)
+  uint32_t call_line = 0; // line of the call in the parent's file
+};
+
+// BFS from `seeds` (which carry their initial Reach), expanding over resolved
+// call edges. Deterministic: seeds and edge expansion follow index order.
+void Propagate(const Graph& g, std::map<int, Reach>* reached) {
+  std::deque<int> queue;
+  for (const auto& [id, r] : *reached) {
+    queue.push_back(id);
+  }
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    const FunctionInfo* f = g.fns[static_cast<size_t>(cur)];
+    for (const CallSite& call : f->calls) {
+      for (int callee : Resolve(g, cur, call)) {
+        if (callee == cur || reached->count(callee) != 0) {
+          continue;
+        }
+        (*reached)[callee] = Reach{cur, call.line};
+        queue.push_back(callee);
+      }
+    }
+  }
+}
+
+std::vector<std::string> Chain(const Graph& g, const std::map<int, Reach>& reached, int fn,
+                               const std::string& context, const std::string& prim_detail,
+                               const std::string& prim_file, uint32_t prim_line) {
+  std::vector<std::string> rev;
+  int cur = fn;
+  while (cur >= 0) {
+    const auto it = reached.find(cur);
+    const FunctionInfo* f = g.fns[static_cast<size_t>(cur)];
+    if (it == reached.end() || it->second.parent < 0) {
+      rev.push_back(context + " root " + f->name + " (" + f->file + ":" +
+                    std::to_string(f->line) + ")");
+      break;
+    }
+    const FunctionInfo* p = g.fns[static_cast<size_t>(it->second.parent)];
+    rev.push_back("-> " + f->name + " (" + p->file + ":" +
+                  std::to_string(it->second.call_line) + ")");
+    cur = it->second.parent;
+  }
+  std::vector<std::string> chain(rev.rbegin(), rev.rend());
+  chain.push_back("-> " + prim_detail + " (" + prim_file + ":" + std::to_string(prim_line) +
+                  ")");
+  return chain;
+}
+
+}  // namespace
+
+std::string Finding::ChainString() const {
+  std::string s;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (i != 0) {
+      s += " ";
+    }
+    s += chain[i];
+  }
+  return s;
+}
+
+std::vector<Finding> Analyze(const Index& index, const Options& options) {
+  Graph g;
+  for (const FileIndex& fi : index.files) {
+    for (const FunctionInfo& fn : fi.functions) {
+      g.by_short[fn.short_name].push_back(static_cast<int>(g.fns.size()));
+      g.fns.push_back(&fn);
+      g.owner.push_back(&fi);
+    }
+    for (const ClassInfo& ci : fi.classes) {
+      if (!ci.name.empty() && g.classes.count(ci.name) == 0) {
+        g.classes[ci.name] = &ci;
+      }
+    }
+    for (const GlobalInfo& gl : fi.globals) {
+      if (g.globals.count(gl.name) == 0) {
+        g.globals[gl.name] = &gl;
+      }
+    }
+    g.unordered.insert(fi.unordered_names.begin(), fi.unordered_names.end());
+  }
+
+  const auto enabled = [&options](const std::string& id) {
+    return options.rules.empty() ||
+           std::find(options.rules.begin(), options.rules.end(), id) != options.rules.end();
+  };
+
+  // Context roots. Event-callback context: indexer-marked lambdas/functions
+  // (schedule sinks, InlineCallback construction) plus the shard worker body.
+  // Simulation context additionally covers the engine internals in src/sim —
+  // everything there executes inside or between event dispatches.
+  std::map<int, Reach> callback;
+  for (size_t i = 0; i < g.fns.size(); ++i) {
+    const FunctionInfo* f = g.fns[i];
+    if (TestContext(f->file)) {
+      continue;
+    }
+    if (f->root == "callback" ||
+        (f->short_name == "WorkerMain" && EndsWith(f->file, "sim/sharded_engine.cc"))) {
+      callback[static_cast<int>(i)] = Reach{};
+    }
+  }
+  Propagate(g, &callback);
+
+  std::map<int, Reach> sim = callback;
+  for (size_t i = 0; i < g.fns.size(); ++i) {
+    if (StartsWith(g.fns[i]->file, "src/sim/") && sim.count(static_cast<int>(i)) == 0) {
+      sim[static_cast<int>(i)] = Reach{};
+    }
+  }
+  Propagate(g, &sim);
+
+  std::vector<Finding> findings;
+  const auto add = [&findings](const std::string& file, uint32_t line, const std::string& rule,
+                               std::string message, std::vector<std::string> chain) {
+    findings.push_back(Finding{file, line, rule, std::move(message), std::move(chain)});
+  };
+
+  for (const auto& [id, reach] : callback) {
+    const FunctionInfo* f = g.fns[static_cast<size_t>(id)];
+    if (TestContext(f->file)) {
+      continue;
+    }
+    for (const PrimitiveSite& p : f->primitives) {
+      if (p.rule == "sim-nondet") {
+        continue;  // evaluated under the (wider) simulation context below
+      }
+      if (!enabled(p.rule)) {
+        continue;
+      }
+      if (p.rule == "cross-shard" && f->class_name == "ShardedEngine") {
+        continue;  // the mailbox implementation IS the sanctioned path
+      }
+      if (p.rule == "guard-state" && StartsWith(f->file, "src/sim/")) {
+        continue;  // the engine/ledger machinery cannot guard itself
+      }
+      add(f->file, p.line, p.rule,
+          p.detail + (p.needs_reason ? "" : " reachable from event-callback context"),
+          Chain(g, callback, id, "callback", p.detail, f->file, p.line));
+    }
+    // The event machinery in src/sim/ is exempt from guard-state: the engine's
+    // own calendar/pool containers and the AccessLedger's logs are what the
+    // guards are *built from* — registering guards on them would be circular
+    // (every guard touch mutates ledger state from callback context).
+    if (enabled("guard-state") && !StartsWith(f->file, "src/sim/")) {
+      for (const MutationSite& m : f->mutations) {
+        if (m.global) {
+          const auto git = g.globals.find(m.name);
+          if (git == g.globals.end()) {
+            continue;
+          }
+          if (git->second->suppressed && git->second->has_reason) {
+            continue;
+          }
+          add(f->file, m.line, "guard-state",
+              git->second->suppressed
+                  ? "guard-ok suppression on global '" + m.name + "' requires a reason"
+                  : "global container '" + m.name +
+                        "' is mutated from callback context but is not registered with "
+                        "sim::AccessGuard",
+              Chain(g, callback, id, "callback", "mutation of global '" + m.name + "'",
+                    f->file, m.line));
+          continue;
+        }
+        const auto cit = g.classes.find(f->class_name);
+        if (cit == g.classes.end()) {
+          continue;
+        }
+        const ClassInfo* ci = cit->second;
+        if (ci->has_access_guard) {
+          continue;
+        }
+        const MemberInfo* mi = nullptr;
+        for (const MemberInfo& cand : ci->container_members) {
+          if (cand.name == m.name) {
+            mi = &cand;
+            break;
+          }
+        }
+        if (mi == nullptr || (mi->suppressed && mi->has_reason)) {
+          continue;
+        }
+        add(f->file, m.line, "guard-state",
+            mi->suppressed
+                ? "guard-ok suppression on '" + f->class_name + "::" + m.name +
+                      "' requires a reason"
+                : "mutable container '" + f->class_name + "::" + m.name +
+                      "' is mutated from callback context but " + f->class_name +
+                      " registers no sim::AccessGuard (add a guard member or suppress with "
+                      "'// lint: guard-ok <reason>')",
+            Chain(g, callback, id, "callback", "mutation of '" + m.name + "'", f->file,
+                  m.line));
+      }
+    }
+  }
+
+  if (enabled("sim-nondet")) {
+    for (const auto& [id, reach] : sim) {
+      const FunctionInfo* f = g.fns[static_cast<size_t>(id)];
+      if (TestContext(f->file)) {
+        continue;
+      }
+      const std::string context = callback.count(id) != 0 ? "callback" : "sim";
+      const std::map<int, Reach>& reached = callback.count(id) != 0 ? callback : sim;
+      for (const PrimitiveSite& p : f->primitives) {
+        if (p.rule != "sim-nondet") {
+          continue;
+        }
+        add(f->file, p.line, "sim-nondet", p.detail + " reachable from simulation context",
+            Chain(g, reached, id, context, p.detail, f->file, p.line));
+      }
+      for (const IterSite& it : f->iters) {
+        if (g.unordered.count(it.name) == 0) {
+          continue;
+        }
+        const std::string detail = "iteration over unordered container '" + it.name + "'";
+        add(f->file, it.line, "sim-nondet", detail + " reachable from simulation context",
+            Chain(g, reached, id, context, detail, f->file, it.line));
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    if (a.rule != b.rule) {
+      return a.rule < b.rule;
+    }
+    return a.message < b.message;
+  });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule && a.message == b.message;
+                             }),
+                 findings.end());
+  return findings;
+}
+
+std::string FormatReport(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+    for (const std::string& link : f.chain) {
+      out << "    " << link << "\n";
+    }
+  }
+  out << "coyote_analyze: " << findings.size() << " finding"
+      << (findings.size() == 1 ? "" : "s") << "\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Index cache: line-oriented text serialization. Identifiers and paths carry
+// no spaces, so fields are space-separated with free text (primitive detail)
+// last on the line. "-" encodes an empty string field.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char kMagic[] = "coyote-analyze-index v1";
+
+std::string Enc(const std::string& s) { return s.empty() ? "-" : s; }
+std::string Dec(const std::string& s) { return s == "-" ? "" : s; }
+
+}  // namespace
+
+bool SaveIndex(const Index& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << kMagic << "\n";
+  for (const FileIndex& fi : index.files) {
+    out << "file " << fi.fnv << " " << fi.path << "\n";
+    for (const std::string& u : fi.unordered_names) {
+      out << "un " << u << "\n";
+    }
+    for (const GlobalInfo& gl : fi.globals) {
+      out << "gl " << gl.line << " " << gl.suppressed << " " << gl.has_reason << " "
+          << gl.name << "\n";
+    }
+    for (const ClassInfo& ci : fi.classes) {
+      out << "cl " << ci.line << " " << ci.has_access_guard << " " << Enc(ci.name) << "\n";
+      for (const MemberInfo& m : ci.container_members) {
+        out << "mb " << m.line << " " << m.suppressed << " " << m.has_reason << " " << m.name
+            << "\n";
+      }
+    }
+    for (const FunctionInfo& fn : fi.functions) {
+      out << "fn " << fn.line << " " << fn.is_lambda << " " << Enc(fn.root) << " "
+          << Enc(fn.class_name) << " " << fn.short_name << " " << fn.name << "\n";
+      for (const CallSite& c : fn.calls) {
+        out << "ca " << c.line << " " << c.member << " " << Enc(c.qualifier) << " " << c.name
+            << "\n";
+      }
+      for (const IterSite& it : fn.iters) {
+        out << "it " << it.line << " " << it.name << "\n";
+      }
+      for (const MutationSite& m : fn.mutations) {
+        out << "mu " << m.line << " " << m.global << " " << m.name << "\n";
+      }
+      for (const PrimitiveSite& p : fn.primitives) {
+        out << "pr " << p.line << " " << p.needs_reason << " " << p.rule << " " << p.detail
+            << "\n";
+      }
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadIndex(const std::string& path, Index* index) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return false;
+  }
+  index->files.clear();
+  FileIndex* fi = nullptr;
+  ClassInfo* cls = nullptr;
+  FunctionInfo* fn = nullptr;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "file") {
+      index->files.emplace_back();
+      fi = &index->files.back();
+      cls = nullptr;
+      fn = nullptr;
+      ls >> fi->fnv >> fi->path;
+    } else if (fi == nullptr) {
+      return false;
+    } else if (tag == "un") {
+      std::string name;
+      ls >> name;
+      fi->unordered_names.push_back(name);
+    } else if (tag == "gl") {
+      GlobalInfo gl;
+      ls >> gl.line >> gl.suppressed >> gl.has_reason >> gl.name;
+      fi->globals.push_back(gl);
+    } else if (tag == "cl") {
+      ClassInfo ci;
+      std::string name;
+      ls >> ci.line >> ci.has_access_guard >> name;
+      ci.name = Dec(name);
+      ci.file = fi->path;
+      fi->classes.push_back(ci);
+      cls = &fi->classes.back();
+      fn = nullptr;
+    } else if (tag == "mb") {
+      if (cls == nullptr) {
+        return false;
+      }
+      MemberInfo m;
+      ls >> m.line >> m.suppressed >> m.has_reason >> m.name;
+      cls->container_members.push_back(m);
+    } else if (tag == "fn") {
+      FunctionInfo f;
+      std::string root, class_name;
+      ls >> f.line >> f.is_lambda >> root >> class_name >> f.short_name >> f.name;
+      f.root = Dec(root);
+      f.class_name = Dec(class_name);
+      f.file = fi->path;
+      fi->functions.push_back(std::move(f));
+      fn = &fi->functions.back();
+      cls = nullptr;
+    } else if (tag == "ca") {
+      if (fn == nullptr) {
+        return false;
+      }
+      CallSite c;
+      std::string qual;
+      ls >> c.line >> c.member >> qual >> c.name;
+      c.qualifier = Dec(qual);
+      fn->calls.push_back(c);
+    } else if (tag == "it") {
+      if (fn == nullptr) {
+        return false;
+      }
+      IterSite it_site;
+      ls >> it_site.line >> it_site.name;
+      fn->iters.push_back(it_site);
+    } else if (tag == "mu") {
+      if (fn == nullptr) {
+        return false;
+      }
+      MutationSite m;
+      ls >> m.line >> m.global >> m.name;
+      fn->mutations.push_back(m);
+    } else if (tag == "pr") {
+      if (fn == nullptr) {
+        return false;
+      }
+      PrimitiveSite p;
+      ls >> p.line >> p.needs_reason >> p.rule;
+      std::getline(ls, p.detail);
+      if (!p.detail.empty() && p.detail.front() == ' ') {
+        p.detail.erase(p.detail.begin());
+      }
+      fn->primitives.push_back(p);
+    } else if (!tag.empty()) {
+      return false;
+    }
+    if (!ls && tag != "pr") {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace analyze
+}  // namespace coyote

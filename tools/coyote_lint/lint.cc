@@ -1,155 +1,27 @@
 #include "tools/coyote_lint/lint.h"
 
 #include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+
+#include "tools/coyote_frontend/frontend.h"
 
 namespace coyote {
 namespace lint {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-enum class TokKind : uint8_t { kIdent, kNumber, kPunct, kString, kChar };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  uint32_t line;
-};
-
-struct LexedFile {
-  std::vector<Token> tokens;
-  // line -> concatenated comment text on that line (suppressions live here).
-  std::map<uint32_t, std::string> comments;
-};
-
-bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-// Strips comments and literals, splits the rest into identifier / number /
-// punctuation tokens. "::" and "->" are combined; everything else is
-// single-character punctuation.
-LexedFile Lex(const std::string& src) {
-  LexedFile out;
-  uint32_t line = 1;
-  size_t i = 0;
-  const size_t n = src.size();
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const size_t start = i;
-      while (i < n && src[i] != '\n') {
-        ++i;
-      }
-      out.comments[line] += src.substr(start, i - start);
-      continue;
-    }
-    // Block comment (text attributed to every line it spans).
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      i += 2;
-      std::string text;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') {
-          out.comments[line] += text;
-          text.clear();
-          ++line;
-        } else {
-          text += src[i];
-        }
-        ++i;
-      }
-      out.comments[line] += text;
-      i = (i + 1 < n) ? i + 2 : n;
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(') {
-        delim += src[j++];
-      }
-      const std::string close = ")" + delim + "\"";
-      const size_t end = src.find(close, j);
-      const size_t stop = (end == std::string::npos) ? n : end + close.size();
-      for (size_t k = i; k < stop; ++k) {
-        if (src[k] == '\n') {
-          ++line;
-        }
-      }
-      out.tokens.push_back({TokKind::kString, "", line});
-      i = stop;
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      size_t j = i + 1;
-      while (j < n && src[j] != quote) {
-        if (src[j] == '\\' && j + 1 < n) {
-          ++j;
-        }
-        if (src[j] == '\n') {
-          ++line;
-        }
-        ++j;
-      }
-      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar, "", line});
-      i = j + 1;
-      continue;
-    }
-    if (IsIdentStart(c)) {
-      size_t j = i;
-      while (j < n && IsIdentChar(src[j])) {
-        ++j;
-      }
-      out.tokens.push_back({TokKind::kIdent, src.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      size_t j = i;
-      while (j < n && (IsIdentChar(src[j]) || src[j] == '.' || src[j] == '\'')) {
-        ++j;
-      }
-      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Punctuation; combine "::" and "->".
-    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-      out.tokens.push_back({TokKind::kPunct, "::", line});
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
-      out.tokens.push_back({TokKind::kPunct, "->", line});
-      i += 2;
-      continue;
-    }
-    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
+using frontend::LexedFile;
+using frontend::LooksLikeCall;
+using frontend::Next;
+using frontend::Prev;
+using frontend::PrevIsMemberAccess;
+using frontend::TokKind;
+using frontend::Token;
 
 // ---------------------------------------------------------------------------
-// Rule machinery
+// Rule machinery. The lexical layer (tokenizer, comment map, suppression
+// lookup, project walk) lives in tools/coyote_frontend so the linter and the
+// interprocedural analyzer can never disagree about what a suppression
+// covers — in particular, a suppression above a multi-line statement covers
+// findings on the statement's continuation lines via the statement-start map.
 // ---------------------------------------------------------------------------
 
 struct FileCtx {
@@ -159,78 +31,11 @@ struct FileCtx {
   std::vector<Finding>* out;
 };
 
-// A finding at `line` is suppressed by "// lint: <tag>" on that line or the
-// line above.
-bool Suppressed(const FileCtx& ctx, uint32_t line, const std::string& tag) {
-  for (uint32_t l : {line, line > 0 ? line - 1 : line}) {
-    auto it = ctx.lexed.comments.find(l);
-    if (it != ctx.lexed.comments.end() && it->second.find("lint:") != std::string::npos &&
-        it->second.find(tag) != std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
 void Report(const FileCtx& ctx, uint32_t line, const std::string& rule, const std::string& tag,
             const std::string& message) {
-  if (!Suppressed(ctx, line, tag)) {
+  if (!frontend::Suppressed(ctx.lexed, line, tag)) {
     ctx.out->push_back(Finding{ctx.path, line, rule, message});
   }
-}
-
-bool IsHeaderPath(const std::string& path) {
-  return path.size() > 2 &&
-         (path.rfind(".h") == path.size() - 2 || path.rfind(".hpp") == path.size() - 4);
-}
-
-const Token* Prev(const std::vector<Token>& toks, size_t i) {
-  return i > 0 ? &toks[i - 1] : nullptr;
-}
-const Token* Next(const std::vector<Token>& toks, size_t i) {
-  return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
-}
-
-bool PrevIsMemberAccess(const std::vector<Token>& toks, size_t i) {
-  const Token* p = Prev(toks, i);
-  return p != nullptr && p->kind == TokKind::kPunct && (p->text == "." || p->text == "->");
-}
-
-const std::set<std::string>& Keywords() {
-  static const std::set<std::string> kw = {"return",   "if",    "while", "for",     "do",
-                                           "else",     "case",  "co_return", "switch",
-                                           "not",      "and",   "or",    "co_await"};
-  return kw;
-}
-
-// True when toks[i] looks like a call of the banned function: followed by
-// "(", not a member access, and not a declaration "Type name(".
-bool LooksLikeCall(const std::vector<Token>& toks, size_t i) {
-  const Token* nx = Next(toks, i);
-  if (nx == nullptr || nx->text != "(") {
-    return false;
-  }
-  if (PrevIsMemberAccess(toks, i)) {
-    return false;
-  }
-  const Token* p = Prev(toks, i);
-  if (p != nullptr && p->kind == TokKind::kIdent && Keywords().count(p->text) == 0) {
-    return false;  // "Type name(...)" declaration, not a call
-  }
-  return true;
-}
-
-// Reconstructs the header name of an `#include <...>` directive starting at
-// the "<" token index; returns the joined text ("sys/time.h").
-std::string JoinIncludeName(const std::vector<Token>& toks, size_t lt, size_t* end_index) {
-  std::string name;
-  size_t j = lt + 1;
-  while (j < toks.size() && toks[j].text != ">") {
-    name += toks[j].text;
-    ++j;
-  }
-  *end_index = j;
-  return name;
 }
 
 // ---------------------------------------------------------------------------
@@ -258,7 +63,7 @@ void RuleNondet(const FileCtx& ctx) {
     if (t.kind == TokKind::kPunct && t.text == "#" && i + 2 < toks.size() &&
         toks[i + 1].text == "include" && toks[i + 2].text == "<") {
       size_t end = i + 2;
-      const std::string name = JoinIncludeName(toks, i + 2, &end);
+      const std::string name = frontend::JoinIncludeName(toks, i + 2, &end);
       if (kBannedIncludes.count(name) != 0) {
         Report(ctx, t.line, "nondet", "nondet-ok",
                "#include <" + name + "> is banned in simulation code: randomness must flow "
@@ -291,12 +96,16 @@ void RuleNondet(const FileCtx& ctx) {
 // packet emission silently breaks replay. Point lookups are fine.
 // ---------------------------------------------------------------------------
 
-void CollectUnorderedNames(const LexedFile& lexed, std::set<std::string>* names) {
+const std::set<std::string>& UnorderedTypeNames() {
   static const std::set<std::string> kUnordered = {"unordered_map", "unordered_set",
                                                    "unordered_multimap", "unordered_multiset"};
+  return kUnordered;
+}
+
+void CollectUnorderedNames(const LexedFile& lexed, std::set<std::string>* names) {
   const auto& toks = lexed.tokens;
   for (size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].kind != TokKind::kIdent || kUnordered.count(toks[i].text) == 0) {
+    if (toks[i].kind != TokKind::kIdent || UnorderedTypeNames().count(toks[i].text) == 0) {
       continue;
     }
     // `using Alias = std::unordered_map<...>`: scan back a few tokens.
@@ -307,7 +116,11 @@ void CollectUnorderedNames(const LexedFile& lexed, std::set<std::string>* names)
         break;
       }
     }
-    // Skip the template argument list, then take the declared identifier.
+    // Skip the template argument list, then take the declared identifier —
+    // a variable/member name or a function returning the unordered type
+    // (`for (auto& x : MakeUnorderedSet())` iterates a nondeterministic
+    // temporary just the same). `const`, `&` and `*` between the closing
+    // angle bracket and the name (reference-returning getters) are skipped.
     size_t j = i + 1;
     if (j >= toks.size() || toks[j].text != "<") {
       continue;
@@ -322,8 +135,14 @@ void CollectUnorderedNames(const LexedFile& lexed, std::set<std::string>* names)
         }
       }
     }
-    if (j + 1 < toks.size() && toks[j + 1].kind == TokKind::kIdent) {
-      names->insert(toks[j + 1].text);
+    ++j;
+    while (j < toks.size() &&
+           ((toks[j].kind == TokKind::kPunct && (toks[j].text == "&" || toks[j].text == "*")) ||
+            (toks[j].kind == TokKind::kIdent && toks[j].text == "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      names->insert(toks[j].text);
     }
   }
 }
@@ -336,7 +155,8 @@ void RuleUnorderedIter(const FileCtx& ctx) {
     if (t.kind != TokKind::kIdent) {
       continue;
     }
-    // Range-for over a known unordered container name.
+    // Range-for over a known unordered container name, a helper returning
+    // one, or an unordered temporary constructed in the range expression.
     if (t.text == "for" && i + 1 < toks.size() && toks[i + 1].text == "(") {
       int depth = 0;
       size_t colon = 0;
@@ -355,7 +175,12 @@ void RuleUnorderedIter(const FileCtx& ctx) {
       }
       if (colon != 0 && close != 0) {
         for (size_t j = colon + 1; j < close; ++j) {
-          if (toks[j].kind == TokKind::kIdent && ctx.unordered_names.count(toks[j].text) != 0) {
+          if (toks[j].kind != TokKind::kIdent) {
+            continue;
+          }
+          const bool named = ctx.unordered_names.count(toks[j].text) != 0;
+          const bool temporary = UnorderedTypeNames().count(toks[j].text) != 0;
+          if (named || temporary) {
             Report(ctx, t.line, "unordered-iter", "ordered-ok",
                    "range-for over unordered container '" + toks[j].text +
                        "': iteration order is implementation-defined and breaks seed replay; "
@@ -431,7 +256,7 @@ void RuleBlocking(const FileCtx& ctx) {
     if (t.kind == TokKind::kPunct && t.text == "#" && i + 2 < toks.size() &&
         toks[i + 1].text == "include" && toks[i + 2].text == "<") {
       size_t end = i + 2;
-      const std::string name = JoinIncludeName(toks, i + 2, &end);
+      const std::string name = frontend::JoinIncludeName(toks, i + 2, &end);
       if (kBannedIncludes.count(name) != 0) {
         Report(ctx, t.line, "blocking", "blocking-ok",
                "#include <" + name + ">: the simulator is single-threaded by design; "
@@ -443,6 +268,52 @@ void RuleBlocking(const FileCtx& ctx) {
     if (t.kind == TokKind::kIdent && kBannedCalls.count(t.text) != 0 && LooksLikeCall(toks, i)) {
       Report(ctx, t.line, "blocking", "blocking-ok",
              "call to '" + t.text + "()' blocks; engine callbacks must not yield to the OS");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wall-clock — simulation code keeps time with the engine's virtual
+// clock, never the host's. std::chrono clock reads and thread sleeps in
+// src/ make behavior depend on machine speed and wall time; only files
+// explicitly annotated `// lint: host-boundary <why>` (benchmark harness
+// timers, the shard-worker coordination layer) may touch the host clock.
+// The nondet/blocking rules ban the underlying types and includes project
+// wide; this rule pins the specific ::now()/sleep_for call sites in src/ so
+// a host-boundary file is still told exactly where it reads host time.
+// ---------------------------------------------------------------------------
+
+void RuleWallClock(const FileCtx& ctx) {
+  if (ctx.path.rfind("src/", 0) != 0) {
+    return;  // bench/tests own their wall-clock policy (wall_-prefixed stats)
+  }
+  if (frontend::HasFileAnnotation(ctx.lexed, "host-boundary")) {
+    return;
+  }
+  static const std::set<std::string> kClocks = {"system_clock", "steady_clock",
+                                                "high_resolution_clock"};
+  static const std::set<std::string> kSleeps = {"sleep_for", "sleep_until"};
+  const auto& toks = ctx.lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) {
+      continue;
+    }
+    // system_clock::now() / steady_clock::now(...)
+    if (kClocks.count(t.text) != 0 && i + 3 < toks.size() && toks[i + 1].text == "::" &&
+        toks[i + 2].text == "now" && toks[i + 3].text == "(") {
+      Report(ctx, t.line, "wall-clock", "wall-clock-ok",
+             "'" + t.text + "::now()' reads the host clock; simulation code must use "
+             "sim::Engine::Now() (annotate the file '// lint: host-boundary <why>' if it "
+             "really sits on the host side)");
+      continue;
+    }
+    if (kSleeps.count(t.text) != 0 &&
+        (LooksLikeCall(toks, i) || PrevIsMemberAccess(toks, i) ||
+         (Prev(toks, i) != nullptr && Prev(toks, i)->text == "::"))) {
+      Report(ctx, t.line, "wall-clock", "wall-clock-ok",
+             "'" + t.text + "' stalls simulated time against wall time; schedule a future "
+             "event on the engine instead");
     }
   }
 }
@@ -464,7 +335,7 @@ std::string ExpectedGuard(const std::string& path) {
 }
 
 void RuleHeaderGuard(const FileCtx& ctx) {
-  if (!IsHeaderPath(ctx.path)) {
+  if (!frontend::IsHeaderPath(ctx.path)) {
     return;
   }
   const auto& toks = ctx.lexed.tokens;
@@ -501,7 +372,7 @@ void RuleHeaderGuard(const FileCtx& ctx) {
 // ---------------------------------------------------------------------------
 
 void RuleUsingNamespaceHeader(const FileCtx& ctx) {
-  if (!IsHeaderPath(ctx.path)) {
+  if (!frontend::IsHeaderPath(ctx.path)) {
     return;
   }
   const auto& toks = ctx.lexed.tokens;
@@ -624,6 +495,10 @@ const std::vector<RuleEntry>& RuleTable() {
        RuleRawAlloc},
       {{"blocking", "blocking-ok", "no blocking syscalls or thread primitives"},
        RuleBlocking},
+      {{"wall-clock", "wall-clock-ok",
+        "src/ keeps time with sim::Engine::Now(); host clock reads/sleeps only in "
+        "'// lint: host-boundary' files"},
+       RuleWallClock},
       {{"header-guard", "header-ok", "headers carry a canonical path-derived include guard"},
        RuleHeaderGuard},
       {{"using-ns-header", "using-ok", "no 'using namespace' in headers"},
@@ -653,7 +528,7 @@ std::vector<Finding> LintProject(const std::vector<SourceFile>& files, const Opt
   lexed.reserve(files.size());
   std::set<std::string> unordered_names;
   for (const SourceFile& f : files) {
-    lexed.push_back(Lex(f.second));
+    lexed.push_back(frontend::Lex(f.second));
     CollectUnorderedNames(lexed.back(), &unordered_names);
   }
 
@@ -682,58 +557,13 @@ std::vector<Finding> LintProject(const std::vector<SourceFile>& files, const Opt
 
 std::vector<std::string> CollectFiles(const std::string& root_dir,
                                       const std::vector<std::string>& roots) {
-  namespace fs = std::filesystem;
-  static const std::set<std::string> kExtensions = {".h", ".hpp", ".cc", ".cpp"};
-  const auto skip_dir = [](const std::string& name) {
-    return name.rfind("build", 0) == 0 || name == "CMakeFiles" || name == "lint_fixtures" ||
-           name == "third_party" || (!name.empty() && name[0] == '.');
-  };
-
-  std::vector<std::string> out;
-  const fs::path base(root_dir);
-  for (const std::string& root : roots) {
-    const fs::path p = base / root;
-    std::error_code ec;
-    if (fs::is_regular_file(p, ec)) {
-      out.push_back(root);
-      continue;
-    }
-    if (!fs::is_directory(p, ec)) {
-      continue;
-    }
-    fs::recursive_directory_iterator it(p, fs::directory_options::skip_permission_denied, ec);
-    for (; it != fs::recursive_directory_iterator(); it.increment(ec)) {
-      const fs::path& entry = it->path();
-      if (it->is_directory(ec)) {
-        if (skip_dir(entry.filename().string())) {
-          it.disable_recursion_pending();
-        }
-        continue;
-      }
-      if (kExtensions.count(entry.extension().string()) != 0) {
-        out.push_back(fs::relative(entry, base, ec).generic_string());
-      }
-    }
-  }
-  // Directory iteration order is unspecified; sort for deterministic reports.
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  return frontend::CollectFiles(root_dir, roots);
 }
 
 std::vector<Finding> LintPaths(const std::string& root_dir,
                                const std::vector<std::string>& relative_paths,
                                const Options& options) {
-  namespace fs = std::filesystem;
-  std::vector<SourceFile> files;
-  files.reserve(relative_paths.size());
-  for (const std::string& rel : relative_paths) {
-    std::ifstream in(fs::path(root_dir) / rel, std::ios::binary);
-    std::ostringstream content;
-    content << in.rdbuf();
-    files.emplace_back(rel, content.str());
-  }
-  return LintProject(files, options);
+  return LintProject(frontend::ReadFiles(root_dir, relative_paths), options);
 }
 
 }  // namespace lint

@@ -53,7 +53,8 @@ std::vector<Finding> LintProject(const std::vector<SourceFile>& files, const Opt
 
 // Walks `roots` (files or directories, relative to `root_dir`) collecting
 // .h/.hpp/.cc/.cpp sources in sorted order. Skips build*/, CMakeFiles/,
-// .git/, and lint_fixtures/ directories.
+// .git/, and the lint_fixtures/ + analyzer_fixtures/ test-seed directories
+// (delegates to frontend::CollectFiles).
 std::vector<std::string> CollectFiles(const std::string& root_dir,
                                       const std::vector<std::string>& roots);
 
