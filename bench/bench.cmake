@@ -21,4 +21,5 @@ coyote_bench(bench_extensions coyote_runtime coyote_services coyote_net coyote_s
 coyote_bench(bench_micro_cores coyote_services coyote_net coyote_mmu benchmark::benchmark)
 coyote_bench(bench_table1_features coyote_runtime coyote_services coyote_synth)
 coyote_bench(bench_recovery_mttr coyote_runtime coyote_services coyote_synth)
+coyote_bench(bench_migration coyote_runtime coyote_services coyote_net)
 coyote_bench(bench_sim_engine coyote_sim coyote_axi)

@@ -11,7 +11,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/sim/access_guard.h"
 
@@ -67,9 +70,28 @@ class AxiLiteRegisterFile {
 
   uint64_t writes() const { return writes_; }
 
+  // Deterministic register dump for checkpointing: (index, value) pairs in
+  // ascending index order. Hooks are not consulted — this is the raw backing
+  // store, the same thing RestoreRegs() repopulates.
+  std::vector<std::pair<uint32_t, uint64_t>> SnapshotRegs() const {
+    return {regs_.begin(), regs_.end()};
+  }
+
+  // Replaces the backing store from a snapshot (hooks are left untouched —
+  // they belong to the resident kernel, not to the state being restored).
+  void RestoreRegs(const std::vector<std::pair<uint32_t, uint64_t>>& regs) {
+    guard_.Write();
+    regs_.clear();
+    for (const auto& [index, value] : regs) {
+      regs_[index] = value;
+    }
+  }
+
  private:
   sim::AccessGuard guard_{"axi.axi_lite"};
-  std::unordered_map<uint32_t, uint64_t> regs_;
+  // std::map, not unordered: SnapshotRegs() iterates, and checkpoint bytes
+  // must not depend on hash-table layout.
+  std::map<uint32_t, uint64_t> regs_;
   std::unordered_map<uint32_t, WriteHook> write_hooks_;
   std::unordered_map<uint32_t, ReadHook> read_hooks_;
   uint64_t writes_ = 0;

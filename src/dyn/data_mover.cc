@@ -169,6 +169,12 @@ void DataMover::IssueReadPackets(const std::shared_ptr<ReadOp>& op) {
         const uint64_t page_bytes = svm_->page_table().page_bytes();
         const uint64_t phys = pg.addr + (vaddr % page_bytes);
         SubmitPhysical(op->req.vfpga_id, pg.kind, phys, n, [this, op, vaddr, off, n, seq]() {
+          if (op->completed) {
+            // Aborted while the physical read was in flight: the op's buffers
+            // may already be unmapped (shed/evacuation frees them right after
+            // AbortVfpga), so drop the packet without touching the SVM.
+            return;
+          }
           axi::StreamPacket pkt;
           pkt.data.resize(n);
           svm_->ReadVirtual(vaddr, pkt.data.data(), n);

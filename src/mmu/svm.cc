@@ -119,16 +119,37 @@ void Svm::ReadVirtual(uint64_t vaddr, void* dst, uint64_t len) const {
 void Svm::WriteVirtual(uint64_t vaddr, const void* src, uint64_t len) {
   const auto* p = static_cast<const uint8_t*>(src);
   const uint64_t page = page_table_.page_bytes();
+  if (len > 0) {
+    dirty_guard_.Write();
+    ++dirty_clock_;
+  }
   while (len > 0) {
     auto entry = page_table_.Find(vaddr);
     assert(entry.has_value() && "virtual write of unmapped address");
     const uint64_t off = vaddr % page;
     const uint64_t n = std::min(len, page - off);
     StoreFor(entry->kind).Write(entry->addr + off, p, n);
+    dirty_gen_[page_table_.VPage(vaddr)] = dirty_clock_;
     vaddr += n;
     p += n;
     len -= n;
   }
+}
+
+std::vector<uint64_t> Svm::DirtyPagesIn(uint64_t vaddr, uint64_t bytes, uint64_t since) const {
+  std::vector<uint64_t> out;
+  if (bytes == 0) {
+    return out;
+  }
+  const uint64_t first = page_table_.VPage(vaddr);
+  const uint64_t last = page_table_.VPage(vaddr + bytes - 1);
+  for (auto it = dirty_gen_.lower_bound(first); it != dirty_gen_.end() && it->first <= last;
+       ++it) {
+    if (it->second > since) {
+      out.push_back(it->first);
+    }
+  }
+  return out;
 }
 
 }  // namespace mmu

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "src/memsys/host_memory.h"
 #include "src/mmu/page_table.h"
 #include "src/mmu/types.h"
+#include "src/sim/access_guard.h"
 #include "src/sim/engine.h"
 
 namespace coyote {
@@ -72,6 +74,18 @@ class Svm {
   uint64_t migrations() const { return migrations_; }
   uint64_t migrated_bytes() const { return migrated_bytes_; }
 
+  // --- Dirty-page tracking (checkpoint manifests) ----------------------------
+  // Every WriteVirtual stamps the pages it touches with a monotone dirty
+  // clock. A checkpointer records dirty_clock() at capture time and asks for
+  // the pages stamped since its previous capture — an incremental manifest.
+  // since=0 returns every page ever written (the full first checkpoint).
+  uint64_t dirty_clock() const { return dirty_clock_; }
+
+  // Virtual page numbers in [vaddr, vaddr+bytes) written after `since`,
+  // ascending. Pages never written are absent: their content is still the
+  // store's initial (zero) state, which a restore target reproduces for free.
+  std::vector<uint64_t> DirtyPagesIn(uint64_t vaddr, uint64_t bytes, uint64_t since) const;
+
  private:
   memsys::SparseMemory& StoreFor(MemKind kind) const;
   void MigratePage(uint64_t vpage, MemKind target, std::function<void()> done);
@@ -86,6 +100,12 @@ class Svm {
   uint64_t next_gpu_vaddr_ = 1ull << 44;  // distinct VA window for GPU buffers
   uint64_t migrations_ = 0;
   uint64_t migrated_bytes_ = 0;
+
+  // vpage -> dirty-clock stamp of its most recent write. Ordered so
+  // DirtyPagesIn iterates deterministically.
+  sim::AccessGuard dirty_guard_{"mmu.svm_dirty"};
+  std::map<uint64_t, uint64_t> dirty_gen_;
+  uint64_t dirty_clock_ = 0;
 };
 
 }  // namespace mmu

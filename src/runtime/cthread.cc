@@ -108,7 +108,13 @@ void CThread::FinishTask(uint64_t task_id, bool ok, bool write_direction) {
       dev_->timers().Cancel(state.deadline_timer);
       state.deadline_timer = sim::TimerWheel::kInvalidTimer;
     }
+    const OpStatus status = state.status;
     dev_->writeback().Complete({vfpga_id_, ctid_, write_direction});
+    if (completion_cb_) {
+      // After the writeback so host pollers and the callback agree; the
+      // callback may Invoke, which mutates tasks_, so `state` is dead here.
+      completion_cb_(Task{task_id}, status);
+    }
   }
 }
 
@@ -131,12 +137,17 @@ void CThread::ForceTerminal(uint64_t task_id, OpStatus status) {
   // Complete the writeback slot so a host spinning on the counter unblocks
   // with the error status instead of hanging with the stuck hardware.
   dev_->writeback().Complete({vfpga_id_, ctid_, true});
+  if (completion_cb_) {
+    completion_cb_(Task{task_id}, status);
+  }
 }
 
 CThread::Task CThread::Invoke(Oper oper, const SgEntry& sg) {
   const uint64_t task_id = next_task_id_++;
   TaskState& state = tasks_[task_id];
   state.remaining = 0;
+  state.oper = oper;
+  state.sg = sg;
 
   auto& region = dev_->vfpga(vfpga_id_);
   auto& mover = dev_->data_mover();
@@ -288,15 +299,29 @@ OpStatus CThread::Status(Task task) const {
   return it == tasks_.end() ? OpStatus::kPending : it->second.status;
 }
 
-size_t CThread::AbortPending() {
-  size_t aborted = 0;
-  for (auto& [id, state] : tasks_) {
+size_t CThread::AbortPending(OpStatus status) {
+  // Collect first: ForceTerminal fires the completion callback, which may
+  // Invoke new work and mutate tasks_ under a live iterator.
+  std::vector<uint64_t> pending;
+  for (const auto& [id, state] : tasks_) {
     if (state.status == OpStatus::kPending) {
-      ForceTerminal(id, OpStatus::kAborted);
-      ++aborted;
+      pending.push_back(id);
     }
   }
-  return aborted;
+  for (uint64_t id : pending) {
+    ForceTerminal(id, status);
+  }
+  return pending.size();
+}
+
+std::vector<CThread::PendingOp> CThread::SnapshotPending() const {
+  std::vector<PendingOp> out;
+  for (const auto& [id, state] : tasks_) {
+    if (state.status == OpStatus::kPending) {
+      out.push_back(PendingOp{id, state.oper, state.sg});
+    }
+  }
+  return out;
 }
 
 void CThread::SetInterruptCallback(std::function<void(uint64_t value)> cb) {

@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/mmu/types.h"
 #include "src/runtime/device.h"
@@ -78,6 +79,7 @@ enum class OpStatus : uint8_t {
   kError,             // a sub-operation reported failure (DMA abort, QP error)
   kDeadlineExceeded,  // the per-op deadline fired before the op retired
   kAborted,           // host-side cancel (AbortPending after region recovery)
+  kShed,              // tenant shed by the orchestrator (fleet capacity drop)
 };
 
 enum class Oper : uint8_t {
@@ -140,10 +142,30 @@ class CThread {
   void SetOpDeadline(sim::TimePs deadline) { op_deadline_ = deadline; }
   sim::TimePs op_deadline() const { return op_deadline_; }
 
-  // Host-side cancel: force-completes every in-flight task with kAborted.
-  // Used after region recovery when the caller knows outstanding ops will
-  // never retire. Returns the number of tasks aborted.
-  size_t AbortPending();
+  // Host-side cancel: force-completes every in-flight task with the given
+  // typed status (kAborted after region recovery, kShed when the
+  // orchestrator drops the tenant). Returns the number of tasks terminated.
+  size_t AbortPending(OpStatus status = OpStatus::kAborted);
+
+  // Event-driven completion: fires exactly once per task when it reaches a
+  // terminal status (kOk or a typed error), after the writeback slot has been
+  // completed. The callback may Invoke new work. This is the shard-safe
+  // alternative to Wait(): Wait nests an engine run and must never be called
+  // from inside a ShardedEngine callback.
+  void SetCompletionCallback(std::function<void(Task, OpStatus)> cb) {
+    completion_cb_ = std::move(cb);
+  }
+
+  // --- Checkpoint support ----------------------------------------------------
+  // In-flight op descriptors, ascending task id. A migration checkpoint
+  // captures these after AbortPending so the restored tenant can re-issue
+  // exactly the work that was cut short.
+  struct PendingOp {
+    uint64_t id = 0;
+    Oper oper = Oper::kNoop;
+    SgEntry sg;
+  };
+  std::vector<PendingOp> SnapshotPending() const;
 
   uint64_t deadline_misses() const { return deadline_misses_; }
 
@@ -175,9 +197,14 @@ class CThread {
     bool ok = true;
     OpStatus status = OpStatus::kPending;
     sim::TimerWheel::TimerId deadline_timer = sim::TimerWheel::kInvalidTimer;
+    // Original descriptor, kept while pending so SnapshotPending can hand a
+    // migration checkpoint the exact ops to re-issue.
+    Oper oper = Oper::kNoop;
+    SgEntry sg;
   };
   std::map<uint64_t, TaskState> tasks_;
   uint64_t next_task_id_ = 0;
+  std::function<void(Task, OpStatus)> completion_cb_;
 
   sim::TimePs op_deadline_ = 0;  // 0 = device default
   uint64_t deadline_misses_ = 0;

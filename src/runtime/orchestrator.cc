@@ -1,0 +1,1446 @@
+#include "src/runtime/orchestrator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/vfpga/checkpoint.h"
+
+namespace coyote {
+namespace runtime {
+
+namespace {
+
+// Injector seed derivation: one independent stream per logical node, stable
+// across shard counts and placements.
+uint64_t NodeSeed(uint64_t fleet_seed, uint32_t logical_node) {
+  return fleet_seed ^ (0x9E3779B97F4A7C15ull * (logical_node + 1));
+}
+
+// Deterministic per-tenant item payload; the restore target regenerates the
+// same bytes, so the rolling data hash is a pure function of the spec.
+uint8_t PatternByte(uint32_t tenant, uint64_t item, uint64_t i) {
+  return static_cast<uint8_t>((tenant * 131 + item * 31 + i * 7) ^ (i >> 8));
+}
+
+void FoldBytes(uint64_t* h, const uint8_t* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= data[i];
+    *h *= 0x100000001b3ull;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fleet: construction and host-side setup
+// ---------------------------------------------------------------------------
+
+Fleet::Fleet(const Config& config) : config_(config) {
+  // Conservative lookahead: the minimum cross-node traversal of the modeled
+  // fabric — switch latency plus serialization of a minimum frame on both
+  // links (net::Network::MinCrossNodeLatencyPs's formula).
+  const sim::TimePs lookahead =
+      config_.net.switch_latency + 2 * sim::TransferTime(64, config_.net.link_bps);
+
+  orch_logical_ = config_.num_nodes;
+  shard_of_ = ShardPlacement::RoundRobin(config_.num_nodes + 1, config_.num_shards);
+
+  sim::ShardedEngine::Config ec;
+  ec.num_shards = config_.num_shards;
+  ec.lookahead = lookahead;
+  ec.use_threads = config_.use_threads;
+  sharded_ = std::make_unique<sim::ShardedEngine>(ec);
+
+  nodes_.reserve(config_.num_nodes);
+  for (uint32_t n = 0; n < config_.num_nodes; ++n) {
+    auto node = std::make_unique<NodeRt>();
+    node->id = n;
+
+    SimDevice::Config dc;
+    dc.shell.name = "fleet-node";
+    dc.shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory};
+    dc.shell.num_vfpgas = config_.regions_per_node;
+    dc.ip = 0x0A000001u + n;
+    node->dev = std::make_unique<SimDevice>(dc, nullptr, &EngineAt(n));
+
+    // Preload the kernel into every region host-side: reconfiguration nests
+    // an engine run (SimDevice::StageAndProgram) and therefore must never
+    // happen inside a shard callback, so the fleet loads once up front and
+    // restores move *state*, not bitstreams.
+    if (config_.kernel_factory) {
+      node->dev->RegisterKernelFactory(config_.kernel_name, config_.kernel_factory);
+      for (uint32_t r = 0; r < config_.regions_per_node; ++r) {
+        node->dev->vfpga(r).LoadKernel(config_.kernel_factory());
+      }
+    }
+
+    sim::FaultPlan plan = config_.fault_template;
+    plan.seed = NodeSeed(config_.seed, n);
+    node->injector =
+        std::make_unique<sim::FaultInjector>(&EngineAt(n), plan);
+    node->dev->AttachFaultInjector(node->injector.get());
+
+    node->sup = std::make_unique<Supervisor>(node->dev.get(), nullptr, config_.supervisor);
+    node->region_tenant.assign(config_.regions_per_node, -1);
+    nodes_.push_back(std::move(node));
+
+    auto guard = std::make_unique<sim::AccessGuard>("fleet.node" + std::to_string(n));
+    guard->BindShard(shard_of_[n]);
+    node_guards_.push_back(std::move(guard));
+  }
+
+  sim::FaultPlan orch_plan = config_.fault_template;
+  orch_plan.seed = NodeSeed(config_.seed, orch_logical_);
+  orch_injector_ = std::make_unique<sim::FaultInjector>(
+      &EngineAt(orch_logical_), orch_plan);
+
+  orch_ = std::make_unique<Orchestrator>(this);
+}
+
+Fleet::~Fleet() = default;
+
+uint32_t Fleet::AddTenant(const TenantSpec& spec) {
+  const uint32_t id = next_tenant_++;
+  NodeRt& n = *nodes_.at(spec.home_node);
+  int32_t region = -1;
+  for (uint32_t r = 0; r < n.region_tenant.size(); ++r) {
+    if (n.region_tenant[r] < 0) {
+      region = static_cast<int32_t>(r);
+      break;
+    }
+  }
+  // Host-side setup runs outside any shard context, so touching node state
+  // directly (rather than through Post) is legal here.
+  StartTenantFresh(spec.home_node, id, spec, region);
+  orch_->AdmitTenant(id, spec, spec.home_node, region);
+  return id;
+}
+
+void Fleet::ScheduleMigration(sim::TimePs t, uint32_t tenant, uint32_t dst_node) {
+  sharded_->ScheduleOn(shard_of_[orch_logical_], t, [this, tenant, dst_node]() {
+    orch_->StartMigration(tenant, dst_node, "planned");
+  });
+}
+
+void Fleet::ScheduleKill(sim::TimePs t, uint32_t node) {
+  sharded_->ScheduleOn(shard_of_[node], t, [this, node]() { KillNode(node); });
+}
+
+bool Fleet::Run(sim::TimePs horizon, sim::TimePs step) {
+  if (!started_) {
+    started_ = true;
+    for (auto& node : nodes_) {
+      const uint32_t id = node->id;
+      node->hb_timer = node->dev->timers().SchedulePeriodic(
+          config_.heartbeat_period, [this, id]() { HeartbeatTick(id); });
+      if (config_.checkpoint_period > 0) {
+        node->ckpt_timer = node->dev->timers().SchedulePeriodic(
+            config_.checkpoint_period, [this, id]() { CheckpointTick(id); });
+      }
+      node->sup->Start();
+    }
+    orch_->timers_.SchedulePeriodic(config_.sweep_period, [this]() { orch_->Sweep(); });
+  }
+  for (sim::TimePs t = step; t <= horizon; t += step) {
+    sharded_->RunUntil(t);
+    if (orch_->AllSettled()) {
+      return true;
+    }
+  }
+  return orch_->AllSettled();
+}
+
+TenantOutcome Fleet::tenant_outcome(uint32_t tenant) const {
+  return orch_->tenants().at(tenant).outcome;
+}
+
+uint64_t Fleet::tenant_data_hash(uint32_t tenant) const {
+  const auto& book = orch_->tenants().at(tenant);
+  const auto& tenants = nodes_.at(book.node)->tenants;
+  auto it = tenants.find(tenant);
+  return it == tenants.end() ? 0 : it->second->data_hash;
+}
+
+uint64_t Fleet::tenant_items_done(uint32_t tenant) const {
+  const auto& book = orch_->tenants().at(tenant);
+  const auto& tenants = nodes_.at(book.node)->tenants;
+  auto it = tenants.find(tenant);
+  return it == tenants.end() ? 0 : it->second->items_done;
+}
+
+uint64_t Fleet::InjectorFingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& node : nodes_) {
+    mix(node->injector->ScheduleFingerprint());
+  }
+  mix(orch_injector_->ScheduleFingerprint());
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: cross-node messaging
+// ---------------------------------------------------------------------------
+
+sim::Engine& Fleet::EngineAt(uint32_t logical) {
+  return sharded_->shard(shard_of_[logical]);  // lint: cross-shard-ok own-shard accessor, callers pass their own logical node; cross-node traffic goes through Post
+}
+
+sim::TimePs Fleet::NowAt(uint32_t logical) { return EngineAt(logical).Now(); }
+
+void Fleet::PostToNode(uint32_t src_logical, uint32_t dst_node, sim::TimePs delay,
+                       sim::InlineCallback cb) {
+  const sim::TimePs now = NowAt(src_logical);
+  const sim::TimePs wire = std::max(delay, sharded_->lookahead());
+  sharded_->Post(shard_of_[dst_node], now + wire, std::move(cb), /*order_key=*/src_logical);
+}
+
+void Fleet::PostToOrch(uint32_t src_logical, sim::TimePs delay, sim::InlineCallback cb) {
+  PostToNode(src_logical, orch_logical_, delay, std::move(cb));
+}
+
+sim::TimePs Fleet::ChunkWireDelay(uint32_t chunk_index, uint64_t cumulative_bytes) const {
+  (void)chunk_index;
+  return config_.net.switch_latency +
+         sim::TransferTime(cumulative_bytes, config_.net.link_bps);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: tenant execution (node shard context)
+// ---------------------------------------------------------------------------
+
+void Fleet::StartTenantFresh(uint32_t node, uint32_t tenant, const TenantSpec& spec,
+                             int32_t region) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  if (!n.alive || region < 0) {
+    return;
+  }
+  node_guards_[node]->Write();
+  auto t = std::make_unique<TenantRt>();
+  t->id = tenant;
+  t->spec = spec;
+  t->node = node;
+  t->region = region;
+  t->thread = std::make_unique<CThread>(n.dev.get(), static_cast<uint32_t>(region));
+  t->src_vaddr = t->thread->GetMem({Alloc::kHpf, spec.item_bytes});
+  t->dst_vaddr = t->thread->GetMem({Alloc::kHpf, spec.item_bytes});
+  t->thread->SetCompletionCallback([this, node, tenant](CThread::Task task, OpStatus status) {
+    OnItemComplete(node, tenant, task, status);
+  });
+  t->running = true;
+  n.region_tenant[region] = static_cast<int32_t>(tenant);
+  n.tenants[tenant] = std::move(t);
+  StartItem(node, tenant);
+}
+
+void Fleet::StartItem(uint32_t node, uint32_t tenant) {
+  NodeRt& n = *nodes_[node];
+  auto it = n.tenants.find(tenant);
+  if (!n.alive || it == n.tenants.end()) {
+    return;
+  }
+  TenantRt& t = *it->second;
+  if (!t.running || t.item_inflight || t.items_done >= t.spec.items_total) {
+    return;
+  }
+  node_guards_[node]->Write();
+  t.item_inflight = true;
+  std::vector<uint8_t> payload(t.spec.item_bytes);
+  for (uint64_t i = 0; i < t.spec.item_bytes; ++i) {
+    payload[i] = PatternByte(tenant, t.items_done, i);
+  }
+  t.thread->WriteBuffer(t.src_vaddr, payload.data(), payload.size());
+  SgEntry sg;
+  sg.local = {.src_addr = t.src_vaddr,
+              .src_len = t.spec.item_bytes,
+              .dst_addr = t.dst_vaddr,
+              .dst_len = t.spec.item_bytes};
+  t.thread->Invoke(Oper::kLocalTransfer, sg);
+}
+
+void Fleet::OnItemComplete(uint32_t node, uint32_t tenant, CThread::Task task, OpStatus status) {
+  (void)task;
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  auto it = n.tenants.find(tenant);
+  if (!n.alive || it == n.tenants.end()) {
+    return;
+  }
+  TenantRt& t = *it->second;
+  t.item_inflight = false;
+  if (!t.running) {
+    return;  // quiesce/shed abort completions land here with running unset
+  }
+  node_guards_[node]->Write();
+  if (status == OpStatus::kOk) {
+    std::vector<uint8_t> out(t.spec.item_bytes);
+    t.thread->ReadBuffer(t.dst_vaddr, out.data(), out.size());
+    const uint64_t item = t.items_done;
+    FoldBytes(&t.data_hash, reinterpret_cast<const uint8_t*>(&item), sizeof(item));
+    FoldBytes(&t.data_hash, out.data(), out.size());
+    ++t.items_done;
+    if (t.items_done >= t.spec.items_total) {
+      // Retire in place: free the buffers (TLB shootdown at the source) and
+      // hand the region back through the orchestrator's books.
+      t.running = false;
+      t.thread->FreeMem(t.src_vaddr);
+      t.thread->FreeMem(t.dst_vaddr);
+      t.src_vaddr = t.dst_vaddr = 0;
+      if (t.region >= 0) {
+        n.region_tenant[t.region] = -1;
+      }
+      t.region = -1;
+      PostToOrch(node, 0, [this, tenant]() { orch_->OnTenantDone(tenant); });
+      return;
+    }
+    EngineAt(node).ScheduleAfter(t.spec.think_time,
+                                                   [this, node, tenant]() { StartItem(node, tenant); });
+    return;
+  }
+  // Typed error completion (DMA abort, deadline): retry the same item after
+  // a think-time backoff. kShed never reaches here (running is unset first).
+  ++t.retries;
+  EngineAt(node).ScheduleAfter(t.spec.think_time,
+                                                 [this, node, tenant]() { StartItem(node, tenant); });
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: heartbeats and periodic checkpoints (node shard context)
+// ---------------------------------------------------------------------------
+
+void Fleet::HeartbeatTick(uint32_t node) {
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  const uint64_t seq = ++n.hb_seq;
+  const sim::TimePs sent = NowAt(node);
+  PostToOrch(node, 0, [this, node, seq, sent]() { orch_->OnHeartbeat(node, seq, sent); });
+}
+
+void Fleet::CheckpointTick(uint32_t node) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  node_guards_[node]->Write();
+  for (auto& [tenant, t] : n.tenants) {
+    if (!t->running) {
+      continue;
+    }
+    // Non-disruptive capture: in-flight ops ride along as pending descriptors
+    // and are re-issued whole on restore, so the tenant keeps executing.
+    uint64_t pages = 0;
+    std::vector<uint8_t> blob = BuildCheckpoint(n, *t, t->thread->SnapshotPending(), &pages);
+    t->last_ckpt_clock = n.dev->svm().dirty_clock();
+    const sim::TimePs captured = NowAt(node);
+    const sim::TimePs wire = config_.net.switch_latency +
+                             sim::TransferTime(blob.size(), config_.net.link_bps);
+    const uint32_t tenant_id = tenant;
+    PostToOrch(node, wire, [this, tenant_id, blob = std::move(blob), pages, captured]() mutable {
+      orch_->OnCheckpoint(tenant_id, std::move(blob), pages, captured);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: checkpoint serialization
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> Fleet::BuildCheckpoint(const NodeRt& n, const TenantRt& t,
+                                            const std::vector<CThread::PendingOp>& pending,
+                                            uint64_t* pages_out) const {
+  vfpga::ckpt::Writer w;
+  w.U32(t.id);
+  w.Str(t.spec.name);
+  w.U32(t.spec.priority);
+  w.U64(t.spec.items_total);
+  w.U64(t.spec.item_bytes);
+  w.U64(t.spec.think_time);
+  w.U64(t.items_done);
+  w.U64(t.retries);
+  w.U64(t.data_hash);
+
+  vfpga::RegionSnapshot snap =
+      vfpga::CaptureRegion(n.dev->vfpga(static_cast<uint32_t>(t.region)));
+  snap.AppendTo(&w);
+
+  // In-flight ops, buffer-relative (virtual addresses differ across nodes).
+  w.U32(static_cast<uint32_t>(pending.size()));
+  for (const auto& op : pending) {
+    w.U8(static_cast<uint8_t>(op.oper));
+    w.U64(op.sg.local.src_addr - t.src_vaddr);
+    w.U64(op.sg.local.src_len);
+    w.U64(op.sg.local.dst_addr - t.dst_vaddr);
+    w.U64(op.sg.local.dst_len);
+  }
+
+  // Dirty-page manifest from the SVM layer: only pages ever written ship;
+  // the restore target reproduces untouched (zero) pages for free. Segments
+  // are clipped to the buffer, so a small buffer inside a hugepage does not
+  // drag the whole 2 MB across the wire.
+  uint64_t pages = 0;
+  const mmu::Svm& svm = n.dev->svm();
+  const uint64_t page_bytes = svm.page_table().page_bytes();
+  auto append_buffer = [&](uint64_t vaddr) {
+    const std::vector<uint64_t> dirty = svm.DirtyPagesIn(vaddr, t.spec.item_bytes, 0);
+    pages += dirty.size();
+    w.U32(static_cast<uint32_t>(dirty.size()));
+    for (const uint64_t vpage : dirty) {
+      const uint64_t page_start = vpage * page_bytes;
+      const uint64_t seg_start = std::max(page_start, vaddr);
+      const uint64_t seg_end = std::min(page_start + page_bytes, vaddr + t.spec.item_bytes);
+      std::vector<uint8_t> content(seg_end - seg_start);
+      svm.ReadVirtual(seg_start, content.data(), content.size());
+      w.U64(seg_start - vaddr);
+      w.Bytes(content);
+    }
+  };
+  append_buffer(t.src_vaddr);
+  append_buffer(t.dst_vaddr);
+  if (pages_out != nullptr) {
+    *pages_out = pages;
+  }
+  return std::move(w).Finish();
+}
+
+bool Fleet::ApplyCheckpoint(uint32_t node, int32_t region, const std::vector<uint8_t>& blob) {
+  NodeRt& n = *nodes_[node];
+  vfpga::ckpt::Reader r(blob);
+  if (!r.ok() || region < 0) {
+    return false;
+  }
+  const uint32_t tenant = r.U32();
+  TenantSpec spec;
+  spec.name = r.Str();
+  spec.priority = r.U32();
+  spec.items_total = r.U64();
+  spec.item_bytes = r.U64();
+  spec.think_time = r.U64();
+  const uint64_t items_done = r.U64();
+  const uint64_t retries = r.U64();
+  const uint64_t data_hash = r.U64();
+
+  vfpga::RegionSnapshot snap;
+  if (!snap.ParseFrom(&r)) {
+    return false;
+  }
+
+  struct PendingDesc {
+    Oper oper;
+    uint64_t src_off, src_len, dst_off, dst_len;
+  };
+  std::vector<PendingDesc> pending(r.U32());
+  for (auto& op : pending) {
+    op.oper = static_cast<Oper>(r.U8());
+    op.src_off = r.U64();
+    op.src_len = r.U64();
+    op.dst_off = r.U64();
+    op.dst_len = r.U64();
+  }
+
+  struct Segment {
+    uint64_t off;
+    std::vector<uint8_t> bytes;
+  };
+  auto read_segments = [&r]() {
+    std::vector<Segment> segs(r.U32());
+    for (auto& s : segs) {
+      s.off = r.U64();
+      s.bytes = r.Bytes();
+    }
+    return segs;
+  };
+  const std::vector<Segment> src_segs = read_segments();
+  const std::vector<Segment> dst_segs = read_segments();
+  if (!r.AtEnd()) {
+    return false;
+  }
+
+  auto t = std::make_unique<TenantRt>();
+  t->id = tenant;
+  t->spec = spec;
+  t->node = node;
+  t->region = region;
+  t->thread = std::make_unique<CThread>(n.dev.get(), static_cast<uint32_t>(region));
+  t->src_vaddr = t->thread->GetMem({Alloc::kHpf, spec.item_bytes});
+  t->dst_vaddr = t->thread->GetMem({Alloc::kHpf, spec.item_bytes});
+  for (const auto& s : src_segs) {
+    t->thread->WriteBuffer(t->src_vaddr + s.off, s.bytes.data(), s.bytes.size());
+  }
+  for (const auto& s : dst_segs) {
+    t->thread->WriteBuffer(t->dst_vaddr + s.off, s.bytes.data(), s.bytes.size());
+  }
+  if (!vfpga::RestoreRegion(n.dev->vfpga(static_cast<uint32_t>(region)), snap)) {
+    t->thread->FreeMem(t->src_vaddr);
+    t->thread->FreeMem(t->dst_vaddr);
+    return false;
+  }
+  t->items_done = items_done;
+  t->retries = retries;
+  t->data_hash = data_hash;
+  t->thread->SetCompletionCallback([this, node, tenant](CThread::Task task, OpStatus status) {
+    OnItemComplete(node, tenant, task, status);
+  });
+  // Re-issue the ops the quiesce cut short, rebased onto the new buffers.
+  // The workload keeps at most one op in flight, so the re-issue cannot
+  // double-fold the data hash.
+  t->running = true;
+  bool reissued = false;
+  for (const auto& op : pending) {
+    SgEntry sg;
+    sg.local = {.src_addr = t->src_vaddr + op.src_off,
+                .src_len = op.src_len,
+                .dst_addr = t->dst_vaddr + op.dst_off,
+                .dst_len = op.dst_len};
+    t->thread->Invoke(op.oper, sg);
+    t->item_inflight = true;
+    reissued = true;
+  }
+  n.region_tenant[region] = static_cast<int32_t>(tenant);
+  n.tenants[tenant] = std::move(t);
+  if (!reissued) {
+    StartItem(node, tenant);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: migration pipeline (node shard context)
+// ---------------------------------------------------------------------------
+
+void Fleet::BeginMigration(uint32_t node, uint32_t tenant, uint32_t dst_node,
+                           int32_t dst_region) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;  // the sweep will declare this node dead and evacuate instead
+  }
+  auto it = n.tenants.find(tenant);
+  if (it == n.tenants.end() || !it->second->running) {
+    PostToOrch(node, 0,
+               [this, tenant]() { orch_->OnMigrationFailed(tenant, "src.not_running"); });
+    return;
+  }
+  node_guards_[node]->Write();
+  TenantRt& t = *it->second;
+
+  // QUIESCE: stop issuing, snapshot the in-flight descriptors, then abort
+  // them through the data mover (error completions, credit restore, TLB
+  // shootdown) so the region is drained before capture.
+  t.running = false;
+  t.mig_pending = t.thread->SnapshotPending();
+  t.thread->AbortPending(OpStatus::kAborted);
+  n.dev->data_mover().AbortVfpga(static_cast<uint32_t>(t.region));
+  n.dev->vfpga(static_cast<uint32_t>(t.region)).FlushStreams();
+
+  uint64_t pages = 0;
+  t.mig_blob = BuildCheckpoint(n, t, t.mig_pending, &pages);
+  t.mig_dst = dst_node;
+  t.mig_dst_region = dst_region;
+  t.mig_quiesced_at = NowAt(node);
+
+  const uint32_t chunks = static_cast<uint32_t>(
+      (t.mig_blob.size() + config_.chunk_bytes - 1) / config_.chunk_bytes);
+  const uint64_t bytes = t.mig_blob.size();
+  const sim::TimePs quiesced = t.mig_quiesced_at;
+  PostToOrch(node, 0, [this, tenant, quiesced, bytes, pages, chunks]() {
+    orch_->OnMigrationQuiesced(tenant, quiesced, bytes, pages, chunks);
+  });
+
+  // TRANSFER: serialize-out at capture bandwidth, then chunks on the wire.
+  std::vector<uint32_t> ids(chunks);
+  for (uint32_t i = 0; i < chunks; ++i) {
+    ids[i] = i;
+  }
+  const sim::TimePs capture_delay = sim::TransferTime(bytes, config_.capture_bps);
+  SendChunks(node, dst_node, tenant, t.mig_blob, ids, chunks, /*round=*/0, dst_region,
+             capture_delay);
+}
+
+void Fleet::SendChunks(uint32_t src_logical, uint32_t dst_node, uint32_t tenant,
+                       const std::vector<uint8_t>& blob, const std::vector<uint32_t>& chunk_ids,
+                       uint32_t total_chunks, uint32_t round, int32_t dst_region,
+                       sim::TimePs extra_delay) {
+  sim::FaultInjector& injector =
+      src_logical == orch_logical_ ? *orch_injector_ : *nodes_[src_logical]->injector;
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < chunk_ids.size(); ++i) {
+    const uint32_t id = chunk_ids[i];
+    const uint64_t off = static_cast<uint64_t>(id) * config_.chunk_bytes;
+    const uint64_t len = std::min<uint64_t>(config_.chunk_bytes, blob.size() - off);
+    cumulative += len;
+    if (injector.NextMigrationChunkDrop()) {
+      continue;  // lost in flight; the marker round below detects the gap
+    }
+    std::vector<uint8_t> bytes(blob.begin() + static_cast<ptrdiff_t>(off),
+                               blob.begin() + static_cast<ptrdiff_t>(off + len));
+    PostToNode(src_logical, dst_node, extra_delay + ChunkWireDelay(i, cumulative),
+               [this, dst_node, tenant, id, bytes = std::move(bytes)]() mutable {
+                 OnChunk(dst_node, tenant, id, std::move(bytes));
+               });
+  }
+  // The marker always arrives (control channel): it carries the per-round
+  // corruption draw and closes the round on the receiver.
+  const uint64_t corrupt = injector.NextCheckpointCorrupt();
+  const sim::TimePs marker_delay = extra_delay + ChunkWireDelay(0, cumulative + 64);
+  PostToNode(src_logical, dst_node, marker_delay,
+             [this, dst_node, tenant, src_logical, dst_region, total_chunks, round, corrupt]() {
+               OnTransferMarker(dst_node, tenant, src_logical, dst_region, total_chunks, round,
+                                corrupt);
+             });
+}
+
+void Fleet::OnChunk(uint32_t node, uint32_t tenant, uint32_t chunk_id,
+                    std::vector<uint8_t> bytes) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  node_guards_[node]->Write();
+  n.inbound[tenant].chunks[chunk_id] = std::move(bytes);
+}
+
+void Fleet::OnTransferMarker(uint32_t node, uint32_t tenant, uint32_t src_logical,
+                             int32_t dst_region, uint32_t total_chunks, uint32_t round,
+                             uint64_t corrupt_entropy) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  node_guards_[node]->Write();
+  NodeRt::Inbound& ib = n.inbound[tenant];
+  ib.src_logical = src_logical;
+  ib.region = dst_region;
+  ib.total = total_chunks;
+
+  std::vector<uint32_t> missing;
+  for (uint32_t i = 0; i < total_chunks; ++i) {
+    if (ib.chunks.find(i) == ib.chunks.end()) {
+      missing.push_back(i);
+    }
+  }
+  if (!missing.empty()) {
+    const uint32_t next_round = round + 1;
+    PostToNode(node, src_logical, 0,
+               [this, src_logical, tenant, missing = std::move(missing), next_round]() mutable {
+                 OnResendRequest(src_logical, tenant, std::move(missing), next_round);
+               });
+    return;
+  }
+
+  std::vector<uint8_t> blob;
+  for (uint32_t i = 0; i < total_chunks; ++i) {
+    auto& c = ib.chunks[i];
+    blob.insert(blob.end(), c.begin(), c.end());
+  }
+  n.inbound.erase(tenant);
+  if (corrupt_entropy != 0 && !blob.empty()) {
+    // In-flight bit flip; the CYK1 CRC trailer catches it below.
+    blob[corrupt_entropy % blob.size()] ^= static_cast<uint8_t>((corrupt_entropy >> 8) | 1);
+  }
+  TryRestore(node, tenant, src_logical, dst_region, round, std::move(blob));
+}
+
+void Fleet::OnResendRequest(uint32_t src_logical, uint32_t tenant, std::vector<uint32_t> missing,
+                            uint32_t round) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  if (round > config_.chunk_retry_max) {
+    // Retransmit budget exhausted: the orchestrator rolls back (migration)
+    // or sheds (evacuation — the source is already gone).
+    if (src_logical == orch_logical_) {
+      orch_->OnMigrationFailed(tenant, "evac.transfer");
+    } else {
+      PostToOrch(src_logical, 0,
+                 [this, tenant]() { orch_->OnMigrationFailed(tenant, "transfer"); });
+    }
+    return;
+  }
+  const sim::TimePs backoff = config_.chunk_retry_backoff * round;
+  if (src_logical == orch_logical_) {
+    // Evacuation replay: the orchestrator itself is the sender.
+    auto it = orch_->ckpt_store_.find(tenant);
+    auto bit = orch_->active_migration_.find(tenant);
+    if (it == orch_->ckpt_store_.end() || bit == orch_->active_migration_.end()) {
+      return;
+    }
+    orch_->OnTransferRound(tenant, round);
+    const MigrationRecord& rec = orch_->records_[bit->second];
+    const auto& nh = orch_->health_.at(rec.dst_node);
+    int32_t region = -1;
+    for (uint32_t r = 0; r < nh.region_tenant.size(); ++r) {
+      if (nh.region_tenant[r] == static_cast<int32_t>(tenant)) {
+        region = static_cast<int32_t>(r);
+      }
+    }
+    const uint32_t total = static_cast<uint32_t>(
+        (it->second.blob.size() + config_.chunk_bytes - 1) / config_.chunk_bytes);
+    SendChunks(orch_logical_, rec.dst_node, tenant, it->second.blob, missing, total, round,
+               region, backoff);
+    return;
+  }
+  NodeRt& n = *nodes_[src_logical];
+  if (!n.alive) {
+    return;  // the sweep handles a source that died mid-transfer
+  }
+  auto it = n.tenants.find(tenant);
+  if (it == n.tenants.end() || it->second->mig_blob.empty()) {
+    return;
+  }
+  node_guards_[src_logical]->Write();
+  TenantRt& t = *it->second;
+  PostToOrch(src_logical, 0, [this, tenant, round]() { orch_->OnTransferRound(tenant, round); });
+  const uint32_t total = static_cast<uint32_t>(
+      (t.mig_blob.size() + config_.chunk_bytes - 1) / config_.chunk_bytes);
+  SendChunks(src_logical, t.mig_dst, tenant, t.mig_blob, missing, total, round, t.mig_dst_region,
+             backoff);
+}
+
+void Fleet::TryRestore(uint32_t node, uint32_t tenant, uint32_t src_logical, int32_t dst_region,
+                       uint32_t round, std::vector<uint8_t> blob) {
+  NodeRt& n = *nodes_[node];
+  vfpga::ckpt::Reader probe(blob);
+  if (!probe.ok()) {
+    // CRC/framing reject: request a full resend — counts against the same
+    // retransmit budget as a lost chunk.
+    const uint32_t total = static_cast<uint32_t>(
+        (blob.size() + config_.chunk_bytes - 1) / config_.chunk_bytes);
+    std::vector<uint32_t> all(total);
+    for (uint32_t i = 0; i < total; ++i) {
+      all[i] = i;
+    }
+    const uint32_t next_round = round + 1;
+    PostToNode(node, src_logical, 0,
+               [this, src_logical, tenant, all = std::move(all), next_round]() mutable {
+                 OnResendRequest(src_logical, tenant, std::move(all), next_round);
+               });
+    return;
+  }
+
+  // RESTORE: bounded attempts, each subject to injected restore faults.
+  bool restored = false;
+  for (uint32_t attempt = 0; attempt < config_.restore_attempts_max && !restored; ++attempt) {
+    PostToOrch(node, 0, [this, tenant]() { orch_->OnRestoreAttempt(tenant); });
+    if (n.injector->NextRestoreFail()) {
+      continue;
+    }
+    restored = ApplyCheckpoint(node, dst_region, blob);
+  }
+  if (!restored) {
+    PostToOrch(node, 0, [this, tenant]() { orch_->OnMigrationFailed(tenant, "restore"); });
+    return;
+  }
+  // RESUME: charge deserialize-in at capture bandwidth before declaring the
+  // tenant live (the first re-issued op is already queued behind it).
+  const sim::TimePs restore_ps = sim::TransferTime(blob.size(), config_.capture_bps);
+  EngineAt(node).ScheduleAfter(restore_ps, [this, node, tenant]() {
+    if (!nodes_[node]->alive) {
+      return;
+    }
+    const sim::TimePs resumed = NowAt(node);
+    PostToOrch(node, 0, [this, tenant, resumed]() { orch_->OnMigrationDone(tenant, resumed); });
+  });
+}
+
+void Fleet::ResumeAtSource(uint32_t node, uint32_t tenant) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  auto it = n.tenants.find(tenant);
+  if (it == n.tenants.end()) {
+    return;
+  }
+  node_guards_[node]->Write();
+  TenantRt& t = *it->second;
+  t.running = true;
+  bool reissued = false;
+  for (const auto& op : t.mig_pending) {
+    t.thread->Invoke(op.oper, op.sg);  // same node, original addresses
+    t.item_inflight = true;
+    reissued = true;
+  }
+  t.mig_blob.clear();
+  t.mig_pending.clear();
+  if (!reissued) {
+    StartItem(node, tenant);
+  }
+  const sim::TimePs resumed = NowAt(node);
+  PostToOrch(node, 0, [this, tenant, resumed]() { orch_->OnRollbackResumed(tenant, resumed); });
+}
+
+void Fleet::CleanupSource(uint32_t node, uint32_t tenant) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  auto it = n.tenants.find(tenant);
+  if (it == n.tenants.end()) {
+    return;
+  }
+  node_guards_[node]->Write();
+  TenantRt& t = *it->second;
+  if (t.src_vaddr != 0) {
+    t.thread->FreeMem(t.src_vaddr);  // unmap + TLB shootdown at the source
+    t.thread->FreeMem(t.dst_vaddr);
+    t.src_vaddr = t.dst_vaddr = 0;
+  }
+  if (t.region >= 0) {
+    n.region_tenant[t.region] = -1;
+  }
+  t.region = -1;
+  t.mig_blob.clear();
+  t.mig_pending.clear();
+}
+
+void Fleet::AbandonInbound(uint32_t node, uint32_t tenant) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  node_guards_[node]->Write();
+  n.inbound.erase(tenant);
+}
+
+void Fleet::ShedTenant(uint32_t node, uint32_t tenant) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  auto it = n.tenants.find(tenant);
+  if (it == n.tenants.end()) {
+    return;
+  }
+  node_guards_[node]->Write();
+  TenantRt& t = *it->second;
+  if (!t.running && t.region < 0) {
+    // Retired (or already shed) before the command arrived; the tenant's own
+    // OnTenantDone resolves any evacuation waiting on this region.
+    return;
+  }
+  // Graceful degradation: typed kShed completions instead of a hang, then
+  // the region and its buffers go back to the pool.
+  t.running = false;
+  t.thread->AbortPending(OpStatus::kShed);
+  if (t.region >= 0) {
+    n.dev->data_mover().AbortVfpga(static_cast<uint32_t>(t.region));
+    n.dev->vfpga(static_cast<uint32_t>(t.region)).FlushStreams();
+    n.region_tenant[t.region] = -1;
+  }
+  if (t.src_vaddr != 0) {
+    t.thread->FreeMem(t.src_vaddr);
+    t.thread->FreeMem(t.dst_vaddr);
+    t.src_vaddr = t.dst_vaddr = 0;
+  }
+  t.region = -1;
+  PostToOrch(node, 0, [this, tenant]() { orch_->OnTenantShed(tenant, "capacity"); });
+}
+
+void Fleet::KillNode(uint32_t node) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  node_guards_[node]->Write();
+  n.alive = false;
+  if (n.hb_timer != sim::TimerWheel::kInvalidTimer) {
+    n.dev->timers().Cancel(n.hb_timer);
+    n.hb_timer = sim::TimerWheel::kInvalidTimer;
+  }
+  if (n.ckpt_timer != sim::TimerWheel::kInvalidTimer) {
+    n.dev->timers().Cancel(n.ckpt_timer);
+    n.ckpt_timer = sim::TimerWheel::kInvalidTimer;
+  }
+  n.sup->Stop();
+  // Everything else decays passively: heartbeats stop, queued callbacks
+  // no-op on the alive check, and the orchestrator's sweep declares the
+  // death once the heartbeat window lapses.
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator
+// ---------------------------------------------------------------------------
+
+Orchestrator::Orchestrator(Fleet* fleet)
+    : fleet_(fleet),
+      timers_(&fleet->EngineAt(fleet->orch_logical_)) {
+  // The orchestrator's maps are touched from its own shard callbacks, from
+  // host-side setup/observation, and (conceptually) alongside the engine /
+  // DMA / supervisor actors whose completions feed it — all program-ordered
+  // by the PDES merge contract. Declare the pairs so the ledger hunts real
+  // reentrancy, and bind every map to the orchestrator's shard.
+  auto& ledger = sim::AccessLedger::Global();
+  ledger.DeclareOrdered(sim::kActorOrchestrator, sim::kActorHost);
+  ledger.DeclareOrdered(sim::kActorOrchestrator, sim::kActorEngine);
+  ledger.DeclareOrdered(sim::kActorOrchestrator, sim::kActorDma);
+  ledger.DeclareOrdered(sim::kActorOrchestrator, sim::kActorSupervisor);
+  const sim::ShardId shard = fleet_->shard_of_[fleet_->orch_logical_];
+  tenants_guard_.BindShard(shard);
+  health_guard_.BindShard(shard);
+  ckpt_guard_.BindShard(shard);
+  for (uint32_t n = 0; n < fleet_->config_.num_nodes; ++n) {
+    NodeHealth h;
+    h.free_regions = fleet_->config_.regions_per_node;
+    h.region_tenant.assign(fleet_->config_.regions_per_node, -1);
+    health_[n] = std::move(h);
+  }
+}
+
+void Orchestrator::Trace(const std::string& line) {
+  const sim::TimePs now =
+      fleet_->NowAt(fleet_->orch_logical_);
+  trace_.push_back("t=" + std::to_string(now) + " " + line);
+}
+
+uint64_t Orchestrator::TraceFingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& line : trace_) {
+    FoldBytes(&h, reinterpret_cast<const uint8_t*>(line.data()), line.size());
+    h ^= '\n';
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void Orchestrator::AdmitTenant(uint32_t tenant, const TenantSpec& spec, uint32_t node,
+                               int32_t region) {
+  tenants_guard_.Write();
+  health_guard_.Write();
+  TenantBook book;
+  book.spec = spec;
+  book.node = node;
+  book.region = region;
+  tenants_[tenant] = std::move(book);
+  ReserveRegion(node, region, tenant);
+  Trace("tenant=" + std::to_string(tenant) + " admit node=" + std::to_string(node) +
+        " region=" + std::to_string(region) + " prio=" + std::to_string(spec.priority));
+}
+
+void Orchestrator::ReserveRegion(uint32_t node, int32_t region, uint32_t tenant) {
+  NodeHealth& h = health_[node];
+  if (region >= 0 && h.region_tenant[region] < 0) {
+    h.region_tenant[region] = static_cast<int32_t>(tenant);
+    --h.free_regions;
+  }
+}
+
+void Orchestrator::ReleaseRegion(uint32_t node, int32_t region) {
+  NodeHealth& h = health_[node];
+  if (h.believed_alive && region >= 0 && h.region_tenant[region] >= 0) {
+    h.region_tenant[region] = -1;
+    ++h.free_regions;
+  }
+}
+
+void Orchestrator::OnHeartbeat(uint32_t node, uint64_t seq, sim::TimePs sent_at) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  health_guard_.Write();
+  (void)sent_at;
+  NodeHealth& h = health_[node];
+  if (!h.believed_alive) {
+    return;  // a declared-dead node stays dead (no flapping)
+  }
+  h.last_heartbeat_at =
+      fleet_->NowAt(fleet_->orch_logical_);
+  h.heartbeats = seq;
+}
+
+void Orchestrator::OnCheckpoint(uint32_t tenant, std::vector<uint8_t> blob, uint64_t pages,
+                                sim::TimePs captured_at) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  ckpt_guard_.Write();
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.outcome != TenantOutcome::kRunning) {
+    return;  // late checkpoint from a tenant that already settled
+  }
+  StoredCkpt& s = ckpt_store_[tenant];
+  s.blob = std::move(blob);
+  s.pages = pages;
+  s.captured_at = captured_at;
+}
+
+void Orchestrator::StartMigration(uint32_t tenant, uint32_t dst_node, const std::string& reason) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  tenants_guard_.Write();
+  health_guard_.Write();
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return;
+  }
+  TenantBook& book = it->second;
+  const NodeHealth& dst = health_[dst_node];
+  if (book.outcome != TenantOutcome::kRunning || book.migrating ||
+      !health_[book.node].believed_alive || !dst.believed_alive || dst.free_regions == 0 ||
+      dst_node == book.node) {
+    Trace("tenant=" + std::to_string(tenant) + " migrate.reject dst=" +
+          std::to_string(dst_node));
+    return;
+  }
+  int32_t region = -1;
+  for (uint32_t r = 0; r < dst.region_tenant.size(); ++r) {
+    if (dst.region_tenant[r] < 0) {
+      region = static_cast<int32_t>(r);
+      break;
+    }
+  }
+  ReserveRegion(dst_node, region, tenant);
+  book.migrating = true;
+
+  MigrationRecord rec;
+  rec.tenant = tenant;
+  rec.src_node = book.node;
+  rec.dst_node = dst_node;
+  rec.reason = reason;
+  rec.started_at =
+      fleet_->NowAt(fleet_->orch_logical_);
+  rec.outcome = "ok";
+  active_migration_[tenant] = records_.size();
+  records_.push_back(std::move(rec));
+  Trace("tenant=" + std::to_string(tenant) + " migrate.start src=" +
+        std::to_string(book.node) + " dst=" + std::to_string(dst_node) + " reason=" + reason);
+
+  const uint32_t src = book.node;
+  fleet_->PostToNode(fleet_->orch_logical_, src, 0, [this, src, tenant, dst_node, region]() {
+    fleet_->BeginMigration(src, tenant, dst_node, region);
+  });
+}
+
+MigrationRecord* Orchestrator::ActiveRecord(uint32_t tenant) {
+  auto it = active_migration_.find(tenant);
+  return it == active_migration_.end() ? nullptr : &records_[it->second];
+}
+
+void Orchestrator::OnMigrationQuiesced(uint32_t tenant, sim::TimePs quiesced_at,
+                                       uint64_t ckpt_bytes, uint64_t ckpt_pages,
+                                       uint32_t chunks) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  tenants_guard_.Write();
+  MigrationRecord* rec = ActiveRecord(tenant);
+  if (rec == nullptr) {
+    return;
+  }
+  rec->quiesced_at = quiesced_at;
+  rec->ckpt_bytes = ckpt_bytes;
+  rec->ckpt_pages = ckpt_pages;
+  rec->chunks = chunks;
+  Trace("tenant=" + std::to_string(tenant) + " quiesce bytes=" + std::to_string(ckpt_bytes) +
+        " pages=" + std::to_string(ckpt_pages) + " chunks=" + std::to_string(chunks));
+}
+
+void Orchestrator::OnTransferRound(uint32_t tenant, uint32_t round) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  tenants_guard_.Write();
+  MigrationRecord* rec = ActiveRecord(tenant);
+  if (rec == nullptr) {
+    return;
+  }
+  rec->retransmit_rounds = std::max(rec->retransmit_rounds, round);
+  Trace("tenant=" + std::to_string(tenant) + " transfer.retry round=" + std::to_string(round));
+}
+
+void Orchestrator::OnRestoreAttempt(uint32_t tenant) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  tenants_guard_.Write();
+  MigrationRecord* rec = ActiveRecord(tenant);
+  if (rec == nullptr) {
+    return;
+  }
+  ++rec->restore_attempts;
+}
+
+void Orchestrator::OnMigrationDone(uint32_t tenant, sim::TimePs resumed_at) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  tenants_guard_.Write();
+  health_guard_.Write();
+  MigrationRecord* rec = ActiveRecord(tenant);
+  auto it = tenants_.find(tenant);
+  if (rec == nullptr || it == tenants_.end()) {
+    return;
+  }
+  TenantBook& book = it->second;
+  rec->resumed_at = resumed_at;
+  rec->downtime = resumed_at - (rec->quiesced_at > 0 ? rec->quiesced_at : rec->started_at);
+
+  const uint32_t old_node = book.node;
+  const int32_t old_region = book.region;
+  book.node = rec->dst_node;
+  book.migrating = false;
+  const NodeHealth& dst = health_[rec->dst_node];
+  book.region = -1;
+  for (uint32_t r = 0; r < dst.region_tenant.size(); ++r) {
+    if (dst.region_tenant[r] == static_cast<int32_t>(tenant)) {
+      book.region = static_cast<int32_t>(r);
+    }
+  }
+  active_migration_.erase(tenant);
+  Trace("tenant=" + std::to_string(tenant) + " resume node=" + std::to_string(book.node) +
+        " downtime=" + std::to_string(rec->downtime) + " outcome=" + rec->outcome);
+
+  // Source cleanup only applies to a live source (planned migration or
+  // drain); an evacuated tenant's source is gone.
+  if (health_[old_node].believed_alive && old_node != book.node) {
+    ReleaseRegion(old_node, old_region);
+    fleet_->PostToNode(fleet_->orch_logical_, old_node, 0, [this, old_node, tenant]() {
+      fleet_->CleanupSource(old_node, tenant);
+    });
+  }
+}
+
+void Orchestrator::OnMigrationFailed(uint32_t tenant, const std::string& why) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  tenants_guard_.Write();
+  health_guard_.Write();
+  MigrationRecord* rec = ActiveRecord(tenant);
+  auto it = tenants_.find(tenant);
+  if (rec == nullptr || it == tenants_.end()) {
+    return;
+  }
+  TenantBook& book = it->second;
+  Trace("tenant=" + std::to_string(tenant) + " migrate.fail why=" + why);
+
+  // Release the destination reservation in every failure shape.
+  const NodeHealth& dst = health_[rec->dst_node];
+  for (uint32_t r = 0; r < dst.region_tenant.size(); ++r) {
+    if (dst.region_tenant[r] == static_cast<int32_t>(tenant) &&
+        static_cast<int32_t>(r) != book.region) {
+      ReleaseRegion(rec->dst_node, static_cast<int32_t>(r));
+    }
+  }
+  book.migrating = false;
+  active_migration_.erase(tenant);
+
+  if (why == "src.not_running") {
+    rec->outcome = "abort.src_done";
+    return;
+  }
+  if (health_[book.node].believed_alive) {
+    // ROLLBACK: the source still holds the live state; resume it there.
+    rec->outcome = "rollback." + why;
+    ++rollbacks_;
+    const uint32_t src = book.node;
+    fleet_->PostToNode(fleet_->orch_logical_, src, 0,
+                       [this, src, tenant]() { fleet_->ResumeAtSource(src, tenant); });
+    return;
+  }
+  // Evacuation failed and there is no source to roll back to: degrade.
+  rec->outcome = "shed";
+  book.outcome = TenantOutcome::kShed;
+  ++sheds_;
+  Trace("tenant=" + std::to_string(tenant) + " shed why=" + why);
+  CheckSettled();
+}
+
+void Orchestrator::OnRollbackResumed(uint32_t tenant, sim::TimePs resumed_at) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  tenants_guard_.Write();
+  // The record was already closed by OnMigrationFailed; stamp the downtime
+  // on the most recent record for this tenant.
+  for (auto rit = records_.rbegin(); rit != records_.rend(); ++rit) {
+    if (rit->tenant == tenant) {
+      rit->resumed_at = resumed_at;
+      rit->downtime = resumed_at - (rit->quiesced_at > 0 ? rit->quiesced_at : rit->started_at);
+      break;
+    }
+  }
+  Trace("tenant=" + std::to_string(tenant) + " rollback.resumed");
+}
+
+void Orchestrator::OnTenantDone(uint32_t tenant) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  tenants_guard_.Write();
+  health_guard_.Write();
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.outcome != TenantOutcome::kRunning) {
+    return;
+  }
+  TenantBook& book = it->second;
+  book.outcome = TenantOutcome::kDone;
+  ReleaseRegion(book.node, book.region);
+  book.region = -1;
+  Trace("tenant=" + std::to_string(tenant) + " done");
+  // An evacuation may have been waiting on this tenant's region (it was
+  // picked as a shed victim but finished first) — its region is free now.
+  auto pit = pending_evacuations_.find(tenant);
+  if (pit != pending_evacuations_.end()) {
+    const uint32_t evacuee = pit->second;
+    pending_evacuations_.erase(pit);
+    EvacuateTenant(evacuee, "node.dead");
+  }
+  CheckSettled();
+}
+
+void Orchestrator::OnTenantShed(uint32_t tenant, const std::string& why) {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  tenants_guard_.Write();
+  health_guard_.Write();
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.outcome != TenantOutcome::kRunning) {
+    return;
+  }
+  TenantBook& book = it->second;
+  book.outcome = TenantOutcome::kShed;
+  ++sheds_;
+  ReleaseRegion(book.node, book.region);
+  book.region = -1;
+  Trace("tenant=" + std::to_string(tenant) + " shed why=" + why);
+  // A pending evacuation was waiting for this region.
+  auto pit = pending_evacuations_.find(tenant);
+  if (pit != pending_evacuations_.end()) {
+    const uint32_t evacuee = pit->second;
+    pending_evacuations_.erase(pit);
+    EvacuateTenant(evacuee, "node.dead");
+  }
+  CheckSettled();
+}
+
+void Orchestrator::Sweep() {
+  sim::ActorScope actor(sim::kActorOrchestrator);
+  health_guard_.Write();
+  const sim::TimePs now =
+      fleet_->NowAt(fleet_->orch_logical_);
+  const sim::TimePs window =
+      fleet_->config_.dead_after_missed * fleet_->config_.heartbeat_period;
+  for (auto& [node, h] : health_) {
+    if (h.believed_alive && now - h.last_heartbeat_at > window) {
+      DeclareDead(node);
+    }
+  }
+}
+
+void Orchestrator::DeclareDead(uint32_t node) {
+  tenants_guard_.Write();
+  health_guard_.Write();
+  NodeHealth& h = health_[node];
+  h.believed_alive = false;
+  h.free_regions = 0;
+  ++deaths_declared_;
+  Trace("node=" + std::to_string(node) + " dead");
+
+  // A victim that was mid-shed on this node will never ack; release its
+  // waiting evacuee back into the normal path below.
+  std::vector<uint32_t> orphaned;
+  for (auto it = pending_evacuations_.begin(); it != pending_evacuations_.end();) {
+    const auto vit = tenants_.find(it->first);
+    if (vit != tenants_.end() && vit->second.node == node) {
+      orphaned.push_back(it->second);
+      it = pending_evacuations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  std::vector<uint32_t> ids;
+  for (const auto& [id, book] : tenants_) {
+    (void)book;
+    ids.push_back(id);
+  }
+  for (const uint32_t id : ids) {
+    TenantBook& book = tenants_[id];
+    if (book.outcome != TenantOutcome::kRunning) {
+      continue;
+    }
+    if (book.migrating) {
+      MigrationRecord* rec = ActiveRecord(id);
+      if (rec != nullptr && rec->dst_node == node && health_[rec->src_node].believed_alive) {
+        // Destination died mid-restore: roll back to the live source.
+        rec->outcome = "rollback.dst_dead";
+        ++rollbacks_;
+        book.migrating = false;
+        active_migration_.erase(id);
+        const uint32_t src = rec->src_node;
+        Trace("tenant=" + std::to_string(id) + " rollback.dst_dead");
+        fleet_->PostToNode(fleet_->orch_logical_, src, 0,
+                           [this, src, id]() { fleet_->ResumeAtSource(src, id); });
+        continue;
+      }
+      if (rec != nullptr && rec->src_node == node) {
+        // Source died mid-transfer: abandon the partial transfer and replay
+        // the stored checkpoint instead.
+        rec->outcome = "abort.src_dead";
+        book.migrating = false;
+        active_migration_.erase(id);
+        if (health_[rec->dst_node].believed_alive) {
+          const uint32_t dst = rec->dst_node;
+          // The reserved destination region frees up for the evacuation
+          // placement decision below.
+          for (uint32_t r = 0; r < health_[dst].region_tenant.size(); ++r) {
+            if (health_[dst].region_tenant[r] == static_cast<int32_t>(id)) {
+              ReleaseRegion(dst, static_cast<int32_t>(r));
+            }
+          }
+          fleet_->PostToNode(fleet_->orch_logical_, dst, 0,
+                             [this, dst, id]() { fleet_->AbandonInbound(dst, id); });
+        }
+        EvacuateTenant(id, "node.dead");
+        continue;
+      }
+      continue;
+    }
+    if (book.node == node) {
+      EvacuateTenant(id, "node.dead");
+    }
+  }
+  for (const uint32_t evacuee : orphaned) {
+    const auto eit = tenants_.find(evacuee);
+    if (eit != tenants_.end() && eit->second.outcome == TenantOutcome::kRunning &&
+        !eit->second.migrating) {
+      EvacuateTenant(evacuee, "node.dead");
+    }
+  }
+}
+
+bool Orchestrator::FindFreeRegion(uint32_t* node_out, int32_t* region_out) const {
+  for (const auto& [node, h] : health_) {
+    if (!h.believed_alive || h.free_regions == 0) {
+      continue;
+    }
+    for (uint32_t r = 0; r < h.region_tenant.size(); ++r) {
+      if (h.region_tenant[r] < 0) {
+        *node_out = node;
+        *region_out = static_cast<int32_t>(r);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Orchestrator::FindShedVictim(uint32_t below_priority, uint32_t* victim_out) const {
+  bool found = false;
+  uint32_t best_prio = 0;
+  uint32_t best_id = 0;
+  for (const auto& [id, book] : tenants_) {
+    if (book.outcome != TenantOutcome::kRunning || book.migrating ||
+        !health_.at(book.node).believed_alive || book.spec.priority >= below_priority ||
+        pending_evacuations_.find(id) != pending_evacuations_.end()) {
+      continue;  // a victim already slated for another evacuee stays claimed
+    }
+    // Lowest priority loses; equal priorities shed the higher tenant id.
+    if (!found || book.spec.priority < best_prio ||
+        (book.spec.priority == best_prio && id > best_id)) {
+      found = true;
+      best_prio = book.spec.priority;
+      best_id = id;
+    }
+  }
+  if (found) {
+    *victim_out = best_id;
+  }
+  return found;
+}
+
+void Orchestrator::EvacuateTenant(uint32_t tenant, const std::string& reason) {
+  tenants_guard_.Write();
+  health_guard_.Write();
+  ckpt_guard_.Read();
+  TenantBook& book = tenants_[tenant];
+  uint32_t dst = 0;
+  int32_t region = -1;
+  if (!FindFreeRegion(&dst, &region)) {
+    uint32_t victim = 0;
+    if (FindShedVictim(book.spec.priority, &victim)) {
+      // Shed the victim first; its ack re-enters EvacuateTenant with a free
+      // region. Deterministic: the shed command and the ack both ride the
+      // ordered mailbox streams.
+      pending_evacuations_[victim] = tenant;
+      const uint32_t victim_node = tenants_[victim].node;
+      Trace("tenant=" + std::to_string(victim) + " shed.request evacuee=" +
+            std::to_string(tenant));
+      fleet_->PostToNode(fleet_->orch_logical_, victim_node, 0, [this, victim_node, victim]() {
+        fleet_->ShedTenant(victim_node, victim);
+      });
+      return;
+    }
+    // Nobody to displace: the evacuee itself degrades.
+    book.outcome = TenantOutcome::kShed;
+    ++sheds_;
+    Trace("tenant=" + std::to_string(tenant) + " shed why=capacity");
+    CheckSettled();
+    return;
+  }
+
+  ReserveRegion(dst, region, tenant);
+  book.migrating = true;
+  ++evacuations_;
+
+  MigrationRecord rec;
+  rec.tenant = tenant;
+  rec.src_node = book.node;
+  rec.dst_node = dst;
+  rec.reason = reason;
+  const sim::TimePs now =
+      fleet_->NowAt(fleet_->orch_logical_);
+  rec.started_at = now;
+  rec.quiesced_at = now;  // downtime for an evacuation runs from detection
+
+  auto cit = ckpt_store_.find(tenant);
+  if (cit != ckpt_store_.end()) {
+    rec.outcome = "evacuated";
+    rec.ckpt_bytes = cit->second.blob.size();
+    rec.ckpt_pages = cit->second.pages;
+    const uint32_t chunks = static_cast<uint32_t>(
+        (cit->second.blob.size() + fleet_->config_.chunk_bytes - 1) /
+        fleet_->config_.chunk_bytes);
+    rec.chunks = chunks;
+    active_migration_[tenant] = records_.size();
+    records_.push_back(std::move(rec));
+    Trace("tenant=" + std::to_string(tenant) + " evacuate dst=" + std::to_string(dst) +
+          " region=" + std::to_string(region) + " bytes=" +
+          std::to_string(cit->second.blob.size()));
+    std::vector<uint32_t> ids(chunks);
+    for (uint32_t i = 0; i < chunks; ++i) {
+      ids[i] = i;
+    }
+    fleet_->SendChunks(fleet_->orch_logical_, dst, tenant, cit->second.blob, ids, chunks,
+                       /*round=*/0, region, /*extra_delay=*/0);
+    return;
+  }
+
+  // No checkpoint yet: restart from scratch on the survivor.
+  rec.outcome = "evacuated.fresh";
+  active_migration_[tenant] = records_.size();
+  records_.push_back(std::move(rec));
+  Trace("tenant=" + std::to_string(tenant) + " evacuate.fresh dst=" + std::to_string(dst) +
+        " region=" + std::to_string(region));
+  const TenantSpec spec = book.spec;
+  fleet_->PostToNode(fleet_->orch_logical_, dst, 0, [this, dst, tenant, spec, region]() {
+    fleet_->StartTenantFresh(dst, tenant, spec, region);
+    const sim::TimePs resumed = fleet_->NowAt(dst);
+    fleet_->PostToOrch(dst, 0,
+                       [this, tenant, resumed]() { OnMigrationDone(tenant, resumed); });
+  });
+}
+
+void Orchestrator::CheckSettled() {
+  if (settled_) {
+    return;
+  }
+  for (const auto& [id, book] : tenants_) {
+    (void)id;
+    if (book.outcome == TenantOutcome::kRunning) {
+      return;
+    }
+  }
+  settled_ = true;
+  settled_at_ = fleet_->NowAt(fleet_->orch_logical_);
+  Trace("settled");
+}
+
+bool Orchestrator::AllSettled() const { return settled_; }
+
+}  // namespace runtime
+}  // namespace coyote

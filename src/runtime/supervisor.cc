@@ -60,7 +60,10 @@ void Supervisor::NoteDeadlineMiss(uint32_t vfpga_id) {
   sim::ActorScope actor(sim::kActorSupervisor);
   state_guard_.Write();
   RegionWatch& w = regions_[vfpga_id];
-  if (w.health == RegionHealth::kHealthy || w.health == RegionHealth::kSuspected) {
+  if (w.health == RegionHealth::kHealthy || w.health == RegionHealth::kSuspected ||
+      w.health == RegionHealth::kProbation) {
+    // A miss during probation is relapse evidence: the freshly reprogrammed
+    // region is already failing host deadlines again.
     w.deadline_missed = true;
     TraceEvent(vfpga_id, "deadline.miss");
   }
@@ -106,13 +109,29 @@ void Supervisor::SampleRegion(uint32_t id) {
 
   if (w.health == RegionHealth::kProbation) {
     // Cool-down: the region is still quarantined in the scheduler, so clean
-    // ticks simply count down to re-admission.
+    // ticks count down to re-admission. But a region failing *again* mid-
+    // probation — host-driven work wedged past the deadline window, or a
+    // fresh cThread deadline miss — escalates with its carried incident
+    // budget rather than quietly restarting the countdown with a full one.
+    if (progressed) {
+      w.last_progress_at = now;
+    }
+    const bool relapsed =
+        w.deadline_missed ||
+        (!progressed && dev_->data_mover().OutstandingOps(id) > 0 &&
+         now - w.last_progress_at >= config_.heartbeat_deadline);
+    if (relapsed) {
+      TraceEvent(id, "probation.relapse");
+      Recover(id, "probation.relapse");
+      return;
+    }
     if (w.probation_left > 0) {
       --w.probation_left;
     }
     if (w.probation_left == 0) {
       w.health = RegionHealth::kHealthy;
       w.last_progress_at = now;
+      w.incident_attempts = 0;  // clean exit: the incident chain is over
       ++readmissions_;
       TraceEvent(id, "readmit");
       if (scheduler_ != nullptr) {
@@ -180,13 +199,17 @@ void Supervisor::Recover(uint32_t id, const std::string& fault_class) {
 
   // RECOVER: hot-swap the last-known-good bitstream through the normal ICAP
   // path (real Table-3 latency; itself subject to injected ICAP faults). The
-  // budget is per incident: max_recoveries FAILED attempts escalate to
-  // permanent quarantine. Successful recoveries don't consume it — a region
-  // that keeps hanging transient workloads is reprogrammable indefinitely.
+  // budget is per incident *chain*: max_recoveries attempts escalate to
+  // permanent quarantine. A fresh incident (the region had been cleanly
+  // re-admitted, or never failed) starts a full budget; a probation relapse
+  // continues the one already partly spent — failing again straight out of
+  // recovery must escalate, not loop forever on a free budget.
+  if (fault_class != "probation.relapse") {
+    w.incident_attempts = 0;
+  }
   bool ok = false;
-  uint32_t attempts = 0;
-  while (!ok && attempts < config_.max_recoveries) {
-    ++attempts;
+  while (!ok && w.incident_attempts < config_.max_recoveries) {
+    ++w.incident_attempts;
     ++w.recovery_count;
     if (w.last_known_good.empty()) {
       break;

@@ -127,6 +127,11 @@ class Supervisor {
     sim::TimePs last_progress_at = 0;
     uint32_t probation_left = 0;
     uint32_t recovery_count = 0;
+    // Reprogram attempts consumed by the current incident *chain*: a relapse
+    // mid-probation continues this budget instead of resetting it, so a
+    // region that keeps failing straight out of recovery escalates to
+    // permanent quarantine. Cleared only by a clean re-admission.
+    uint32_t incident_attempts = 0;
     bool deadline_missed = false;  // set by NoteDeadlineMiss, cleared on tick
     std::string last_known_good;
   };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/sim/fault.h"
+#include "src/vfpga/checkpoint.h"
 
 namespace coyote {
 namespace services {
@@ -41,6 +42,24 @@ void StreamKernel::Detach() {
     }
     region_ = nullptr;
   }
+}
+
+void StreamKernel::SaveState(std::vector<uint8_t>* out) const {
+  vfpga::ckpt::Writer w;
+  w.U64(bytes_processed_);
+  *out = std::move(w).Finish();
+}
+
+bool StreamKernel::RestoreState(const std::vector<uint8_t>& blob) {
+  vfpga::ckpt::Reader r(blob);
+  const uint64_t bytes = r.U64();
+  if (!r.ok() || !r.AtEnd()) {
+    return false;
+  }
+  bytes_processed_ = bytes;
+  // Per-residency state stays reset: the restored kernel starts with an
+  // empty pipe and a fresh hang draw (Attach already cleared them).
+  return true;
 }
 
 void StreamKernel::Pump(uint32_t stream_index) {

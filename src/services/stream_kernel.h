@@ -43,6 +43,12 @@ class StreamKernel : public vfpga::HwKernel {
   void Attach(vfpga::Vfpga* region) override;
   void Detach() override;
 
+  // Checkpointable kernel state: the processed-byte counter survives a
+  // migration; pipe occupancy and the hang latch are per-residency and
+  // deliberately reset (a restored kernel starts with an empty pipe).
+  void SaveState(std::vector<uint8_t>* out) const override;
+  bool RestoreState(const std::vector<uint8_t>& blob) override;
+
   uint64_t bytes_processed() const { return bytes_processed_; }
   // True once an injected hang has wedged the pipeline: the kernel stops
   // consuming input and retires no further beats until reconfigured.

@@ -52,6 +52,7 @@ inline constexpr ActorId kActorDma = 2;        // data mover / XDMA paths
 inline constexpr ActorId kActorNet = 3;        // RoCE/TCP rx processing
 inline constexpr ActorId kActorScheduler = 4;  // kernel scheduler dispatch
 inline constexpr ActorId kActorSupervisor = 5;  // watchdog / recovery engine
+inline constexpr ActorId kActorOrchestrator = 6;  // fleet migration / evacuation
 inline constexpr ActorId kActorUserBase = 16;
 
 // Shard identity for the sharded PDES engine. kNoShard means "not executing

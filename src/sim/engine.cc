@@ -207,11 +207,24 @@ bool Engine::Step() {
   return true;
 }
 
+void Engine::CloseEpoch() {
+  // Returning from a run loop ends the last event's race-detection epoch:
+  // the caller (a cThread Wait, a CSR poll, test driver code) resumes only
+  // after that event finished, so its touches are program-ordered after the
+  // event's — not logically concurrent with them. Without this, host code
+  // aliases into the final event's epoch and every completion-then-consume
+  // sequence reads as a host/engine conflict.
+  if (ledger_->enabled()) {
+    ledger_->AdvanceEpoch();
+  }
+}
+
 uint64_t Engine::RunUntilIdle() {
   uint64_t n = 0;
   while (Step()) {
     ++n;
   }
+  CloseEpoch();
   return n;
 }
 
@@ -224,15 +237,19 @@ uint64_t Engine::RunUntil(TimePs deadline) {
   if (now_ < deadline) {
     now_ = deadline;
   }
+  CloseEpoch();
   return n;
 }
 
 bool Engine::RunUntilCondition(const std::function<bool()>& done) {
   while (!done()) {
     if (!Step()) {
-      return done();
+      const bool satisfied = done();
+      CloseEpoch();
+      return satisfied;
     }
   }
+  CloseEpoch();
   return true;
 }
 

@@ -106,6 +106,11 @@ class Engine {
   size_t event_free_list_size() const { return free_nodes_.size(); }
 
  private:
+  // Advances the race-detection epoch when a run loop hands control back to
+  // its caller: code resuming after a nested run is program-ordered after the
+  // last event, never logically concurrent with it.
+  void CloseEpoch();
+
   // Ordering key + pool index. Entries carry their (time, seq) key so heap
   // comparisons and sorts touch only the contiguous entry array — never the
   // callback pool. That locality is worth ~2x on deep queues versus moving

@@ -12,6 +12,7 @@ constexpr uint64_t kXdmaDomain = 0x7864'6D'61ull;
 constexpr uint64_t kMmuDomain = 0x6D6D'75'00ull;
 constexpr uint64_t kKernelDomain = 0x6B72'6E'6Cull;
 constexpr uint64_t kQpDomain = 0x7170'77'64ull;
+constexpr uint64_t kMigrationDomain = 0x6D69'67'72ull;
 
 }  // namespace
 
@@ -23,7 +24,8 @@ FaultInjector::FaultInjector(Engine* engine, const FaultPlan& plan)
       xdma_rng_(plan.seed ^ kXdmaDomain),
       mmu_rng_(plan.seed ^ kMmuDomain),
       kernel_rng_(plan.seed ^ kKernelDomain),
-      qp_rng_(plan.seed ^ kQpDomain) {}
+      qp_rng_(plan.seed ^ kQpDomain),
+      migration_rng_(plan.seed ^ kMigrationDomain) {}
 
 void FaultInjector::Record(std::string_view what, uint64_t detail) {
   counters_.Increment(what);
@@ -150,6 +152,41 @@ bool FaultInjector::NextQpWedge() {
   const double u = qp_rng_.NextDouble();
   if (index < plan_.qp_wedge_first_n || u < plan_.qp_wedge_rate) {
     Record("qp.wedge", index);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::NextMigrationChunkDrop() {
+  ++decisions_;
+  const uint32_t index = migration_chunks_seen_++;
+  const double u = migration_rng_.NextDouble();
+  if (index < plan_.migration_chunk_drop_first_n || u < plan_.migration_chunk_drop_rate) {
+    Record("migration.chunk_drop", index);
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::NextCheckpointCorrupt() {
+  ++decisions_;
+  // Entropy drawn unconditionally so enabling the rate never shifts the
+  // chunk-drop/restore schedules sharing this stream.
+  const uint64_t entropy = migration_rng_.Next();
+  const double u = migration_rng_.NextDouble();
+  if (u < plan_.checkpoint_corrupt_rate) {
+    Record("migration.ckpt_corrupt", entropy);
+    return entropy | 1ull;  // never 0: 0 means "deliver clean"
+  }
+  return 0;
+}
+
+bool FaultInjector::NextRestoreFail() {
+  ++decisions_;
+  const uint32_t index = restores_seen_++;
+  const double u = migration_rng_.NextDouble();
+  if (index < plan_.restore_fail_first_n || u < plan_.restore_fail_rate) {
+    Record("migration.restore_fail", index);
     return true;
   }
   return false;

@@ -77,6 +77,17 @@ struct FaultPlan {
     TimePs end = 0;
   };
   std::vector<NodeOutage> outages;
+
+  // --- Migration / fleet -------------------------------------------------------
+  // Mid-migration hazards for the orchestrator's checkpoint pipeline: chunks
+  // of a checkpoint transfer vanish in flight (retried with backoff),
+  // checkpoints arrive bit-flipped (caught by the CRC trailer), and restores
+  // fail on the destination (rolled back to the source).
+  double migration_chunk_drop_rate = 0.0;
+  uint32_t migration_chunk_drop_first_n = 0;  // deterministically drop the first N chunks
+  double checkpoint_corrupt_rate = 0.0;       // per-transfer bit flip in transit
+  double restore_fail_rate = 0.0;
+  uint32_t restore_fail_first_n = 0;  // deterministically fail the first N restores
 };
 
 class FaultInjector {
@@ -122,6 +133,16 @@ class FaultInjector {
   // One decision per posted work request.
   bool NextQpWedge();
 
+  // --- Migration pipeline -----------------------------------------------------
+  // One decision per checkpoint chunk offered to the wire (drawn on the
+  // sender). Returns true when the chunk is lost in flight.
+  bool NextMigrationChunkDrop();
+  // One decision per completed checkpoint transfer; non-zero means "flip this
+  // byte" (1-based index entropy) — the CRC trailer catches it on the far end.
+  uint64_t NextCheckpointCorrupt();
+  // One decision per restore attempt on the destination region.
+  bool NextRestoreFail();
+
   // --- Introspection ----------------------------------------------------------
   const FaultPlan& plan() const { return plan_; }
   const CounterSet& counters() const { return counters_; }
@@ -145,10 +166,13 @@ class FaultInjector {
   Rng mmu_rng_;
   Rng kernel_rng_;
   Rng qp_rng_;
+  Rng migration_rng_;
 
   uint32_t reconfig_programs_seen_ = 0;
   uint32_t kernel_invocations_seen_ = 0;
   uint32_t qp_posts_seen_ = 0;
+  uint32_t migration_chunks_seen_ = 0;
+  uint32_t restores_seen_ = 0;
   CounterSet counters_;
   uint64_t fingerprint_ = 0xcbf29ce484222325ull;
   uint64_t decisions_ = 0;

@@ -67,7 +67,7 @@ void ShardedEngine::Post(uint32_t dst_shard, TimePs t, Callback cb, uint32_t ord
   if (src == kNoShard || src >= shards_.size()) {
     // Host-side code must use ScheduleOn(): Post's lookahead clamp needs a
     // sending shard clock, and the merge order needs a source lane.
-    std::fprintf(stderr, "ShardedEngine::Post called outside a shard execution context\n");
+    std::fprintf(stderr, "ShardedEngine::Post called outside a shard execution context\n");  // lint: callback-blocking-ok fatal diagnostic immediately before abort
     std::abort();
   }
   Shard& shard = *shards_[src];
@@ -230,6 +230,14 @@ uint64_t ShardedEngine::RunWindows(TimePs deadline) {
     for (auto& shard : shards_) {
       shard->engine->RunUntil(deadline);
     }
+  }
+  // Sequential (reference) mode drains windows with bare Step() on the
+  // calling thread: close the last event's race-detection epoch so host code
+  // resuming after this run is not treated as concurrent with it. (Threaded
+  // workers close their own epochs via Engine::RunUntil above.)
+  AccessLedger& ledger = AccessLedger::Global();
+  if (ledger.enabled()) {
+    ledger.AdvanceEpoch();
   }
   return executed;
 }

@@ -9,7 +9,9 @@
 #ifndef SRC_VFPGA_KERNEL_H_
 #define SRC_VFPGA_KERNEL_H_
 
+#include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "src/fabric/resources.h"
 
@@ -33,6 +35,20 @@ class HwKernel {
 
   // Called when the kernel is unloaded (region reconfigured away).
   virtual void Detach() {}
+
+  // --- Checkpoint/restore ----------------------------------------------------
+  // Serializes the kernel's private state (counters, pipeline occupancy —
+  // whatever Attach() does not reconstruct) into *out. The encoding is the
+  // kernel's own, but it must be deterministic: two same-seed runs captured
+  // at the same simulated instant must produce identical bytes. Stateless
+  // kernels keep the default empty blob.
+  virtual void SaveState(std::vector<uint8_t>* out) const { out->clear(); }
+
+  // Applies a blob previously produced by SaveState on a kernel of the same
+  // name, after Attach(). Returns false if the blob is malformed (the region
+  // then treats the restore as failed and rolls back). The default accepts
+  // only the empty blob the default SaveState produces.
+  virtual bool RestoreState(const std::vector<uint8_t>& blob) { return blob.empty(); }
 };
 
 }  // namespace vfpga

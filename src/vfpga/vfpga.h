@@ -129,6 +129,9 @@ class Vfpga {
   // outstanding is what the Supervisor declares hung.
   void RetireBeat(uint64_t beats) { beats_retired_ += beats; }
   uint64_t beats_retired() const { return beats_retired_; }
+  // Checkpoint restore only: a migrated region resumes with the source's
+  // heartbeat count so supervisor progress deltas stay monotone.
+  void RestoreBeats(uint64_t beats) { beats_retired_ = beats; }
 
   // Drops all queued packets on every stream (recovery flush before the
   // region is reprogrammed). Returns the number of packets discarded.

@@ -119,6 +119,27 @@ TEST(AnalyzerFixtures, CrossShardDirectAccessFlaggedMailboxAllowed) {
   EXPECT_FALSE(AnyAtLine(findings, 26)) << FormatReport(findings);
 }
 
+TEST(AnalyzerFixtures, OrchestratorContextGuardsStateMapsAndMailboxOnly) {
+  const auto findings = AnalyzeFixture("orchestrator_ctx.cc");
+  // The bolt-on ledger mutates from the heartbeat callback with no guard.
+  const Finding* ledger = FindAtLine(findings, "guard-state", 54);
+  ASSERT_NE(ledger, nullptr) << FormatReport(findings);
+  EXPECT_NE(ledger->message.find("EvacLedger::pending_"), std::string::npos)
+      << ledger->message;
+  EXPECT_TRUE(ChainContains(*ledger, "ArmControlPlane")) << ledger->ChainString();
+  EXPECT_TRUE(ChainContains(*ledger, "Record")) << ledger->ChainString();
+  // The rebalance helper bypasses the mailbox with .shard().
+  const Finding* drain = FindAtLine(findings, "cross-shard", 63);
+  ASSERT_NE(drain, nullptr) << FormatReport(findings);
+  EXPECT_TRUE(ChainContains(*drain, "Drain")) << drain->ChainString();
+  // The control plane's own state maps register an AccessGuard member: both
+  // handler mutations are clean, as is the sanctioned Post forward.
+  EXPECT_FALSE(AnyAtLine(findings, 37)) << FormatReport(findings);
+  EXPECT_FALSE(AnyAtLine(findings, 41)) << FormatReport(findings);
+  EXPECT_FALSE(AnyAtLine(findings, 67)) << FormatReport(findings);
+  EXPECT_EQ(findings.size(), 2u) << FormatReport(findings);
+}
+
 // --- Golden clean reports ---------------------------------------------------
 
 TEST(AnalyzerFixtures, CleanFixtureProducesTheGoldenEmptyReport) {

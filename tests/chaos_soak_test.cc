@@ -673,11 +673,15 @@ TEST(ChaosSoakTest, SixtyFourClientCombinedChaosSoakIsHangFreeAndDeterministic) 
     EXPECT_EQ(ok_count + err_count, 64u);  // the loop completed: zero hangs
     EXPECT_GT(ok_count, 0u);
     EXPECT_GT(sup.hangs_detected(), 0u);   // the chaos really bit
-    EXPECT_EQ(sup.recoveries(), sup.hangs_detected());  // every hang recovered
-    EXPECT_EQ(sup.permanent_quarantines(), 0u);
+    // Every detection ends the incident chain one of two ways: a successful
+    // recovery, or — for a region that keeps relapsing straight out of
+    // probation until its carried budget runs dry — a permanent quarantine.
+    // Quarantined regions bounce later work with typed errors, never hangs.
+    EXPECT_EQ(sup.recoveries() + sup.permanent_quarantines(), sup.hangs_detected());
+    EXPECT_LE(sup.permanent_quarantines(), 2u);  // at most one per region
     return std::make_tuple(ok_count, err_count, sup.hangs_detected(),
-                           sup.TraceFingerprint(), injector.ScheduleFingerprint(),
-                           data_hash);
+                           sup.permanent_quarantines(), sup.TraceFingerprint(),
+                           injector.ScheduleFingerprint(), data_hash);
   };
 
   const auto first = run(77);

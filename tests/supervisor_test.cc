@@ -317,6 +317,86 @@ TEST_F(SupervisorTest, FailedRecoveryEscalatesToPermanentQuarantine) {
   sup.Stop();
 }
 
+TEST_F(SupervisorTest, RelapseMidProbationCarriesTheIncidentBudget) {
+  // Three consecutive hangs with max_recoveries = 2: the first two recover
+  // (attempts 1 and 2 of the incident chain), but the region relapses in
+  // probation each time, so the third detection finds the budget already
+  // spent and escalates to permanent quarantine — no ICAP failure needed.
+  sim::FaultPlan plan;
+  plan.seed = 47;
+  plan.kernel_hang_first_n = 3;
+  AttachChaos(plan);
+  ASSERT_TRUE(dev_->ReconfigureApp("/bit/app.bin", 0).ok);
+
+  Supervisor::Config scfg = FastWatchdog();
+  scfg.max_recoveries = 2;
+  scfg.probation_ticks = 50;  // long probation: the relapse always lands inside it
+  Supervisor sup(dev_.get(), nullptr, scfg);
+  sup.SetLastKnownGood(0, "/bit/app.bin");
+  sup.Start();
+
+  CThread t(dev_.get(), 0);
+  EXPECT_FALSE(RunTransfer(t));  // hang #1
+  ASSERT_TRUE(dev_->engine().RunUntilCondition([&] { return sup.recoveries() == 1; }));
+  EXPECT_EQ(sup.health(0), Supervisor::RegionHealth::kProbation);
+
+  EXPECT_FALSE(RunTransfer(t));  // hang #2, mid-probation: relapse, attempt 2
+  ASSERT_TRUE(dev_->engine().RunUntilCondition([&] { return sup.recoveries() == 2; }));
+  EXPECT_EQ(sup.health(0), Supervisor::RegionHealth::kProbation);
+
+  EXPECT_FALSE(RunTransfer(t));  // hang #3: the chain's budget is gone
+  ASSERT_TRUE(dev_->engine().RunUntilCondition(
+      [&] { return sup.permanent_quarantines() == 1; }));
+  EXPECT_EQ(sup.health(0), Supervisor::RegionHealth::kQuarantined);
+
+  // The chain never readmitted, every reprogram succeeded, and the budget
+  // carried across relapses instead of resetting per detection.
+  EXPECT_EQ(sup.readmissions(), 0u);
+  EXPECT_EQ(sup.failed_recoveries(), 0u);
+  EXPECT_EQ(sup.hangs_detected(), 3u);
+  ASSERT_EQ(sup.incidents().size(), 3u);
+  EXPECT_EQ(sup.incidents()[1].fault_class, "probation.relapse");
+  EXPECT_EQ(sup.incidents()[2].fault_class, "probation.relapse");
+  EXPECT_FALSE(sup.incidents()[2].recovered);
+  bool traced_relapse = false;
+  for (const auto& line : sup.trace()) {
+    traced_relapse = traced_relapse || line.find("probation.relapse") != std::string::npos;
+  }
+  EXPECT_TRUE(traced_relapse);
+  sup.Stop();
+}
+
+TEST_F(SupervisorTest, CleanReadmissionResetsTheIncidentBudget) {
+  // Contrast case: the same two hangs, but the region is allowed to finish
+  // probation cleanly in between. Each hang is then a *fresh* incident with
+  // a full budget, so even max_recoveries = 1 never escalates.
+  sim::FaultPlan plan;
+  plan.seed = 48;
+  plan.kernel_hang_first_n = 2;
+  AttachChaos(plan);
+  ASSERT_TRUE(dev_->ReconfigureApp("/bit/app.bin", 0).ok);
+
+  Supervisor::Config scfg = FastWatchdog();
+  scfg.max_recoveries = 1;
+  scfg.probation_ticks = 2;
+  Supervisor sup(dev_.get(), nullptr, scfg);
+  sup.SetLastKnownGood(0, "/bit/app.bin");
+  sup.Start();
+
+  CThread t(dev_.get(), 0);
+  EXPECT_FALSE(RunTransfer(t));  // hang #1
+  ASSERT_TRUE(dev_->engine().RunUntilCondition([&] { return sup.readmissions() == 1; }));
+  EXPECT_EQ(sup.health(0), Supervisor::RegionHealth::kHealthy);
+
+  EXPECT_FALSE(RunTransfer(t));  // hang #2, after clean re-admission
+  ASSERT_TRUE(dev_->engine().RunUntilCondition([&] { return sup.readmissions() == 2; }));
+  EXPECT_EQ(sup.recoveries(), 2u);
+  EXPECT_EQ(sup.permanent_quarantines(), 0u);
+  ASSERT_EQ(sup.incidents().size(), 2u);
+  EXPECT_EQ(sup.incidents()[1].fault_class, "kernel.hang");  // not a relapse
+  sup.Stop();
+}
+
 TEST_F(SupervisorTest, TraceFingerprintIsIdenticalForSameSeed) {
   auto run = [](uint64_t seed) {
     SimDevice::Config cfg = TwoRegionConfig();

@@ -9,6 +9,7 @@
 
 #include "src/services/vector_kernels.h"
 #include "src/sim/engine.h"
+#include "src/vfpga/checkpoint.h"
 #include "src/vfpga/kernel.h"
 #include "src/vfpga/vfpga.h"
 
@@ -125,6 +126,128 @@ TEST(VfpgaTest, CsrFileIsPerRegion) {
   b.csr().Write(0, 0xBBBB);
   EXPECT_EQ(a.csr().Read(0), 0xAAAAu);
   EXPECT_EQ(b.csr().Read(0), 0xBBBBu);
+}
+
+// --- CYK1 checkpoints ---------------------------------------------------------
+
+TEST(CheckpointTest, WriterReaderRoundtripPreservesEveryFieldType) {
+  ckpt::Writer w(/*flags=*/0x0102);
+  w.U8(0xAB);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.Str("tenant-7");
+  w.Bytes(std::vector<uint8_t>{1, 2, 3, 4, 5});
+  const std::vector<uint8_t> blob = std::move(w).Finish();
+
+  ckpt::Reader r(blob);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.flags(), 0x0102);
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0xBEEF);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.Str(), "tenant-7");
+  EXPECT_EQ(r.Bytes(), (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CheckpointTest, CrcTrailerRejectsAnySingleBitFlip) {
+  ckpt::Writer w;
+  w.U64(42);
+  w.Str("payload");
+  const std::vector<uint8_t> blob = std::move(w).Finish();
+  ASSERT_TRUE(ckpt::Reader(blob).ok());
+
+  // Flip one bit anywhere — header, payload, or the trailer itself — and the
+  // whole checkpoint must be rejected before a single field is handed out.
+  for (size_t i = 0; i < blob.size(); ++i) {
+    std::vector<uint8_t> bad = blob;
+    bad[i] ^= 0x10;
+    EXPECT_FALSE(ckpt::Reader(bad).ok()) << "byte " << i;
+  }
+}
+
+TEST(CheckpointTest, TruncatedOrOverlongBlobIsRejected) {
+  ckpt::Writer w;
+  w.U32(7);
+  const std::vector<uint8_t> blob = std::move(w).Finish();
+  for (size_t len = 0; len < blob.size(); ++len) {
+    const std::vector<uint8_t> cut(blob.begin(), blob.begin() + static_cast<long>(len));
+    EXPECT_FALSE(ckpt::Reader(cut).ok()) << "len " << len;
+  }
+  std::vector<uint8_t> padded = blob;
+  padded.push_back(0);
+  EXPECT_FALSE(ckpt::Reader(padded).ok());
+}
+
+TEST(CheckpointTest, RegionSnapshotRoundtripsCsrsBeatsAndKernelState) {
+  sim::Engine engine;
+  Vfpga src(&engine, 0, SmallConfig());
+  src.LoadKernel(std::make_unique<services::PassthroughKernel>());
+  src.csr().Write(3, 0x33);
+  src.csr().Write(0, 0x11);
+
+  // Push data through so the kernel accumulates private state and the
+  // region retires beats — the parts a reprogram would lose.
+  axi::StreamPacket p;
+  p.data.assign(64, 0x42);
+  src.host_in(0).Push(std::move(p));
+  engine.RunUntilIdle();
+  ASSERT_GT(src.beats_retired(), 0u);
+
+  const RegionSnapshot snap = CaptureRegion(src);
+  EXPECT_EQ(snap.kernel_name, "passthrough");
+  EXPECT_EQ(snap.beats_retired, src.beats_retired());
+
+  // Embed into a CYK1 stream and read it back — the orchestrator's path.
+  ckpt::Writer w;
+  snap.AppendTo(&w);
+  const std::vector<uint8_t> blob = std::move(w).Finish();
+  ckpt::Reader r(blob);
+  ASSERT_TRUE(r.ok());
+  RegionSnapshot parsed;
+  ASSERT_TRUE(parsed.ParseFrom(&r));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(parsed, snap);
+
+  // Restore onto a fresh region with the same kernel resident: CSRs, beat
+  // counter, and kernel state all carry over.
+  Vfpga dst(&engine, 1, SmallConfig());
+  dst.LoadKernel(std::make_unique<services::PassthroughKernel>());
+  ASSERT_TRUE(RestoreRegion(dst, parsed));
+  EXPECT_EQ(dst.csr().Read(0), 0x11u);
+  EXPECT_EQ(dst.csr().Read(3), 0x33u);
+  EXPECT_EQ(dst.beats_retired(), src.beats_retired());
+  const RegionSnapshot again = CaptureRegion(dst);
+  EXPECT_EQ(again, snap);
+}
+
+TEST(CheckpointTest, RestoreRejectsKernelMismatch) {
+  sim::Engine engine;
+  Vfpga src(&engine, 0, SmallConfig());
+  src.LoadKernel(std::make_unique<services::PassthroughKernel>());
+  const RegionSnapshot snap = CaptureRegion(src);
+
+  Vfpga empty(&engine, 1, SmallConfig());
+  EXPECT_FALSE(RestoreRegion(empty, snap));  // no kernel resident
+}
+
+TEST(CheckpointTest, SameStateProducesBitIdenticalBlobs) {
+  auto capture = [] {
+    sim::Engine engine;
+    Vfpga region(&engine, 0, SmallConfig());
+    region.LoadKernel(std::make_unique<services::PassthroughKernel>());
+    region.csr().Write(5, 0x55);
+    axi::StreamPacket p;
+    p.data.assign(64, 0x17);
+    region.host_in(0).Push(std::move(p));
+    engine.RunUntilIdle();
+    ckpt::Writer w;
+    CaptureRegion(region).AppendTo(&w);
+    return std::move(w).Finish();
+  };
+  EXPECT_EQ(capture(), capture());
 }
 
 }  // namespace
