@@ -198,36 +198,32 @@ int Run() {
   const bool ok = planned.settled && killed.settled && planned.sheds == 0 &&
                   killed.sheds == 0 && killed.evacuations == 2 && killed.mttr > 0;
 
-  std::FILE* json = std::fopen("BENCH_migration.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"bench\": \"migration\",\n  \"seed\": %llu,\n",
-                 static_cast<unsigned long long>(kSeed));
-    std::fprintf(json, "  \"deterministic_same_seed\": %s,\n", same_seed ? "true" : "false");
-    std::fprintf(json, "  \"deterministic_across_shards\": %s,\n",
-                 across_shards ? "true" : "false");
-    std::fprintf(json,
-                 "  \"planned\": {\"ckpt_bytes\": %llu, \"ckpt_pages\": %llu, "
-                 "\"chunks\": %u, \"capture_latency_ps\": %llu, \"downtime_ps\": %llu, "
-                 "\"settled_at_ps\": %llu, \"trace_fingerprint\": \"%016llx\"},\n",
-                 static_cast<unsigned long long>(planned.ckpt_bytes),
-                 static_cast<unsigned long long>(planned.ckpt_pages), planned.chunks,
-                 static_cast<unsigned long long>(planned.capture_latency),
-                 static_cast<unsigned long long>(planned.downtime),
-                 static_cast<unsigned long long>(planned.settled_at),
-                 static_cast<unsigned long long>(planned.trace_fp));
-    std::fprintf(json,
-                 "  \"kill_one_node\": {\"evacuations\": %llu, \"sheds\": %llu, "
-                 "\"ckpt_bytes\": %llu, \"downtime_ps\": %llu, \"mttr_ps\": %llu, "
-                 "\"settled_at_ps\": %llu, \"trace_fingerprint\": \"%016llx\"},\n",
-                 static_cast<unsigned long long>(killed.evacuations),
-                 static_cast<unsigned long long>(killed.sheds),
-                 static_cast<unsigned long long>(killed.ckpt_bytes),
-                 static_cast<unsigned long long>(killed.downtime),
-                 static_cast<unsigned long long>(killed.mttr),
-                 static_cast<unsigned long long>(killed.settled_at),
-                 static_cast<unsigned long long>(killed.trace_fp));
-    std::fprintf(json, "  \"wall_golden_runs_s\": %.6f\n}\n", wall_golden_s);
-    std::fclose(json);
+  bench::BenchJsonWriter json("BENCH_migration.json");
+  if (json.ok()) {
+    json.Field("bench", "migration");
+    json.Field("seed", kSeed);
+    json.Field("deterministic_same_seed", same_seed);
+    json.Field("deterministic_across_shards", across_shards);
+    json.BeginObject("planned");
+    json.Field("ckpt_bytes", planned.ckpt_bytes);
+    json.Field("ckpt_pages", planned.ckpt_pages);
+    json.Field("chunks", planned.chunks);
+    json.Field("capture_latency_ps", planned.capture_latency);
+    json.Field("downtime_ps", planned.downtime);
+    json.Field("settled_at_ps", planned.settled_at);
+    json.Hex("trace_fingerprint", planned.trace_fp);
+    json.End();
+    json.BeginObject("kill_one_node");
+    json.Field("evacuations", killed.evacuations);
+    json.Field("sheds", killed.sheds);
+    json.Field("ckpt_bytes", killed.ckpt_bytes);
+    json.Field("downtime_ps", killed.downtime);
+    json.Field("mttr_ps", killed.mttr);
+    json.Field("settled_at_ps", killed.settled_at);
+    json.Hex("trace_fingerprint", killed.trace_fp);
+    json.End();
+    json.Wall("golden_runs_s", wall_golden_s);
+    json.Close();
     bench::Note("wrote BENCH_migration.json");
   }
 

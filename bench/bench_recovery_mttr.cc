@@ -202,31 +202,28 @@ int Run() {
   bench::Note(deterministic ? "det.: same-seed rerun reproduced every number bit-exactly."
                             : "det.: DETERMINISM VIOLATION — same-seed reruns diverged.");
 
-  std::FILE* json = std::fopen("BENCH_recovery.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"bench\": \"recovery_mttr\",\n  \"seed\": %llu,\n",
-                 static_cast<unsigned long long>(kSeed));
-    std::fprintf(json, "  \"deterministic\": %s,\n  \"scenarios\": [\n",
-                 deterministic ? "true" : "false");
+  bench::BenchJsonWriter json("BENCH_recovery.json");
+  if (json.ok()) {
+    json.Field("bench", "recovery_mttr");
+    json.Field("seed", kSeed);
+    json.Field("deterministic", deterministic);
+    json.BeginArray("scenarios");
     for (size_t i = 0; i < outcomes.size(); ++i) {
       const Scenario& s = kScenarios[i];
       const Outcome& o = outcomes[i];
-      std::fprintf(json,
-                   "    {\"name\": \"%s\", \"fault_class\": \"%s\", \"ok\": %s, "
-                   "\"detect_latency_ps\": %llu, \"mttr_ps\": %llu, "
-                   "\"trace_fingerprint\": \"%016llx\", "
-                   "\"icap_programs_failed\": %llu, "
-                   "\"supervisor_failed_recoveries\": %llu}%s\n",
-                   s.name, s.fault_class, o.ok ? "true" : "false",
-                   static_cast<unsigned long long>(o.detect_latency),
-                   static_cast<unsigned long long>(o.mttr),
-                   static_cast<unsigned long long>(o.trace_fingerprint),
-                   static_cast<unsigned long long>(o.icap_programs_failed),
-                   static_cast<unsigned long long>(o.supervisor_failed_recoveries),
-                   i + 1 < outcomes.size() ? "," : "");
+      json.BeginObject();
+      json.Field("name", s.name);
+      json.Field("fault_class", s.fault_class);
+      json.Field("ok", o.ok);
+      json.Field("detect_latency_ps", o.detect_latency);
+      json.Field("mttr_ps", o.mttr);
+      json.Hex("trace_fingerprint", o.trace_fingerprint);
+      json.Field("icap_programs_failed", o.icap_programs_failed);
+      json.Field("supervisor_failed_recoveries", o.supervisor_failed_recoveries);
+      json.End();
     }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
+    json.End();
+    json.Close();
     bench::Note("wrote BENCH_recovery.json");
   }
 

@@ -480,72 +480,60 @@ int main(int argc, char** argv) {
     }
   }
 
+  auto emit_shard_cases = [&shard_results](bench::BenchJsonWriter* json) {
+    json->BeginArray("shard_cases");
+    for (const ShardCaseResult& r : shard_results) {
+      json->BeginObject();
+      json->Field("shards", r.shards);
+      json->Field("events", r.events);
+      json->Field("final_time_ps", r.final_time_ps);
+      json->Field("cross_shard_messages", r.cross_shard_messages);
+      json->Field("windows", r.windows);
+      json->Wall("seconds", r.wall_seconds);
+      json->Wall("events_per_sec", bench::EventsPerSec(r.events, r.wall_seconds));
+      json->End();
+    }
+    json->End();
+  };
+
   if (shards_only) {
-    std::FILE* json = std::fopen("BENCH_sim_shards.json", "w");
-    if (json != nullptr) {
-      std::fprintf(json, "{\n  \"bench\": \"sim_shards\",\n  \"shard_cases\": [\n");
-      for (size_t i = 0; i < shard_results.size(); ++i) {
-        const ShardCaseResult& r = shard_results[i];
-        std::fprintf(json,
-                     "    {\"shards\": %u, \"events\": %llu, \"final_time_ps\": %llu,\n"
-                     "     \"cross_shard_messages\": %llu, \"windows\": %llu,\n"
-                     "     \"wall_seconds\": %.6f,\n     \"wall_events_per_sec\": %.0f}%s\n",
-                     r.shards, static_cast<unsigned long long>(r.events),
-                     static_cast<unsigned long long>(r.final_time_ps),
-                     static_cast<unsigned long long>(r.cross_shard_messages),
-                     static_cast<unsigned long long>(r.windows), r.wall_seconds,
-                     bench::EventsPerSec(r.events, r.wall_seconds),
-                     i + 1 < shard_results.size() ? "," : "");
-      }
-      std::fprintf(json, "  ]\n}\n");
-      std::fclose(json);
+    bench::BenchJsonWriter json("BENCH_sim_shards.json");
+    if (json.ok()) {
+      json.Field("bench", "sim_shards");
+      emit_shard_cases(&json);
+      json.Close();
       bench::Note("wrote BENCH_sim_shards.json");
     }
     return 0;
   }
 
-  std::FILE* json = std::fopen("BENCH_sim_perf.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"bench\": \"sim_perf\",\n  \"cases\": [\n");
-    for (size_t i = 0; i < results.size(); ++i) {
-      const CaseResult& r = results[i];
-      std::fprintf(json,
-                   "    {\"name\": \"%s\", \"engine\": \"%s\", \"events\": %llu,\n"
-                   "     \"allocs\": %llu, \"final_time_ps\": %llu,\n"
-                   "     \"wall_seconds\": %.6f, \"wall_events_per_sec\": %.0f}%s\n",
-                   r.name, r.engine, static_cast<unsigned long long>(r.events),
-                   static_cast<unsigned long long>(r.allocs),
-                   static_cast<unsigned long long>(r.final_time_ps), r.wall_seconds,
-                   bench::EventsPerSec(r.events, r.wall_seconds),
-                   i + 1 < results.size() ? "," : "");
+  bench::BenchJsonWriter json("BENCH_sim_perf.json");
+  if (json.ok()) {
+    json.Field("bench", "sim_perf");
+    json.BeginArray("cases");
+    for (const CaseResult& r : results) {
+      json.BeginObject();
+      json.Field("name", r.name);
+      json.Field("engine", r.engine);
+      json.Field("events", r.events);
+      json.Field("allocs", r.allocs);
+      json.Field("final_time_ps", r.final_time_ps);
+      json.Wall("seconds", r.wall_seconds);
+      json.Wall("events_per_sec", bench::EventsPerSec(r.events, r.wall_seconds));
+      json.End();
     }
-    std::fprintf(json, "  ],\n");
-    std::fprintf(json,
-                 "  \"fanout\": {\"deliveries\": %llu, \"bytes_touched\": %llu,\n"
-                 "    \"checksum\": %llu, \"view_allocs\": %llu, \"copy_allocs\": %llu,\n"
-                 "    \"wall_view_seconds\": %.6f, \"wall_copy_seconds\": %.6f},\n",
-                 static_cast<unsigned long long>(views.deliveries),
-                 static_cast<unsigned long long>(views.bytes_touched),
-                 static_cast<unsigned long long>(views.checksum),
-                 static_cast<unsigned long long>(views.allocs),
-                 static_cast<unsigned long long>(copies.allocs), views.wall_seconds,
-                 copies.wall_seconds);
-    std::fprintf(json, "  \"shard_cases\": [\n");
-    for (size_t i = 0; i < shard_results.size(); ++i) {
-      const ShardCaseResult& r = shard_results[i];
-      std::fprintf(json,
-                   "    {\"shards\": %u, \"events\": %llu, \"final_time_ps\": %llu,\n"
-                   "     \"cross_shard_messages\": %llu, \"windows\": %llu,\n"
-                   "     \"wall_seconds\": %.6f,\n     \"wall_events_per_sec\": %.0f}%s\n",
-                   r.shards, static_cast<unsigned long long>(r.events),
-                   static_cast<unsigned long long>(r.final_time_ps),
-                   static_cast<unsigned long long>(r.cross_shard_messages),
-                   static_cast<unsigned long long>(r.windows), r.wall_seconds,
-                   bench::EventsPerSec(r.events, r.wall_seconds),
-                   i + 1 < shard_results.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
+    json.End();
+    json.BeginObject("fanout");
+    json.Field("deliveries", views.deliveries);
+    json.Field("bytes_touched", views.bytes_touched);
+    json.Field("checksum", views.checksum);
+    json.Field("view_allocs", views.allocs);
+    json.Field("copy_allocs", copies.allocs);
+    json.Wall("view_seconds", views.wall_seconds);
+    json.Wall("copy_seconds", copies.wall_seconds);
+    json.End();
+    emit_shard_cases(&json);
+    json.Close();
     bench::Note("wrote BENCH_sim_perf.json");
   }
   return 0;

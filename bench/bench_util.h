@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <type_traits>
 
 namespace coyote {
 namespace bench {
@@ -68,6 +69,152 @@ inline void RowEventsPerSec(const char* label, uint64_t events, double seconds) 
   Row("  %-32s %12llu events  %8.4f s  %9.2f M events/s", label,
       static_cast<unsigned long long>(events), seconds, EventsPerSec(events, seconds) / 1e6);
 }
+
+// --- BENCH_*.json emission ----------------------------------------------------
+// Every bench binary writes one machine-readable result file. The writer is a
+// small state machine (comma/indent tracking over a FILE*) so emitters list
+// fields instead of hand-balancing printf format strings, and it owns the one
+// convention the CI determinism diffs rely on: every nondeterministic value
+// (anything derived from WallTimer) goes through Wall(), which forces the
+// key's "wall_" prefix so `grep -v '"wall_'` filters exactly those lines.
+//
+// Usage:
+//   BenchJsonWriter json("BENCH_foo.json");
+//   if (json.ok()) {
+//     json.Field("bench", "foo");
+//     json.BeginArray("cases");
+//     for (...) { json.BeginObject(); json.Field("n", n); json.End(); }
+//     json.End();
+//     json.Wall("seconds", timer.Seconds());  // emits "wall_seconds"
+//   }
+// The root object opens at construction and closes (with any unbalanced
+// scopes) in Close()/the destructor.
+
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const std::string& path) : f_(std::fopen(path.c_str(), "w")) {
+    if (f_ != nullptr) {
+      std::fputc('{', f_);
+    }
+  }
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+  ~BenchJsonWriter() { Close(); }
+
+  bool ok() const { return f_ != nullptr; }
+
+  void Close() {
+    if (f_ == nullptr) {
+      return;
+    }
+    while (depth_ > 0) {
+      End();
+    }
+    std::fputs("\n}\n", f_);
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+
+  // key == nullptr: an anonymous value (array element).
+  void BeginObject(const char* key = nullptr) { Open(key, '{', '}'); }
+  void BeginArray(const char* key = nullptr) { Open(key, '[', ']'); }
+  void End() {
+    if (f_ == nullptr || depth_ == 0) {
+      return;
+    }
+    std::fputc('\n', f_);
+    Pad(depth_ - 1);
+    std::fputc(close_[depth_], f_);
+    --depth_;
+  }
+
+  void Field(const char* key, const char* v) {
+    if (f_ == nullptr) {
+      return;
+    }
+    Prefix(key);
+    std::fprintf(f_, "\"%s\"", v);
+  }
+  void Field(const char* key, const std::string& v) { Field(key, v.c_str()); }
+  void Field(const char* key, bool v) {
+    if (f_ == nullptr) {
+      return;
+    }
+    Prefix(key);
+    std::fputs(v ? "true" : "false", f_);
+  }
+  void Field(const char* key, double v) {
+    if (f_ == nullptr) {
+      return;
+    }
+    Prefix(key);
+    std::fprintf(f_, "%.6f", v);
+  }
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>>>
+  void Field(const char* key, T v) {
+    if (f_ == nullptr) {
+      return;
+    }
+    Prefix(key);
+    if constexpr (std::is_signed_v<T>) {
+      std::fprintf(f_, "%lld", static_cast<long long>(v));
+    } else {
+      std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+    }
+  }
+  // Fingerprints: quoted zero-padded hex, the repo-wide convention.
+  void Hex(const char* key, uint64_t v) {
+    if (f_ == nullptr) {
+      return;
+    }
+    Prefix(key);
+    std::fprintf(f_, "\"%016llx\"", static_cast<unsigned long long>(v));
+  }
+  // Nondeterministic (wall-clock-derived) value: the "wall_" key prefix is
+  // enforced here, not trusted at every call site.
+  void Wall(const char* key, double v) {
+    std::string k(key);
+    if (k.rfind("wall_", 0) != 0) {
+      k = "wall_" + k;
+    }
+    Field(k.c_str(), v);
+  }
+
+ private:
+  static constexpr int kMaxDepth = 15;
+
+  void Pad(int depth) {
+    for (int i = 0; i <= depth; ++i) {
+      std::fputs("  ", f_);
+    }
+  }
+  void Prefix(const char* key) {
+    if (count_[depth_]++ > 0) {
+      std::fputc(',', f_);
+    }
+    std::fputc('\n', f_);
+    Pad(depth_);
+    if (key != nullptr) {
+      std::fprintf(f_, "\"%s\": ", key);
+    }
+  }
+  void Open(const char* key, char open, char close) {
+    if (f_ == nullptr || depth_ + 1 > kMaxDepth) {
+      return;
+    }
+    Prefix(key);
+    std::fputc(open, f_);
+    ++depth_;
+    close_[depth_] = close;
+    count_[depth_] = 0;
+  }
+
+  std::FILE* f_;
+  int depth_ = 0;
+  char close_[kMaxDepth + 1] = {'}'};
+  uint32_t count_[kMaxDepth + 1] = {0};
+};
 
 }  // namespace bench
 }  // namespace coyote

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/runtime/serving.h"
 #include "src/vfpga/checkpoint.h"
 
 namespace coyote {
 namespace runtime {
 
 namespace {
+
+using serving::FoldBytes;
 
 // Injector seed derivation: one independent stream per logical node, stable
 // across shard counts and placements.
@@ -20,13 +23,6 @@ uint64_t NodeSeed(uint64_t fleet_seed, uint32_t logical_node) {
 // same bytes, so the rolling data hash is a pure function of the spec.
 uint8_t PatternByte(uint32_t tenant, uint64_t item, uint64_t i) {
   return static_cast<uint8_t>((tenant * 131 + item * 31 + i * 7) ^ (i >> 8));
-}
-
-void FoldBytes(uint64_t* h, const uint8_t* data, size_t len) {
-  for (size_t i = 0; i < len; ++i) {
-    *h ^= data[i];
-    *h *= 0x100000001b3ull;
-  }
 }
 
 }  // namespace
@@ -251,17 +247,18 @@ void Fleet::StartItem(uint32_t node, uint32_t tenant) {
   }
   node_guards_[node]->Write();
   t.item_inflight = true;
+  // One item = one serving envelope: the same request shape the Router ships
+  // to node schedulers, here issued directly on the tenant's resident region.
   std::vector<uint8_t> payload(t.spec.item_bytes);
   for (uint64_t i = 0; i < t.spec.item_bytes; ++i) {
     payload[i] = PatternByte(tenant, t.items_done, i);
   }
-  t.thread->WriteBuffer(t.src_vaddr, payload.data(), payload.size());
-  SgEntry sg;
-  sg.local = {.src_addr = t.src_vaddr,
-              .src_len = t.spec.item_bytes,
-              .dst_addr = t.dst_vaddr,
-              .dst_len = t.spec.item_bytes};
-  t.thread->Invoke(Oper::kLocalTransfer, sg);
+  serving::ServingRequest item;
+  item.id = t.items_done;
+  item.tenant = tenant;
+  item.kernel = config_.kernel_name;
+  item.payload = axi::BufferView(std::move(payload));
+  serving::StageAndInvoke(t.thread.get(), t.src_vaddr, t.dst_vaddr, item);
 }
 
 void Fleet::OnItemComplete(uint32_t node, uint32_t tenant, CThread::Task task, OpStatus status) {
@@ -675,13 +672,7 @@ void Fleet::OnResendRequest(uint32_t src_logical, uint32_t tenant, std::vector<u
     }
     orch_->OnTransferRound(tenant, round);
     const MigrationRecord& rec = orch_->records_[bit->second];
-    const auto& nh = orch_->health_.at(rec.dst_node);
-    int32_t region = -1;
-    for (uint32_t r = 0; r < nh.region_tenant.size(); ++r) {
-      if (nh.region_tenant[r] == static_cast<int32_t>(tenant)) {
-        region = static_cast<int32_t>(r);
-      }
-    }
+    const int32_t region = orch_->health_.at(rec.dst_node).regions.FindTenant(tenant);
     const uint32_t total = static_cast<uint32_t>(
         (it->second.blob.size() + config_.chunk_bytes - 1) / config_.chunk_bytes);
     SendChunks(orch_logical_, rec.dst_node, tenant, it->second.blob, missing, total, round,
@@ -894,8 +885,7 @@ Orchestrator::Orchestrator(Fleet* fleet)
   ckpt_guard_.BindShard(shard);
   for (uint32_t n = 0; n < fleet_->config_.num_nodes; ++n) {
     NodeHealth h;
-    h.free_regions = fleet_->config_.regions_per_node;
-    h.region_tenant.assign(fleet_->config_.regions_per_node, -1);
+    h.regions.Reset(fleet_->config_.regions_per_node);
     health_[n] = std::move(h);
   }
 }
@@ -931,18 +921,13 @@ void Orchestrator::AdmitTenant(uint32_t tenant, const TenantSpec& spec, uint32_t
 }
 
 void Orchestrator::ReserveRegion(uint32_t node, int32_t region, uint32_t tenant) {
-  NodeHealth& h = health_[node];
-  if (region >= 0 && h.region_tenant[region] < 0) {
-    h.region_tenant[region] = static_cast<int32_t>(tenant);
-    --h.free_regions;
-  }
+  health_[node].regions.Reserve(region, tenant);
 }
 
 void Orchestrator::ReleaseRegion(uint32_t node, int32_t region) {
   NodeHealth& h = health_[node];
-  if (h.believed_alive && region >= 0 && h.region_tenant[region] >= 0) {
-    h.region_tenant[region] = -1;
-    ++h.free_regions;
+  if (h.believed_alive) {
+    h.regions.Release(region);
   }
 }
 
@@ -984,19 +969,13 @@ void Orchestrator::StartMigration(uint32_t tenant, uint32_t dst_node, const std:
   TenantBook& book = it->second;
   const NodeHealth& dst = health_[dst_node];
   if (book.outcome != TenantOutcome::kRunning || book.migrating ||
-      !health_[book.node].believed_alive || !dst.believed_alive || dst.free_regions == 0 ||
+      !health_[book.node].believed_alive || !dst.believed_alive || dst.regions.free() == 0 ||
       dst_node == book.node) {
     Trace("tenant=" + std::to_string(tenant) + " migrate.reject dst=" +
           std::to_string(dst_node));
     return;
   }
-  int32_t region = -1;
-  for (uint32_t r = 0; r < dst.region_tenant.size(); ++r) {
-    if (dst.region_tenant[r] < 0) {
-      region = static_cast<int32_t>(r);
-      break;
-    }
-  }
+  const int32_t region = dst.regions.FindFree();
   ReserveRegion(dst_node, region, tenant);
   book.migrating = true;
 
@@ -1079,13 +1058,7 @@ void Orchestrator::OnMigrationDone(uint32_t tenant, sim::TimePs resumed_at) {
   const int32_t old_region = book.region;
   book.node = rec->dst_node;
   book.migrating = false;
-  const NodeHealth& dst = health_[rec->dst_node];
-  book.region = -1;
-  for (uint32_t r = 0; r < dst.region_tenant.size(); ++r) {
-    if (dst.region_tenant[r] == static_cast<int32_t>(tenant)) {
-      book.region = static_cast<int32_t>(r);
-    }
-  }
+  book.region = health_[rec->dst_node].regions.FindTenant(tenant);
   active_migration_.erase(tenant);
   Trace("tenant=" + std::to_string(tenant) + " resume node=" + std::to_string(book.node) +
         " downtime=" + std::to_string(rec->downtime) + " outcome=" + rec->outcome);
@@ -1114,8 +1087,8 @@ void Orchestrator::OnMigrationFailed(uint32_t tenant, const std::string& why) {
 
   // Release the destination reservation in every failure shape.
   const NodeHealth& dst = health_[rec->dst_node];
-  for (uint32_t r = 0; r < dst.region_tenant.size(); ++r) {
-    if (dst.region_tenant[r] == static_cast<int32_t>(tenant) &&
+  for (uint32_t r = 0; r < dst.regions.size(); ++r) {
+    if (dst.regions.tenant_at(r) == static_cast<int32_t>(tenant) &&
         static_cast<int32_t>(r) != book.region) {
       ReleaseRegion(rec->dst_node, static_cast<int32_t>(r));
     }
@@ -1226,7 +1199,7 @@ void Orchestrator::DeclareDead(uint32_t node) {
   health_guard_.Write();
   NodeHealth& h = health_[node];
   h.believed_alive = false;
-  h.free_regions = 0;
+  h.regions.CloseCapacity();
   ++deaths_declared_;
   Trace("node=" + std::to_string(node) + " dead");
 
@@ -1277,10 +1250,9 @@ void Orchestrator::DeclareDead(uint32_t node) {
           const uint32_t dst = rec->dst_node;
           // The reserved destination region frees up for the evacuation
           // placement decision below.
-          for (uint32_t r = 0; r < health_[dst].region_tenant.size(); ++r) {
-            if (health_[dst].region_tenant[r] == static_cast<int32_t>(id)) {
-              ReleaseRegion(dst, static_cast<int32_t>(r));
-            }
+          const int32_t reserved = health_[dst].regions.FindTenant(id);
+          if (reserved >= 0) {
+            ReleaseRegion(dst, reserved);
           }
           fleet_->PostToNode(fleet_->orch_logical_, dst, 0,
                              [this, dst, id]() { fleet_->AbandonInbound(dst, id); });
@@ -1305,15 +1277,14 @@ void Orchestrator::DeclareDead(uint32_t node) {
 
 bool Orchestrator::FindFreeRegion(uint32_t* node_out, int32_t* region_out) const {
   for (const auto& [node, h] : health_) {
-    if (!h.believed_alive || h.free_regions == 0) {
+    if (!h.believed_alive) {
       continue;
     }
-    for (uint32_t r = 0; r < h.region_tenant.size(); ++r) {
-      if (h.region_tenant[r] < 0) {
-        *node_out = node;
-        *region_out = static_cast<int32_t>(r);
-        return true;
-      }
+    const int32_t r = h.regions.FindFree();
+    if (r >= 0) {
+      *node_out = node;
+      *region_out = r;
+      return true;
     }
   }
   return false;

@@ -314,11 +314,10 @@ class Orchestrator {
     bool believed_alive = true;
     sim::TimePs last_heartbeat_at = 0;
     uint64_t heartbeats = 0;
-    uint32_t free_regions = 0;
-    // Orchestrator-authoritative placement: region -> tenant id (-1 free).
+    // Orchestrator-authoritative placement books (src/runtime/placement.h).
     // Reservations happen here before the destination node hears anything,
     // so two migrations can never race for one region.
-    std::vector<int32_t> region_tenant;
+    RegionBook regions;
   };
 
   // Tenant bookkeeping from the orchestrator's point of view.

@@ -17,6 +17,85 @@
 namespace coyote {
 namespace runtime {
 
+// Region occupancy books for one node: region -> tenant id (-1 free), plus a
+// capacity gate for declared-dead nodes. This is the placement arithmetic
+// the Orchestrator's NodeHealth and the serving Router's per-node view both
+// run on — extracted here so control plane and routing tier can't drift.
+// Deterministic by construction: every lookup scans regions in ascending
+// index order.
+class RegionBook {
+ public:
+  void Reset(uint32_t num_regions) {
+    tenant_.assign(num_regions, -1);
+    closed_ = false;
+  }
+
+  // A dead node offers no capacity, but its (stale) assignments remain
+  // visible so evacuation can enumerate who was resident.
+  void CloseCapacity() { closed_ = true; }
+  bool closed() const { return closed_; }
+
+  uint32_t size() const { return static_cast<uint32_t>(tenant_.size()); }
+  int32_t tenant_at(uint32_t region) const { return tenant_[region]; }
+
+  uint32_t free() const {
+    if (closed_) {
+      return 0;
+    }
+    uint32_t n = 0;
+    for (int32_t t : tenant_) {
+      n += t < 0 ? 1u : 0u;
+    }
+    return n;
+  }
+
+  // Lowest free region, -1 when full (or capacity-closed).
+  int32_t FindFree() const {
+    if (closed_) {
+      return -1;
+    }
+    for (uint32_t r = 0; r < tenant_.size(); ++r) {
+      if (tenant_[r] < 0) {
+        return static_cast<int32_t>(r);
+      }
+    }
+    return -1;
+  }
+
+  // Lowest region assigned to `tenant`, -1 when absent.
+  int32_t FindTenant(uint32_t tenant) const {
+    for (uint32_t r = 0; r < tenant_.size(); ++r) {
+      if (tenant_[r] == static_cast<int32_t>(tenant)) {
+        return static_cast<int32_t>(r);
+      }
+    }
+    return -1;
+  }
+
+  bool Reserve(int32_t region, uint32_t tenant) {
+    if (region < 0 || static_cast<size_t>(region) >= tenant_.size() ||
+        tenant_[static_cast<size_t>(region)] >= 0) {
+      return false;
+    }
+    tenant_[static_cast<size_t>(region)] = static_cast<int32_t>(tenant);
+    return true;
+  }
+
+  bool Release(int32_t region) {
+    if (region < 0 || static_cast<size_t>(region) >= tenant_.size() ||
+        tenant_[static_cast<size_t>(region)] < 0) {
+      return false;
+    }
+    tenant_[static_cast<size_t>(region)] = -1;
+    return true;
+  }
+
+ private:
+  // lint: guard-ok value-type occupancy book embedded in a guarded owner (Orchestrator node health, DataMover region table); every mutation runs in the owner's shard context behind the owner's AccessGuard
+  std::vector<int32_t> tenant_;
+  bool closed_ = false;
+};
+
 struct ShardPlacement {
   // node i -> shard i % num_shards. Best load spread when nodes are
   // homogeneous; adjacent nodes land on different shards.

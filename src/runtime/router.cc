@@ -1,0 +1,864 @@
+#include "src/runtime/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/net/rpc.h"
+
+namespace coyote {
+namespace runtime {
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+Router::Router(sim::Engine* engine, const Config& config)
+    : engine_(engine), config_(config) {
+  nodes_.resize(config_.num_nodes);
+  tokens_ = config_.bucket_burst;
+}
+
+void Router::SetNodeResident(uint32_t node, std::vector<std::string> region_kernels) {
+  nodes_.at(node).region_kernel = std::move(region_kernels);
+}
+
+const char* Router::StatusKey(OpStatus status) {
+  switch (status) {
+    case OpStatus::kOk:
+      return "ok";
+    case OpStatus::kError:
+      return "error";
+    case OpStatus::kDeadlineExceeded:
+      return "deadline";
+    case OpStatus::kAborted:
+      return "aborted";
+    case OpStatus::kShed:
+      return "shed";
+    default:
+      return "pending";
+  }
+}
+
+serving::ServingCompletion Router::LocalCompletion(const serving::ServingRequest& req,
+                                                   OpStatus status) const {
+  serving::ServingCompletion c;
+  c.id = req.id;
+  c.tenant = req.tenant;
+  c.status = status;
+  c.node = config_.num_nodes;  // the router's own logical id
+  c.region = -1;
+  c.submitted_at = req.submitted_at;
+  c.completed_at = engine_->Now();
+  return c;
+}
+
+void Router::Complete(const serving::ServingCompletion& c) {
+  ++completions_;
+  counters_.Increment(std::string("router.done.") + StatusKey(c.status));
+  if (c.status == OpStatus::kOk) {
+    latency_us_.Add(static_cast<double>(c.completed_at - c.submitted_at) * 1e-6);
+  }
+  // Fold the completion into the determinism witness, in delivery order.
+  auto mix = [this](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fp_ ^= (v >> (8 * i)) & 0xff;
+      fp_ *= serving::kFnvPrime;
+    }
+  };
+  mix(c.id);
+  mix(c.tenant);
+  mix(static_cast<uint64_t>(c.status));
+  mix((static_cast<uint64_t>(c.node) << 32) ^ static_cast<uint32_t>(c.region));
+  mix(c.completed_at);
+  mix(c.response_hash);
+  if (observer_) {
+    observer_(c);
+  }
+}
+
+void Router::RefillBucket() {
+  if (config_.admit_period == 0) {
+    return;
+  }
+  const sim::TimePs now = engine_->Now();
+  const uint64_t gained = (now - bucket_refill_at_) / config_.admit_period;
+  if (gained > 0) {
+    tokens_ = std::min<uint64_t>(config_.bucket_burst, tokens_ + gained);
+    bucket_refill_at_ += gained * config_.admit_period;
+  }
+}
+
+void Router::Submit(serving::ServingRequest req) {
+  guard_.Write();
+  req.id = ++last_id_;
+  req.submitted_at = engine_->Now();
+  counters_.Increment("router.offered");
+  RefillBucket();
+  if (config_.admit_period > 0) {
+    if (tokens_ == 0) {
+      counters_.Increment("router.shed.bucket");
+      Complete(LocalCompletion(req, OpStatus::kShed));
+      return;
+    }
+    --tokens_;
+  }
+  auto& q = tenant_queues_[req.tenant];
+  if (q.size() >= config_.tenant_queue_cap) {
+    counters_.Increment("router.shed.queue_full");
+    Complete(LocalCompletion(req, OpStatus::kShed));
+    return;
+  }
+  q.push_back(std::move(req));
+  ++total_queued_;
+  depth_hist_.Add(total_queued_);
+  KickDispatch();
+}
+
+void Router::KickDispatch() {
+  if (dispatch_pending_) {
+    return;
+  }
+  dispatch_pending_ = true;
+  // Deferred one event, like the node schedulers: a burst submitted at one
+  // timestamp is dispatched together, seeing the full queue state.
+  engine_->ScheduleAfter(0, [this]() {
+    dispatch_pending_ = false;
+    DispatchLoop();
+  });
+}
+
+int32_t Router::RouteOf(const serving::ServingRequest& req) const {
+  int32_t best = kBackpressure;
+  uint64_t best_load = 0;
+  bool any_resident = false;
+  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+    const NodeView& v = nodes_[n];
+    if (!v.alive || RegionHintOn(n, req.kernel) < 0) {
+      continue;
+    }
+    any_resident = true;
+    const uint64_t load = v.outstanding + v.open_batch.size();
+    if (load >= config_.node_window) {
+      continue;
+    }
+    if (best < 0 || load < best_load) {
+      best = static_cast<int32_t>(n);
+      best_load = load;
+    }
+  }
+  return best >= 0 ? best : (any_resident ? kBackpressure : kNoResident);
+}
+
+int32_t Router::RegionHintOn(uint32_t node, const std::string& kernel) const {
+  const NodeView& v = nodes_[node];
+  for (uint32_t r = 0; r < v.region_kernel.size(); ++r) {
+    if (v.region_kernel[r] == kernel) {
+      return static_cast<int32_t>(r);
+    }
+  }
+  return -1;
+}
+
+void Router::DispatchLoop() {
+  guard_.Write();
+  bool progress = true;
+  while (progress && total_queued_ > 0) {
+    progress = false;
+    // One round: each tenant with queued work gets at most one dispatch,
+    // in cyclic tenant-id order starting just above the cursor.
+    std::vector<uint32_t> order;
+    order.reserve(tenant_queues_.size());
+    for (auto it = tenant_queues_.upper_bound(rr_cursor_); it != tenant_queues_.end(); ++it) {
+      if (!it->second.empty()) {
+        order.push_back(it->first);
+      }
+    }
+    for (auto it = tenant_queues_.begin(); it != tenant_queues_.end() && it->first <= rr_cursor_; ++it) {
+      if (!it->second.empty()) {
+        order.push_back(it->first);
+      }
+    }
+    for (const uint32_t tenant : order) {
+      auto& q = tenant_queues_[tenant];
+      if (q.empty()) {
+        continue;
+      }
+      serving::ServingRequest& head = q.front();
+      if (head.deadline > 0 && engine_->Now() > head.deadline) {
+        counters_.Increment("router.expired");
+        Complete(LocalCompletion(head, OpStatus::kDeadlineExceeded));
+        q.pop_front();
+        --total_queued_;
+        rr_cursor_ = tenant;
+        progress = true;
+        continue;
+      }
+      const int32_t node = RouteOf(head);
+      if (node == kNoResident) {
+        counters_.Increment("router.shed.no_kernel");
+        Complete(LocalCompletion(head, OpStatus::kShed));
+        q.pop_front();
+        --total_queued_;
+        rr_cursor_ = tenant;
+        progress = true;
+        continue;
+      }
+      if (node == kBackpressure) {
+        continue;  // every candidate window is full; a completion will kick us
+      }
+      head.region_hint = RegionHintOn(static_cast<uint32_t>(node), head.kernel);
+      serving::ServingRequest taken = std::move(head);
+      q.pop_front();
+      --total_queued_;
+      rr_cursor_ = tenant;
+      progress = true;
+      AppendToBatch(static_cast<uint32_t>(node), std::move(taken));
+    }
+  }
+  // Drop drained queues so churned-away tenants don't grow the map forever.
+  for (auto it = tenant_queues_.begin(); it != tenant_queues_.end();) {
+    it = it->second.empty() ? tenant_queues_.erase(it) : ++it;
+  }
+}
+
+void Router::AppendToBatch(uint32_t node, serving::ServingRequest req) {
+  NodeView& v = nodes_[node];
+  v.open_batch.push_back(std::move(req));
+  if (v.open_batch.size() >= config_.batch_max || config_.batch_timeout == 0) {
+    FlushBatch(node, "size");
+    return;
+  }
+  if (v.open_batch.size() == 1) {
+    // Arm the timeout for this batch generation; a flush (any reason) bumps
+    // the generation and the timer becomes a no-op.
+    const uint64_t gen = v.batch_gen;
+    engine_->ScheduleAfter(config_.batch_timeout, [this, node, gen]() {
+      guard_.Write();
+      if (nodes_[node].batch_gen == gen && !nodes_[node].open_batch.empty()) {
+        FlushBatch(node, "timeout");
+      }
+    });
+  }
+}
+
+void Router::FlushBatch(uint32_t node, const char* why) {
+  NodeView& v = nodes_[node];
+  ++v.batch_gen;
+  std::vector<serving::ServingRequest> batch = std::move(v.open_batch);
+  v.open_batch.clear();
+  v.outstanding += batch.size();
+  counters_.Increment("router.batches");
+  counters_.Increment(std::string("router.flush.") + why);
+  batch_hist_.Add(batch.size());
+  for (const serving::ServingRequest& r : batch) {
+    inflight_.emplace(r.id, Inflight{node, r});  // payload copy = refcount bump
+  }
+  if (batch_sink_) {
+    batch_sink_(node, std::move(batch));
+  }
+}
+
+void Router::OnCompletion(const serving::ServingCompletion& c) {
+  guard_.Write();
+  auto it = inflight_.find(c.id);
+  if (it == inflight_.end()) {
+    // Raced a death declaration: the request was already evacuated/shed.
+    counters_.Increment("router.stale_completion");
+    return;
+  }
+  if (c.status == OpStatus::kOk) {
+    // End-to-end integrity witness: the echo response must hash to the
+    // payload the load generator synthesized.
+    const axi::BufferView& p = it->second.req.payload;
+    const bool match = serving::ResponseBytes(it->second.req) == p.size() &&
+                       c.response_hash == serving::HashBytes(p.data(), p.size());
+    counters_.Increment(match ? "router.integrity.ok" : "router.integrity.mismatch");
+  }
+  NodeView& v = nodes_[it->second.node];
+  if (v.outstanding > 0) {
+    --v.outstanding;
+  }
+  inflight_.erase(it);
+  Complete(c);
+  KickDispatch();
+}
+
+void Router::OnHeartbeat(uint32_t node, uint64_t seq) {
+  guard_.Write();
+  NodeView& v = nodes_.at(node);
+  if (!v.alive) {
+    return;  // no resurrection: a declared death sticks for the run
+  }
+  v.last_heartbeat = engine_->Now();
+  v.heartbeats = seq;
+}
+
+void Router::Sweep() {
+  guard_.Write();
+  const sim::TimePs now = engine_->Now();
+  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+    const NodeView& v = nodes_[n];
+    if (v.alive && now > config_.heartbeat_window &&
+        now - v.last_heartbeat > config_.heartbeat_window) {
+      MarkNodeDead(n);
+    }
+  }
+}
+
+void Router::MarkNodeDead(uint32_t node) {
+  NodeView& v = nodes_[node];
+  if (!v.alive) {
+    return;
+  }
+  guard_.Write();
+  v.alive = false;
+  counters_.Increment("router.node_dead");
+  // Evacuate: the unflushed open batch plus everything in flight there.
+  std::vector<serving::ServingRequest> orphans = std::move(v.open_batch);
+  v.open_batch.clear();
+  ++v.batch_gen;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second.node == node) {
+      orphans.push_back(std::move(it->second.req));
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  v.outstanding = 0;
+  Requeue(std::move(orphans));
+}
+
+void Router::Requeue(std::vector<serving::ServingRequest> orphans) {
+  // Ascending id: the open batch and the in-flight map each iterate in id
+  // order but interleave; sort for a placement-independent requeue order.
+  std::sort(orphans.begin(), orphans.end(),
+            [](const serving::ServingRequest& a, const serving::ServingRequest& b) {
+              return a.id < b.id;
+            });
+  for (serving::ServingRequest& r : orphans) {
+    if (r.retries >= config_.retry_max) {
+      counters_.Increment("router.shed.retries");
+      Complete(LocalCompletion(r, OpStatus::kShed));
+      continue;
+    }
+    ++r.retries;
+    r.region_hint = -1;
+    counters_.Increment("router.evacuated");
+    tenant_queues_[r.tenant].push_back(std::move(r));
+    ++total_queued_;
+  }
+  KickDispatch();
+}
+
+bool Router::Settled() const {
+  if (total_queued_ > 0 || !inflight_.empty()) {
+    return false;
+  }
+  for (const NodeView& v : nodes_) {
+    if (!v.open_batch.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t Router::Fingerprint() const {
+  uint64_t h = fp_;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= serving::kFnvPrime;
+    }
+  };
+  mix(counters_.Fingerprint());
+  mix(completions_);
+  mix(latency_us_.count());
+  mix(depth_hist_.Fingerprint());
+  mix(batch_hist_.Fingerprint());
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// ServingFabric
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One independent stream per logical node, stable across placements (the
+// same derivation Fleet uses).
+uint64_t NodeSeed(uint64_t fabric_seed, uint32_t logical_node) {
+  return fabric_seed ^ (0x9E3779B97F4A7C15ull * (logical_node + 1));
+}
+
+}  // namespace
+
+ServingFabric::ServingFabric(const Config& config) : config_(config) {
+  router_logical_ = config_.num_nodes;
+  shard_of_ = ShardPlacement::RoundRobin(config_.num_nodes + 1, config_.num_shards);
+
+  // Same conservative lookahead as Fleet: the minimum cross-node traversal
+  // of the modeled fabric.
+  sim::ShardedEngine::Config ec;
+  ec.num_shards = config_.num_shards;
+  ec.lookahead =
+      config_.net.switch_latency + 2 * sim::TransferTime(64, config_.net.link_bps);
+  ec.use_threads = config_.use_threads;
+  sharded_ = std::make_unique<sim::ShardedEngine>(ec);
+
+  // Node-side state is written by the scheduler dispatch path, the DMA
+  // completion path, and generic engine callbacks (frames, storms) — all
+  // program-ordered by the single-engine-per-shard contract. Declare the
+  // pairs so the ledger hunts genuine reentrancy instead.
+  auto& ledger = sim::AccessLedger::Global();
+  ledger.DeclareOrdered(sim::kActorHost, sim::kActorEngine);
+  ledger.DeclareOrdered(sim::kActorHost, sim::kActorDma);
+  ledger.DeclareOrdered(sim::kActorScheduler, sim::kActorEngine);
+  ledger.DeclareOrdered(sim::kActorScheduler, sim::kActorDma);
+
+  const size_t num_kernels = std::max<size_t>(1, config_.kernel_names.size());
+  nodes_.reserve(config_.num_nodes);
+  for (uint32_t n = 0; n < config_.num_nodes; ++n) {
+    auto node = std::make_unique<NodeRt>();
+    node->id = n;
+
+    SimDevice::Config dc;
+    dc.shell.name = "serving-node";
+    dc.shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory};
+    dc.shell.num_vfpgas = config_.regions_per_node;
+    dc.ip = 0x0A010001u + n;
+    node->dev = std::make_unique<SimDevice>(dc, nullptr, &EngineAt(n));
+
+    // Preload every region's kernel host-side (reconfiguration nests an
+    // engine run and must never happen inside a shard callback) and tell the
+    // scheduler what is resident; the serving tier then runs
+    // require_resident end to end.
+    node->sched = std::make_unique<KernelScheduler>(node->dev.get(), config_.policy);
+    node->sched->BindShard(shard_of_[n]);
+    node->region_kernel.resize(config_.regions_per_node);
+    for (uint32_t r = 0; r < config_.regions_per_node; ++r) {
+      const std::string& kernel =
+          config_.kernel_names.empty()
+              ? node->region_kernel[r]  // stays empty
+              : config_.kernel_names[(n + r) % num_kernels];
+      node->region_kernel[r] = kernel;
+      if (config_.kernel_factory) {
+        node->dev->RegisterKernelFactory(kernel, config_.kernel_factory);
+        node->dev->vfpga(r).LoadKernel(config_.kernel_factory());
+      }
+      node->sched->NoteRegionReset(r, kernel);
+    }
+
+    // One executor cThread per region with preallocated staging buffers; the
+    // completion callback is the shard-safe alternative to Wait().
+    node->execs.resize(config_.regions_per_node);
+    for (uint32_t r = 0; r < config_.regions_per_node; ++r) {
+      Exec& e = node->execs[r];
+      e.thread = std::make_unique<CThread>(node->dev.get(), r,
+                                           static_cast<int64_t>(n * 1000 + r));
+      e.src_vaddr = e.thread->GetMem({Alloc::kHpf, config_.max_payload_bytes});
+      e.dst_vaddr = e.thread->GetMem({Alloc::kHpf, config_.max_payload_bytes});
+      e.thread->SetCompletionCallback(
+          [this, n, r](CThread::Task task, OpStatus status) {
+            OnExecDone(n, r, task, status);
+          });
+    }
+
+    nodes_.push_back(std::move(node));
+    auto guard = std::make_unique<sim::AccessGuard>("serving.node" + std::to_string(n));
+    guard->BindShard(shard_of_[n]);
+    node_guards_.push_back(std::move(guard));
+  }
+
+  Router::Config rc = config_.router;
+  rc.num_nodes = config_.num_nodes;
+  router_ = std::make_unique<Router>(&EngineAt(router_logical_), rc);
+  router_->BindShard(shard_of_[router_logical_]);
+  for (uint32_t n = 0; n < config_.num_nodes; ++n) {
+    router_->SetNodeResident(n, nodes_[n]->region_kernel);
+  }
+  router_->SetBatchSink([this](uint32_t node, std::vector<serving::ServingRequest> batch) {
+    SendBatch(node, std::move(batch));
+  });
+
+  LoadGen::Config lc = config_.loadgen;
+  lc.seed = NodeSeed(config_.seed, router_logical_);
+  if (lc.kernels.empty()) {
+    lc.kernels = config_.kernel_names;
+  }
+  loadgen_ = std::make_unique<LoadGen>(
+      &EngineAt(router_logical_), lc,
+      [this](serving::ServingRequest req) { router_->Submit(std::move(req)); });
+  loadgen_->BindShard(shard_of_[router_logical_]);
+
+  router_timers_ = std::make_unique<sim::TimerWheel>(&EngineAt(router_logical_));
+}
+
+ServingFabric::~ServingFabric() = default;
+
+sim::Engine& ServingFabric::EngineAt(uint32_t logical) {
+  return sharded_->shard(shard_of_[logical]);  // lint: cross-shard-ok own-shard accessor, callers pass their own logical node; cross-node traffic goes through Post
+}
+
+sim::TimePs ServingFabric::NowAt(uint32_t logical) { return EngineAt(logical).Now(); }
+
+void ServingFabric::PostToNode(uint32_t src_logical, uint32_t dst_logical,
+                               sim::TimePs delay, sim::InlineCallback cb) {
+  const sim::TimePs now = NowAt(src_logical);
+  const sim::TimePs wire = std::max(delay, sharded_->lookahead());
+  sharded_->Post(shard_of_[dst_logical], now + wire, std::move(cb),
+                 /*order_key=*/src_logical);
+}
+
+sim::TimePs ServingFabric::WireDelay(uint64_t bytes) const {
+  return config_.net.switch_latency + sim::TransferTime(bytes, config_.net.link_bps);
+}
+
+bool ServingFabric::Run(sim::TimePs horizon, sim::TimePs step) {
+  if (!started_) {
+    started_ = true;
+    for (auto& node : nodes_) {
+      const uint32_t id = node->id;
+      node->hb_timer = node->dev->timers().SchedulePeriodic(
+          config_.heartbeat_period, [this, id]() { HeartbeatTick(id); });
+    }
+    router_timers_->SchedulePeriodic(config_.sweep_period,
+                                     [this]() { router_->Sweep(); });
+    for (const StormSpec& s : config_.storms) {
+      sharded_->ScheduleOn(shard_of_[s.node], s.at, [this, s]() { StormBegin(s); });
+    }
+    for (const KillSpec& k : config_.kills) {
+      sharded_->ScheduleOn(shard_of_[k.node], k.at, [this, k]() { KillNode(k.node); });
+    }
+    loadgen_->Start();
+  }
+  for (sim::TimePs t = step; t <= horizon; t += step) {
+    sharded_->RunUntil(t);
+    if (Settled()) {
+      return true;
+    }
+  }
+  return Settled();
+}
+
+void ServingFabric::SubmitAt(sim::TimePs t, serving::ServingRequest req) {
+  sharded_->ScheduleOn(shard_of_[router_logical_], t,
+                       [this, req = std::move(req)]() mutable {
+                         router_->Submit(std::move(req));
+                       });
+}
+
+bool ServingFabric::Settled() const {
+  if (!loadgen_->done() || !router_->Settled()) {
+    return false;
+  }
+  for (const auto& node : nodes_) {
+    if (node->alive && !node->sched->Idle()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t ServingFabric::Fingerprint() const {
+  uint64_t h = router_->Fingerprint();
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= serving::kFnvPrime;
+    }
+  };
+  for (const auto& node : nodes_) {
+    mix(node->sched->stats().Fingerprint());
+    mix(node->sched->completed());
+    mix(node->sched->failed_requests());
+  }
+  mix(frame_errors_);
+  return h;
+}
+
+// --- Wire: router -> node batches ------------------------------------------
+
+void ServingFabric::SendBatch(uint32_t node, std::vector<serving::ServingRequest> batch) {
+  net::rpc::FrameWriter w;
+  w.U32(node);
+  w.U32(static_cast<uint32_t>(batch.size()));
+  uint64_t payload_bytes = 0;
+  std::vector<axi::BufferView> payloads;
+  payloads.reserve(batch.size());
+  for (const serving::ServingRequest& r : batch) {
+    w.U64(r.id);
+    w.U32(r.tenant);
+    w.Str(r.kernel);
+    w.U64(r.payload.size());
+    w.U64(r.response_bytes);
+    w.U64(r.deadline);
+    w.U32(r.priority);
+    w.I32(r.region_hint);
+    w.U64(r.submitted_at);
+    w.U32(r.retries);
+    payload_bytes += r.payload.size();
+    payloads.push_back(r.payload);
+  }
+  std::vector<uint8_t> frame = w.Finish(net::rpc::MsgType::kRequestBatch);
+  // The frame carries the metadata; payloads ride alongside as views (the
+  // simulated wire charges for both, the host copies neither).
+  const sim::TimePs delay = WireDelay(frame.size() + payload_bytes);
+  PostToNode(router_logical_, node, delay,
+             [this, node, frame = std::move(frame), payloads = std::move(payloads)]() {
+               OnBatchFrame(node, frame, payloads);
+             });
+}
+
+void ServingFabric::OnBatchFrame(uint32_t node, const std::vector<uint8_t>& frame,
+                                 const std::vector<axi::BufferView>& payloads) {
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;  // the frame reached a dead node; the router's sweep recovers it
+  }
+  node_guards_[node]->Write();
+  net::rpc::FrameReader r(frame);
+  if (!r.ok() || r.type() != net::rpc::MsgType::kRequestBatch || r.U32() != node) {
+    ++frame_errors_;
+    return;
+  }
+  const uint32_t count = r.U32();
+  if (count != payloads.size()) {
+    ++frame_errors_;
+    return;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    serving::ServingRequest req;
+    req.id = r.U64();
+    req.tenant = r.U32();
+    req.kernel = r.Str();
+    const uint64_t payload_len = r.U64();
+    req.response_bytes = r.U64();
+    req.deadline = r.U64();
+    req.priority = r.U32();
+    req.region_hint = r.I32();
+    req.submitted_at = r.U64();
+    req.retries = r.U32();
+    if (!r.ok() || payload_len != payloads[i].size()) {
+      ++frame_errors_;
+      return;
+    }
+    req.payload = payloads[i];
+    ExecuteOnNode(node, std::move(req));
+  }
+}
+
+void ServingFabric::ExecuteOnNode(uint32_t node, serving::ServingRequest req) {
+  NodeRt& n = *nodes_[node];
+  const sim::TimePs now = NowAt(node);
+  if (req.deadline > 0 && now > req.deadline) {
+    serving::ServingCompletion c;
+    c.id = req.id;
+    c.tenant = req.tenant;
+    c.status = OpStatus::kDeadlineExceeded;
+    c.node = node;
+    c.submitted_at = req.submitted_at;
+    c.completed_at = now;
+    CompleteFromNode(node, c);
+    return;
+  }
+  KernelScheduler::Request sr;
+  sr.bitstream_path = req.kernel;
+  sr.priority = req.priority;
+  sr.tenant = req.tenant;
+  sr.region_hint = req.region_hint;
+  // The serving contract: never reconfigure on the request path. If the
+  // resident region vanished (quarantined mid-batch), fail typed instead.
+  sr.require_resident = true;
+  const uint64_t id = req.id;
+  const uint32_t tenant = req.tenant;
+  const sim::TimePs submitted_at = req.submitted_at;
+  sr.failed = [this, node, id, tenant, submitted_at](OpStatus status) {
+    serving::ServingCompletion c;
+    c.id = id;
+    c.tenant = tenant;
+    c.status = status;
+    c.node = node;
+    c.submitted_at = submitted_at;
+    c.completed_at = NowAt(node);
+    CompleteFromNode(node, c);
+  };
+  sr.run = [this, node, req = std::move(req)](uint32_t vfpga_id,
+                                              std::function<void()> done) mutable {
+    StartExec(node, vfpga_id, std::move(req), std::move(done));
+  };
+  n.sched->Submit(std::move(sr));
+}
+
+void ServingFabric::StartExec(uint32_t node, uint32_t region,
+                              serving::ServingRequest req, std::function<void()> done) {
+  NodeRt& n = *nodes_[node];
+  node_guards_[node]->Write();
+  Exec& e = n.execs[region];
+  if (req.payload.size() > config_.max_payload_bytes ||
+      serving::ResponseBytes(req) > config_.max_payload_bytes) {
+    serving::ServingCompletion c;
+    c.id = req.id;
+    c.tenant = req.tenant;
+    c.status = OpStatus::kError;
+    c.node = node;
+    c.region = static_cast<int32_t>(region);
+    c.submitted_at = req.submitted_at;
+    c.completed_at = NowAt(node);
+    CompleteFromNode(node, c);
+    done();  // oversized payload: the region frees immediately
+    return;
+  }
+  e.busy = true;
+  e.req = std::move(req);
+  e.done = std::move(done);
+  const CThread::Task task =
+      serving::StageAndInvoke(e.thread.get(), e.src_vaddr, e.dst_vaddr, e.req);
+  e.task_id = task.id;
+}
+
+void ServingFabric::OnExecDone(uint32_t node, uint32_t region, CThread::Task task,
+                               OpStatus status) {
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  Exec& e = n.execs[region];
+  if (!e.busy || e.task_id != task.id) {
+    return;  // stale completion of a request the storm path already settled
+  }
+  node_guards_[node]->Write();
+  e.busy = false;
+  serving::ServingCompletion c;
+  c.id = e.req.id;
+  c.tenant = e.req.tenant;
+  c.status = status;
+  c.node = node;
+  c.region = static_cast<int32_t>(region);
+  c.submitted_at = e.req.submitted_at;
+  c.completed_at = NowAt(node);
+  if (status == OpStatus::kOk) {
+    c.response_hash = serving::HashResponse(e.thread.get(), e.dst_vaddr,
+                                            serving::ResponseBytes(e.req));
+  }
+  std::function<void()> done = std::move(e.done);
+  e.done = nullptr;
+  e.req = serving::ServingRequest{};
+  CompleteFromNode(node, c);
+  if (done) {
+    done();  // frees the region; a reaped epoch makes this a no-op
+  }
+}
+
+// --- Wire: node -> router completions & heartbeats --------------------------
+
+void ServingFabric::CompleteFromNode(uint32_t node, const serving::ServingCompletion& c) {
+  net::rpc::FrameWriter w;
+  w.U64(c.id);
+  w.U32(c.tenant);
+  w.U8(static_cast<uint8_t>(c.status));
+  w.U32(c.node);
+  w.I32(c.region);
+  w.U64(c.submitted_at);
+  w.U64(c.completed_at);
+  w.U64(c.response_hash);
+  std::vector<uint8_t> frame = w.Finish(net::rpc::MsgType::kCompletion);
+  const sim::TimePs delay = WireDelay(frame.size());
+  PostToNode(node, router_logical_, delay,
+             [this, frame = std::move(frame)]() { OnCompletionFrame(frame); });
+}
+
+void ServingFabric::OnCompletionFrame(const std::vector<uint8_t>& frame) {
+  net::rpc::FrameReader r(frame);
+  if (!r.ok() || r.type() != net::rpc::MsgType::kCompletion) {
+    ++frame_errors_;
+    return;
+  }
+  serving::ServingCompletion c;
+  c.id = r.U64();
+  c.tenant = r.U32();
+  c.status = static_cast<OpStatus>(r.U8());
+  c.node = r.U32();
+  c.region = r.I32();
+  c.submitted_at = r.U64();
+  c.completed_at = r.U64();
+  c.response_hash = r.U64();
+  if (!r.ok() || !r.AtEnd()) {
+    ++frame_errors_;
+    return;
+  }
+  router_->OnCompletion(c);
+}
+
+void ServingFabric::HeartbeatTick(uint32_t node) {
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  node_guards_[node]->Write();
+  const uint64_t seq = ++n.hb_seq;
+  net::rpc::FrameWriter w;
+  w.U32(node);
+  w.U64(seq);
+  w.U64(NowAt(node));
+  std::vector<uint8_t> frame = w.Finish(net::rpc::MsgType::kHeartbeat);
+  const sim::TimePs delay = WireDelay(frame.size());
+  PostToNode(node, router_logical_, delay, [this, node, frame = std::move(frame)]() {
+    net::rpc::FrameReader r(frame);
+    if (!r.ok() || r.type() != net::rpc::MsgType::kHeartbeat || r.U32() != node) {
+      ++frame_errors_;
+      return;
+    }
+    const uint64_t seq_rx = r.U64();
+    router_->OnHeartbeat(node, seq_rx);
+  });
+}
+
+// --- Storms and kills -------------------------------------------------------
+
+void ServingFabric::StormBegin(const StormSpec& s) {
+  NodeRt& n = *nodes_[s.node];
+  if (!n.alive || s.region >= config_.regions_per_node) {
+    return;
+  }
+  node_guards_[s.node]->Write();
+  ++storms_begun_;
+  // The region goes dark for the reprogram window: quarantine first so the
+  // scheduler fails stranded require_resident work fast, then abort whatever
+  // was running there (typed kAborted back through the completion path).
+  n.sched->SetQuarantined(s.region, true);
+  if (n.execs[s.region].busy) {
+    n.execs[s.region].thread->AbortPending(OpStatus::kAborted);
+  }
+  EngineAt(s.node).ScheduleAfter(std::max<sim::TimePs>(1, s.duration),
+                                 [this, s]() { StormEnd(s); });
+}
+
+void ServingFabric::StormEnd(const StormSpec& s) {
+  NodeRt& n = *nodes_[s.node];
+  if (!n.alive) {
+    return;
+  }
+  node_guards_[s.node]->Write();
+  // Reprogram done: the region comes back with its kernel freshly resident.
+  n.sched->NoteRegionReset(s.region, n.region_kernel[s.region]);
+  n.sched->SetQuarantined(s.region, false);
+}
+
+void ServingFabric::KillNode(uint32_t node) {
+  NodeRt& n = *nodes_[node];
+  if (!n.alive) {
+    return;
+  }
+  node_guards_[node]->Write();
+  n.alive = false;
+  if (n.hb_timer != sim::TimerWheel::kInvalidTimer) {
+    n.dev->timers().Cancel(n.hb_timer);
+    n.hb_timer = sim::TimerWheel::kInvalidTimer;
+  }
+  // Everything else decays passively: heartbeats stop, in-flight work never
+  // completes, and the router's sweep declares the death and evacuates.
+}
+
+}  // namespace runtime
+}  // namespace coyote

@@ -1,0 +1,317 @@
+// Cluster-scale admission / batching / routing tier for the serving fabric.
+//
+// The Router is the single front door for serving traffic (paper §9: one
+// shell instance per node, many vFPGA apps behind it — something has to
+// decide which node runs which request, and protect the nodes from overload).
+// It runs on its own logical node of the sharded PDES fabric and owns the
+// request lifecycle end to end: every ServingRequest submitted to it gets
+// exactly one typed ServingCompletion, whatever happens in between.
+//
+// Pipeline, in order:
+//   admission  — an integer token bucket over all tenants. Past saturation
+//                the bucket empties and requests complete kShed immediately,
+//                so offered load beyond capacity costs one completion record,
+//                not a queue slot. Per-tenant queue caps bound memory.
+//   fair queue — one FIFO per tenant, drained round-robin (quantum 1) by a
+//                cursor over the tenant id space. A burst from one tenant
+//                cannot starve the others.
+//   batching   — per destination node, requests accumulate into an open
+//                batch flushed when it reaches batch_max or when the oldest
+//                entry has waited batch_timeout. One batch = one RPC frame.
+//   routing    — among alive nodes with the kernel resident and room in
+//                their outstanding window: least loaded, then lowest id.
+//                The router stamps a region placement hint (lowest matching
+//                region) that the node scheduler honors when eligible.
+//   shedding   — no alive node has the kernel resident -> kShed (typed, the
+//                reconfiguration-free contract); retries after a node death
+//                are capped, then kShed.
+//
+// Failure handling: nodes heartbeat to the router; a periodic sweep declares
+// a node dead after heartbeat_window of silence, evacuates its open batch
+// and in-flight requests back into the tenant queues (retries capped), and
+// routes them elsewhere. Completions that race the declaration are counted
+// stale and dropped.
+//
+// Determinism: the router lives on one logical node, so every input —
+// submissions, completions, heartbeats — arrives through the PDES merge
+// order (time, order_key=source node). All policy state (bucket, cursors,
+// windows) is integer. Fingerprint() folds every completion in delivery
+// order; it is bit-identical across runs and shard placements.
+
+#ifndef SRC_RUNTIME_ROUTER_H_
+#define SRC_RUNTIME_ROUTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/runtime/loadgen.h"
+#include "src/runtime/placement.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/serving.h"
+#include "src/sim/access_guard.h"
+#include "src/sim/sharded_engine.h"
+#include "src/sim/stats.h"
+#include "src/sim/timer_wheel.h"
+
+namespace coyote {
+namespace runtime {
+
+class Router {
+ public:
+  struct Config {
+    uint32_t num_nodes = 1;
+    // Admission token bucket: one token per request, one token minted every
+    // admit_period picoseconds (integer refill), at most bucket_burst banked.
+    // 0 disables admission control (nothing sheds at the front door).
+    sim::TimePs admit_period = 0;
+    uint64_t bucket_burst = 32;
+    // Per-tenant queue cap; an admitted request finding its tenant queue
+    // full completes kShed.
+    uint64_t tenant_queue_cap = 256;
+    // Batching: flush at batch_max requests or after batch_timeout from the
+    // batch's first entry, whichever first. batch_timeout == 0 degenerates
+    // to unbatched (every request flushes alone).
+    uint32_t batch_max = 8;
+    sim::TimePs batch_timeout = sim::Microseconds(5);
+    // Max requests dispatched-but-incomplete per node (open batch included).
+    uint32_t node_window = 16;
+    // Re-routes after node deaths before the request sheds.
+    uint32_t retry_max = 2;
+    // A node silent for longer than this is declared dead by Sweep().
+    sim::TimePs heartbeat_window = sim::Microseconds(400);
+  };
+
+  using BatchSink =
+      std::function<void(uint32_t node, std::vector<serving::ServingRequest> batch)>;
+  using CompletionObserver = std::function<void(const serving::ServingCompletion&)>;
+
+  Router(sim::Engine* engine, const Config& config);
+
+  // --- Host-side setup --------------------------------------------------------
+  void BindShard(sim::ShardId shard) { guard_.BindShard(shard); }
+  void SetBatchSink(BatchSink sink) { batch_sink_ = std::move(sink); }
+  void SetCompletionObserver(CompletionObserver cb) { observer_ = std::move(cb); }
+  // Declares which kernel is resident in each region of `node` (the routing
+  // table and the source of placement hints).
+  void SetNodeResident(uint32_t node, std::vector<std::string> region_kernels);
+
+  // --- Shard-context entry points (router's shard only) -----------------------
+  // Takes ownership of the request; stamps id + submitted_at.
+  void Submit(serving::ServingRequest req);
+  void OnCompletion(const serving::ServingCompletion& c);
+  void OnHeartbeat(uint32_t node, uint64_t seq);
+  // Periodic: declares nodes dead after heartbeat_window of silence.
+  void Sweep();
+  void MarkNodeDead(uint32_t node);
+
+  // --- Observation ------------------------------------------------------------
+  bool node_alive(uint32_t node) const { return nodes_[node].alive; }
+  // No queued, batched, or in-flight requests anywhere.
+  bool Settled() const;
+  uint64_t completions() const { return completions_; }
+  const sim::CounterSet& counters() const { return counters_; }
+  // End-to-end latency (submit -> completion delivery) of kOk requests, us.
+  sim::Samples& latency_us() { return latency_us_; }
+  const sim::Histogram& depth_histogram() const { return depth_hist_; }
+  const sim::Histogram& batch_histogram() const { return batch_hist_; }
+  // Folds every completion in delivery order plus the counter table:
+  // bit-identical across same-seed runs and shard placements.
+  uint64_t Fingerprint() const;
+
+ private:
+  // RouteOf: >= 0 node id, kBackpressure (resident somewhere but all windows
+  // full — wait), or kNoResident (shed: nothing alive has the kernel).
+  static constexpr int32_t kBackpressure = -1;
+  static constexpr int32_t kNoResident = -2;
+
+  struct NodeView {
+    bool alive = true;
+    uint64_t outstanding = 0;  // flushed, completion not yet delivered
+    std::vector<std::string> region_kernel;
+    std::vector<serving::ServingRequest> open_batch;
+    uint64_t batch_gen = 0;  // bumped per flush; cancels stale timeout timers
+    sim::TimePs last_heartbeat = 0;
+    uint64_t heartbeats = 0;
+  };
+  struct Inflight {
+    uint32_t node = 0;
+    serving::ServingRequest req;  // kept for evacuation + integrity check
+  };
+
+  void RefillBucket();
+  void KickDispatch();
+  void DispatchLoop();
+  int32_t RouteOf(const serving::ServingRequest& req) const;
+  int32_t RegionHintOn(uint32_t node, const std::string& kernel) const;
+  void AppendToBatch(uint32_t node, serving::ServingRequest req);
+  void FlushBatch(uint32_t node, const char* why);
+  void Requeue(std::vector<serving::ServingRequest> orphans);
+  serving::ServingCompletion LocalCompletion(const serving::ServingRequest& req,
+                                             OpStatus status) const;
+  void Complete(const serving::ServingCompletion& c);
+  static const char* StatusKey(OpStatus status);
+
+  sim::Engine* engine_;
+  const Config config_;
+  BatchSink batch_sink_;
+  CompletionObserver observer_;
+  sim::AccessGuard guard_{"runtime.router"};
+
+  std::vector<NodeView> nodes_;
+  std::map<uint32_t, std::deque<serving::ServingRequest>> tenant_queues_;
+  uint64_t total_queued_ = 0;
+  uint32_t rr_cursor_ = 0;  // last tenant served; next pass starts above it
+  std::map<uint64_t, Inflight> inflight_;
+  bool dispatch_pending_ = false;
+
+  uint64_t last_id_ = 0;
+  uint64_t tokens_ = 0;
+  sim::TimePs bucket_refill_at_ = 0;
+
+  uint64_t completions_ = 0;
+  uint64_t fp_ = serving::kFnvOffset;
+  sim::CounterSet counters_;
+  sim::Samples latency_us_;
+  sim::Histogram depth_hist_;  // total queued, sampled at each admission
+  sim::Histogram batch_hist_;  // flushed batch sizes
+};
+
+// ---------------------------------------------------------------------------
+// ServingFabric: N simulated nodes (SimDevice + KernelScheduler + per-region
+// cThread executors) plus a Router and an open-loop LoadGen on logical node
+// N, wired over rpc-framed messages with modeled wire delays, all on one
+// sharded PDES engine. The serving analogue of Fleet: same placement rules,
+// same lookahead, same merge-order discipline, so the whole fabric is
+// bit-identical across 1/2/4/8-shard placements.
+//
+// Kernels are preloaded host-side (region r of node n holds
+// kernel_names[(n + r) % K]) and the schedulers run require_resident: a
+// reconfiguration — which nests an engine run — can never happen inside a
+// shard callback. Reconfiguration storms are modeled as quarantine +
+// region-reset after the reprogram latency; node kills stop heartbeats and
+// let the router's sweep declare the death and evacuate.
+// ---------------------------------------------------------------------------
+class ServingFabric {
+ public:
+  struct StormSpec {
+    sim::TimePs at = 0;
+    uint32_t node = 0;
+    uint32_t region = 0;
+    sim::TimePs duration = sim::Microseconds(50);  // models the reprogram time
+  };
+  struct KillSpec {
+    sim::TimePs at = 0;
+    uint32_t node = 0;
+  };
+
+  struct Config {
+    uint32_t num_nodes = 2;
+    uint32_t regions_per_node = 2;
+    uint32_t num_shards = 1;
+    bool use_threads = false;
+    uint64_t seed = 1;
+    net::Network::Config net;
+    Router::Config router;    // num_nodes is overwritten by the fabric
+    LoadGen::Config loadgen;  // seed is derived from the fabric seed
+    // Kernel k lives wherever (node + region) % kernel_names.size() == k.
+    std::vector<std::string> kernel_names = {"serve.bin"};
+    SimDevice::KernelFactory kernel_factory;  // optional, used for every name
+    uint64_t max_payload_bytes = 4096;  // executor staging buffer size
+    KernelScheduler::Policy policy = KernelScheduler::Policy::kAffinity;
+    sim::TimePs heartbeat_period = sim::Microseconds(50);
+    sim::TimePs sweep_period = sim::Microseconds(100);
+    std::vector<StormSpec> storms;
+    std::vector<KillSpec> kills;
+  };
+
+  explicit ServingFabric(const Config& config);
+  ~ServingFabric();
+  ServingFabric(const ServingFabric&) = delete;
+  ServingFabric& operator=(const ServingFabric&) = delete;
+
+  // Steps the fabric in `step` windows until everything settles (loadgen
+  // done, router drained, node schedulers idle) or `horizon` passes.
+  // Returns whether it settled.
+  bool Run(sim::TimePs horizon, sim::TimePs step);
+
+  // Host-side single-request entry (tests): routes through the same
+  // admission path as LoadGen traffic. Call before Run or between windows.
+  void SubmitAt(sim::TimePs t, serving::ServingRequest req);
+
+  Router& router() { return *router_; }
+  LoadGen& loadgen() { return *loadgen_; }
+  KernelScheduler& scheduler(uint32_t node) { return *nodes_[node]->sched; }
+  sim::ShardedEngine& sharded() { return *sharded_; }
+  uint64_t frame_errors() const { return frame_errors_; }
+  uint64_t storms_begun() const { return storms_begun_; }
+  // Router fingerprint folded with every node scheduler's counter table.
+  uint64_t Fingerprint() const;
+
+ private:
+  struct Exec {
+    std::unique_ptr<CThread> thread;
+    uint64_t src_vaddr = 0;
+    uint64_t dst_vaddr = 0;
+    bool busy = false;
+    uint64_t task_id = 0;
+    serving::ServingRequest req;
+    std::function<void()> done;  // scheduler region-free callback
+  };
+  struct NodeRt {
+    uint32_t id = 0;
+    bool alive = true;
+    std::unique_ptr<SimDevice> dev;
+    std::unique_ptr<KernelScheduler> sched;
+    std::vector<Exec> execs;  // one executor per region
+    std::vector<std::string> region_kernel;
+    sim::TimerWheel::TimerId hb_timer = sim::TimerWheel::kInvalidTimer;
+    uint64_t hb_seq = 0;
+  };
+
+  sim::Engine& EngineAt(uint32_t logical);
+  sim::TimePs NowAt(uint32_t logical);
+  void PostToNode(uint32_t src_logical, uint32_t dst_logical, sim::TimePs delay,
+                  sim::InlineCallback cb);
+  sim::TimePs WireDelay(uint64_t bytes) const;
+
+  void SendBatch(uint32_t node, std::vector<serving::ServingRequest> batch);
+  void OnBatchFrame(uint32_t node, const std::vector<uint8_t>& frame,
+                    const std::vector<axi::BufferView>& payloads);
+  void ExecuteOnNode(uint32_t node, serving::ServingRequest req);
+  void StartExec(uint32_t node, uint32_t region, serving::ServingRequest req,
+                 std::function<void()> done);
+  void OnExecDone(uint32_t node, uint32_t region, CThread::Task task, OpStatus status);
+  void CompleteFromNode(uint32_t node, const serving::ServingCompletion& c);
+  void OnCompletionFrame(const std::vector<uint8_t>& frame);
+  void HeartbeatTick(uint32_t node);
+  void StormBegin(const StormSpec& s);
+  void StormEnd(const StormSpec& s);
+  void KillNode(uint32_t node);
+  bool Settled() const;
+
+  Config config_;
+  uint32_t router_logical_ = 0;  // logical node id of the router/loadgen
+  std::vector<uint32_t> shard_of_;
+  std::unique_ptr<sim::ShardedEngine> sharded_;
+  std::vector<std::unique_ptr<NodeRt>> nodes_;
+  std::vector<std::unique_ptr<sim::AccessGuard>> node_guards_;
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<LoadGen> loadgen_;
+  std::unique_ptr<sim::TimerWheel> router_timers_;
+  bool started_ = false;
+  uint64_t frame_errors_ = 0;
+  uint64_t storms_begun_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace coyote
+
+#endif  // SRC_RUNTIME_ROUTER_H_

@@ -19,12 +19,26 @@ size_t KernelScheduler::PickRequest() {
 }
 
 int KernelScheduler::PickRegion(const Request& request) {
+  auto eligible = [this, &request](uint32_t i) {
+    if (region_state_[i].busy || region_state_[i].quarantined) {
+      return false;
+    }
+    return !request.require_resident ||
+           region_state_[i].resident_bitstream == request.bitstream_path;
+  };
+  // Routing-tier placement hint: honor it whenever the hinted region can
+  // take the request right now; otherwise fall back to the policy.
+  if (request.region_hint >= 0 &&
+      static_cast<size_t>(request.region_hint) < region_state_.size() &&
+      eligible(static_cast<uint32_t>(request.region_hint))) {
+    return request.region_hint;
+  }
   int first_free = -1;
   for (uint32_t i = 0; i < region_state_.size(); ++i) {
-    if (region_state_[i].busy || region_state_[i].quarantined) {
+    if (!eligible(i)) {
       continue;
     }
-    if (policy_ == Policy::kAffinity &&
+    if ((policy_ == Policy::kAffinity || request.require_resident) &&
         region_state_[i].resident_bitstream == request.bitstream_path) {
       return static_cast<int>(i);  // hot region: no reconfiguration needed
     }
@@ -43,6 +57,34 @@ int KernelScheduler::PickRegion(const Request& request) {
     }
   }
   return first_free;
+}
+
+bool KernelScheduler::ResidentAnywhereEligible(const std::string& bitstream) const {
+  for (const RegionState& s : region_state_) {
+    if (!s.quarantined && s.resident_bitstream == bitstream) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void KernelScheduler::NoteDequeued(const Request& request) {
+  auto it = tenant_depth_.find(request.tenant);
+  if (it != tenant_depth_.end() && it->second > 0) {
+    --it->second;
+  }
+}
+
+void KernelScheduler::FailRequest(size_t index, OpStatus status, const char* why) {
+  Request request = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
+  NoteDequeued(request);
+  ++completed_;  // left the scheduler: Idle() converges
+  ++failed_requests_;
+  stats_.Increment(std::string("sched.failed.") + why);
+  if (request.failed) {
+    request.failed(status);
+  }
 }
 
 void KernelScheduler::Schedule() {
@@ -72,7 +114,17 @@ void KernelScheduler::DoSchedule() {
       const size_t req_index = PickRequest();
       const int region = PickRegion(queue_[req_index]);
       if (region < 0) {
-        break;  // all regions busy; completions re-enter Schedule()
+        // A require_resident request with no eligible resident region left
+        // anywhere (the resident region was quarantined or reset) can never
+        // proceed without a reconfiguration the serving tier forbids: fail it
+        // fast with a typed error and keep draining. Otherwise the head
+        // waits — a busy region will free up and re-enter Schedule().
+        if (queue_[req_index].require_resident &&
+            !ResidentAnywhereEligible(queue_[req_index].bitstream_path)) {
+          FailRequest(req_index, OpStatus::kError, "no_resident");
+          continue;
+        }
+        break;
       }
       Dispatch(req_index, static_cast<uint32_t>(region));
     }
@@ -83,6 +135,9 @@ void KernelScheduler::DoSchedule() {
 void KernelScheduler::Dispatch(size_t request_index, uint32_t vfpga_id) {
   Request request = std::move(queue_[request_index]);
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(request_index));
+  NoteDequeued(request);
+  stats_.Increment("sched.dispatched");
+  stats_.Increment("sched.dispatched.tenant" + std::to_string(request.tenant));
 
   RegionState& state = region_state_[vfpga_id];
   state.busy = true;
@@ -93,10 +148,16 @@ void KernelScheduler::Dispatch(size_t request_index, uint32_t vfpga_id) {
     // advances simulated time before the work starts.
     const auto result = dev_->ReconfigureApp(request.bitstream_path, vfpga_id);
     if (!result.ok) {
-      // Drop the request; count it completed so Idle() converges.
+      // Typed rejection (legacy callers without `failed` keep the silent
+      // drop); count it completed either way so Idle() converges.
       state.busy = false;
       --busy_regions_;
       ++completed_;
+      ++failed_requests_;
+      stats_.Increment("sched.failed.reconfig");
+      if (request.failed) {
+        request.failed(OpStatus::kError);
+      }
       return;
     }
     state.resident_bitstream = request.bitstream_path;
@@ -137,7 +198,13 @@ void KernelScheduler::SetQuarantined(uint32_t vfpga_id, bool quarantined) {
   state.quarantined = quarantined;
   if (quarantined) {
     ++quarantine_events_;
+    stats_.Increment("sched.quarantine.on");
+    // Queued require_resident requests stranded by this quarantine fail fast
+    // in the next DoSchedule pass rather than waiting on a readmission that
+    // may never come.
+    Schedule();
   } else {
+    stats_.Increment("sched.quarantine.off");
     Schedule();  // re-admitted: queued work may land here again
   }
 }
@@ -153,6 +220,7 @@ void KernelScheduler::NoteRegionReset(uint32_t vfpga_id,
     --busy_regions_;
     ++completed_;  // the hung request is counted done so Idle() converges
     ++reaped_requests_;
+    stats_.Increment("sched.reaped");
     Schedule();
   }
 }

@@ -20,11 +20,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "src/runtime/cthread.h"  // OpStatus: typed failure completions
 #include "src/runtime/device.h"
 #include "src/sim/access_guard.h"
+#include "src/sim/stats.h"
 
 namespace coyote {
 namespace runtime {
@@ -40,9 +43,24 @@ class KernelScheduler {
   struct Request {
     std::string bitstream_path;  // kernel to run (app bitstream)
     uint32_t priority = 0;       // larger = more urgent (kPriority)
+    uint32_t tenant = 0;         // accounting key for depth/fairness stats
+    // Placement hint from the routing tier: try this region first when it is
+    // eligible. -1 leaves placement entirely to the policy.
+    int32_t region_hint = -1;
+    // Serving-tier contract: only dispatch onto a region where the kernel is
+    // already resident. When no eligible region holds it (e.g. the only
+    // resident region just got quarantined mid-batch) the request fails fast
+    // with a typed error instead of waiting on a reconfiguration that the
+    // sharded fabric must never run inside a callback.
+    bool require_resident = false;
     // The work: receives the assigned vFPGA id and a completion callback the
     // work must invoke when finished (frees the region).
     std::function<void(uint32_t vfpga_id, std::function<void()> done)> run;
+    // Typed rejection: invoked (instead of run) when the scheduler cannot
+    // execute the request — reconfiguration failure or a require_resident
+    // request with no eligible resident region. Unset keeps the legacy
+    // silent-drop behavior.
+    std::function<void(OpStatus)> failed;
   };
 
   KernelScheduler(SimDevice* dev, Policy policy) : dev_(dev), policy_(policy) {
@@ -59,8 +77,12 @@ class KernelScheduler {
   // of submissions is scheduled together, respecting the policy).
   void Submit(Request request) {
     queue_guard_.Write();
-    queue_.push_back(std::move(request));
     ++submitted_;
+    stats_.Increment("sched.submitted");
+    stats_.Increment("sched.submitted.tenant" + std::to_string(request.tenant));
+    ++tenant_depth_[request.tenant];
+    depth_hist_.Add(queue_.size() + 1);
+    queue_.push_back(std::move(request));
     Schedule();
   }
 
@@ -92,6 +114,38 @@ class KernelScheduler {
   uint64_t affinity_hits() const { return affinity_hits_; }
   uint64_t quarantine_events() const { return quarantine_events_; }
   uint64_t reaped_requests() const { return reaped_requests_; }
+  uint64_t failed_requests() const { return failed_requests_; }
+
+  // --- Observability (serving-tier admission inputs) --------------------------
+  // Live queue depth for one tenant (requests enqueued, not yet dispatched).
+  uint64_t tenant_depth(uint32_t tenant) const {
+    auto it = tenant_depth_.find(tenant);
+    return it == tenant_depth_.end() ? 0 : it->second;
+  }
+  uint32_t quarantined_regions() const {
+    uint32_t n = 0;
+    for (const RegionState& s : region_state_) {
+      n += s.quarantined ? 1u : 0u;
+    }
+    return n;
+  }
+  // Monotonic event counters (per-tenant submits/dispatches, quarantine
+  // transitions, failures) — the router reads these instead of poking
+  // scheduler internals, and tests fingerprint them.
+  const sim::CounterSet& stats() const { return stats_; }
+  // Queue depth sampled at every Submit.
+  const sim::Histogram& depth_histogram() const { return depth_hist_; }
+  // Snapshot of the live gauges under "sched.*" keys (queue depth per
+  // tenant, quarantined/busy region counts) merged into `out`.
+  void ExportStats(sim::CounterSet* out) const {
+    for (const auto& [tenant, depth] : tenant_depth_) {
+      if (depth > 0) {
+        out->Increment("sched.queue_depth.tenant" + std::to_string(tenant), depth);
+      }
+    }
+    out->Increment("sched.quarantined_regions", quarantined_regions());
+    out->Increment("sched.busy_regions", busy_regions_);
+  }
 
  private:
   struct RegionState {
@@ -108,6 +162,11 @@ class KernelScheduler {
   size_t PickRequest();
   int PickRegion(const Request& request);
   void Dispatch(size_t request_index, uint32_t vfpga_id);
+  // True when some non-quarantined region (busy or not) holds the kernel.
+  bool ResidentAnywhereEligible(const std::string& bitstream) const;
+  // Removes queue_[index] with a typed rejection (see Request::failed).
+  void FailRequest(size_t index, OpStatus status, const char* why);
+  void NoteDequeued(const Request& request);
 
   SimDevice* dev_;
   Policy policy_;
@@ -125,6 +184,11 @@ class KernelScheduler {
   uint64_t affinity_hits_ = 0;
   uint64_t quarantine_events_ = 0;
   uint64_t reaped_requests_ = 0;
+  uint64_t failed_requests_ = 0;
+
+  sim::CounterSet stats_;
+  sim::Histogram depth_hist_;
+  std::map<uint32_t, uint64_t> tenant_depth_;
 };
 
 }  // namespace runtime

@@ -1,0 +1,143 @@
+// Serving envelope: the one typed request shape that crosses every layer of
+// the serving fabric (LoadGen -> Router -> node scheduler -> vFPGA) and the
+// matching typed completion travelling back.
+//
+// Before this existed every test and harness hand-rolled the same sequence —
+// GetMem, WriteBuffer, SgEntry, Invoke, ReadBuffer — with slightly different
+// conventions for sizes and error handling. The envelope names the contract
+// once: a request is (tenant, kernel, payload view, deadline, priority), an
+// execution is "stage the payload, run the kernel, read the response", and a
+// completion carries the typed OpStatus plus the per-hop timestamps the
+// latency accounting needs. The payload rides as an axi::BufferView so a
+// request forwarded router -> node is a refcount bump, not a copy.
+
+#ifndef SRC_RUNTIME_SERVING_H_
+#define SRC_RUNTIME_SERVING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/axi/buffer.h"
+#include "src/runtime/cthread.h"
+#include "src/sim/time.h"
+
+namespace coyote {
+namespace runtime {
+namespace serving {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline void FoldBytes(uint64_t* h, const uint8_t* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= data[i];
+    *h *= kFnvPrime;
+  }
+}
+
+inline uint64_t HashBytes(const uint8_t* data, size_t len) {
+  uint64_t h = kFnvOffset;
+  FoldBytes(&h, data, len);
+  return h;
+}
+
+// The request envelope. `id` is stamped by whoever owns the request's
+// lifecycle (the Router in a fabric run, the test in a direct call);
+// `submitted_at` is stamped at admission so every later hop can account
+// latency against one origin.
+struct ServingRequest {
+  uint64_t id = 0;
+  uint32_t tenant = 0;
+  std::string kernel;         // kernel the request must run on
+  axi::BufferView payload;    // zero-copy input view
+  uint64_t response_bytes = 0;  // bytes read back; 0 = payload size
+  sim::TimePs deadline = 0;     // absolute simulated deadline; 0 = none
+  uint32_t priority = 0;        // larger = more urgent
+  // Placement hint stamped by the routing tier (the region on the chosen
+  // node whose resident kernel matches); -1 leaves placement to the node.
+  int32_t region_hint = -1;
+  sim::TimePs submitted_at = 0;
+  uint32_t retries = 0;  // bumped when the router re-routes after a node death
+};
+
+// The typed completion. Exactly one per request, whatever happened to it —
+// admission shed, routing failure, quarantine abort, deadline, or success.
+struct ServingCompletion {
+  uint64_t id = 0;
+  uint32_t tenant = 0;
+  OpStatus status = OpStatus::kPending;
+  uint32_t node = 0;
+  int32_t region = -1;
+  sim::TimePs submitted_at = 0;
+  sim::TimePs completed_at = 0;
+  // FNV-1a over the response bytes; zero for requests that never executed.
+  // With an echo-style kernel this equals the payload hash, making every
+  // completion an end-to-end data-integrity witness.
+  uint64_t response_hash = 0;
+};
+
+inline uint64_t ResponseBytes(const ServingRequest& req) {
+  return req.response_bytes != 0 ? req.response_bytes : req.payload.size();
+}
+
+// Stages the payload into `src_vaddr` and invokes the kernel op. Async: the
+// terminal status arrives through the CThread's completion callback — the
+// shard-safe path the fabric's node executors use.
+inline CThread::Task StageAndInvoke(CThread* t, uint64_t src_vaddr, uint64_t dst_vaddr,
+                                    const ServingRequest& req) {
+  t->WriteBuffer(src_vaddr, req.payload.data(), req.payload.size());
+  SgEntry sg;
+  sg.local = {.src_addr = src_vaddr,
+              .src_len = req.payload.size(),
+              .dst_addr = dst_vaddr,
+              .dst_len = ResponseBytes(req)};
+  return t->Invoke(Oper::kLocalTransfer, sg);
+}
+
+// Reads the response back and hashes it (the completion's integrity witness).
+inline uint64_t HashResponse(CThread* t, uint64_t dst_vaddr, uint64_t len) {
+  std::vector<uint8_t> out(len);
+  t->ReadBuffer(dst_vaddr, out.data(), len);
+  return HashBytes(out.data(), out.size());
+}
+
+// Synchronous one-shot execution on an existing cThread: allocates transfer
+// buffers, stages, waits (nests an engine run, like InvokeSync — host-side
+// only, never inside a shard callback) and reads the response back. This is
+// the single invocation path the tests use in place of the former ad-hoc
+// GetMem/WriteBuffer/SgEntry/InvokeSync/ReadBuffer blocks.
+inline ServingCompletion ExecuteSync(CThread* t, const ServingRequest& req,
+                                     std::vector<uint8_t>* response = nullptr) {
+  ServingCompletion done;
+  done.id = req.id;
+  done.tenant = req.tenant;
+  done.submitted_at = req.submitted_at;
+  done.node = 0;
+  done.region = static_cast<int32_t>(t->vfpga_id());
+
+  const uint64_t resp_len = ResponseBytes(req);
+  const uint64_t src = t->GetMem({Alloc::kHpf, req.payload.size()});
+  const uint64_t dst = t->GetMem({Alloc::kHpf, resp_len});
+  const CThread::Task task = StageAndInvoke(t, src, dst, req);
+  t->Wait(task);
+  done.status = t->Status(task);
+  done.completed_at = t->device().engine().Now();
+  if (done.status == OpStatus::kOk) {
+    std::vector<uint8_t> out(resp_len);
+    t->ReadBuffer(dst, out.data(), out.size());
+    done.response_hash = HashBytes(out.data(), out.size());
+    if (response != nullptr) {
+      *response = std::move(out);
+    }
+  }
+  t->FreeMem(src);
+  t->FreeMem(dst);
+  return done;
+}
+
+}  // namespace serving
+}  // namespace runtime
+}  // namespace coyote
+
+#endif  // SRC_RUNTIME_SERVING_H_

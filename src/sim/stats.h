@@ -89,6 +89,82 @@ class Samples {
   bool sorted_ = false;
 };
 
+// Log2-bucketed histogram for integer-valued gauges sampled at high rate
+// (queue depths, batch sizes, latencies in time units). Bucket b counts
+// samples in [2^(b-1), 2^b); bucket 0 counts zeros. Exact percentiles come
+// from sim::Samples; this trades resolution for O(1) memory so the serving
+// tier can sample every admission without distorting the run.
+class Histogram {
+ public:
+  void Add(uint64_t v) {
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+    ++buckets_[BucketOf(v)];
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+  uint64_t bucket(size_t b) const { return b < kBuckets ? buckets_[b] : 0; }
+
+  // Upper bound of the bucket holding the p-th percentile sample (0 when
+  // empty). Deterministic: pure integer arithmetic over the counts.
+  uint64_t PercentileBound(double p) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    const uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen > rank) {
+        return b == 0 ? 0 : (1ull << b) - 1;
+      }
+    }
+    return max_;
+  }
+
+  // FNV-1a over (count, sum, max, buckets): two deterministic runs that fed
+  // the same samples produce equal fingerprints.
+  uint64_t Fingerprint() const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+      }
+    };
+    mix(count_);
+    mix(sum_);
+    mix(max_);
+    for (uint64_t b : buckets_) {
+      mix(b);
+    }
+    return h;
+  }
+
+  bool operator==(const Histogram&) const = default;
+
+ private:
+  static constexpr size_t kBuckets = 64;
+
+  static size_t BucketOf(uint64_t v) {
+    size_t b = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++b;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t buckets_[kBuckets] = {};
+};
+
 // Named monotonic counters with deterministic (sorted) iteration order.
 // Subsystems that inject or absorb faults account every event here, so a test
 // can assert that two runs with the same seed saw the exact same fault

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <tuple>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "src/runtime/crcnfg.h"
 #include "src/runtime/cthread.h"
 #include "src/runtime/device.h"
+#include "src/runtime/serving.h"
 #include "src/runtime/supervisor.h"
 #include "src/services/aes.h"
 #include "src/services/aes_kernels.h"
@@ -44,7 +46,9 @@ using runtime::Alloc;
 using runtime::CThread;
 using runtime::Oper;
 using runtime::SgEntry;
+using runtime::OpStatus;
 using runtime::SimDevice;
+namespace serving = runtime::serving;
 
 SimDevice::Config DeviceConfig() {
   SimDevice::Config cfg;
@@ -111,16 +115,14 @@ TEST(ChaosSoakTest, AesOffloadBitIdenticalUnderHostChaos) {
     CThread t(&dev, 0);
     t.SetCsr(kKeyLo, services::kAesCsrKeyLo);
     t.SetCsr(kKeyHi, services::kAesCsrKeyHi);
-    const uint64_t src = t.GetMem({Alloc::kHpf, kBytes});
-    const uint64_t dst = t.GetMem({Alloc::kHpf, kBytes});
-    t.WriteBuffer(src, plain.data(), kBytes);
-    SgEntry sg;
-    sg.local = {.src_addr = src, .src_len = kBytes, .dst_addr = dst, .dst_len = kBytes};
+    serving::ServingRequest req;
+    req.kernel = "aes-ecb";
+    req.payload = axi::BufferView(plain);
     const sim::TimePs start = dev.engine().Now();
-    EXPECT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
-    const sim::TimePs elapsed = dev.engine().Now() - start;
-    std::vector<uint8_t> cipher(kBytes);
-    t.ReadBuffer(dst, cipher.data(), kBytes);
+    std::vector<uint8_t> cipher;
+    const serving::ServingCompletion done = serving::ExecuteSync(&t, req, &cipher);
+    EXPECT_EQ(done.status, OpStatus::kOk);
+    const sim::TimePs elapsed = done.completed_at - start;
     if (chaos) {
       // The plan actually perturbed the run.
       EXPECT_GT(injector->counters().value("xdma.stall"), 0u);
@@ -154,15 +156,16 @@ TEST(ChaosSoakTest, HllEstimateBitIdenticalUnderHostChaos) {
     }
     dev.vfpga(0).LoadKernel(std::make_unique<services::HllKernel>());
     CThread t(&dev, 0);
-    const uint64_t bytes = kItems * 8;
-    const uint64_t src = t.GetMem({Alloc::kHpf, bytes});
-    const uint64_t dst = t.GetMem({Alloc::kHpf, 4096});
-    t.WriteBuffer(src, items.data(), bytes);
-    SgEntry sg;
-    sg.local = {.src_addr = src, .src_len = bytes, .dst_addr = dst, .dst_len = 8};
-    EXPECT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
+    std::vector<uint8_t> bytes(kItems * 8);
+    std::memcpy(bytes.data(), items.data(), bytes.size());
+    serving::ServingRequest req;
+    req.kernel = "hll";
+    req.payload = axi::BufferView(std::move(bytes));
+    req.response_bytes = 8;
+    std::vector<uint8_t> out;
+    EXPECT_EQ(serving::ExecuteSync(&t, req, &out).status, OpStatus::kOk);
     double estimate = 0;
-    t.ReadBuffer(dst, &estimate, 8);
+    std::memcpy(&estimate, out.data(), 8);
     return estimate;
   };
 
@@ -190,17 +193,16 @@ TEST(ChaosSoakTest, NnInferenceBitIdenticalUnderHostChaos) {
     }
     dev.vfpga(0).LoadKernel(std::make_unique<services::NnKernel>(spec));
     CThread t(&dev, 0);
-    const uint64_t src = t.GetMem({Alloc::kHpf, inputs.size()});
-    const uint64_t dst = t.GetMem({Alloc::kHpf, kSamples * spec.output_dim()});
-    t.WriteBuffer(src, inputs.data(), inputs.size());
-    SgEntry sg;
-    sg.local = {.src_addr = src,
-                .src_len = inputs.size(),
-                .dst_addr = dst,
-                .dst_len = kSamples * spec.output_dim()};
-    EXPECT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
-    std::vector<int8_t> out(kSamples * spec.output_dim());
-    t.ReadBuffer(dst, out.data(), out.size());
+    std::vector<uint8_t> in_bytes(inputs.size());
+    std::memcpy(in_bytes.data(), inputs.data(), inputs.size());
+    serving::ServingRequest req;
+    req.kernel = "nn";
+    req.payload = axi::BufferView(std::move(in_bytes));
+    req.response_bytes = kSamples * spec.output_dim();
+    std::vector<uint8_t> out_bytes;
+    EXPECT_EQ(serving::ExecuteSync(&t, req, &out_bytes).status, OpStatus::kOk);
+    std::vector<int8_t> out(out_bytes.size());
+    std::memcpy(out.data(), out_bytes.data(), out_bytes.size());
     return out;
   };
 
@@ -650,16 +652,16 @@ TEST(ChaosSoakTest, SixtyFourClientCombinedChaosSoakIsHangFreeAndDeterministic) 
       CThread t(&dev, client % 2);
       constexpr uint64_t kBytes = 64 << 10;
       const auto data = RandomBytes(kBytes, 1000 + client);
-      const uint64_t src = t.GetMem({Alloc::kHpf, kBytes});
-      const uint64_t dst = t.GetMem({Alloc::kHpf, kBytes});
-      t.WriteBuffer(src, data.data(), kBytes);
-      SgEntry sg;
-      sg.local = {.src_addr = src, .src_len = kBytes, .dst_addr = dst, .dst_len = kBytes};
-      if (t.InvokeSync(Oper::kLocalTransfer, sg)) {
+      serving::ServingRequest req;
+      req.tenant = client;
+      req.kernel = "passthrough";
+      req.payload = axi::BufferView(data);
+      std::vector<uint8_t> out;
+      const serving::ServingCompletion done = serving::ExecuteSync(&t, req, &out);
+      if (done.status == OpStatus::kOk) {
         ++ok_count;
-        std::vector<uint8_t> out(kBytes);
-        t.ReadBuffer(dst, out.data(), kBytes);
         EXPECT_EQ(out, data) << "client " << client;
+        EXPECT_EQ(done.response_hash, serving::HashBytes(out.data(), out.size()));
         for (const uint8_t byte : out) {
           data_hash ^= byte;
           data_hash *= 0x100000001b3ull;

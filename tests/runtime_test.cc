@@ -10,6 +10,7 @@
 #include "src/runtime/crcnfg.h"
 #include "src/runtime/cthread.h"
 #include "src/runtime/device.h"
+#include "src/runtime/serving.h"
 #include "src/services/aes.h"
 #include "src/services/aes_kernels.h"
 #include "src/services/hll.h"
@@ -86,18 +87,19 @@ TEST(CThreadTest, LocalTransferThroughPassthroughPreservesData) {
   CThread t(&dev, 0);
 
   constexpr uint64_t kBytes = 64 * 1024;
-  const uint64_t src = t.GetMem({Alloc::kHpf, kBytes});
-  const uint64_t dst = t.GetMem({Alloc::kHpf, kBytes});
   const auto data = RandomBytes(kBytes, 2);
-  t.WriteBuffer(src, data.data(), kBytes);
 
-  SgEntry sg;
-  sg.local = {.src_addr = src, .src_len = kBytes, .dst_addr = dst, .dst_len = kBytes};
-  EXPECT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
-
-  std::vector<uint8_t> out(kBytes);
-  t.ReadBuffer(dst, out.data(), kBytes);
+  // The typed serving envelope replaces the hand-rolled
+  // GetMem/WriteBuffer/SgEntry/InvokeSync/ReadBuffer sequence.
+  serving::ServingRequest req;
+  req.kernel = "passthrough";
+  req.payload = axi::BufferView(data);
+  std::vector<uint8_t> out;
+  const serving::ServingCompletion done = serving::ExecuteSync(&t, req, &out);
+  EXPECT_EQ(done.status, OpStatus::kOk);
   EXPECT_EQ(data, out);
+  EXPECT_EQ(done.response_hash, serving::HashBytes(data.data(), data.size()));
+  EXPECT_GT(done.completed_at, 0u);
 
   // Timing sanity: 64 KB both directions over a 12 GB/s link plus kernel
   // time; must be more than the pure link time and less than 1 ms.
@@ -219,17 +221,13 @@ TEST(AesEndToEnd, EcbMatchesSoftwareAes) {
   t.SetCsr(kKeyHi, services::kAesCsrKeyHi);
 
   constexpr uint64_t kBytes = 32 * 1024;
-  const uint64_t src = t.GetMem({Alloc::kHpf, kBytes});
-  const uint64_t dst = t.GetMem({Alloc::kHpf, kBytes});
   const auto plain = RandomBytes(kBytes, 5);
-  t.WriteBuffer(src, plain.data(), kBytes);
 
-  SgEntry sg;
-  sg.local = {.src_addr = src, .src_len = kBytes, .dst_addr = dst, .dst_len = kBytes};
-  ASSERT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
-
-  std::vector<uint8_t> cipher(kBytes);
-  t.ReadBuffer(dst, cipher.data(), kBytes);
+  serving::ServingRequest req;
+  req.kernel = "aes-ecb";
+  req.payload = axi::BufferView(plain);
+  std::vector<uint8_t> cipher;
+  ASSERT_EQ(serving::ExecuteSync(&t, req, &cipher).status, OpStatus::kOk);
 
   services::Aes128 sw(kKeyLo, kKeyHi);
   EXPECT_EQ(cipher, sw.EncryptEcb(plain));
@@ -250,17 +248,13 @@ TEST(AesEndToEnd, CbcMatchesSoftwareAesWithIv) {
   t.SetCsr(kIvHi, services::kAesCsrIvHi);
 
   constexpr uint64_t kBytes = 16 * 1024;
-  const uint64_t src = t.GetMem({Alloc::kHpf, kBytes});
-  const uint64_t dst = t.GetMem({Alloc::kHpf, kBytes});
   const auto plain = RandomBytes(kBytes, 6);
-  t.WriteBuffer(src, plain.data(), kBytes);
 
-  SgEntry sg;
-  sg.local = {.src_addr = src, .src_len = kBytes, .dst_addr = dst, .dst_len = kBytes};
-  ASSERT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
-
-  std::vector<uint8_t> cipher(kBytes);
-  t.ReadBuffer(dst, cipher.data(), kBytes);
+  serving::ServingRequest req;
+  req.kernel = "aes-cbc";
+  req.payload = axi::BufferView(plain);
+  std::vector<uint8_t> cipher;
+  ASSERT_EQ(serving::ExecuteSync(&t, req, &cipher).status, OpStatus::kOk);
 
   std::array<uint8_t, 16> iv;
   for (int i = 0; i < 8; ++i) {
@@ -362,17 +356,18 @@ TEST(HllEndToEnd, EstimateWithinFivePercent) {
   for (auto& x : items) {
     x = rng.NextBounded(kDistinct);
   }
-  const uint64_t bytes = kItems * 8;
-  const uint64_t src = t.GetMem({Alloc::kHpf, bytes});
-  const uint64_t dst = t.GetMem({Alloc::kHpf, 4096});
-  t.WriteBuffer(src, items.data(), bytes);
+  std::vector<uint8_t> bytes(kItems * 8);
+  std::memcpy(bytes.data(), items.data(), bytes.size());
 
-  SgEntry sg;
-  sg.local = {.src_addr = src, .src_len = bytes, .dst_addr = dst, .dst_len = 8};
-  ASSERT_TRUE(t.InvokeSync(Oper::kLocalTransfer, sg));
+  serving::ServingRequest req;
+  req.kernel = "hll";
+  req.payload = axi::BufferView(std::move(bytes));
+  req.response_bytes = 8;  // the envelope supports asymmetric responses
+  std::vector<uint8_t> out;
+  ASSERT_EQ(serving::ExecuteSync(&t, req, &out).status, OpStatus::kOk);
 
   double estimate = 0;
-  t.ReadBuffer(dst, &estimate, 8);
+  std::memcpy(&estimate, out.data(), 8);
   EXPECT_NEAR(estimate, static_cast<double>(kDistinct), 0.05 * kDistinct);
 }
 

@@ -148,13 +148,144 @@ TEST_F(SchedulerTest, ParallelRegionsOverlapWork) {
     dev_->engine().ScheduleAfter(sim::Milliseconds(10), std::move(done));
   };
   for (int i = 0; i < 4; ++i) {
-    sched.Submit({"/bit/hll.bin", 0, work});
+    KernelScheduler::Request r;
+    r.bitstream_path = "/bit/hll.bin";
+    r.run = work;
+    sched.Submit(std::move(r));
   }
   dev_->WaitFor([&] { return sched.Idle(); });
   const double ms = sim::ToMilliseconds(dev_->engine().Now() - start);
   EXPECT_EQ(sched.reconfigurations(), 2u);  // no further loads
   EXPECT_LT(ms, 25.0);
   EXPECT_GE(ms, 20.0);
+}
+
+// --- Serving-tier contract: typed failures, hints, observability --------------
+
+TEST_F(SchedulerTest, RequireResidentFailsFastWithTypedErrorWhenNothingHoldsTheKernel) {
+  KernelScheduler sched(dev_.get(), KernelScheduler::Policy::kAffinity);
+  std::vector<OpStatus> failures;
+  KernelScheduler::Request r;
+  r.bitstream_path = "/bit/hll.bin";  // valid, but not resident anywhere yet
+  r.require_resident = true;
+  r.run = [](uint32_t, std::function<void()> done) { done(); };
+  r.failed = [&](OpStatus status) { failures.push_back(status); };
+  sched.Submit(std::move(r));
+  dev_->WaitFor([&] { return sched.Idle(); });
+
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0], OpStatus::kError);
+  EXPECT_EQ(sched.failed_requests(), 1u);
+  EXPECT_EQ(sched.reconfigurations(), 0u);  // never tried to reprogram
+  EXPECT_EQ(sched.stats().value("sched.failed.no_resident"), 1u);
+}
+
+TEST_F(SchedulerTest, RequireResidentFailsFastWhenTheResidentRegionIsQuarantined) {
+  KernelScheduler sched(dev_.get(), KernelScheduler::Policy::kAffinity);
+  // Warm region 0 with the kernel, then quarantine it mid-batch.
+  sched.Submit(TimedRequest("/bit/hll.bin", 0, nullptr, ""));
+  dev_->WaitFor([&] { return sched.Idle(); });
+  sched.SetQuarantined(0, true);
+
+  std::vector<OpStatus> failures;
+  KernelScheduler::Request r;
+  r.bitstream_path = "/bit/hll.bin";
+  r.require_resident = true;
+  r.run = [](uint32_t, std::function<void()> done) { done(); };
+  r.failed = [&](OpStatus status) { failures.push_back(status); };
+  sched.Submit(std::move(r));
+  dev_->WaitFor([&] { return sched.Idle(); });
+
+  ASSERT_EQ(failures.size(), 1u);  // typed completion, not a hang
+  EXPECT_EQ(failures[0], OpStatus::kError);
+
+  // Region reset + re-admission: the same request shape now runs.
+  sched.NoteRegionReset(0, "/bit/hll.bin");
+  sched.SetQuarantined(0, false);
+  bool ran = false;
+  KernelScheduler::Request ok;
+  ok.bitstream_path = "/bit/hll.bin";
+  ok.require_resident = true;
+  ok.run = [&](uint32_t, std::function<void()> done) {
+    ran = true;
+    done();
+  };
+  ok.failed = [&](OpStatus status) { failures.push_back(status); };
+  sched.Submit(std::move(ok));
+  dev_->WaitFor([&] { return sched.Idle(); });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(failures.size(), 1u);
+}
+
+TEST_F(SchedulerTest, RegionHintSteersPlacementWhenEligible) {
+  KernelScheduler sched(dev_.get(), KernelScheduler::Policy::kAffinity);
+  // Make the kernel resident on both regions.
+  sched.Submit(TimedRequest("/bit/hll.bin", 0, nullptr, ""));
+  sched.Submit(TimedRequest("/bit/hll.bin", 0, nullptr, ""));
+  dev_->WaitFor([&] { return sched.Idle(); });
+
+  std::vector<uint32_t> placed;
+  for (const int32_t hint : {1, 0, 1}) {
+    KernelScheduler::Request r;
+    r.bitstream_path = "/bit/hll.bin";
+    r.region_hint = hint;
+    r.run = [&](uint32_t vfpga_id, std::function<void()> done) {
+      placed.push_back(vfpga_id);
+      done();
+    };
+    sched.Submit(std::move(r));
+    dev_->WaitFor([&] { return sched.Idle(); });
+  }
+  EXPECT_EQ(placed, (std::vector<uint32_t>{1, 0, 1}));
+}
+
+TEST_F(SchedulerTest, ExportsPerTenantDepthAndQuarantineGauges) {
+  KernelScheduler sched(dev_.get(), KernelScheduler::Policy::kAffinity);
+  // Warm both regions first (reconfiguration advances simulated time by the
+  // full program latency, which would otherwise let the fillers finish early).
+  sched.Submit(TimedRequest("/bit/hll.bin", 0, nullptr, ""));
+  sched.Submit(TimedRequest("/bit/hll.bin", 0, nullptr, ""));
+  dev_->WaitFor([&] { return sched.Idle(); });
+
+  // Two long fillers occupy both warm regions; the next three queue behind.
+  for (int i = 0; i < 2; ++i) {
+    KernelScheduler::Request filler;
+    filler.bitstream_path = "/bit/hll.bin";
+    filler.run = [this](uint32_t, std::function<void()> done) {
+      dev_->engine().ScheduleAfter(sim::Milliseconds(50), std::move(done));
+    };
+    sched.Submit(std::move(filler));
+  }
+  dev_->engine().RunUntil(dev_->engine().Now() + sim::Microseconds(10));
+
+  for (const uint32_t tenant : {7u, 7u, 9u}) {
+    KernelScheduler::Request r = TimedRequest("/bit/hll.bin", 0, nullptr, "");
+    r.tenant = tenant;
+    sched.Submit(std::move(r));
+  }
+  dev_->engine().RunUntil(dev_->engine().Now() + sim::Microseconds(10));
+
+  EXPECT_EQ(sched.tenant_depth(7), 2u);
+  EXPECT_EQ(sched.tenant_depth(9), 1u);
+  EXPECT_EQ(sched.tenant_depth(42), 0u);
+  sched.SetQuarantined(1, true);
+
+  sim::CounterSet gauges;
+  sched.ExportStats(&gauges);
+  EXPECT_EQ(gauges.value("sched.queue_depth.tenant7"), 2u);
+  EXPECT_EQ(gauges.value("sched.queue_depth.tenant9"), 1u);
+  EXPECT_EQ(gauges.value("sched.quarantined_regions"), 1u);
+  EXPECT_EQ(gauges.value("sched.busy_regions"), 2u);  // both fillers still run
+
+  // Monotonic counters track the same story.
+  EXPECT_EQ(sched.stats().value("sched.submitted.tenant7"), 2u);
+  EXPECT_EQ(sched.stats().value("sched.submitted.tenant9"), 1u);
+  EXPECT_GE(sched.depth_histogram().count(), 5u);
+
+  sched.SetQuarantined(1, false);
+  dev_->WaitFor([&] { return sched.Idle(); });
+  EXPECT_EQ(sched.tenant_depth(7), 0u);  // drained depths return to zero
+  EXPECT_EQ(sched.tenant_depth(9), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,486 @@
+// Serving fabric tests: the typed request envelope, the rpc framing it rides
+// on, the Router's admission/fair-queue/batching/routing/failure policies in
+// isolation, and the full ServingFabric under reconfiguration storms and node
+// kills. The cluster-level contract under test: every submitted request gets
+// exactly one typed completion — shed, error, aborted, expired, or ok — and
+// the whole fabric is bit-identical across same-seed runs and 1/2/4/8-shard
+// placements.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/rpc.h"
+#include "src/runtime/cthread.h"
+#include "src/runtime/device.h"
+#include "src/runtime/router.h"
+#include "src/runtime/serving.h"
+#include "src/services/vector_kernels.h"
+#include "src/sim/access_guard.h"
+#include "src/sim/engine.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace coyote {
+namespace runtime {
+namespace {
+
+// --- rpc framing --------------------------------------------------------------
+
+TEST(RpcFrameTest, RoundTripPreservesEveryFieldAndValidates) {
+  net::rpc::FrameWriter w;
+  w.U8(7);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.I32(-42);
+  w.Str("serve.bin");
+  const std::vector<uint8_t> frame = w.Finish(net::rpc::MsgType::kRequestBatch);
+
+  net::rpc::FrameReader r(frame);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.type(), net::rpc::MsgType::kRequestBatch);
+  EXPECT_EQ(r.U8(), 7u);
+  EXPECT_EQ(r.U16(), 0xBEEFu);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I32(), -42);
+  EXPECT_EQ(r.Str(), "serve.bin");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(RpcFrameTest, AnySingleByteFlipRejectsTheWholeFrame) {
+  net::rpc::FrameWriter w;
+  w.U64(0x1122334455667788ull);
+  w.Str("integrity");
+  const std::vector<uint8_t> frame = w.Finish(net::rpc::MsgType::kCompletion);
+
+  // The CRC trailer covers everything before it, so no single corrupted byte
+  // — header, payload, or the trailer itself — may survive validation.
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::vector<uint8_t> bad = frame;
+    bad[i] ^= 0x01;
+    net::rpc::FrameReader r(bad);
+    EXPECT_FALSE(r.ok()) << "byte " << i << " flip was accepted";
+    EXPECT_EQ(r.U64(), 0u);  // reads after rejection yield zero
+  }
+}
+
+// --- the request envelope -----------------------------------------------------
+
+TEST(ServingEnvelopeTest, ExecuteSyncEchoesPayloadAndWitnessesIntegrity) {
+  SimDevice::Config cfg;
+  cfg.shell.name = "envelope-shell";
+  cfg.shell.services = {fabric::Service::kHostStream, fabric::Service::kCardMemory};
+  cfg.shell.num_vfpgas = 1;
+  SimDevice dev(cfg);
+  dev.vfpga(0).LoadKernel(std::make_unique<services::PassthroughKernel>());
+  CThread t(&dev, 0);
+
+  std::vector<uint8_t> data(777);
+  sim::Rng rng(3);
+  rng.FillBytes(data.data(), data.size());
+
+  serving::ServingRequest req;
+  req.id = 42;
+  req.tenant = 9;
+  req.kernel = "echo";
+  req.payload = axi::BufferView(data);
+
+  std::vector<uint8_t> out;
+  const serving::ServingCompletion done = serving::ExecuteSync(&t, req, &out);
+  EXPECT_EQ(done.status, OpStatus::kOk);
+  EXPECT_EQ(done.id, 42u);
+  EXPECT_EQ(done.tenant, 9u);
+  EXPECT_EQ(out, data);
+  // The echo kernel makes the completion an end-to-end integrity witness.
+  EXPECT_EQ(done.response_hash, serving::HashBytes(data.data(), data.size()));
+  EXPECT_GT(done.completed_at, 0u);
+}
+
+// --- Router policies in isolation ---------------------------------------------
+
+class RouterTest : public ::testing::Test {
+ protected:
+  struct CapturedBatch {
+    uint32_t node = 0;
+    std::vector<serving::ServingRequest> batch;
+  };
+
+  void MakeRouter(Router::Config c, uint32_t num_nodes = 1) {
+    c.num_nodes = num_nodes;
+    router_ = std::make_unique<Router>(&engine_, c);
+    router_->SetBatchSink([this](uint32_t node, std::vector<serving::ServingRequest> b) {
+      batches_.push_back({node, std::move(b)});
+    });
+    router_->SetCompletionObserver(
+        [this](const serving::ServingCompletion& done) { completions_.push_back(done); });
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      router_->SetNodeResident(n, {"k.bin"});
+    }
+  }
+
+  static serving::ServingRequest Req(uint32_t tenant, const std::string& kernel = "k.bin") {
+    serving::ServingRequest r;
+    r.tenant = tenant;
+    r.kernel = kernel;
+    r.payload = axi::BufferView(std::vector<uint8_t>(8, static_cast<uint8_t>(tenant)));
+    return r;
+  }
+
+  void SubmitAt(sim::TimePs t, serving::ServingRequest r) {
+    engine_.ScheduleAt(
+        t, [this, r = std::move(r)]() mutable { router_->Submit(std::move(r)); });
+  }
+
+  // Delivers a node's kOk completion for inflight id `id` with the correct
+  // integrity hash (the payload Req() builds for `tenant`).
+  void CompleteAt(sim::TimePs t, uint64_t id, uint32_t tenant, uint32_t node) {
+    engine_.ScheduleAt(t, [this, id, tenant, node]() {
+      const std::vector<uint8_t> payload(8, static_cast<uint8_t>(tenant));
+      serving::ServingCompletion c;
+      c.id = id;
+      c.tenant = tenant;
+      c.status = OpStatus::kOk;
+      c.node = node;
+      c.region = 0;
+      c.completed_at = engine_.Now();
+      c.response_hash = serving::HashBytes(payload.data(), payload.size());
+      router_->OnCompletion(c);
+    });
+  }
+
+  uint64_t Count(const char* key) const { return router_->counters().value(key); }
+
+  sim::Engine engine_;
+  std::unique_ptr<Router> router_;
+  std::vector<CapturedBatch> batches_;
+  std::vector<serving::ServingCompletion> completions_;
+};
+
+TEST_F(RouterTest, AdmissionBucketShedsPastTheBurstBank) {
+  Router::Config c;
+  c.admit_period = sim::Microseconds(100);  // far slower than the burst below
+  c.bucket_burst = 2;
+  c.batch_max = 8;
+  c.batch_timeout = sim::Microseconds(1);
+  MakeRouter(c);
+
+  for (int i = 0; i < 5; ++i) {
+    SubmitAt(sim::Microseconds(1), Req(/*tenant=*/1));
+  }
+  engine_.RunUntil(sim::Microseconds(50));
+
+  // 2 tokens banked -> 2 admitted and flushed, 3 shed at the front door.
+  EXPECT_EQ(Count("router.offered"), 5u);
+  EXPECT_EQ(Count("router.shed.bucket"), 3u);
+  ASSERT_EQ(batches_.size(), 1u);
+  EXPECT_EQ(batches_[0].batch.size(), 2u);
+  ASSERT_EQ(completions_.size(), 3u);
+  for (const auto& done : completions_) {
+    EXPECT_EQ(done.status, OpStatus::kShed);
+  }
+}
+
+TEST_F(RouterTest, BatchFlushesAtMaxSizeOrTimeoutWhicheverFirst) {
+  Router::Config c;
+  c.batch_max = 3;
+  c.batch_timeout = sim::Microseconds(20);
+  MakeRouter(c);
+
+  // Three at once: the batch hits batch_max and flushes on size.
+  for (int i = 0; i < 3; ++i) {
+    SubmitAt(sim::Microseconds(1), Req(1));
+  }
+  // One straggler: nothing fills the batch, the timeout flushes it alone.
+  SubmitAt(sim::Microseconds(40), Req(1));
+  engine_.RunUntil(sim::Microseconds(100));
+
+  ASSERT_EQ(batches_.size(), 2u);
+  EXPECT_EQ(batches_[0].batch.size(), 3u);
+  EXPECT_EQ(batches_[1].batch.size(), 1u);
+  EXPECT_EQ(Count("router.flush.size"), 1u);
+  EXPECT_EQ(Count("router.flush.timeout"), 1u);
+  EXPECT_EQ(Count("router.batches"), 2u);
+}
+
+TEST_F(RouterTest, FairQueueInterleavesTenantsRoundRobin) {
+  Router::Config c;
+  c.batch_max = 4;
+  MakeRouter(c);
+
+  // Tenant 1 floods three requests before tenant 2's single one arrives; the
+  // round-robin drain (quantum 1) must not make tenant 2 wait out the flood.
+  SubmitAt(sim::Microseconds(1), Req(1));
+  SubmitAt(sim::Microseconds(1), Req(1));
+  SubmitAt(sim::Microseconds(1), Req(1));
+  SubmitAt(sim::Microseconds(1), Req(2));
+  engine_.RunUntil(sim::Microseconds(10));
+
+  ASSERT_EQ(batches_.size(), 1u);
+  const auto& b = batches_[0].batch;
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0].tenant, 1u);
+  EXPECT_EQ(b[1].tenant, 2u);  // interleaved, not last
+  EXPECT_EQ(b[2].tenant, 1u);
+  EXPECT_EQ(b[3].tenant, 1u);
+  for (const auto& r : b) {
+    EXPECT_EQ(r.region_hint, 0);  // the router stamped the placement hint
+  }
+}
+
+TEST_F(RouterTest, NoResidentKernelShedsTyped) {
+  MakeRouter(Router::Config{});
+  SubmitAt(sim::Microseconds(1), Req(1, "missing.bin"));
+  engine_.RunUntil(sim::Microseconds(10));
+
+  EXPECT_EQ(Count("router.shed.no_kernel"), 1u);
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_EQ(completions_[0].status, OpStatus::kShed);
+  EXPECT_TRUE(router_->Settled());
+}
+
+TEST_F(RouterTest, ExpiredDeadlineCompletesTypedBeforeRouting) {
+  MakeRouter(Router::Config{});
+  serving::ServingRequest r = Req(1);
+  r.deadline = 1;  // already past by submission time
+  SubmitAt(sim::Microseconds(1), std::move(r));
+  engine_.RunUntil(sim::Microseconds(10));
+
+  EXPECT_EQ(Count("router.expired"), 1u);
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_EQ(completions_[0].status, OpStatus::kDeadlineExceeded);
+  EXPECT_TRUE(batches_.empty());
+}
+
+TEST_F(RouterTest, HeartbeatSilenceDeclaresDeathAndEvacuatesInflight) {
+  Router::Config c;
+  c.batch_timeout = 0;  // unbatched: every request flushes alone
+  c.heartbeat_window = sim::Microseconds(100);
+  MakeRouter(c, /*num_nodes=*/2);
+
+  // One request lands on node 0 (tie-break: lowest id) and never completes.
+  SubmitAt(sim::Microseconds(1), Req(1));
+  // Node 1 keeps heartbeating; node 0 goes silent.
+  for (int k = 1; k <= 3; ++k) {
+    engine_.ScheduleAt(sim::Microseconds(50 * k), [this, k]() {
+      router_->OnHeartbeat(1, static_cast<uint64_t>(k));
+    });
+  }
+  engine_.ScheduleAt(sim::Microseconds(151), [this]() { router_->Sweep(); });
+  // The rerouted copy completes on node 1.
+  CompleteAt(sim::Microseconds(200), /*id=*/1, /*tenant=*/1, /*node=*/1);
+  engine_.RunUntil(sim::Microseconds(300));
+
+  EXPECT_FALSE(router_->node_alive(0));
+  EXPECT_TRUE(router_->node_alive(1));
+  EXPECT_EQ(Count("router.node_dead"), 1u);
+  EXPECT_EQ(Count("router.evacuated"), 1u);
+  ASSERT_EQ(batches_.size(), 2u);
+  EXPECT_EQ(batches_[0].node, 0u);
+  EXPECT_EQ(batches_[1].node, 1u);
+  EXPECT_EQ(batches_[1].batch[0].id, 1u);       // the same request, rerouted
+  EXPECT_EQ(batches_[1].batch[0].retries, 1u);  // one death survived
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_EQ(completions_[0].status, OpStatus::kOk);
+  EXPECT_EQ(Count("router.integrity.ok"), 1u);
+  EXPECT_EQ(Count("router.integrity.mismatch"), 0u);
+  EXPECT_TRUE(router_->Settled());
+}
+
+TEST_F(RouterTest, RetriesAreCappedThenTheRequestSheds) {
+  Router::Config c;
+  c.batch_timeout = 0;
+  c.retry_max = 1;
+  MakeRouter(c, /*num_nodes=*/2);
+
+  SubmitAt(sim::Microseconds(1), Req(1));
+  engine_.ScheduleAt(sim::Microseconds(10), [this]() { router_->MarkNodeDead(0); });
+  engine_.ScheduleAt(sim::Microseconds(20), [this]() { router_->MarkNodeDead(1); });
+  engine_.RunUntil(sim::Microseconds(100));
+
+  EXPECT_EQ(Count("router.node_dead"), 2u);
+  EXPECT_EQ(Count("router.evacuated"), 1u);      // first death reroutes...
+  EXPECT_EQ(Count("router.shed.retries"), 1u);   // ...second hits the cap
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_EQ(completions_[0].status, OpStatus::kShed);
+  EXPECT_TRUE(router_->Settled());
+}
+
+TEST_F(RouterTest, StaleCompletionsAreCountedAndDropped) {
+  MakeRouter(Router::Config{});
+  CompleteAt(sim::Microseconds(1), /*id=*/999, /*tenant=*/1, /*node=*/0);
+  engine_.RunUntil(sim::Microseconds(10));
+
+  EXPECT_EQ(Count("router.stale_completion"), 1u);
+  EXPECT_EQ(router_->completions(), 0u);
+}
+
+// --- the full fabric ----------------------------------------------------------
+
+ServingFabric::Config QuietFabric(uint32_t num_nodes, uint32_t regions_per_node) {
+  ServingFabric::Config c;
+  c.num_nodes = num_nodes;
+  c.regions_per_node = regions_per_node;
+  c.seed = 0x5E11AB1Eull;
+  c.kernel_factory = [] { return std::make_unique<services::PassthroughKernel>(); };
+  c.loadgen.duration = 0;  // no open-loop traffic; tests drive SubmitAt
+  return c;
+}
+
+serving::ServingRequest FabricReq(uint32_t tenant, uint64_t bytes = 64) {
+  serving::ServingRequest r;
+  r.tenant = tenant;
+  r.kernel = "serve.bin";
+  std::vector<uint8_t> p(bytes);
+  sim::Rng rng(1000 + tenant);
+  rng.FillBytes(p.data(), bytes);
+  r.payload = axi::BufferView(std::move(p));
+  return r;
+}
+
+uint64_t StatusSum(const sim::CounterSet& ctr) {
+  return ctr.value("router.done.ok") + ctr.value("router.done.error") +
+         ctr.value("router.done.aborted") + ctr.value("router.done.deadline") +
+         ctr.value("router.done.shed");
+}
+
+// The ISSUE's headline coverage case: a batched request whose target region
+// gets quarantined mid-batch must complete with a typed error — never hang.
+TEST(ServingFabricTest, QuarantineMidBatchCompletesTypedErrorNotHang) {
+  ServingFabric::Config c = QuietFabric(/*num_nodes=*/1, /*regions_per_node=*/1);
+  c.router.batch_max = 8;
+  c.router.batch_timeout = sim::Microseconds(5);
+  // The storm quarantines the fabric's only region from 30us to 130us.
+  c.storms = {{sim::Microseconds(30), 0, 0, sim::Microseconds(100)}};
+  // Background open-loop traffic keeps the fabric live through every phase
+  // below (Run settles — and stops firing scheduled submissions — the moment
+  // the router drains, so the probes need company until the last one lands).
+  c.loadgen.duration = sim::Microseconds(250);
+  c.loadgen.session_gap = sim::Microseconds(10);
+  c.loadgen.requests_per_session_max = 2;
+  c.loadgen.think_gap = sim::Microseconds(2);
+  c.loadgen.payload_bytes_min = 64;
+  c.loadgen.payload_bytes_max = 128;
+  c.loadgen.active_tenants = 2;
+  c.loadgen.tenant_universe = 4;
+  ServingFabric fab(c);
+
+  // Before the storm: should flow. An 8-wide batch right at storm onset and
+  // four requests landing mid-quarantine: must come back typed. After the
+  // storm: the region reset makes the kernel resident again -> ok.
+  for (int i = 0; i < 4; ++i) {
+    fab.SubmitAt(sim::Microseconds(20), FabricReq(1));
+  }
+  for (int i = 0; i < 8; ++i) {
+    fab.SubmitAt(sim::Microseconds(29), FabricReq(2));
+  }
+  for (int i = 0; i < 4; ++i) {
+    fab.SubmitAt(sim::Microseconds(60), FabricReq(3));
+  }
+  for (int i = 0; i < 2; ++i) {
+    fab.SubmitAt(sim::Microseconds(200), FabricReq(4));
+  }
+
+  ASSERT_TRUE(fab.Run(sim::Milliseconds(2), sim::Microseconds(50)));
+  const sim::CounterSet& ctr = fab.router().counters();
+  EXPECT_GE(ctr.value("router.offered"), 18u);  // 18 probes + loadgen traffic
+  // The cluster contract: exactly one completion per offered request, and
+  // every one of them carries a typed terminal status — nothing hangs.
+  EXPECT_EQ(fab.router().completions(), ctr.value("router.offered"));
+  EXPECT_EQ(StatusSum(ctr), fab.router().completions());
+  // The four mid-quarantine probes fail fast (no eligible resident region),
+  // possibly joined by aborted in-flight work from the storm onset.
+  EXPECT_GE(ctr.value("router.done.error") + ctr.value("router.done.aborted"), 4u);
+  // The post-storm pair proves the region recovered and serves again.
+  EXPECT_GE(ctr.value("router.done.ok"), 2u);
+  EXPECT_EQ(ctr.value("router.integrity.mismatch"), 0u);
+  EXPECT_EQ(fab.frame_errors(), 0u);
+  EXPECT_EQ(fab.storms_begun(), 1u);
+}
+
+// A node kill under open-loop load: the sweep declares the death, evacuates,
+// and the fabric still settles with one typed completion per offered request.
+TEST(ServingFabricTest, NodeKillUnderLoadSettlesWithTypedCompletions) {
+  ServingFabric::Config c = QuietFabric(/*num_nodes=*/2, /*regions_per_node=*/1);
+  c.router.heartbeat_window = sim::Microseconds(250);
+  c.loadgen.duration = sim::Microseconds(400);
+  c.loadgen.session_gap = sim::Microseconds(10);
+  c.loadgen.requests_per_session_max = 3;
+  c.loadgen.think_gap = sim::Microseconds(2);
+  c.loadgen.payload_bytes_min = 64;
+  c.loadgen.payload_bytes_max = 128;
+  c.loadgen.active_tenants = 4;
+  c.loadgen.tenant_universe = 8;
+  c.kills = {{sim::Microseconds(150), 1}};
+  ServingFabric fab(c);
+
+  ASSERT_TRUE(fab.Run(sim::Milliseconds(4), sim::Microseconds(100)));
+  const sim::CounterSet& ctr = fab.router().counters();
+  EXPECT_GT(ctr.value("router.offered"), 0u);
+  EXPECT_EQ(fab.router().completions(), ctr.value("router.offered"));
+  EXPECT_EQ(StatusSum(ctr), fab.router().completions());
+  EXPECT_EQ(ctr.value("router.node_dead"), 1u);
+  EXPECT_FALSE(fab.router().node_alive(1));
+  EXPECT_GT(ctr.value("router.done.ok"), 0u);  // the survivor kept serving
+  EXPECT_EQ(ctr.value("router.integrity.mismatch"), 0u);
+  EXPECT_EQ(fab.frame_errors(), 0u);
+}
+
+// Same seed, shard placements {1, 2, 4, 8}: the fabric fingerprint — every
+// completion folded in delivery order plus all counters — is bit-identical.
+TEST(ServingFabricTest, SameSeedFingerprintIsShardPlacementInvariant) {
+  auto run = [](uint32_t num_shards) -> uint64_t {
+    ServingFabric::Config c;
+    c.num_nodes = 3;
+    c.regions_per_node = 2;
+    c.num_shards = num_shards;
+    c.seed = 0xFAB51DEull;
+    c.kernel_names = {"kv.bin", "vec.bin"};
+    c.kernel_factory = [] { return std::make_unique<services::PassthroughKernel>(); };
+    c.router.batch_max = 4;
+    c.router.heartbeat_window = sim::Microseconds(250);
+    c.loadgen.duration = sim::Microseconds(400);
+    c.loadgen.session_gap = sim::Microseconds(8);
+    c.loadgen.requests_per_session_max = 3;
+    c.loadgen.think_gap = sim::Microseconds(2);
+    c.loadgen.payload_bytes_min = 64;
+    c.loadgen.payload_bytes_max = 256;
+    c.loadgen.active_tenants = 4;
+    c.loadgen.tenant_universe = 12;
+    c.loadgen.churn_period = sim::Microseconds(200);
+    c.loadgen.burst_permille = 50;
+    c.loadgen.burst_size = 4;
+    // Chaos in the mix so the invariance covers the failure paths too.
+    c.storms = {{sim::Microseconds(100), 0, 0, sim::Microseconds(80)}};
+    c.kills = {{sim::Microseconds(200), 2}};
+    ServingFabric fab(c);
+    EXPECT_TRUE(fab.Run(sim::Milliseconds(4), sim::Microseconds(100)))
+        << num_shards << " shards did not settle";
+    return fab.Fingerprint();
+  };
+
+  const uint64_t golden = run(1);
+  EXPECT_EQ(run(1), golden);  // same-seed rerun
+  EXPECT_EQ(run(2), golden);
+  EXPECT_EQ(run(4), golden);
+  EXPECT_EQ(run(8), golden);
+}
+
+// Guard-armed builds replay every scenario above under the deterministic race
+// detector; any same-epoch cross-actor conflict recorded while this binary
+// ran is a real reentrancy bug in the serving tier.
+TEST(ServingFabricTest, NoAccessGuardConflictsAcrossServingTests) {
+  for (const auto& conflict : sim::AccessLedger::Global().conflicts()) {
+    ADD_FAILURE() << conflict.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace coyote

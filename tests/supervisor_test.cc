@@ -35,6 +35,18 @@ using runtime::SgEntry;
 using runtime::SimDevice;
 using runtime::Supervisor;
 
+// The scheduler Request grew routing fields (tenant, region_hint,
+// require_resident) between priority and run; build it explicitly.
+KernelScheduler::Request SchedReq(
+    std::string bitstream_path, uint32_t priority,
+    std::function<void(uint32_t, std::function<void()>)> run) {
+  KernelScheduler::Request r;
+  r.bitstream_path = std::move(bitstream_path);
+  r.priority = priority;
+  r.run = std::move(run);
+  return r;
+}
+
 // --- TimerWheel ---------------------------------------------------------------
 
 TEST(TimerWheelTest, OneShotFiresOnceAtTheRightTime) {
@@ -452,20 +464,20 @@ TEST_F(SupervisorTest, QuarantinedRegionIsSkippedUntilReadmitted) {
 
   std::vector<uint32_t> placements;
   for (int i = 0; i < 2; ++i) {
-    sched.Submit({"/bit/app.bin", 0, [&](uint32_t id, std::function<void()> done) {
+    sched.Submit(SchedReq("/bit/app.bin", 0, [&](uint32_t id, std::function<void()> done) {
                     placements.push_back(id);
                     done();
-                  }});
+                  }));
   }
   dev_->engine().RunUntilIdle();
   ASSERT_TRUE(sched.Idle());
   EXPECT_EQ(placements, (std::vector<uint32_t>{1, 1}));  // region 0 fenced off
 
   sched.SetQuarantined(0, false);
-  sched.Submit({"/bit/app.bin", 0, [&](uint32_t id, std::function<void()> done) {
+  sched.Submit(SchedReq("/bit/app.bin", 0, [&](uint32_t id, std::function<void()> done) {
                   placements.push_back(id);
                   done();
-                }});
+                }));
   dev_->engine().RunUntilIdle();
   EXPECT_EQ(placements.back(), 0u);  // FCFS picks the re-admitted region first
 }
@@ -473,9 +485,9 @@ TEST_F(SupervisorTest, QuarantinedRegionIsSkippedUntilReadmitted) {
 TEST_F(SupervisorTest, NoteRegionResetReapsTheHungRequest) {
   KernelScheduler sched(dev_.get(), KernelScheduler::Policy::kFcfs);
   std::function<void()> stuck_done;
-  sched.Submit({"/bit/app.bin", 0, [&](uint32_t, std::function<void()> done) {
+  sched.Submit(SchedReq("/bit/app.bin", 0, [&](uint32_t, std::function<void()> done) {
                   stuck_done = std::move(done);  // never called: the hang
-                }});
+                }));
   dev_->engine().RunUntilIdle();
   EXPECT_FALSE(sched.Idle());
 
@@ -494,10 +506,10 @@ TEST_F(SupervisorTest, NoteRegionResetReapsTheHungRequest) {
   // bitstream means no redundant reconfiguration.
   const uint64_t reconfigs_before = sched.reconfigurations();
   bool ran = false;
-  sched.Submit({"/bit/app.bin", 0, [&](uint32_t id, std::function<void()> done) {
+  sched.Submit(SchedReq("/bit/app.bin", 0, [&](uint32_t id, std::function<void()> done) {
                   ran = id == 0;
                   done();
-                }});
+                }));
   dev_->engine().RunUntilIdle();
   EXPECT_TRUE(ran);
   EXPECT_EQ(sched.reconfigurations(), reconfigs_before);
@@ -525,7 +537,7 @@ TEST_F(SupervisorTest, SupervisedSchedulerRoutesAroundRecoveringRegion) {
   // region serving, and every job must complete (ok or typed error).
   int completed = 0;
   for (int job = 0; job < 8; ++job) {
-    sched.Submit({"/bit/app.bin", 0, [&](uint32_t id, std::function<void()> done) {
+    sched.Submit(SchedReq("/bit/app.bin", 0, [&](uint32_t id, std::function<void()> done) {
                     CThread& t = *threads[id];
                     constexpr uint64_t kBytes = 32 << 10;
                     const uint64_t src = t.GetMem({Alloc::kHpf, kBytes});
@@ -553,7 +565,7 @@ TEST_F(SupervisorTest, SupervisedSchedulerRoutesAroundRecoveringRegion) {
                     };
                     dev_->engine().ScheduleAfter(sim::Microseconds(10),
                                                  [poll]() { (*poll)(); });
-                  }});
+                  }));
   }
   ASSERT_TRUE(dev_->engine().RunUntilCondition([&] { return completed == 8; }));
   EXPECT_TRUE(sched.Idle());

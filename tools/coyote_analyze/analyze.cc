@@ -100,10 +100,11 @@ const std::set<std::string>& IterCalls() {
 
 // Calls whose callable argument runs in event-callback context. ScheduleOn /
 // Post place events on engines; *Async APIs register completion callbacks
-// fired from engine context.
+// fired from engine context; SetCompletionCallback is the cThread's
+// shard-safe completion path the serving fabric's node executors use.
 const std::set<std::string>& CallbackSinks() {
   static const std::set<std::string> s = {"ScheduleAt", "ScheduleAfter", "SchedulePeriodic",
-                                          "Post", "ScheduleOn"};
+                                          "Post", "ScheduleOn", "SetCompletionCallback"};
   return s;
 }
 
@@ -1226,7 +1227,9 @@ std::string FormatReport(const std::vector<Finding>& findings) {
 
 namespace {
 
-constexpr const char kMagic[] = "coyote-analyze-index v1";
+// v2: SetCompletionCallback joined the callback sinks, so cached v1 indexes
+// would miss simulation-context edges through the serving executors.
+constexpr const char kMagic[] = "coyote-analyze-index v2";
 
 std::string Enc(const std::string& s) { return s.empty() ? "-" : s; }
 std::string Dec(const std::string& s) { return s == "-" ? "" : s; }
