@@ -24,3 +24,4 @@ coyote_bench(bench_recovery_mttr coyote_runtime coyote_services coyote_synth)
 coyote_bench(bench_migration coyote_runtime coyote_services coyote_net)
 coyote_bench(bench_sim_engine coyote_sim coyote_axi)
 coyote_bench(bench_serving coyote_runtime coyote_services coyote_net)
+coyote_bench(bench_tiering coyote_mmu)

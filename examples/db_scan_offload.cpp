@@ -9,12 +9,17 @@
 // Both produce identical answers; the offload avoids shipping the table
 // through the host-side scan.
 
+// The table buffer is tiered: HBM only holds half of it, and the
+// profiling-driven tiering service decides which pages earn the fast tier
+// from the scans' access stream.
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "src/mmu/tiering.h"
 #include "src/runtime/cthread.h"
 #include "src/runtime/device.h"
 #include "src/services/db_scan.h"
@@ -48,6 +53,15 @@ int main() {
   t.InvokeSync(runtime::Oper::kStorageWrite, persist);
   std::printf("table: %" PRIu64 " rows (%.0f MiB) persisted to NVMe\n", kRows,
               kTableBytes / 1048576.0);
+
+  // HBM oversubscription: only half the table's hugepages fit in the fast
+  // tier; the profiler ranks pages by scan traffic and fills those slots.
+  const uint64_t table_pages = kTableBytes / cfg.shell.page_bytes;
+  mmu::Tiering::Config tiering_cfg;
+  tiering_cfg.policy = mmu::Tiering::Policy::kProfileGuided;
+  tiering_cfg.fast_capacity_pages = table_pages / 2;
+  mmu::Tiering& tiering = dev.EnableTiering(tiering_cfg);
+  tiering.Manage(buf, kTableBytes);
 
   const int64_t lo = 250'000, hi = 300'000;
 
@@ -105,5 +119,30 @@ int main() {
               static_cast<long long>(hw_sum), sim::ToMilliseconds(hw_elapsed),
               hw_count == sw_count && hw_sum == sw_sum ? "answers match" : "MISMATCH");
   std::printf("data returned to software: %.0f MiB vs 16 bytes\n", kTableBytes / 1048576.0);
-  return hw_count == sw_count && hw_sum == sw_sum ? 0 : 1;
+
+  const sim::Histogram heat = tiering.HeatHistogram();
+  std::printf("tiering: %llu tracked pages, occupancy hbm=%llu host=%llu nvme=%llu\n",
+              static_cast<unsigned long long>(tiering.tracked_pages()),
+              static_cast<unsigned long long>(tiering.occupancy(mmu::MemKind::kCard)),
+              static_cast<unsigned long long>(tiering.occupancy(mmu::MemKind::kHost)),
+              static_cast<unsigned long long>(tiering.occupancy(mmu::MemKind::kNvme)));
+  std::printf("tiering: heat histogram (log2 buckets):");
+  for (size_t b = 0; b < 24; ++b) {
+    if (heat.bucket(b) != 0) {
+      std::printf(" [2^%zu)=%llu", b, static_cast<unsigned long long>(heat.bucket(b)));
+    }
+  }
+  std::printf("\n");
+  std::printf("tiering: accesses=%llu promotions=%llu migrated=%.0f MiB\n",
+              static_cast<unsigned long long>(tiering.stats().value("tiering.accesses")),
+              static_cast<unsigned long long>(tiering.stats().value("tiering.promotions")),
+              static_cast<double>(tiering.stats().value("tiering.migrated_bytes")) / 1048576.0);
+
+  const bool tiering_ok = tiering.stats().value("tiering.accesses") > 0 &&
+                          tiering.stats().value("tiering.promotions") >= 1 &&
+                          tiering.occupancy(mmu::MemKind::kCard) <= tiering_cfg.fast_capacity_pages;
+  if (!tiering_ok) {
+    std::printf("tiering: PROFILE NEVER ENGAGED\n");
+  }
+  return hw_count == sw_count && hw_sum == sw_sum && tiering_ok ? 0 : 1;
 }

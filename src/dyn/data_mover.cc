@@ -86,6 +86,15 @@ void DataMover::SubmitPhysical(uint32_t vfpga_id, mmu::MemKind kind, uint64_t ph
     case mmu::MemKind::kGpu:
       gpu_link_.Submit(vfpga_id, bytes, std::move(on_done));
       break;
+    case mmu::MemKind::kNvme: {
+      // Reading a cold page in place: the NVMe command latency dominates.
+      // The tiering service exists to make this path rare.
+      assert(nvme_ != nullptr && "kNvme residency without an attached drive");
+      const uint64_t bb = nvme_->config().block_bytes;
+      nvme_->ReadCommand(phys_addr / bb, static_cast<uint32_t>((bytes + bb - 1) / bb),
+                         vfpga_id, std::move(on_done));
+      break;
+    }
   }
 }
 
@@ -352,6 +361,14 @@ void DataMover::PumpWrites(axi::Stream* src) {
           case mmu::MemKind::kGpu:
             gpu_link_.Submit(op->req.vfpga_id, data.size(), finish);
             break;
+          case mmu::MemKind::kNvme: {
+            assert(nvme_ != nullptr && "kNvme residency without an attached drive");
+            const uint64_t bb = nvme_->config().block_bytes;
+            nvme_->WriteCommand(phys / bb,
+                                static_cast<uint32_t>((data.size() + bb - 1) / bb),
+                                op->req.vfpga_id, finish);
+            break;
+          }
         }
       };
       if (e->kind != op->req.target) {
@@ -482,6 +499,31 @@ mmu::Svm::MigrationHooks DataMover::MakeMigrationHooks() {
                           std::function<void()> cb) {
     if (from == mmu::MemKind::kGpu || to == mmu::MemKind::kGpu) {
       gpu_link_.Submit(kMigrationSource, bytes, std::move(cb));
+    } else if (to == mmu::MemKind::kNvme) {
+      // Cold demotion wave: one bulk write command to the drive (the
+      // write-back cache acks quickly; sustained bandwidth still gates).
+      assert(nvme_ != nullptr && "demoting to kNvme without an attached drive");
+      const uint64_t bb = nvme_->config().block_bytes;
+      nvme_->WriteCommand(0, static_cast<uint32_t>((bytes + bb - 1) / bb), kMigrationSource,
+                          std::move(cb));
+    } else if (from == mmu::MemKind::kNvme) {
+      // Promotion out of the cold tier: the drive read dominates; a card
+      // destination additionally crosses H2C and occupies the HBM crossbar.
+      assert(nvme_ != nullptr && "promoting from kNvme without an attached drive");
+      const uint64_t bb = nvme_->config().block_bytes;
+      const auto blocks = static_cast<uint32_t>((bytes + bb - 1) / bb);
+      if (to == mmu::MemKind::kCard) {
+        nvme_->ReadCommand(0, blocks, kMigrationSource,
+                           [this, bytes, cb = std::move(cb)]() mutable {
+                             xdma_->h2c().Submit(kMigrationSource, bytes,
+                                                 [this, bytes, cb = std::move(cb)]() mutable {
+                                                   card_->Access(0, bytes, kMigrationSource,
+                                                                 std::move(cb));
+                                                 });
+                           });
+      } else {
+        nvme_->ReadCommand(0, blocks, kMigrationSource, std::move(cb));
+      }
     } else if (to == mmu::MemKind::kCard) {
       // host -> card: data crosses the H2C direction, then lands in HBM; the
       // HBM side is faster, so PCIe dominates; we additionally charge the

@@ -34,6 +34,7 @@
 #include "src/dyn/xdma.h"
 #include "src/memsys/card_memory.h"
 #include "src/memsys/gpu_memory.h"
+#include "src/memsys/nvme.h"
 #include "src/mmu/mmu.h"
 #include "src/mmu/svm.h"
 #include "src/sim/engine.h"
@@ -71,6 +72,10 @@ class DataMover {
 
   // Associates a vFPGA with its MMU. Must be called before issuing requests.
   void RegisterVfpga(uint32_t vfpga_id, mmu::Mmu* mmu);
+
+  // Attaches the NVMe drive backing the cold tier; transfers and migrations
+  // touching kNvme pages are charged to its command queues.
+  void SetNvme(memsys::NvmeDrive* nvme) { nvme_ = nvme; }
 
   // Streams req.bytes at req.vaddr into `dst` as in-order packets tagged
   // with req.tid. Completion fires after the last packet is delivered.
@@ -137,6 +142,7 @@ class DataMover {
   mmu::Svm* svm_;
   memsys::CardMemory* card_;
   memsys::GpuMemory* gpu_;
+  memsys::NvmeDrive* nvme_ = nullptr;
   XdmaCore* xdma_;
   Config config_;
   sim::Link gpu_link_;

@@ -43,6 +43,17 @@ class NvmeDrive {
   const Config& config() const { return config_; }
   uint64_t num_blocks() const { return config_.capacity_bytes / config_.block_bytes; }
 
+  // Bump-allocates a block-aligned byte range of the drive (the "swap
+  // partition" the memory tiering service demotes cold pages into). Returns
+  // the byte address (lba * block_bytes) of the range's first block.
+  uint64_t Allocate(uint64_t bytes) {
+    const uint64_t blocks = (bytes + config_.block_bytes - 1) / config_.block_bytes;
+    const uint64_t addr = next_alloc_;
+    next_alloc_ += blocks * config_.block_bytes;
+    return addr;
+  }
+  uint64_t allocated_bytes() const { return next_alloc_; }
+
   // Timing: a read/write command of `blocks` blocks; `done` fires at command
   // completion. Commands from different sources share the drive's bandwidth.
   void ReadCommand(uint64_t lba, uint32_t blocks, uint32_t source,
@@ -73,6 +84,7 @@ class NvmeDrive {
   SparseMemory store_;
   sim::Link read_queue_;
   sim::Link write_queue_;
+  uint64_t next_alloc_ = 0;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
 };

@@ -54,6 +54,9 @@ class Mmu {
       return;
     }
     ++driver_fallbacks_;
+    if (profiler_ != nullptr) {
+      profiler_->OnTlbMiss(vaddr);
+    }
     engine_->ScheduleAfter(config_.miss_latency, [this, vaddr, cb = std::move(cb)]() {
       auto entry = page_table_->Find(vaddr);
       if (entry) {
@@ -76,6 +79,10 @@ class Mmu {
 
   void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
 
+  // Attaches the tiering profiler; TLB misses are the hardware-side signal
+  // of its heat model (faults are where placement is costing time).
+  void set_profiler(TierProfileSink* profiler) { profiler_ = profiler; }
+
   Tlb& tlb() { return tlb_; }
   const Tlb& tlb() const { return tlb_; }
   PageTable* page_table() { return page_table_; }
@@ -89,6 +96,7 @@ class Mmu {
   Config config_;
   Tlb tlb_;
   sim::FaultInjector* injector_ = nullptr;
+  TierProfileSink* profiler_ = nullptr;
   uint64_t driver_fallbacks_ = 0;
   uint64_t page_faults_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "src/mmu/svm.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 namespace coyote {
@@ -14,6 +15,9 @@ memsys::SparseMemory& Svm::StoreFor(MemKind kind) const {
       return card_->store();
     case MemKind::kGpu:
       return gpu_->store();
+    case MemKind::kNvme:
+      assert(nvme_ != nullptr && "kNvme residency without an NVMe drive");
+      return nvme_->store();
   }
   return host_->store();
 }
@@ -28,43 +32,130 @@ uint64_t Svm::RegisterGpuBuffer(uint64_t bytes) {
   return vaddr;
 }
 
-void Svm::MigratePage(uint64_t vpage, MemKind target, std::function<void()> done) {
+uint64_t Svm::AllocatePhys(MemKind target, uint64_t vaddr) {
+  const uint64_t page = page_table_.page_bytes();
+  switch (target) {
+    case MemKind::kHost:
+      // Host pages keep their identity mapping so a page migrated back
+      // lands where the buffer was allocated.
+      return vaddr;
+    case MemKind::kCard:
+      if (!free_card_.empty()) {
+        const uint64_t a = free_card_.back();
+        free_card_.pop_back();
+        return a;
+      }
+      return card_->Allocate(page);
+    case MemKind::kGpu:
+      if (!free_gpu_.empty()) {
+        const uint64_t a = free_gpu_.back();
+        free_gpu_.pop_back();
+        return a;
+      }
+      return gpu_->Allocate(page);
+    case MemKind::kNvme:
+      assert(nvme_ != nullptr && "migrating to kNvme without an NVMe drive");
+      if (!free_nvme_.empty()) {
+        const uint64_t a = free_nvme_.back();
+        free_nvme_.pop_back();
+        return a;
+      }
+      return nvme_->Allocate(page);
+  }
+  return vaddr;
+}
+
+MemKind Svm::MovePageFunctional(uint64_t vpage, MemKind target) {
   const uint64_t page = page_table_.page_bytes();
   const uint64_t vaddr = vpage * page;
   auto entry = page_table_.Find(vaddr);
   assert(entry.has_value() && "migrating an unmapped page");
   const MemKind from = entry->kind;
+  assert(from != target && "moving a page to its current tier");
 
-  // Destination physical page. Host pages keep their identity mapping so a
-  // page migrated back lands where the buffer was allocated; card/GPU pages
-  // are allocated on demand.
-  uint64_t dst_addr = 0;
-  switch (target) {
-    case MemKind::kHost:
-      dst_addr = vaddr;
-      break;
-    case MemKind::kCard:
-      dst_addr = card_->Allocate(page);
-      break;
-    case MemKind::kGpu:
-      dst_addr = gpu_->Allocate(page);
-      break;
-  }
-
-  // Functional copy now; timing charged through the hook.
+  const uint64_t dst_addr = AllocatePhys(target, vaddr);
   std::vector<uint8_t> bytes = StoreFor(from).ReadVector(entry->addr, page);
   StoreFor(target).Write(dst_addr, bytes.data(), page);
   page_table_.Map(vaddr, PhysPage{target, dst_addr});
+
+  // Recycle the vacated physical page (host frames are identity-mapped and
+  // need no free list).
+  switch (from) {
+    case MemKind::kHost:
+      break;
+    case MemKind::kCard:
+      free_card_.push_back(entry->addr);
+      break;
+    case MemKind::kGpu:
+      free_gpu_.push_back(entry->addr);
+      break;
+    case MemKind::kNvme:
+      free_nvme_.push_back(entry->addr);
+      break;
+  }
+
   if (hooks_.invalidate) {
     hooks_.invalidate(vaddr);
   }
   ++migrations_;
   migrated_bytes_ += page;
+  if (profiler_ != nullptr) {
+    profiler_->OnMigrate(vpage, from, target);
+  }
+  return from;
+}
 
+void Svm::MigratePage(uint64_t vpage, MemKind target, std::function<void()> done) {
+  const uint64_t page = page_table_.page_bytes();
+  const MemKind from = MovePageFunctional(vpage, target);
   if (hooks_.transfer) {
     hooks_.transfer(from, target, page, std::move(done));
   } else {
     engine_->ScheduleAfter(0, std::move(done));
+  }
+}
+
+void Svm::MigratePages(const std::vector<uint64_t>& vpages, MemKind target,
+                       std::function<void()> done) {
+  const uint64_t page = page_table_.page_bytes();
+
+  // Functional moves first, accumulating the wave's bytes per source tier so
+  // the timing hook is charged once per (from, target) pair — the whole
+  // demotion wave rides one bandwidth-charged transfer.
+  std::array<uint64_t, kNumMemKinds> bytes_from{};
+  for (uint64_t vp : vpages) {
+    auto entry = page_table_.Find(vp * page);
+    assert(entry.has_value() && "MigratePages over an unmapped page");
+    if (entry->kind == target) {
+      continue;
+    }
+    const MemKind from = MovePageFunctional(vp, target);
+    bytes_from[static_cast<size_t>(from)] += page;
+  }
+
+  uint32_t transfers = 0;
+  for (uint64_t b : bytes_from) {
+    if (b > 0) {
+      ++transfers;
+    }
+  }
+  if (transfers == 0 || !hooks_.transfer) {
+    engine_->ScheduleAfter(0, std::move(done));
+    return;
+  }
+
+  auto remaining = std::make_shared<uint32_t>(transfers);
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (uint32_t k = 0; k < kNumMemKinds; ++k) {
+    if (bytes_from[k] == 0) {
+      continue;
+    }
+    hooks_.transfer(static_cast<MemKind>(k), target, bytes_from[k],
+                    [remaining, shared_done]() {
+                      if (--*remaining == 0 && *shared_done) {
+                        (*shared_done)();
+                      }
+                    });
   }
 }
 
@@ -102,6 +193,9 @@ void Svm::EnsureResident(uint64_t vaddr, uint64_t bytes, MemKind target,
 }
 
 void Svm::ReadVirtual(uint64_t vaddr, void* dst, uint64_t len) const {
+  if (profiler_ != nullptr && len > 0) {
+    profiler_->OnAccess(vaddr, len, /*write=*/false);
+  }
   auto* p = static_cast<uint8_t*>(dst);
   const uint64_t page = page_table_.page_bytes();
   while (len > 0) {
@@ -117,6 +211,9 @@ void Svm::ReadVirtual(uint64_t vaddr, void* dst, uint64_t len) const {
 }
 
 void Svm::WriteVirtual(uint64_t vaddr, const void* src, uint64_t len) {
+  if (profiler_ != nullptr && len > 0) {
+    profiler_->OnAccess(vaddr, len, /*write=*/true);
+  }
   const auto* p = static_cast<const uint8_t*>(src);
   const uint64_t page = page_table_.page_bytes();
   if (len > 0) {

@@ -1,15 +1,19 @@
 // Shared virtual memory manager (paper §6.1).
 //
 // Implements the GPU-style unified memory model: a single virtual address
-// space per cThread spanning host DRAM, card HBM/DDR and (with the external
-// extension) GPU memory. Accessing data that is not resident in the memory a
-// transfer requires raises a page fault and triggers a page migration; the
-// driver updates the page table and invalidates the hardware TLBs.
+// space per cThread spanning host DRAM, card HBM/DDR, (with the external
+// extension) GPU memory and — as the cold end of the tiering hierarchy — an
+// NVMe drive. Accessing data that is not resident in the memory a transfer
+// requires raises a page fault and triggers a page migration; the driver
+// updates the page table and invalidates the hardware TLBs.
 //
 // The Svm holds functional state (where each page's bytes live) and performs
 // real byte copies between the backing stores. Migration *timing* is
 // injected via MigrationHooks so this module stays independent of the
-// dynamic-layer DMA models that provide the bandwidth numbers.
+// dynamic-layer DMA models that provide the bandwidth numbers. Placement
+// *policy* is likewise external: the tiering service (src/mmu/tiering.h)
+// observes accesses through the TierProfileSink and moves pages with the
+// batched MigratePages API.
 
 #ifndef SRC_MMU_SVM_H_
 #define SRC_MMU_SVM_H_
@@ -23,6 +27,7 @@
 #include "src/memsys/card_memory.h"
 #include "src/memsys/gpu_memory.h"
 #include "src/memsys/host_memory.h"
+#include "src/memsys/nvme.h"
 #include "src/mmu/page_table.h"
 #include "src/mmu/types.h"
 #include "src/sim/access_guard.h"
@@ -35,18 +40,33 @@ class Svm {
  public:
   struct MigrationHooks {
     // Charges the time to move `bytes` from `from` to `to`; must invoke the
-    // callback when the transfer completes. Defaults to instantaneous.
+    // callback when the transfer completes. Defaults to instantaneous. A
+    // batched migration wave (MigratePages) charges the whole wave's bytes
+    // through one call per source tier, not one call per page.
     std::function<void(MemKind from, MemKind to, uint64_t bytes, std::function<void()> done)>
         transfer;
     // Broadcast TLB shootdown for a virtual address (all vFPGA MMUs).
     std::function<void(uint64_t vaddr)> invalidate;
   };
 
+  // `nvme` may be nullptr: shells without a storage tier simply have no
+  // kNvme residency (migrating a page there asserts).
   Svm(sim::Engine* engine, memsys::HostMemory* host, memsys::CardMemory* card,
-      memsys::GpuMemory* gpu, uint64_t page_bytes)
-      : engine_(engine), host_(host), card_(card), gpu_(gpu), page_table_(page_bytes) {}
+      memsys::GpuMemory* gpu, uint64_t page_bytes, memsys::NvmeDrive* nvme = nullptr)
+      : engine_(engine),
+        host_(host),
+        card_(card),
+        gpu_(gpu),
+        nvme_(nvme),
+        page_table_(page_bytes) {}
 
   void set_hooks(MigrationHooks hooks) { hooks_ = std::move(hooks); }
+  void set_nvme(memsys::NvmeDrive* nvme) { nvme_ = nvme; }
+  bool has_nvme() const { return nvme_ != nullptr; }
+
+  // Attaches the access/migration profiler (the tiering service). Not owned;
+  // nullptr detaches.
+  void set_profiler(TierProfileSink* profiler) { profiler_ = profiler; }
 
   PageTable& page_table() { return page_table_; }
   const PageTable& page_table() const { return page_table_; }
@@ -66,6 +86,14 @@ class Svm {
   // completes (immediately if everything is already resident).
   void EnsureResident(uint64_t vaddr, uint64_t bytes, MemKind target, std::function<void()> done);
 
+  // Batched migration (the tiering policy engine's move primitive): moves
+  // every page of `vpages` to `target`, charging the timing hook once per
+  // source tier with the wave's summed bytes — a demotion wave is one
+  // bandwidth-charged transfer, not N per-page callbacks. Pages already in
+  // `target` are skipped. `done` fires when every charged transfer completes.
+  void MigratePages(const std::vector<uint64_t>& vpages, MemKind target,
+                    std::function<void()> done);
+
   // Functional access through the virtual address space: reads/writes land
   // in whichever store currently holds each page.
   void ReadVirtual(uint64_t vaddr, void* dst, uint64_t len) const;
@@ -79,6 +107,8 @@ class Svm {
   // clock. A checkpointer records dirty_clock() at capture time and asks for
   // the pages stamped since its previous capture — an incremental manifest.
   // since=0 returns every page ever written (the full first checkpoint).
+  // Tier migrations move bytes between stores without going through
+  // WriteVirtual, so promotions/demotions never perturb the manifests.
   uint64_t dirty_clock() const { return dirty_clock_; }
 
   // Virtual page numbers in [vaddr, vaddr+bytes) written after `since`,
@@ -88,18 +118,32 @@ class Svm {
 
  private:
   memsys::SparseMemory& StoreFor(MemKind kind) const;
+  // Functional side of one page move: copy bytes, remap, shoot down TLBs,
+  // recycle the vacated physical page, notify the profiler. Returns the
+  // source tier so callers can charge the timing hook (kind-aware).
+  MemKind MovePageFunctional(uint64_t vpage, MemKind target);
   void MigratePage(uint64_t vpage, MemKind target, std::function<void()> done);
+  uint64_t AllocatePhys(MemKind target, uint64_t vaddr);
 
   sim::Engine* engine_;
   memsys::HostMemory* host_;
   memsys::CardMemory* card_;
   memsys::GpuMemory* gpu_;
+  memsys::NvmeDrive* nvme_;
   PageTable page_table_;
   MigrationHooks hooks_;
+  TierProfileSink* profiler_ = nullptr;
 
   uint64_t next_gpu_vaddr_ = 1ull << 44;  // distinct VA window for GPU buffers
   uint64_t migrations_ = 0;
   uint64_t migrated_bytes_ = 0;
+
+  // Physical pages vacated by migrations, recycled LIFO so tiering churn
+  // (promote/demote cycles) does not grow the bump allocators without bound.
+  // Host pages keep their identity mapping and need no free list.
+  std::vector<uint64_t> free_card_;
+  std::vector<uint64_t> free_gpu_;
+  std::vector<uint64_t> free_nvme_;
 
   // vpage -> dirty-clock stamp of its most recent write. Ordered so
   // DirtyPagesIn iterates deterministically.

@@ -10,12 +10,18 @@ namespace coyote {
 namespace mmu {
 
 // Physical memory a page can be resident in. The GPU kind models the
-// externally contributed MMU extension for FPGA<->GPU peer DMA (paper §2.2).
+// externally contributed MMU extension for FPGA<->GPU peer DMA (paper §2.2);
+// the NVMe kind is the cold end of the host/HBM/GPU/NVMe placement hierarchy
+// the tiering service (src/mmu/tiering.h) manages — pages demoted there are
+// backed by the memsys::NvmeDrive block store.
 enum class MemKind : uint8_t {
   kHost,
   kCard,
   kGpu,
+  kNvme,
 };
+
+inline constexpr uint32_t kNumMemKinds = 4;
 
 inline std::string_view MemKindName(MemKind k) {
   switch (k) {
@@ -25,6 +31,8 @@ inline std::string_view MemKindName(MemKind k) {
       return "card";
     case MemKind::kGpu:
       return "gpu";
+    case MemKind::kNvme:
+      return "nvme";
   }
   return "unknown";
 }
@@ -32,6 +40,22 @@ inline std::string_view MemKindName(MemKind k) {
 struct PhysPage {
   MemKind kind = MemKind::kHost;
   uint64_t addr = 0;  // physical address within that memory
+};
+
+// Observer interface for the two access streams the memory system already
+// produces (functional virtual-memory accesses and TLB-miss driver fallbacks)
+// plus page-migration events. The tiering service implements this to build
+// its per-page heat profile; the producers (Svm, Mmu) stay policy-free and
+// pay a single predictable null-check when no profiler is attached.
+class TierProfileSink {
+ public:
+  virtual ~TierProfileSink() = default;
+  // A ReadVirtual/WriteVirtual touched [vaddr, vaddr+len).
+  virtual void OnAccess(uint64_t vaddr, uint64_t len, bool write) = 0;
+  // A hardware TLB missed and fell back to the driver for `vaddr`.
+  virtual void OnTlbMiss(uint64_t vaddr) = 0;
+  // Page `vpage` moved between physical tiers (any initiator).
+  virtual void OnMigrate(uint64_t vpage, MemKind from, MemKind to) = 0;
 };
 
 }  // namespace mmu

@@ -34,9 +34,11 @@ SimDevice::SimDevice(const Config& config, net::Network* network, sim::Engine* s
       network_(network) {
   active_shell_ = config_.shell;
 
+  svm_.set_nvme(&nvme_drive_);
   xdma_ = std::make_unique<dyn::XdmaCore>(engine_, config_.xdma);
   mover_ = std::make_unique<dyn::DataMover>(engine_, &svm_, card_.get(), &gpu_, xdma_.get(),
                                             config_.data_mover);
+  mover_->SetNvme(&nvme_drive_);
   writeback_ = std::make_unique<dyn::WritebackEngine>(engine_, &host_, &xdma_->c2h());
   reconfig_ = std::make_unique<fabric::ReconfigController>(engine_,
                                                            config_.xdma.h2c_bps);
@@ -131,6 +133,19 @@ SimDevice::SimDevice(const Config& config, net::Network* network, sim::Engine* s
 }
 
 SimDevice::~SimDevice() = default;
+
+mmu::Tiering& SimDevice::EnableTiering(const mmu::Tiering::Config& tiering_config) {
+  if (tiering_) {
+    tiering_->Stop();
+  }
+  tiering_ = std::make_unique<mmu::Tiering>(engine_, &svm_, tiering_config);
+  svm_.set_profiler(tiering_.get());
+  for (auto& m : mmus_) {
+    m->set_profiler(tiering_.get());
+  }
+  tiering_->Start();
+  return *tiering_;
+}
 
 void SimDevice::BuildShellServices() {
   if (active_shell_.HasService(fabric::Service::kRdma) && network_ != nullptr) {

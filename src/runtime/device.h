@@ -38,6 +38,7 @@
 #include "src/memsys/nvme.h"
 #include "src/mmu/mmu.h"
 #include "src/mmu/svm.h"
+#include "src/mmu/tiering.h"
 #include "src/net/network.h"
 #include "src/net/roce.h"
 #include "src/net/sniffer.h"
@@ -121,6 +122,16 @@ class SimDevice {
     return active_shell_.HasService(fabric::Service::kStorage) ? &nvme_drive_ : nullptr;
   }
   memsys::NvmeDrive& nvme_drive() { return nvme_drive_; }
+
+  // --- Memory tiering service (ROADMAP item 4) -------------------------------
+  // Creates the profiling + policy layer over the device's SVM, attaches its
+  // profiler to the Svm and every vFPGA MMU, and starts epoch sampling.
+  // Calling again replaces the previous service (fresh heat state). The tick
+  // reschedules itself, so drain-style callers must Stop() it first; WaitFor
+  // (condition-based) is unaffected.
+  mmu::Tiering& EnableTiering(const mmu::Tiering::Config& tiering_config);
+  // nullptr until EnableTiering.
+  mmu::Tiering* tiering() { return tiering_.get(); }
   const fabric::Floorplan& floorplan() const { return floorplan_; }
   fabric::ReconfigController& reconfig_controller() { return *reconfig_; }
   const fabric::ShellConfigDesc& active_shell() const { return active_shell_; }
@@ -220,6 +231,7 @@ class SimDevice {
 
   std::vector<std::unique_ptr<vfpga::Vfpga>> vfpgas_;
   std::vector<std::unique_ptr<mmu::Mmu>> mmus_;
+  std::unique_ptr<mmu::Tiering> tiering_;
 
   net::Network* network_ = nullptr;
   std::unique_ptr<net::RoceStack> roce_;

@@ -1,0 +1,61 @@
+// Fixture: tiering-style profiling service. Access-stream callbacks and the
+// epoch tick mutate per-page state: the tiering service's own heat table
+// registers a sim::AccessGuard member (clean), while a bolt-on sampling
+// cache mutated from the same callback context does not (finding).
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fx {
+
+namespace sim {
+class AccessGuard {
+ public:
+  void Write();
+};
+}  // namespace sim
+
+class Engine {
+ public:
+  void ScheduleAfter(long delay, void (*fn)());
+};
+
+// The tiering service proper: the heat table is covered by a registered
+// guard, so both the access-stream and epoch-tick mutations stay clean.
+class Tiering {
+ public:
+  void OnAccess(uint64_t vpage) {
+    guard_.Write();
+    heat_[vpage] += 1;
+  }
+  void EpochTick() {
+    guard_.Write();
+    for (auto& [vp, h] : heat_) {
+      h >>= 1;
+    }
+  }
+
+ private:
+  std::map<uint64_t, uint64_t> heat_;
+  sim::AccessGuard guard_;
+};
+
+// Bolt-on heat sampler: mutates its sample log from the same epoch-tick
+// callback but registers no guard: flagged.
+class HeatSampler {
+ public:
+  void Sample(uint64_t vpage) { samples_.push_back(vpage); }
+
+ private:
+  std::vector<uint64_t> samples_;
+};
+
+void ArmTiering(Engine& engine, Tiering& tiering, HeatSampler& sampler) {
+  engine.ScheduleAfter(1000, [&] {
+    tiering.OnAccess(42);
+    tiering.EpochTick();
+    sampler.Sample(42);
+  });
+}
+
+}  // namespace fx

@@ -140,6 +140,22 @@ TEST(AnalyzerFixtures, OrchestratorContextGuardsStateMapsAndMailboxOnly) {
   EXPECT_EQ(findings.size(), 2u) << FormatReport(findings);
 }
 
+TEST(AnalyzerFixtures, TieringContextFlagsUnguardedHeatSamplerOnly) {
+  const auto findings = AnalyzeFixture("tiering_ctx.cc");
+  // The bolt-on sampler mutates from the epoch-tick callback with no guard.
+  const Finding* sampler = FindAtLine(findings, "guard-state", 47);
+  ASSERT_NE(sampler, nullptr) << FormatReport(findings);
+  EXPECT_NE(sampler->message.find("HeatSampler::samples_"), std::string::npos)
+      << sampler->message;
+  EXPECT_TRUE(ChainContains(*sampler, "ArmTiering")) << sampler->ChainString();
+  EXPECT_TRUE(ChainContains(*sampler, "Sample")) << sampler->ChainString();
+  // The tiering service's own heat-table mutations are covered by its
+  // registered AccessGuard: both the access-stream and decay writes are clean.
+  EXPECT_FALSE(AnyAtLine(findings, 29)) << FormatReport(findings);
+  EXPECT_FALSE(AnyAtLine(findings, 34)) << FormatReport(findings);
+  EXPECT_EQ(findings.size(), 1u) << FormatReport(findings);
+}
+
 // --- Golden clean reports ---------------------------------------------------
 
 TEST(AnalyzerFixtures, CleanFixtureProducesTheGoldenEmptyReport) {

@@ -248,6 +248,17 @@ TEST(NvmeTest, StoreIsBlockAddressedAndPersistent) {
   EXPECT_GT(drive.num_blocks(), 1'000'000u);  // 1 TB of 4K blocks
 }
 
+TEST(NvmeTest, AllocateIsBlockAlignedAndMonotone) {
+  sim::Engine engine;
+  memsys::NvmeDrive drive(&engine, {});
+  // Sub-block request still consumes a whole block (the tiering service's
+  // swap slots never alias).
+  EXPECT_EQ(drive.Allocate(100), 0u);
+  EXPECT_EQ(drive.Allocate(4096), 4096u);
+  EXPECT_EQ(drive.Allocate(2ull << 20), 2 * 4096u);
+  EXPECT_EQ(drive.allocated_bytes(), 2 * 4096u + (2ull << 20));
+}
+
 // Property: card bandwidth scales ~linearly with channel count when striped
 // and bypassed (no shared bottleneck).
 class CardScaling : public ::testing::TestWithParam<uint32_t> {};

@@ -14,9 +14,14 @@
 #include <optional>
 #include <vector>
 
+#include "src/memsys/card_memory.h"
+#include "src/memsys/gpu_memory.h"
 #include "src/memsys/host_memory.h"
+#include "src/memsys/nvme.h"
 #include "src/mmu/mmu.h"
 #include "src/mmu/page_table.h"
+#include "src/mmu/svm.h"
+#include "src/mmu/tiering.h"
 #include "src/mmu/tlb.h"
 #include "src/mmu/types.h"
 #include "src/sim/engine.h"
@@ -239,6 +244,128 @@ TEST(MmuPropertyTest, MigrationIsVisibleImmediatelyAfterShootdown) {
       u.CheckTranslate(a.vaddr + p * (2ull << 20));
     }
   }
+}
+
+// --- Tiering functional equivalence ----------------------------------------
+// A full SVM stack (host/card/GPU/NVMe) driven by a random access trace. One
+// stack runs with the tiering service migrating pages under capacity
+// pressure; its twin runs placement-free. The tiering property: migrations
+// move bytes, never change them — every ReadVirtual must return identical
+// bytes on both stacks, and the dirty-page manifests (PR 7's checkpoint
+// contract) must be identical too, because tier moves bypass the dirty clock.
+class SvmStack {
+ public:
+  static constexpr uint64_t kPage = 4096;
+
+  explicit SvmStack(bool tiered)
+      : card_(&engine_, {}),
+        nvme_(&engine_, {}),
+        svm_(&engine_, &host_, &card_, &gpu_, kPage, &nvme_) {
+    if (tiered) {
+      Tiering::Config cfg;
+      cfg.policy = Tiering::Policy::kProfileGuided;
+      cfg.fast_capacity_pages = 8;    // heavy oversubscription vs 64 pages
+      cfg.slow_capacity_pages = 32;   // forces cold demotion to NVMe too
+      cfg.min_residency_epochs = 1;
+      cfg.promote_threshold = 2;
+      tiering_ = std::make_unique<Tiering>(&engine_, &svm_, cfg);
+      svm_.set_profiler(tiering_.get());
+      tiering_->Start();
+    }
+    base_ = host_.Allocate(kPages * kPage, memsys::AllocKind::kRegular);
+    svm_.RegisterHostBuffer(base_, kPages * kPage);
+  }
+
+  ~SvmStack() {
+    if (tiering_) {
+      tiering_->Stop();
+      engine_.RunUntilIdle();
+    }
+  }
+
+  static constexpr uint64_t kPages = 64;
+
+  uint64_t base() const { return base_; }
+  Svm& svm() { return svm_; }
+  Tiering* tiering() { return tiering_.get(); }
+  void AdvanceEpoch() { engine_.RunUntil(engine_.Now() + sim::Milliseconds(1) + 1); }
+
+ private:
+  sim::Engine engine_;
+  memsys::HostMemory host_;
+  memsys::CardMemory card_;
+  memsys::GpuMemory gpu_;
+  memsys::NvmeDrive nvme_;
+  Svm svm_;
+  std::unique_ptr<Tiering> tiering_;
+  uint64_t base_ = 0;
+};
+
+void RunEquivalenceFuzz(uint64_t seed, int iterations) {
+  SvmStack tiered(/*tiered=*/true);
+  SvmStack flat(/*tiered=*/false);
+  sim::Rng rng(seed);
+
+  const uint64_t span = SvmStack::kPages * SvmStack::kPage;
+  std::vector<uint8_t> buf;
+  std::vector<uint8_t> got_tiered;
+  std::vector<uint8_t> got_flat;
+  for (int i = 0; i < iterations; ++i) {
+    // Skewed offsets: low pages run hot so the tiering stack actually
+    // promotes, demotes and cold-demotes during the trace.
+    const uint64_t page = rng.NextBounded(4) == 0 ? rng.NextBounded(SvmStack::kPages)
+                                                  : rng.NextBounded(SvmStack::kPages / 8);
+    const uint64_t off = page * SvmStack::kPage + rng.NextBounded(SvmStack::kPage);
+    const uint64_t len = 1 + rng.NextBounded(std::min<uint64_t>(16384, span - off));
+    const uint64_t op = rng.NextBounded(10);
+    if (op < 4) {
+      buf.resize(len);
+      rng.FillBytes(buf.data(), len);
+      tiered.svm().WriteVirtual(tiered.base() + off, buf.data(), len);
+      flat.svm().WriteVirtual(flat.base() + off, buf.data(), len);
+    } else if (op < 9) {
+      got_tiered.resize(len);
+      got_flat.resize(len);
+      tiered.svm().ReadVirtual(tiered.base() + off, got_tiered.data(), len);
+      flat.svm().ReadVirtual(flat.base() + off, got_flat.data(), len);
+      ASSERT_EQ(got_tiered, got_flat) << "seed " << seed << " iter " << i;
+    } else {
+      tiered.AdvanceEpoch();
+      flat.AdvanceEpoch();
+    }
+    // Dirty manifests must never see tier migrations: only WriteVirtual
+    // stamps the clock, identically on both stacks.
+    ASSERT_EQ(tiered.svm().dirty_clock(), flat.svm().dirty_clock());
+  }
+  // Let several more epochs of migration churn land, then do a full sweep.
+  for (int e = 0; e < 8; ++e) {
+    tiered.AdvanceEpoch();
+    flat.AdvanceEpoch();
+  }
+  got_tiered.resize(span);
+  got_flat.resize(span);
+  tiered.svm().ReadVirtual(tiered.base(), got_tiered.data(), span);
+  flat.svm().ReadVirtual(flat.base(), got_flat.data(), span);
+  EXPECT_EQ(got_tiered, got_flat);
+  EXPECT_EQ(tiered.svm().DirtyPagesIn(tiered.base(), span, 0),
+            flat.svm().DirtyPagesIn(flat.base(), span, 0));
+  const uint64_t mid = tiered.svm().dirty_clock() / 2;
+  EXPECT_EQ(tiered.svm().DirtyPagesIn(tiered.base(), span, mid),
+            flat.svm().DirtyPagesIn(flat.base(), span, mid));
+  // The property is vacuous unless the tiered stack actually migrated.
+  ASSERT_NE(tiered.tiering(), nullptr);
+  EXPECT_GT(tiered.tiering()->stats().value("tiering.promotions"), 0u);
+  EXPECT_EQ(flat.svm().migrations(), 0u);
+}
+
+TEST(TieringEquivalenceTest, ReadsAndManifestsMatchUntieredSeed11) {
+  RunEquivalenceFuzz(11, 600);
+}
+TEST(TieringEquivalenceTest, ReadsAndManifestsMatchUntieredSeed77) {
+  RunEquivalenceFuzz(77, 600);
+}
+TEST(TieringEquivalenceTest, ReadsAndManifestsMatchUntieredSeed1234) {
+  RunEquivalenceFuzz(1234, 600);
 }
 
 }  // namespace

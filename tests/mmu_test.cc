@@ -8,6 +8,7 @@
 #include "src/memsys/card_memory.h"
 #include "src/memsys/gpu_memory.h"
 #include "src/memsys/host_memory.h"
+#include "src/memsys/nvme.h"
 #include "src/mmu/mmu.h"
 #include "src/mmu/page_table.h"
 #include "src/mmu/svm.h"
@@ -279,6 +280,100 @@ TEST_F(SvmTest, VirtualAccessSpansPagesAcrossKinds) {
   svm_.WriteVirtual(span_addr, data.data(), data.size());
   std::vector<uint8_t> back(4096);
   svm_.ReadVirtual(span_addr, back.data(), back.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(SvmTest, NvmeTierRoundTripsDataAndRecyclesFrames) {
+  memsys::NvmeDrive nvme(&engine_, {});
+  EXPECT_FALSE(svm_.has_nvme());
+  svm_.set_nvme(&nvme);
+  ASSERT_TRUE(svm_.has_nvme());
+
+  const uint64_t addr = host_.Allocate(2 * kPage2M, memsys::AllocKind::kHuge2M);
+  svm_.RegisterHostBuffer(addr, 2 * kPage2M);
+  std::vector<uint8_t> data(2 * kPage2M);
+  sim::Rng rng(7);
+  rng.FillBytes(data.data(), data.size());
+  svm_.WriteVirtual(addr, data.data(), data.size());
+
+  bool done = false;
+  svm_.EnsureResident(addr, 2 * kPage2M, MemKind::kNvme, [&] { done = true; });
+  engine_.RunUntilIdle();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(svm_.page_table().Find(addr)->kind, MemKind::kNvme);
+  EXPECT_EQ(nvme.allocated_bytes(), 2 * kPage2M);
+
+  std::vector<uint8_t> back(data.size());
+  svm_.ReadVirtual(addr, back.data(), back.size());
+  EXPECT_EQ(back, data);
+
+  // Promote back out, then demote again: the vacated drive slots are
+  // recycled, so churn does not grow the swap partition.
+  done = false;
+  svm_.EnsureResident(addr, 2 * kPage2M, MemKind::kHost, [&] { done = true; });
+  engine_.RunUntilIdle();
+  ASSERT_TRUE(done);
+  done = false;
+  svm_.EnsureResident(addr, 2 * kPage2M, MemKind::kNvme, [&] { done = true; });
+  engine_.RunUntilIdle();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(nvme.allocated_bytes(), 2 * kPage2M);
+  svm_.ReadVirtual(addr, back.data(), back.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(SvmTest, MigratePagesChargesOneTransferPerSourceTier) {
+  const uint64_t addr = host_.Allocate(4 * kPage2M, memsys::AllocKind::kHuge2M);
+  svm_.RegisterHostBuffer(addr, 4 * kPage2M);
+  std::vector<uint8_t> data(4 * kPage2M);
+  sim::Rng rng(9);
+  rng.FillBytes(data.data(), data.size());
+  svm_.WriteVirtual(addr, data.data(), data.size());
+
+  // Pre-place pages 0-1 on the card (hooks not yet armed: placement is free).
+  bool placed = false;
+  svm_.EnsureResident(addr, 2 * kPage2M, MemKind::kCard, [&] { placed = true; });
+  engine_.RunUntilIdle();
+  ASSERT_TRUE(placed);
+
+  struct Transfer {
+    MemKind from;
+    MemKind to;
+    uint64_t bytes;
+  };
+  std::vector<Transfer> transfers;
+  Svm::MigrationHooks hooks;
+  hooks.transfer = [&](MemKind from, MemKind to, uint64_t bytes, std::function<void()> cb) {
+    transfers.push_back({from, to, bytes});
+    engine_.ScheduleAfter(sim::Microseconds(1), std::move(cb));
+  };
+  svm_.set_hooks(std::move(hooks));
+
+  // A wave spanning two source tiers (card pages 0-1, host pages 2-3) is
+  // charged as exactly two bulk transfers, not four per-page callbacks.
+  const uint64_t vp0 = addr / kPage2M;
+  bool done = false;
+  svm_.MigratePages({vp0, vp0 + 1, vp0 + 2, vp0 + 3}, MemKind::kGpu, [&] { done = true; });
+  engine_.RunUntilIdle();
+  ASSERT_TRUE(done);
+  ASSERT_EQ(transfers.size(), 2u);
+  EXPECT_EQ(transfers[0].from, MemKind::kHost);  // charged in MemKind order
+  EXPECT_EQ(transfers[0].bytes, 2 * kPage2M);
+  EXPECT_EQ(transfers[1].from, MemKind::kCard);
+  EXPECT_EQ(transfers[1].bytes, 2 * kPage2M);
+  EXPECT_EQ(svm_.migrations(), 6u);  // 2 placement + 4 wave
+
+  // Pages already in the target are skipped: an all-resident wave charges
+  // nothing and completes through the engine.
+  transfers.clear();
+  done = false;
+  svm_.MigratePages({vp0, vp0 + 1}, MemKind::kGpu, [&] { done = true; });
+  engine_.RunUntilIdle();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(transfers.empty());
+
+  std::vector<uint8_t> back(data.size());
+  svm_.ReadVirtual(addr, back.data(), back.size());
   EXPECT_EQ(back, data);
 }
 
